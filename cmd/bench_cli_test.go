@@ -1,0 +1,75 @@
+package cmd_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchAndPlotCLIs runs scbr-bench at a tiny scale covering the
+// figure harness and all §6 ablations, checks the CSV artefacts, and
+// renders one of them with scbr-plot.
+func TestBenchAndPlotCLIs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs two binaries")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"scbr-bench", "scbr-plot"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "scbr/cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	csvDir := t.TempDir()
+
+	bench := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(filepath.Join(bin, "scbr-bench"), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("scbr-bench %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := bench("-fig5", "-sizes", "200,500", "-pubs", "30", "-csv", csvDir)
+	if !strings.Contains(out, "Figure 5") {
+		t.Fatalf("fig5 banner missing:\n%s", out)
+	}
+	out = bench("-switchless", "-sizes", "400", "-pubs", "60", "-csv", csvDir)
+	if !strings.Contains(out, "switchless") {
+		t.Fatalf("switchless row missing:\n%s", out)
+	}
+	out = bench("-align", "-sizes", "400", "-pubs", "30", "-csv", csvDir)
+	if !strings.Contains(out, "aligned") {
+		t.Fatalf("aligned row missing:\n%s", out)
+	}
+	out = bench("-split", "-fig8subs", "3000", "-fig8step", "500", "-epc", "1", "-pad", "400", "-csv", csvDir)
+	if !strings.Contains(out, "split ratio") {
+		t.Fatalf("split header missing:\n%s", out)
+	}
+
+	for _, f := range []string{"fig5.csv", "ablation_switchless.csv", "ablation_align.csv", "ablation_split.csv"} {
+		p := filepath.Join(csvDir, f)
+		plotArgs := []string{p}
+		switch f {
+		case "fig5.csv":
+			plotArgs = []string{"-logx", "-logy", "-x", "subs", p}
+		case "ablation_split.csv":
+			plotArgs = []string{"-x", "db_mb", "-cols", "epc_ratio,split_ratio", p}
+		case "ablation_switchless.csv":
+			// The mode column is textual; plot µs against transitions.
+			plotArgs = []string{"-logx", "-x", "transitions", "-cols", "us_per_op", p}
+		case "ablation_align.csv":
+			// Two rows (natural, aligned); x = footprint.
+			plotArgs = []string{"-x", "footprint_mb", "-cols", "out_us,in_us", p}
+		}
+		out, err := exec.Command(filepath.Join(bin, "scbr-plot"), plotArgs...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("scbr-plot %v: %v\n%s", plotArgs, err, out)
+		}
+		if !strings.Contains(string(out), "|") {
+			t.Fatalf("plot of %s produced no chart:\n%s", f, out)
+		}
+	}
+}

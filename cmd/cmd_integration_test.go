@@ -1,0 +1,152 @@
+// Package cmd_test drives the built scbr-router / scbr-publisher /
+// scbr-subscriber binaries end to end over loopback TCP: trust-bundle
+// hand-off, attestation, a workload feed, and filtered delivery.
+package cmd_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePort reserves a loopback port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// waitListening polls until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never started listening", addr)
+}
+
+func waitFile(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never appeared", path)
+}
+
+func TestCLIDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs three binaries")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"scbr-router", "scbr-publisher", "scbr-subscriber"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "scbr/cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	work := t.TempDir()
+	trust := filepath.Join(work, "trust.json")
+	pubKey := filepath.Join(work, "pub.json")
+	routerAddr := freePort(t)
+	pubAddr := freePort(t)
+
+	var wg sync.WaitGroup
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Dir = work
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		})
+		return cmd
+	}
+
+	start("scbr-router", "-listen", routerAddr, "-trust", trust)
+	waitFile(t, trust)
+	waitListening(t, routerAddr)
+
+	start("scbr-publisher",
+		"-router", routerAddr, "-trust", trust,
+		"-listen", pubAddr, "-key", pubKey,
+		"-feed", "e80a1", "-count", "0", "-interval", "50ms", "-seed", "3")
+	waitFile(t, pubKey)
+	waitListening(t, pubAddr)
+
+	// Subscriber with a broad filter; capture its stdout.
+	sub := exec.Command(filepath.Join(bin, "scbr-subscriber"),
+		"-id", "cli-test",
+		"-publisher", pubAddr, "-router", routerAddr, "-key", pubKey,
+		"-sub", "close > 0", "-count", "3")
+	sub.Dir = work
+	stdout, err := sub.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Stderr = os.Stderr
+	if err := sub.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = sub.Process.Kill()
+		_, _ = sub.Process.Wait()
+	})
+
+	lines := make(chan string, 16)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(lines)
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	defer wg.Wait()
+
+	received := 0
+	deadline := time.After(60 * time.Second)
+	for received < 3 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("subscriber exited after %d deliveries", received)
+			}
+			if strings.Contains(line, "payload=") {
+				received++
+				if !strings.Contains(line, "close") {
+					t.Fatalf("payload does not look like a quote: %s", line)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out with %d deliveries", received)
+		}
+	}
+	fmt.Println("CLI deployment delivered", received, "quotes")
+}

@@ -1,0 +1,107 @@
+// Command scbr-plot renders the CSV series written by scbr-bench as
+// ASCII charts, reproducing the look of the paper's figures in a
+// terminal.
+//
+// Usage:
+//
+//	scbr-bench -fig6 -csv results/
+//	scbr-plot -logx -logy -x subs results/fig6.csv
+//	scbr-plot -logx -logy -x subs -cols out_aspe_us,out_aes_us results/fig7_e80a1.csv
+//	scbr-plot -x db_mb -cols epc_ratio,split_ratio results/ablation_split.csv
+//
+// By default the first numeric column is the x axis and every other
+// numeric column becomes a series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scbr/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scbr-plot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		xCol   = flag.String("x", "", "x-axis column (default: first numeric column)")
+		cols   = flag.String("cols", "", "comma-separated series columns (default: every other numeric column)")
+		logX   = flag.Bool("logx", false, "logarithmic x axis")
+		logY   = flag.Bool("logy", false, "logarithmic y axis")
+		width  = flag.Int("w", 72, "plot width in characters")
+		height = flag.Int("h", 22, "plot height in characters")
+		title  = flag.String("title", "", "chart title (default: file name)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one CSV file expected, got %d", flag.NArg())
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	table, err := plot.ReadTable(f)
+	if err != nil {
+		return err
+	}
+
+	numeric := table.NumericColumns()
+	if len(numeric) < 2 {
+		return fmt.Errorf("%s has %d numeric columns, need at least an x and one series", path, len(numeric))
+	}
+	x := *xCol
+	if x == "" {
+		x = numeric[0]
+	}
+	var names []string
+	if *cols != "" {
+		for _, c := range strings.Split(*cols, ",") {
+			names = append(names, strings.TrimSpace(c))
+		}
+	} else {
+		for _, c := range numeric {
+			if c != x {
+				names = append(names, c)
+			}
+		}
+	}
+
+	xs, err := table.Float(x)
+	if err != nil {
+		return err
+	}
+	series := make([]plot.Series, 0, len(names))
+	for _, name := range names {
+		ys, err := table.Float(name)
+		if err != nil {
+			return err
+		}
+		series = append(series, plot.Series{Name: name, X: xs, Y: ys})
+	}
+
+	t := *title
+	if t == "" {
+		t = filepath.Base(path)
+	}
+	out, err := plot.Render(series, plot.Options{
+		Width: *width, Height: *height,
+		LogX: *logX, LogY: *logY,
+		Title: t, XLabel: x,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command scbr-publisher runs a service provider: it attests the
+// router's enclave, provisions the symmetric key SK, serves client
+// subscription admission, and (optionally) publishes a synthetic
+// stock-quote feed from the Table 1 workload generator.
+//
+// Usage:
+//
+//	scbr-publisher -router 127.0.0.1:7070 -trust router-trust.json \
+//	    -listen 127.0.0.1:7071 -key publisher-key.json \
+//	    -feed e80a1 -count 1000 -interval 100ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"scbr/internal/broker"
+	"scbr/internal/deploy"
+	"scbr/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scbr-publisher:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		routerAddr = flag.String("router", "127.0.0.1:7070", "router address")
+		trustPath  = flag.String("trust", "router-trust.json", "router trust bundle")
+		listen     = flag.String("listen", "127.0.0.1:7071", "client admission address")
+		keyPath    = flag.String("key", "publisher-key.json", "path to write the publisher public key")
+		feed       = flag.String("feed", "", "publish a synthetic feed from this Table 1 workload (e.g. e80a1)")
+		count      = flag.Int("count", 0, "number of feed publications (0 = unlimited)")
+		interval   = flag.Duration("interval", 200*time.Millisecond, "delay between feed publications")
+		seed       = flag.Int64("seed", 1, "feed generator seed")
+	)
+	flag.Parse()
+
+	bundle, err := deploy.LoadTrustBundle(*trustPath)
+	if err != nil {
+		return err
+	}
+	svc, identity, err := bundle.Service()
+	if err != nil {
+		return err
+	}
+	pub, err := broker.NewPublisher(svc, identity)
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", *routerAddr)
+	if err != nil {
+		return fmt.Errorf("dialing router: %w", err)
+	}
+	if err := pub.ConnectRouter(conn); err != nil {
+		return fmt.Errorf("attesting router: %w", err)
+	}
+	log.Printf("router enclave attested; SK provisioned")
+	if err := deploy.SavePublisherKey(*keyPath, pub.PublicKey()); err != nil {
+		return err
+	}
+	log.Printf("publisher key written to %s", *keyPath)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("admitting clients on %s", ln.Addr())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				pub.ServeClient(c)
+			}()
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *feed != "" {
+		if err := runFeed(pub, *feed, *count, *interval, *seed, stop); err != nil {
+			_ = ln.Close()
+			wg.Wait()
+			return err
+		}
+	} else {
+		<-stop
+	}
+	log.Printf("shutting down")
+	_ = ln.Close()
+	_ = conn.Close()
+	wg.Wait()
+	return nil
+}
+
+// runFeed publishes synthetic quotes until count is reached or a
+// signal arrives.
+func runFeed(pub *broker.Publisher, name string, count int, interval time.Duration, seed int64, stop <-chan os.Signal) error {
+	spec, err := workload.SpecByName(name)
+	if err != nil {
+		return err
+	}
+	qs, err := workload.NewQuoteSet(seed, 100, 200)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(spec, qs, seed)
+	if err != nil {
+		return err
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	published := 0
+	for count == 0 || published < count {
+		select {
+		case <-stop:
+			log.Printf("feed interrupted after %d publications", published)
+			return nil
+		case <-ticker.C:
+		}
+		header := gen.Publication()
+		payload, err := json.Marshal(header.Attrs)
+		if err != nil {
+			return err
+		}
+		if err := pub.Publish(header, payload); err != nil {
+			return fmt.Errorf("publishing: %w", err)
+		}
+		published++
+		if published%100 == 0 {
+			log.Printf("published %d quotes (group epoch %d)", published, pub.GroupEpoch())
+		}
+	}
+	log.Printf("feed complete: %d publications", published)
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command scbr-subscriber is a data consumer: it registers
+// subscriptions with the publisher (which admits it and forwards them
+// to the enclave) and prints the decrypted payloads the router
+// delivers.
+//
+// Usage:
+//
+//	scbr-subscriber -id alice -publisher 127.0.0.1:7071 \
+//	    -router 127.0.0.1:7070 -key publisher-key.json \
+//	    -sub 'symbol = HAL, close < 50' -sub 'volume >= 1000000'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scbr/internal/broker"
+	"scbr/internal/deploy"
+	"scbr/internal/pubsub"
+)
+
+// subList collects repeated -sub flags.
+type subList []string
+
+func (s *subList) String() string     { return fmt.Sprint(*s) }
+func (s *subList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scbr-subscriber:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var subs subList
+	var (
+		id         = flag.String("id", "client-1", "client identity")
+		pubAddr    = flag.String("publisher", "127.0.0.1:7071", "publisher admission address")
+		routerAddr = flag.String("router", "127.0.0.1:7070", "router address")
+		keyPath    = flag.String("key", "publisher-key.json", "publisher public key file")
+		max        = flag.Int("count", 0, "exit after this many deliveries (0 = unlimited)")
+	)
+	flag.Var(&subs, "sub", "subscription expression (repeatable), e.g. 'symbol = HAL, close < 50'")
+	flag.Parse()
+	if len(subs) == 0 {
+		return fmt.Errorf("at least one -sub expression is required")
+	}
+
+	pk, err := deploy.LoadPublisherKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	client, err := broker.NewClient(*id)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	pubConn, err := net.Dial("tcp", *pubAddr)
+	if err != nil {
+		return fmt.Errorf("dialing publisher: %w", err)
+	}
+	client.ConnectPublisher(pubConn, pk)
+
+	routerConn, err := net.Dial("tcp", *routerAddr)
+	if err != nil {
+		return fmt.Errorf("dialing router: %w", err)
+	}
+	deliveries, err := client.Listen(routerConn)
+	if err != nil {
+		return fmt.Errorf("binding delivery channel: %w", err)
+	}
+
+	for _, expr := range subs {
+		spec, err := pubsub.ParseSpec(expr)
+		if err != nil {
+			return fmt.Errorf("parsing %q: %w", expr, err)
+		}
+		subID, err := client.Subscribe(spec)
+		if err != nil {
+			return fmt.Errorf("subscribing %q: %w", expr, err)
+		}
+		log.Printf("subscribed #%d: %s", subID, spec)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	received := 0
+	for {
+		select {
+		case <-stop:
+			log.Printf("interrupted after %d deliveries", received)
+			return nil
+		case d, ok := <-deliveries:
+			if !ok {
+				log.Printf("delivery channel closed after %d deliveries", received)
+				return nil
+			}
+			if d.Err != nil {
+				log.Printf("delivery error (epoch %d): %v", d.Epoch, d.Err)
+				continue
+			}
+			received++
+			fmt.Printf("[%d] epoch=%d payload=%s\n", received, d.Epoch, d.Payload)
+			if *max > 0 && received >= *max {
+				return nil
+			}
+		}
+	}
+}

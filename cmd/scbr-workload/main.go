@@ -1,0 +1,158 @@
+// Command scbr-workload inspects and exports the Table 1 workload
+// datasets: synthetic quote corpora, subscription sets, and
+// publication batches, as JSON lines for external tooling.
+//
+// Usage:
+//
+//	scbr-workload -stats
+//	scbr-workload -workload e80a4 -subs 1000 -pubs 100 -out data/
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scbr-workload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name    = flag.String("workload", "e80a1", "Table 1 workload name")
+		nSubs   = flag.Int("subs", 0, "subscriptions to export")
+		nPubs   = flag.Int("pubs", 0, "publications to export")
+		outDir  = flag.String("out", "", "output directory (default: stdout)")
+		stats   = flag.Bool("stats", false, "print Table 1 workload summaries and exit")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		symbols = flag.Int("symbols", workload.DefaultNumSymbols, "corpus symbols")
+		perSym  = flag.Int("per-symbol", workload.DefaultQuotesPerSym, "quotes per symbol")
+	)
+	flag.Parse()
+
+	if *stats {
+		return printStats()
+	}
+	if *nSubs == 0 && *nPubs == 0 {
+		return fmt.Errorf("nothing to do: pass -subs/-pubs or -stats")
+	}
+	spec, err := workload.SpecByName(*name)
+	if err != nil {
+		return err
+	}
+	qs, err := workload.NewQuoteSet(*seed, *symbols, *perSym)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(spec, qs, *seed)
+	if err != nil {
+		return err
+	}
+	if *nSubs > 0 {
+		if err := export(*outDir, spec.Name+"-subs.jsonl", func(w *bufio.Writer) error {
+			enc := json.NewEncoder(w)
+			for _, s := range gen.Subscriptions(*nSubs) {
+				if err := enc.Encode(subJSON(s)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *nPubs > 0 {
+		if err := export(*outDir, spec.Name+"-pubs.jsonl", func(w *bufio.Writer) error {
+			enc := json.NewEncoder(w)
+			for _, p := range gen.Publications(*nPubs) {
+				if err := enc.Encode(pubJSON(p)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printStats() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tattr factor\tdistribution\tequality mix")
+	for _, s := range workload.Table1() {
+		mix := ""
+		for i, c := range s.EqMix {
+			if i > 0 {
+				mix += ", "
+			}
+			mix += fmt.Sprintf("%.0f%% with %d eq", c.Frac*100, c.NumEq)
+		}
+		fmt.Fprintf(w, "%s\t×%d\t%s\t%s\n", s.Name, s.AttrFactor, s.Dist, mix)
+	}
+	return w.Flush()
+}
+
+func export(dir, name string, write func(*bufio.Writer) error) error {
+	var w *bufio.Writer
+	if dir == "" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+		fmt.Fprintf(os.Stderr, "writing %s\n", filepath.Join(dir, name))
+	}
+	if err := write(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func subJSON(s pubsub.SubscriptionSpec) map[string]any {
+	preds := make([]map[string]any, 0, len(s.Predicates))
+	for _, p := range s.Predicates {
+		m := map[string]any{"attr": p.Attr, "op": p.Op.String(), "value": valueJSON(p.Value)}
+		if p.Op == pubsub.OpBetween {
+			m["hi"] = valueJSON(p.Hi)
+		}
+		preds = append(preds, m)
+	}
+	return map[string]any{"predicates": preds}
+}
+
+func pubJSON(p pubsub.EventSpec) map[string]any {
+	attrs := make(map[string]any, len(p.Attrs))
+	for _, a := range p.Attrs {
+		attrs[a.Name] = valueJSON(a.Value)
+	}
+	return attrs
+}
+
+func valueJSON(v pubsub.Value) any {
+	switch v.Kind {
+	case pubsub.KindInt:
+		return v.I
+	case pubsub.KindFloat:
+		return v.F
+	default:
+		return v.S
+	}
+}

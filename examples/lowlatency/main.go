@@ -1,0 +1,200 @@
+// Lowlatency: publication delivery into the enclave with and without
+// the switchless ring (the paper's §6 "message exchanges at the
+// enclave border").
+//
+// The classic router pays one EENTER/EEXIT round trip (~2 µs on the
+// paper's hardware) per publication. With RouterConfig.Switchless the
+// router's enclave worker enters once and consumes ciphertext from an
+// untrusted-memory ring, so a burst of quotes costs zero per-message
+// transitions. This example runs the same burst through both
+// configurations and prints the enclave transition counts and
+// simulated enclave time per publication.
+//
+// Run with:
+//
+//	go run ./examples/lowlatency
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"scbr"
+)
+
+const burst = 2000
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// stack is one complete deployment: device, router, publisher, one
+// subscribed client.
+type stack struct {
+	router     *scbr.Router
+	publisher  *scbr.Publisher
+	deliveries <-chan scbr.Delivery
+	close      func()
+}
+
+func deploy(name string, switchless bool) (*stack, error) {
+	dev, err := scbr.NewDevice(nil)
+	if err != nil {
+		return nil, err
+	}
+	quoter, err := scbr.NewQuoter(dev, name+"-platform")
+	if err != nil {
+		return nil, err
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		return nil, err
+	}
+	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
+		EnclaveImage:  []byte(name + " router image"),
+		EnclaveSigner: signer.Public(),
+		Switchless:    switchless,
+	})
+	if err != nil {
+		return nil, err
+	}
+	routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = router.Serve(routerLn)
+	}()
+
+	ias := scbr.NewAttestationService()
+	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	publisher, err := scbr.NewPublisher(ias, router.Identity())
+	if err != nil {
+		return nil, err
+	}
+	rc, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	if err := publisher.ConnectRouter(rc); err != nil {
+		return nil, fmt.Errorf("attestation failed: %w", err)
+	}
+
+	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := pubLn.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				publisher.ServeClient(c)
+			}()
+		}
+	}()
+
+	client, err := scbr.NewClient(name + "-trader")
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.Dial("tcp", pubLn.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	client.ConnectPublisher(pc, publisher.PublicKey())
+	lc, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	deliveries, err := client.Listen(lc)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := client.Subscribe(spec); err != nil {
+		return nil, err
+	}
+	return &stack{
+		router:     router,
+		publisher:  publisher,
+		deliveries: deliveries,
+		close: func() {
+			client.Close()
+			_ = pubLn.Close()
+			router.Close()
+			wg.Wait()
+		},
+	}, nil
+}
+
+// runBurst publishes the burst and waits for all deliveries, returning
+// the enclave-transition and simulated-cycle deltas.
+func runBurst(s *stack) (transitions, cycles uint64, wall time.Duration, err error) {
+	before := s.router.MeterSnapshot()
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		header := scbr.EventSpec{Attrs: []scbr.NamedValue{
+			{Name: "symbol", Value: scbr.Str("HAL")},
+			{Name: "price", Value: scbr.Float(40 + float64(i%10))},
+			{Name: "volume", Value: scbr.Int(int64(1000 + i))},
+		}}
+		if err := s.publisher.Publish(header, []byte(fmt.Sprintf("tick %d", i))); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for i := 0; i < burst; i++ {
+		d := <-s.deliveries
+		if d.Err != nil {
+			return 0, 0, 0, d.Err
+		}
+	}
+	wall = time.Since(start)
+	delta := s.router.MeterSnapshot().Sub(before)
+	return delta.Transitions, delta.Cycles, wall, nil
+}
+
+func run() error {
+	cost := scbr.DefaultCostModel()
+	fmt.Printf("publishing a burst of %d encrypted quotes through each router\n\n", burst)
+	fmt.Println("  mode         transitions   enclave simµs/pub   wall time")
+	for _, mode := range []struct {
+		name       string
+		switchless bool
+	}{
+		{"per-ecall", false},
+		{"switchless", true},
+	} {
+		s, err := deploy(mode.name, mode.switchless)
+		if err != nil {
+			return fmt.Errorf("%s deployment: %w", mode.name, err)
+		}
+		transitions, cycles, wall, err := runBurst(s)
+		s.close()
+		if err != nil {
+			return fmt.Errorf("%s burst: %w", mode.name, err)
+		}
+		fmt.Printf("  %-12s %11d %19.2f %11s\n",
+			mode.name, transitions, cost.Micros(cycles)/burst, wall.Round(time.Millisecond))
+	}
+	fmt.Println("\ndone: the ring replaces per-publication EENTER/EEXIT with two atomic ops")
+	return nil
+}

@@ -1,0 +1,191 @@
+// Revocation: the publisher excludes a client that stopped paying.
+// The admission registry refuses its new subscriptions and the payload
+// group key rotates, so publications after the revocation are opaque
+// to it even though the router still forwards the encrypted bytes —
+// the paper's requirement that producers can "exclude clients that
+// stop paying their fees" (§3.1) combined with the group-key scheme of
+// §3.4.
+//
+// Run with:
+//
+//	go run ./examples/revocation
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"scbr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dev, err := scbr.NewDevice(nil)
+	if err != nil {
+		return err
+	}
+	quoter, err := scbr.NewQuoter(dev, "revocation-demo")
+	if err != nil {
+		return err
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		return err
+	}
+	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
+		EnclaveImage:  []byte("revocation router image"),
+		EnclaveSigner: signer.Public(),
+	})
+	if err != nil {
+		return err
+	}
+	routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = router.Serve(routerLn)
+	}()
+	defer func() {
+		router.Close()
+		wg.Wait()
+	}()
+
+	ias := scbr.NewAttestationService()
+	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	publisher, err := scbr.NewPublisher(ias, router.Identity())
+	if err != nil {
+		return err
+	}
+	rc, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	if err := publisher.ConnectRouter(rc); err != nil {
+		return err
+	}
+	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer pubLn.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := pubLn.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				publisher.ServeClient(c)
+			}()
+		}
+	}()
+
+	attach := func(id string) (*scbr.Client, <-chan scbr.Delivery, error) {
+		c, err := scbr.NewClient(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		pc, err := net.Dial("tcp", pubLn.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		c.ConnectPublisher(pc, publisher.PublicKey())
+		lc, err := net.Dial("tcp", routerLn.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		ch, err := c.Listen(lc)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec, err := scbr.ParseSpec("symbol = HAL")
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := c.Subscribe(spec); err != nil {
+			return nil, nil, err
+		}
+		return c, ch, nil
+	}
+
+	alice, aliceRx, err := attach("alice")
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	bob, bobRx, err := attach("bob")
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+	fmt.Printf("alice and bob subscribed (group key epoch %d)\n", publisher.GroupEpoch())
+
+	publish := func(note string) error {
+		header := scbr.EventSpec{Attrs: []scbr.NamedValue{
+			{Name: "symbol", Value: scbr.Str("HAL")},
+			{Name: "price", Value: scbr.Float(44)},
+		}}
+		return publisher.Publish(header, []byte(note))
+	}
+	report := func(name string, rx <-chan scbr.Delivery) {
+		select {
+		case d := <-rx:
+			if d.Err != nil {
+				fmt.Printf("  %-5s ✗ cannot read payload: %v\n", name, d.Err)
+			} else {
+				fmt.Printf("  %-5s ✓ %s (epoch %d)\n", name, d.Payload, d.Epoch)
+			}
+		case <-time.After(5 * time.Second):
+			fmt.Printf("  %-5s timed out\n", name)
+		}
+	}
+
+	fmt.Println("publishing before revocation:")
+	if err := publish("quarterly results leak at 44"); err != nil {
+		return err
+	}
+	report("alice", aliceRx)
+	report("bob", bobRx)
+
+	fmt.Println("revoking bob (stopped paying)…")
+	if err := publisher.Revoke("bob"); err != nil {
+		return err
+	}
+	fmt.Printf("group key rotated to epoch %d\n", publisher.GroupEpoch())
+
+	fmt.Println("publishing after revocation:")
+	if err := publish("merger announcement at 44"); err != nil {
+		return err
+	}
+	report("alice", aliceRx)
+	report("bob", bobRx)
+
+	fmt.Println("bob attempts a new subscription:")
+	spec, err := scbr.ParseSpec("symbol = IBM")
+	if err != nil {
+		return err
+	}
+	if _, err := bob.Subscribe(spec); err != nil {
+		fmt.Printf("  refused as expected: %v\n", err)
+	} else {
+		return fmt.Errorf("revoked client was re-admitted")
+	}
+	return nil
+}

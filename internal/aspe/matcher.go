@@ -1,0 +1,212 @@
+package aspe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+// BloomBits is the pre-filter size per subscription (DEBS'12 uses
+// small per-subscription filters; 256 bits keeps the publication-side
+// filter unsaturated even for ×4-attribute events).
+const BloomBits = 256
+
+const bloomWords = BloomBits / 64
+
+// Bloom is a fixed-size Bloom filter over (attribute, value) pairs.
+type Bloom [bloomWords]uint64
+
+func (b *Bloom) add(id pubsub.AttrID, v float64) {
+	h1, h2 := bloomHashes(id, v)
+	b[(h1/64)%bloomWords] |= 1 << (h1 % 64)
+	b[(h2/64)%bloomWords] |= 1 << (h2 % 64)
+}
+
+// subsetOf reports whether all bits of b are present in p — the
+// candidate test: false means the publication cannot satisfy the
+// subscription's equality constraints (no false negatives).
+func (b *Bloom) subsetOf(p *Bloom) bool {
+	for i := range b {
+		if b[i]&^p[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func bloomHashes(id pubsub.AttrID, v float64) (uint32, uint32) {
+	h := fnv.New64a()
+	var buf [10]byte
+	binary.LittleEndian.PutUint16(buf[:2], uint16(id))
+	binary.LittleEndian.PutUint64(buf[2:], math.Float64bits(v))
+	_, _ = h.Write(buf[:])
+	sum := h.Sum64()
+	return uint32(sum % BloomBits), uint32((sum >> 32) % BloomBits)
+}
+
+// Options configure a Matcher.
+type Options struct {
+	// Prefilter enables the DEBS'12 Bloom pre-filtering of equality
+	// constraints. Disabling it gives the plain ASPE baseline (used by
+	// the ablation bench).
+	Prefilter bool
+}
+
+// subEntry is the matcher-side handle of one registered subscription.
+type subEntry struct {
+	id      uint64
+	vecOffs []uint64 // arena offsets, one ciphertext vector each
+	qNorm   float64
+	filter  Bloom
+	hasEq   bool
+}
+
+// Matcher is the software-only encrypted matcher. Ciphertext vectors
+// live in a metered arena so its LLC behaviour is simulated like the
+// SCBR engine's; compute is charged per multiply-accumulate. The
+// matcher never sees plaintext subscriptions after registration —
+// registration is performed by the trusted side (the publisher in the
+// paper's deployment), which holds the scheme.
+type Matcher struct {
+	scheme *Scheme
+	acc    simmem.Accessor
+	opts   Options
+	subs   []subEntry
+	nextID uint64
+
+	// vec is the decode scratch for one ciphertext vector.
+	vec []float64
+}
+
+// NewMatcher builds a matcher over the accessor.
+func NewMatcher(scheme *Scheme, acc simmem.Accessor, opts Options) *Matcher {
+	return &Matcher{scheme: scheme, acc: acc, opts: opts}
+}
+
+// vecBytes is the ciphertext size of one query vector.
+func (m *Matcher) vecBytes() int { return m.scheme.Dim() * 8 }
+
+// Register encrypts and stores a subscription, returning its ID.
+func (m *Matcher) Register(sub *pubsub.Subscription) (uint64, error) {
+	vecs, qNorm, err := m.scheme.QueryVectors(sub)
+	if err != nil {
+		return 0, err
+	}
+	ent := subEntry{qNorm: qNorm}
+	// Registration-side encryption cost: one M⁻¹ multiply per vector.
+	n := m.scheme.Dim()
+	m.acc.Charge(uint64(float64(len(vecs)*n*n) * m.acc.Meter().Cost.MulAddCycles))
+	buf := make([]byte, m.vecBytes())
+	for _, v := range vecs {
+		off, err := m.acc.Alloc(len(buf))
+		if err != nil {
+			return 0, fmt.Errorf("aspe: storing query vector: %w", err)
+		}
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+		}
+		m.acc.Write(off, buf)
+		ent.vecOffs = append(ent.vecOffs, off)
+	}
+	for _, c := range sub.Constraints {
+		if !c.IsEquality() {
+			continue
+		}
+		ent.hasEq = true
+		if c.Str {
+			ent.filter.add(c.ID, valueScalar(pubsub.Str(c.EqS)))
+		} else {
+			ent.filter.add(c.ID, c.Lo)
+		}
+	}
+	m.nextID++
+	ent.id = m.nextID
+	m.subs = append(m.subs, ent)
+	return ent.id, nil
+}
+
+// Len returns the number of registered subscriptions.
+func (m *Matcher) Len() int { return len(m.subs) }
+
+// Meter exposes the matcher's cycle meter for experiment snapshots.
+func (m *Matcher) Meter() *simmem.Meter { return m.acc.Meter() }
+
+// Match encrypts the publication and scans all subscriptions,
+// returning the IDs whose sign tests all pass. This is the matching
+// step Figure 7 measures (encryption/decryption excluded there; the
+// point encryption cost is charged separately and reported by the
+// meter's crypto counters — we charge it as compute here for
+// completeness but callers measuring only matching can snapshot
+// counters around MatchEncrypted).
+func (m *Matcher) Match(ev *pubsub.Event) ([]uint64, error) {
+	point, err := m.scheme.EncryptPoint(ev)
+	if err != nil {
+		return nil, err
+	}
+	var filter Bloom
+	for _, a := range ev.Attrs {
+		filter.add(a.ID, valueScalar(a.Value))
+	}
+	return m.MatchEncrypted(point, &filter)
+}
+
+// MatchEncrypted matches a pre-encrypted point (with its publication
+// Bloom filter) against the database.
+func (m *Matcher) MatchEncrypted(point []float64, filter *Bloom) ([]uint64, error) {
+	if len(point) != m.scheme.Dim() {
+		return nil, fmt.Errorf("aspe: point has dimension %d, want %d", len(point), m.scheme.Dim())
+	}
+	cost := m.acc.Meter().Cost
+	pNorm := PointNorm(point)
+	if cap(m.vec) < m.scheme.Dim() {
+		m.vec = make([]float64, m.scheme.Dim())
+	}
+	var out []uint64
+	for si := range m.subs {
+		ent := &m.subs[si]
+		if m.opts.Prefilter && ent.hasEq {
+			// Bloom subset test: a handful of word ops.
+			m.acc.Charge(uint64(bloomWords) * 2)
+			if !ent.filter.subsetOf(filter) {
+				continue
+			}
+		}
+		tol := m.scheme.Tolerance(pNorm, ent.qNorm)
+		matched := true
+		for _, off := range ent.vecOffs {
+			raw := m.acc.Read(off, m.vecBytes())
+			vec := m.vec[:m.scheme.Dim()]
+			for i := range vec {
+				vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+			m.acc.Charge(uint64(float64(len(vec)) * cost.MulAddCycles))
+			if Dot(point, vec) < -tol {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			out = append(out, ent.id)
+		}
+	}
+	return out, nil
+}
+
+// EncryptPublication exposes point encryption plus Bloom construction
+// for callers that split encryption from matching (Figure 7 measures
+// only the matching step).
+func (m *Matcher) EncryptPublication(ev *pubsub.Event) ([]float64, *Bloom, error) {
+	point, err := m.scheme.EncryptPoint(ev)
+	if err != nil {
+		return nil, nil, err
+	}
+	var filter Bloom
+	for _, a := range ev.Attrs {
+		filter.add(a.ID, valueScalar(a.Value))
+	}
+	return point, &filter, nil
+}

@@ -1,0 +1,267 @@
+package aspe
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"scbr/internal/pubsub"
+)
+
+// Scheme fixes the attribute universe and holds the secret matrices.
+// Vector layout (dimension n = 2d+2 for d attributes):
+//
+//	0..d-1   attribute values (hashed for strings, 0 when absent)
+//	d..2d-1  presence bits (1 when the attribute is present)
+//	2d       constant 1
+//	2d+1     random component (no query ever selects it; it exists to
+//	         blind the ciphertext, as in Wong et al.)
+//
+// A constraint l ≤ v_i ≤ u becomes up to three sign tests:
+//
+//	presence:  b_i − 1        ≥ 0
+//	lower:     v_i − l        ≥ 0   (if a lower bound exists)
+//	upper:     u  − v_i       ≥ 0   (if an upper bound exists)
+//
+// each expressed as a query vector q̂ with E(q) = M⁻¹·(r·q̂), r > 0
+// random per vector, matched against E(p) = Mᵀ·p̂ via Dot ≥ −tolerance.
+type Scheme struct {
+	schema *pubsub.Schema
+	index  map[pubsub.AttrID]int
+	attrs  []pubsub.AttrID
+	scales []float64
+	frozen bool
+	n      int
+	m      *Matrix
+	mInv   *Matrix
+	rng    *rand.Rand
+}
+
+// hashMod bounds the normalised string-hash domain. Strings map to
+// hash/hashMod ∈ [0, 1); 10⁷ slots keep the collision probability for
+// a 500-symbol corpus near 1% while the 10⁻⁷ granularity stays orders
+// of magnitude above the sign-test tolerance.
+const hashMod = 10_000_000
+
+// NewScheme builds a scheme over the given attribute universe.
+// Publications and subscriptions may only reference these attributes —
+// ASPE's fixed-dimensionality requirement (its space cost grows with
+// the attribute count, the "space complexity grows exponentially with
+// the number of attributes" drawback cited in the paper's intro for
+// multi-dimensional variants).
+func NewScheme(schema *pubsub.Schema, attrs []pubsub.AttrID, seed int64) (*Scheme, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("aspe: empty attribute universe")
+	}
+	s := &Scheme{
+		schema: schema,
+		index:  make(map[pubsub.AttrID]int, len(attrs)),
+		attrs:  append([]pubsub.AttrID(nil), attrs...),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for i, id := range attrs {
+		if _, dup := s.index[id]; dup {
+			return nil, fmt.Errorf("aspe: duplicate attribute %d in universe", id)
+		}
+		s.index[id] = i
+	}
+	s.scales = make([]float64, len(attrs))
+	for i := range s.scales {
+		s.scales[i] = 1
+	}
+	d := len(attrs)
+	s.n = 2*d + 2
+	s.m = NewRandomInvertible(s.rng, s.n)
+	inv, err := s.m.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("aspe: building scheme: %w", err)
+	}
+	s.mInv = inv
+	return s, nil
+}
+
+// Dim returns the vector dimensionality n.
+func (s *Scheme) Dim() int { return s.n }
+
+// NumAttrs returns the size of the attribute universe d.
+func (s *Scheme) NumAttrs() int { return len(s.attrs) }
+
+// valueScalar maps a value into the comparison domain: numeric values
+// compare as float64; strings hash to a normalised slot in [0, 1),
+// preserving equality (the only operator strings support).
+func valueScalar(v pubsub.Value) float64 {
+	if v.Numeric() {
+		return v.AsFloat()
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(v.S))
+	return float64(h.Sum64()%hashMod) / hashMod
+}
+
+// SetScale fixes the normalisation divisor of one numeric attribute.
+// ASPE mixes attributes of wildly different magnitudes (cent-priced
+// quotes next to nine-digit volumes) in one vector space, so without
+// per-attribute scaling the floating-point tolerance of the sign test
+// would be dominated by the largest attribute and misclassify narrow
+// margins on the smallest — the practical deployment issue scalar-
+// product schemes are known for. Scales are public parameters (they
+// leak only coarse magnitude information) and must be set before the
+// first encryption.
+func (s *Scheme) SetScale(id pubsub.AttrID, scale float64) error {
+	if s.frozen {
+		return fmt.Errorf("aspe: scales are frozen after first encryption")
+	}
+	i, ok := s.index[id]
+	if !ok {
+		return fmt.Errorf("aspe: attribute %d outside scheme universe", id)
+	}
+	if scale <= 0 {
+		return fmt.Errorf("aspe: scale must be positive, got %g", scale)
+	}
+	s.scales[i] = scale
+	return nil
+}
+
+// CalibrateScales sets each numeric attribute's scale to the largest
+// absolute value observed across the sample events (minimum 1).
+func (s *Scheme) CalibrateScales(sample []*pubsub.Event) error {
+	for _, ev := range sample {
+		for _, a := range ev.Attrs {
+			i, ok := s.index[a.ID]
+			if !ok || !a.Value.Numeric() {
+				continue
+			}
+			if v := absFloat(a.Value.AsFloat()); v > s.scales[i] {
+				if s.frozen {
+					return fmt.Errorf("aspe: scales are frozen after first encryption")
+				}
+				s.scales[i] = v
+			}
+		}
+	}
+	return nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// EncryptPoint encodes and encrypts a publication. The returned
+// ciphertext is what the untrusted ASPE filter stores and matches on.
+func (s *Scheme) EncryptPoint(ev *pubsub.Event) ([]float64, error) {
+	s.frozen = true
+	d := len(s.attrs)
+	p := make([]float64, s.n)
+	for _, a := range ev.Attrs {
+		i, ok := s.index[a.ID]
+		if !ok {
+			return nil, fmt.Errorf("aspe: attribute %d outside scheme universe", a.ID)
+		}
+		if a.Value.Numeric() {
+			p[i] = a.Value.AsFloat() / s.scales[i]
+		} else {
+			p[i] = valueScalar(a.Value)
+		}
+		p[d+i] = 1
+	}
+	p[2*d] = 1
+	p[2*d+1] = s.rng.Float64() // blinding component
+	out := make([]float64, s.n)
+	s.m.TMulVec(out, p)
+	return out, nil
+}
+
+// QueryVectors builds the encrypted sign-test vectors for one
+// normalised subscription. The returned norm is the largest ciphertext
+// vector norm; the matcher scales its sign-test tolerance with it (and
+// with the point norm) to absorb the floating-point noise of M·M⁻¹ on
+// boundary (exact-equality) products.
+func (s *Scheme) QueryVectors(sub *pubsub.Subscription) ([][]float64, float64, error) {
+	s.frozen = true
+	d := len(s.attrs)
+	var plain [][]float64
+	for _, c := range sub.Constraints {
+		i, ok := s.index[c.ID]
+		if !ok {
+			return nil, 0, fmt.Errorf("aspe: attribute %d outside scheme universe", c.ID)
+		}
+		// Presence test: b_i − 1 ≥ 0.
+		q := make([]float64, s.n)
+		q[d+i] = 1
+		q[2*d] = -1
+		plain = append(plain, q)
+		if c.Str {
+			if c.Prefix {
+				// Prefix matching needs prefix-preserving encryption (Li
+				// et al.), which plain ASPE does not provide — one of the
+				// expressiveness gaps the paper holds against software-
+				// only schemes.
+				return nil, 0, fmt.Errorf("aspe: prefix constraints are not expressible (attribute %d)", c.ID)
+			}
+			// Equality via [h, h].
+			h := valueScalar(pubsub.Str(c.EqS))
+			lo := make([]float64, s.n)
+			lo[i] = 1
+			lo[2*d] = -h
+			hi := make([]float64, s.n)
+			hi[i] = -1
+			hi[2*d] = h
+			plain = append(plain, lo, hi)
+			continue
+		}
+		if c.HasLo {
+			// v_i − l ≥ 0 (closed; ASPE cannot express strictness).
+			q := make([]float64, s.n)
+			q[i] = 1
+			q[2*d] = -c.Lo / s.scales[i]
+			plain = append(plain, q)
+		}
+		if c.HasHi {
+			// u − v_i ≥ 0.
+			q := make([]float64, s.n)
+			q[i] = -1
+			q[2*d] = c.Hi / s.scales[i]
+			plain = append(plain, q)
+		}
+	}
+	out := make([][]float64, len(plain))
+	maxNorm := 0.0
+	for k, q := range plain {
+		r := 0.5 + s.rng.Float64() // positive random scale
+		for j := range q {
+			q[j] *= r
+		}
+		enc := make([]float64, s.n)
+		s.mInv.MulVec(enc, q)
+		out[k] = enc
+		if nrm := norm2(enc); nrm > maxNorm {
+			maxNorm = nrm
+		}
+	}
+	return out, maxNorm, nil
+}
+
+// Tolerance returns the sign-test threshold for a (point, query) pair:
+// products above −Tolerance count as ≥ 0. The bound follows the
+// rounding-error model ε·n·‖E(p)‖·‖E(q)‖ with ~10⁴× headroom over
+// machine epsilon; with calibrated scales the smallest genuine margins
+// (one hash slot, one cent of a scaled price) sit several orders of
+// magnitude above it.
+func (s *Scheme) Tolerance(pointNorm, queryNorm float64) float64 {
+	return 1e-12 * float64(s.n) * (1 + pointNorm) * (1 + queryNorm)
+}
+
+// PointNorm exposes the ciphertext norm of an encrypted point.
+func PointNorm(p []float64) float64 { return norm2(p) }
+
+func norm2(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}

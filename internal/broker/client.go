@@ -1,0 +1,240 @@
+package broker
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+)
+
+// Delivery is one decrypted publication payload received by a client,
+// or the error that prevented decryption (e.g. the client was revoked
+// and cannot obtain the rotated group key).
+type Delivery struct {
+	Payload []byte
+	Epoch   uint64
+	Err     error
+}
+
+// Client is a data consumer: it subscribes through the publisher
+// (trusted for the service, §3.2) and receives payloads from the
+// untrusted router.
+type Client struct {
+	ID   string
+	keys *scrypto.KeyPair
+
+	mu          sync.Mutex
+	publisherPK *rsa.PublicKey
+	pubConn     net.Conn
+	routerConn  net.Conn
+	groupKey    *scrypto.SymmetricKey
+	epoch       uint64
+	wg          sync.WaitGroup
+	done        chan struct{}
+	closeOnce   sync.Once
+}
+
+// NewClient creates a client with a fresh response key pair.
+func NewClient(id string) (*Client, error) {
+	if id == "" {
+		return nil, errors.New("broker: empty client ID")
+	}
+	keys, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		return nil, fmt.Errorf("broker: generating client keys: %w", err)
+	}
+	return &Client{ID: id, keys: keys, done: make(chan struct{})}, nil
+}
+
+// ConnectPublisher binds the client to its service provider. pk is the
+// publisher's public key PK, obtained out of band.
+func (c *Client) ConnectPublisher(conn net.Conn, pk *rsa.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pubConn = conn
+	c.publisherPK = pk
+}
+
+// Subscribe encrypts the subscription under PK and submits it for
+// admission (step ①). On success it returns the subscription ID and
+// stores the payload group key delivered with the ack.
+func (c *Client) Subscribe(spec pubsub.SubscriptionSpec) (uint64, error) {
+	raw, err := pubsub.EncodeSubscriptionSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pubConn == nil || c.publisherPK == nil {
+		return 0, errors.New("broker: client not connected to a publisher")
+	}
+	blob, err := scrypto.EncryptPK(c.publisherPK, raw)
+	if err != nil {
+		return 0, fmt.Errorf("broker: encrypting subscription: %w", err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(c.keys.Public())
+	if err != nil {
+		return 0, fmt.Errorf("broker: encoding response key: %w", err)
+	}
+	if err := Send(c.pubConn, &Message{Type: TypeSubscribe, ClientID: c.ID, Blob: blob, PubKey: pubDER}); err != nil {
+		return 0, err
+	}
+	reply, err := Recv(c.pubConn)
+	if err != nil {
+		return 0, err
+	}
+	if err := expect(reply, TypeSubscribeOK); err != nil {
+		return 0, err
+	}
+	if err := c.installGroupKeyLocked(reply.Blob, reply.Epoch); err != nil {
+		return 0, err
+	}
+	return reply.SubID, nil
+}
+
+// Unsubscribe withdraws one of this client's subscriptions.
+func (c *Client) Unsubscribe(subID uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pubConn == nil {
+		return errors.New("broker: client not connected to a publisher")
+	}
+	if err := Send(c.pubConn, &Message{Type: TypeUnsubscribe, ClientID: c.ID, SubID: subID}); err != nil {
+		return err
+	}
+	reply, err := Recv(c.pubConn)
+	if err != nil {
+		return err
+	}
+	return expect(reply, TypeUnsubscribeOK)
+}
+
+// RefreshGroupKey fetches the current payload key from the publisher;
+// it fails for revoked clients — the mechanism that locks them out of
+// new publications.
+func (c *Client) RefreshGroupKey() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refreshGroupKeyLocked()
+}
+
+func (c *Client) refreshGroupKeyLocked() error {
+	if c.pubConn == nil {
+		return errors.New("broker: client not connected to a publisher")
+	}
+	if err := Send(c.pubConn, &Message{Type: TypeGroupKey, ClientID: c.ID}); err != nil {
+		return err
+	}
+	reply, err := Recv(c.pubConn)
+	if err != nil {
+		return err
+	}
+	if err := expect(reply, TypeGroupKeyOK); err != nil {
+		return err
+	}
+	return c.installGroupKeyLocked(reply.Blob, reply.Epoch)
+}
+
+func (c *Client) installGroupKeyLocked(blob []byte, epoch uint64) error {
+	raw, err := scrypto.DecryptPK(c.keys, blob)
+	if err != nil {
+		return fmt.Errorf("broker: unwrapping group key: %w", err)
+	}
+	key, err := scrypto.SymmetricKeyFromBytes(raw)
+	if err != nil {
+		return fmt.Errorf("broker: parsing group key: %w", err)
+	}
+	c.groupKey = key
+	c.epoch = epoch
+	return nil
+}
+
+// Epoch returns the client's current group key epoch.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Listen registers this client's delivery channel with the router and
+// returns a channel of decrypted deliveries. The channel closes when
+// the connection does. Deliveries whose epoch is newer than the
+// client's key trigger a group key refresh through the publisher; if
+// the refresh is denied (revocation) the delivery surfaces with an
+// error and an opaque payload.
+func (c *Client) Listen(conn net.Conn) (<-chan Delivery, error) {
+	if err := Send(conn, &Message{Type: TypeListen, ClientID: c.ID}); err != nil {
+		return nil, err
+	}
+	ack, err := Recv(conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := expect(ack, TypeListenOK); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.routerConn = conn
+	c.mu.Unlock()
+	out := make(chan Delivery)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer close(out)
+		for {
+			m, err := Recv(conn)
+			if err != nil {
+				return
+			}
+			if m.Type != TypeDeliver {
+				continue
+			}
+			select {
+			case out <- c.decryptDelivery(m):
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// decryptDelivery recovers a payload, refreshing the group key when
+// the publication is from a newer epoch.
+func (c *Client) decryptDelivery(m *Message) Delivery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.groupKey == nil || m.Epoch > c.epoch {
+		if err := c.refreshGroupKeyLocked(); err != nil {
+			return Delivery{Epoch: m.Epoch, Err: fmt.Errorf("broker: cannot obtain group key: %w", err)}
+		}
+	}
+	if m.Epoch != c.epoch {
+		return Delivery{Epoch: m.Epoch, Err: fmt.Errorf("broker: no key for epoch %d", m.Epoch)}
+	}
+	plain, err := scrypto.Open(c.groupKey, m.Payload)
+	if err != nil {
+		return Delivery{Epoch: m.Epoch, Err: fmt.Errorf("broker: decrypting payload: %w", err)}
+	}
+	return Delivery{Payload: plain, Epoch: m.Epoch}
+}
+
+// Close shuts down the client's connections and waits for the
+// delivery goroutine. Safe to call more than once.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() { close(c.done) })
+	c.mu.Lock()
+	if c.routerConn != nil {
+		_ = c.routerConn.Close()
+	}
+	if c.pubConn != nil {
+		_ = c.pubConn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}

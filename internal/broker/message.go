@@ -1,0 +1,120 @@
+// Package broker implements the three roles of Figure 3 — the service
+// provider's publisher, the infrastructure's routing engine, and the
+// clients — and the six-step protocol of Figure 4 on top of real
+// connections:
+//
+//	① client  → publisher: {s}PK (subscription under the publisher key)
+//	② publisher → router:  {s}SK, signed, after admission control
+//	③ router (enclave):    validate, decrypt, index the subscription
+//	④ publisher → router:  {header}SK + {payload}GK publications
+//	⑤ router (enclave):    decrypt header, match against the index
+//	⑥ router → clients:    forward the still-encrypted payload
+//
+// Before any of this, the publisher remote-attests the router's
+// enclave and provisions SK (internal/attest). Payload group keys
+// rotate on revocation so departed clients cannot read new messages.
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"scbr/internal/attest"
+	"scbr/internal/wire"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// Client ↔ publisher.
+	TypeSubscribe     MsgType = "subscribe"
+	TypeSubscribeOK   MsgType = "subscribe-ok"
+	TypeUnsubscribe   MsgType = "unsubscribe"
+	TypeUnsubscribeOK MsgType = "unsubscribe-ok"
+	TypeGroupKey      MsgType = "groupkey"
+	TypeGroupKeyOK    MsgType = "groupkey-ok"
+
+	// Publisher ↔ router.
+	TypeProvision    MsgType = "provision"
+	TypeProvisionReq MsgType = "provision-req"
+	TypeProvisionKey MsgType = "provision-key"
+	TypeProvisionOK  MsgType = "provision-ok"
+	TypeRegister     MsgType = "register"
+	TypeRegisterOK   MsgType = "register-ok"
+	TypeRemove       MsgType = "remove"
+	TypeRemoveOK     MsgType = "remove-ok"
+	TypePublish      MsgType = "publish"
+
+	// Client ↔ router.
+	TypeListen   MsgType = "listen"
+	TypeListenOK MsgType = "listen-ok"
+	TypeDeliver  MsgType = "deliver"
+
+	// Any direction.
+	TypeError MsgType = "error"
+)
+
+// Message is the single wire envelope; unused fields stay empty.
+// []byte fields serialise as Base64 inside JSON, matching the paper's
+// Base64 text serialisation.
+type Message struct {
+	Type     MsgType       `json:"type"`
+	ClientID string        `json:"client_id,omitempty"`
+	SubID    uint64        `json:"sub_id,omitempty"`
+	Epoch    uint64        `json:"epoch,omitempty"`
+	Blob     []byte        `json:"blob,omitempty"`    // encrypted subscription / header / key material
+	Payload  []byte        `json:"payload,omitempty"` // encrypted publication payload
+	Sig      []byte        `json:"sig,omitempty"`
+	PubKey   []byte        `json:"pub_key,omitempty"` // PKIX-encoded RSA key
+	Quote    *attest.Quote `json:"quote,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Send marshals and frames one message.
+func Send(w io.Writer, m *Message) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("broker: encoding %s: %w", m.Type, err)
+	}
+	return wire.WriteFrame(w, raw)
+}
+
+// Recv reads and unmarshals one message.
+func Recv(r io.Reader) (*Message, error) {
+	raw, err := wire.ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("broker: decoding message: %w", err)
+	}
+	return &m, nil
+}
+
+// sendErr reports a protocol error to the peer (best effort).
+func sendErr(w io.Writer, format string, args ...any) {
+	_ = Send(w, &Message{Type: TypeError, Err: fmt.Sprintf(format, args...)})
+}
+
+// errOf converts an error reply into a Go error.
+func errOf(m *Message) error {
+	if m.Type == TypeError {
+		return fmt.Errorf("broker: peer error: %s", m.Err)
+	}
+	return nil
+}
+
+// expect validates a reply's type.
+func expect(m *Message, want MsgType) error {
+	if err := errOf(m); err != nil {
+		return err
+	}
+	if m.Type != want {
+		return fmt.Errorf("broker: unexpected reply %q, want %q", m.Type, want)
+	}
+	return nil
+}

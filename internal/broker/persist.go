@@ -1,0 +1,172 @@
+package broker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+)
+
+// Sealed-state persistence: §2 of the paper describes how an enclave
+// restarts without a fresh remote attestation by sealing its secrets
+// and state to disk under the enclave-specific seal key, with a
+// platform monotonic counter preventing the untrusted host from
+// serving a stale (rolled-back) snapshot.
+//
+// The router seals (a) the provisioned secrets and (b) its
+// registration log — the signed, SK-encrypted subscriptions exactly as
+// the publisher submitted them. Restore replays the log through the
+// same validation path as live registrations, reproducing the
+// subscription IDs clients hold.
+
+// stateCounter names the router's rollback-protection counter.
+const stateCounter = "scbr-router-state"
+
+// ErrStateRollback indicates the supplied snapshot is not the most
+// recently sealed one.
+var ErrStateRollback = errors.New("broker: sealed state is stale (rollback detected)")
+
+// logEntry is one accepted registration, stored ciphertext-at-rest.
+type logEntry struct {
+	SubID    uint64 `json:"sub_id"`
+	ClientID string `json:"client_id"`
+	Blob     []byte `json:"blob"` // {s}SK
+	Sig      []byte `json:"sig"`
+}
+
+// routerState is the sealed snapshot.
+type routerState struct {
+	SK        []byte     `json:"sk"`
+	VerifyKey []byte     `json:"verify_key"`
+	NextRef   uint32     `json:"next_ref"`
+	RefNames  []string   `json:"ref_names"`
+	Log       []logEntry `json:"log"`
+}
+
+// SealState snapshots the router's trusted state, bound to a fresh
+// monotonic counter value. The returned blob is safe to store on
+// untrusted disk; only the latest blob will restore.
+func (r *Router) SealState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sk == nil {
+		return nil, errors.New("broker: router not provisioned; nothing to seal")
+	}
+	verifyDER, err := marshalVerifyKey(r.verifyKey)
+	if err != nil {
+		return nil, err
+	}
+	state := routerState{
+		SK:        r.sk.Bytes(),
+		VerifyKey: verifyDER,
+		NextRef:   uint32(len(r.refName)),
+		RefNames:  append([]string(nil), r.refName...),
+		Log:       make([]logEntry, 0, len(r.regLog)),
+	}
+	state.Log = append(state.Log, r.regLog...)
+	raw, err := json.Marshal(&state)
+	if err != nil {
+		return nil, fmt.Errorf("broker: encoding state: %w", err)
+	}
+	counter := r.dev.IncrementCounter(stateCounter)
+	var blob []byte
+	err = r.enclave.Ecall(func() error {
+		var sealErr error
+		blob, sealErr = r.enclave.Seal(sgx.SealToMRENCLAVE, raw, counterAAD(counter))
+		return sealErr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("broker: sealing state: %w", err)
+	}
+	return blob, nil
+}
+
+// RestoreState rehydrates a router from a sealed snapshot: secrets are
+// unsealed inside the enclave, the counter binding is checked against
+// the platform counter, and the registration log is replayed through
+// full signature verification and decryption. The router must be
+// freshly constructed (no provisioning, no registrations).
+func (r *Router) RestoreState(blob []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sk != nil || len(r.subOwner) > 0 {
+		return errors.New("broker: restore requires a fresh router")
+	}
+	counter := r.dev.ReadCounter(stateCounter)
+	var raw []byte
+	err := r.enclave.Ecall(func() error {
+		var unsealErr error
+		raw, unsealErr = r.enclave.Unseal(blob, counterAAD(counter))
+		return unsealErr
+	})
+	if err != nil {
+		// Distinguish rollback from corruption is impossible from the
+		// MAC alone; both surface as a rollback-or-corrupt failure.
+		return fmt.Errorf("%w: %v", ErrStateRollback, err)
+	}
+	var state routerState
+	if err := json.Unmarshal(raw, &state); err != nil {
+		return fmt.Errorf("broker: decoding state: %w", err)
+	}
+	sk, err := scrypto.SymmetricKeyFromBytes(state.SK)
+	if err != nil {
+		return fmt.Errorf("broker: decoding sealed SK: %w", err)
+	}
+	verifyKey, err := unmarshalVerifyKey(state.VerifyKey)
+	if err != nil {
+		return err
+	}
+	r.sk = sk
+	r.verifyKey = verifyKey
+	for i, name := range state.RefNames {
+		r.clientRef[name] = uint32(i)
+	}
+	r.refName = append(r.refName, state.RefNames...)
+
+	for _, ent := range state.Log {
+		if err := r.replayRegistration(ent); err != nil {
+			return fmt.Errorf("broker: replaying subscription %d: %w", ent.SubID, err)
+		}
+	}
+	return nil
+}
+
+// replayRegistration re-validates and re-indexes one logged
+// registration under its original ID. Caller holds r.mu.
+func (r *Router) replayRegistration(ent logEntry) error {
+	err := r.enclave.Ecall(func() error {
+		if err := scrypto.Verify(r.verifyKey, signedRegistration(ent.Blob, ent.ClientID), ent.Sig); err != nil {
+			return fmt.Errorf("registration signature invalid: %w", err)
+		}
+		plain, err := scrypto.Open(r.sk, ent.Blob)
+		if err != nil {
+			return fmt.Errorf("decrypting subscription: %w", err)
+		}
+		spec, err := pubsub.DecodeSubscriptionSpec(plain)
+		if err != nil {
+			return fmt.Errorf("decoding subscription: %w", err)
+		}
+		sub, err := pubsub.Normalize(r.engine.Schema(), spec)
+		if err != nil {
+			return err
+		}
+		return r.engine.RegisterAssigned(sub, r.refFor(ent.ClientID), ent.SubID)
+	})
+	if err != nil {
+		return err
+	}
+	r.subOwner[ent.SubID] = ent.ClientID
+	r.regLog = append(r.regLog, ent)
+	return nil
+}
+
+func counterAAD(counter uint64) []byte {
+	aad := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		aad[i] = byte(counter >> (8 * i))
+	}
+	return aad
+}

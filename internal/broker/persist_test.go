@@ -1,0 +1,381 @@
+package broker
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"scbr/internal/attest"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+)
+
+// restartFixture builds a full system, registers subscriptions, seals,
+// and then simulates a router restart on the same device with the same
+// enclave image.
+type restartFixture struct {
+	t      *testing.T
+	dev    *sgx.Device
+	quoter *attest.Quoter
+	signer *scrypto.KeyPair
+	cfg    RouterConfig
+}
+
+func newRestartFixture(t *testing.T) *restartFixture {
+	t.Helper()
+	dev, err := sgx.NewDevice([]byte("persist-test"), simmem.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := attest.NewQuoter(dev, "persist-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &restartFixture{
+		t:      t,
+		dev:    dev,
+		quoter: quoter,
+		signer: signer,
+		cfg: RouterConfig{
+			EnclaveImage:  []byte("persistent router image"),
+			EnclaveSigner: signer.Public(),
+		},
+	}
+}
+
+func (f *restartFixture) newRouter() *Router {
+	f.t.Helper()
+	r, err := NewRouter(f.dev, f.quoter, f.cfg)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return r
+}
+
+// populate provisions the router and registers n subscriptions through
+// the real protocol, returning the publisher and subscription IDs.
+func (f *restartFixture) populate(r *Router, n int) (*Publisher, []uint64) {
+	f.t.Helper()
+	ias := attest.NewService()
+	ias.RegisterPlatform(f.quoter.PlatformID(), f.quoter.AttestationKey())
+	pub, err := NewPublisher(ias, r.Identity())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.handleConn(server)
+	}()
+	f.t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+		<-done
+	})
+	if err := pub.ConnectRouter(client); err != nil {
+		f.t.Fatal(err)
+	}
+	ids := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		raw := encodeSpec(f.t, halSpec(float64(40+i)))
+		encSK, err := scrypto.Seal(pubSK(pub), raw)
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		sig, err := scrypto.Sign(pubKeys(pub), signedRegistration(encSK, "alice"))
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		reply, err := pub.routerRequest(&Message{Type: TypeRegister, ClientID: "alice", Blob: encSK, Sig: sig})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		if err := expect(reply, TypeRegisterOK); err != nil {
+			f.t.Fatal(err)
+		}
+		ids = append(ids, reply.SubID)
+	}
+	return pub, ids
+}
+
+func TestSealRestoreRoundTrip(t *testing.T) {
+	f := newRestartFixture(t)
+	r1 := f.newRouter()
+	_, ids := f.populate(r1, 5)
+	if len(ids) != 5 {
+		t.Fatalf("ids = %v", ids)
+	}
+	blob, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh router process on the same machine with the
+	// same measured image. No re-attestation needed.
+	r2 := f.newRouter()
+	if err := r2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Engine().Stats()
+	if st.Subscriptions != 5 {
+		t.Fatalf("restored %d subscriptions, want 5", st.Subscriptions)
+	}
+	// The restored router matches with the original subscription IDs.
+	ev := eventFromSpec(t, r2, halQuote(40.5))
+	matches, err := r2.Engine().Match(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("restored router matches nothing")
+	}
+	for _, m := range matches {
+		found := false
+		for _, id := range ids {
+			if m.SubID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("restored subscription ID %d was never issued (%v)", m.SubID, ids)
+		}
+	}
+}
+
+func TestRestoreRejectsRollback(t *testing.T) {
+	f := newRestartFixture(t)
+	r1 := f.newRouter()
+	f.populate(r1, 2)
+	stale, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seal again (e.g. after more registrations): the counter advances
+	// and the first snapshot becomes stale.
+	fresh, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := f.newRouter()
+	if err := r2.RestoreState(stale); !errors.Is(err, ErrStateRollback) {
+		t.Fatalf("stale snapshot accepted: %v", err)
+	}
+	r3 := f.newRouter()
+	if err := r3.RestoreState(fresh); err != nil {
+		t.Fatalf("fresh snapshot rejected: %v", err)
+	}
+}
+
+func TestRestoreRejectsDifferentImage(t *testing.T) {
+	f := newRestartFixture(t)
+	r1 := f.newRouter()
+	f.populate(r1, 1)
+	blob, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewRouter(f.dev, f.quoter, RouterConfig{
+		EnclaveImage:  []byte("DIFFERENT router image"),
+		EnclaveSigner: f.signer.Public(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreState(blob); err == nil {
+		t.Fatal("different enclave image unsealed foreign state")
+	}
+}
+
+func TestRestoreRequiresFreshRouter(t *testing.T) {
+	f := newRestartFixture(t)
+	r1 := f.newRouter()
+	f.populate(r1, 1)
+	blob, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.RestoreState(blob); err == nil {
+		t.Fatal("restore onto a provisioned router succeeded")
+	}
+}
+
+func TestSealRequiresProvisioning(t *testing.T) {
+	f := newRestartFixture(t)
+	r := f.newRouter()
+	if _, err := r.SealState(); err == nil {
+		t.Fatal("sealed an unprovisioned router")
+	}
+}
+
+// Helpers bridging test access to publisher internals.
+
+func pubSK(p *Publisher) *scrypto.SymmetricKey { return p.sk }
+func pubKeys(p *Publisher) *scrypto.KeyPair    { return p.keys }
+
+func encodeSpec(t *testing.T, spec pubsub.SubscriptionSpec) []byte {
+	t.Helper()
+	raw, err := pubsub.EncodeSubscriptionSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func eventFromSpec(t *testing.T, r *Router, spec pubsub.EventSpec) *pubsub.Event {
+	t.Helper()
+	ev, err := spec.Intern(r.Engine().Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestRestartEndToEnd exercises the full §2 restart story over live
+// connections: a provisioned, populated router seals its state and
+// "crashes"; a fresh router process restores the snapshot without
+// re-attestation; clients reconnect their delivery channels and keep
+// receiving under their original subscription IDs.
+func TestRestartEndToEnd(t *testing.T) {
+	f := newRestartFixture(t)
+	r1 := f.newRouter()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		_ = r1.Serve(ln1)
+	}()
+
+	ias := attest.NewService()
+	ias.RegisterPlatform(f.quoter.PlatformID(), f.quoter.AttestationKey())
+	pub, err := NewPublisher(ias, r1.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1, err := net.Dial("tcp", ln1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ConnectRouter(conn1); err != nil {
+		t.Fatal(err)
+	}
+
+	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	// The accept loop only exits once the listener closes, so the
+	// listener must close before the wait (defers run LIFO).
+	defer func() {
+		_ = pubLn.Close()
+		wg.Wait()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := pubLn.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				pub.ServeClient(c)
+			}()
+		}
+	}()
+
+	alice, err := NewClient("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	pc, err := net.Dial("tcp", pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice.ConnectPublisher(pc, pub.PublicKey())
+	lc1, err := net.Dial("tcp", ln1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx1, err := alice.Listen(lc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(halQuote(42), []byte("before restart")); err != nil {
+		t.Fatal(err)
+	}
+	if d := recvDelivery(t, rx1); d.Err != nil || string(d.Payload) != "before restart" {
+		t.Fatalf("pre-restart delivery = %+v", d)
+	}
+
+	// Seal, crash, restore on a new port.
+	blob, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	<-done1
+
+	r2 := f.newRouter()
+	if err := r2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		_ = r2.Serve(ln2)
+	}()
+	t.Cleanup(func() {
+		r2.Close()
+		<-done2
+	})
+
+	// The publisher reconnects its data path. No provisioning round:
+	// the restored enclave already holds SK, so publications flow
+	// directly.
+	conn2, err := net.Dial("tcp", ln2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.mu.Lock()
+	pub.routerConn = conn2
+	pub.mu.Unlock()
+
+	// Alice re-binds her delivery channel on the new router.
+	lc2, err := net.Dial("tcp", ln2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx2, err := alice.Listen(lc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(halQuote(43), []byte("after restart")); err != nil {
+		t.Fatal(err)
+	}
+	if d := recvDelivery(t, rx2); d.Err != nil || string(d.Payload) != "after restart" {
+		t.Fatalf("post-restart delivery = %+v", d)
+	}
+}

@@ -1,0 +1,310 @@
+package broker
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"scbr/internal/attest"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+)
+
+// Publisher is the service provider's data source: it owns the
+// public/private pair PK/PK⁻¹ clients encrypt subscriptions under, the
+// symmetric key SK it shares with the enclave, the payload group key,
+// and the client admission registry.
+type Publisher struct {
+	keys     *scrypto.KeyPair
+	sk       *scrypto.SymmetricKey
+	group    *scrypto.GroupKeyManager
+	registry *ClientRegistry
+	ias      *attest.Service
+	routerID attest.Identity
+
+	mu         sync.Mutex
+	routerConn net.Conn
+	subOwner   map[uint64]string // subscription → owning client
+}
+
+// NewPublisher creates a publisher that will only provision SK into
+// enclaves matching routerID, as vouched for by ias.
+func NewPublisher(ias *attest.Service, routerID attest.Identity) (*Publisher, error) {
+	keys, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		return nil, fmt.Errorf("broker: generating publisher keys: %w", err)
+	}
+	sk, err := scrypto.NewSymmetricKey(nil)
+	if err != nil {
+		return nil, fmt.Errorf("broker: generating SK: %w", err)
+	}
+	group, err := scrypto.NewGroupKeyManager(nil)
+	if err != nil {
+		return nil, fmt.Errorf("broker: creating group key manager: %w", err)
+	}
+	return &Publisher{
+		keys:     keys,
+		sk:       sk,
+		group:    group,
+		registry: NewClientRegistry(),
+		ias:      ias,
+		routerID: routerID,
+		subOwner: make(map[uint64]string),
+	}, nil
+}
+
+// PublicKey is PK, distributed to clients out of band (e.g. with the
+// service contract).
+func (p *Publisher) PublicKey() *rsa.PublicKey { return p.keys.Public() }
+
+// Registry exposes the admission database.
+func (p *Publisher) Registry() *ClientRegistry { return p.registry }
+
+// GroupEpoch returns the current payload key epoch.
+func (p *Publisher) GroupEpoch() uint64 { return p.group.Epoch() }
+
+// ConnectRouter attests the router enclave over conn and provisions SK
+// and the signature verification key. The connection is retained for
+// registrations and publications.
+func (p *Publisher) ConnectRouter(conn net.Conn) error {
+	if err := Send(conn, &Message{Type: TypeProvision}); err != nil {
+		return err
+	}
+	req, err := Recv(conn)
+	if err != nil {
+		return err
+	}
+	if err := expect(req, TypeProvisionReq); err != nil {
+		return err
+	}
+	verifyDER, err := x509.MarshalPKIXPublicKey(p.keys.Public())
+	if err != nil {
+		return fmt.Errorf("broker: encoding verify key: %w", err)
+	}
+	bundle, err := json.Marshal(provisionPayload{SK: p.sk.Bytes(), VerifyKey: verifyDER})
+	if err != nil {
+		return fmt.Errorf("broker: encoding provision bundle: %w", err)
+	}
+	blob, err := attest.ProvisionSecret(p.ias, p.routerID,
+		&attest.ProvisioningRequest{Quote: req.Quote, PubKey: req.PubKey}, bundle)
+	if err != nil {
+		return fmt.Errorf("broker: attestation failed: %w", err)
+	}
+	if err := Send(conn, &Message{Type: TypeProvisionKey, Blob: blob}); err != nil {
+		return err
+	}
+	ok, err := Recv(conn)
+	if err != nil {
+		return err
+	}
+	if err := expect(ok, TypeProvisionOK); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.routerConn = conn
+	p.mu.Unlock()
+	return nil
+}
+
+// ServeClient handles one client connection: subscription admission
+// (step ① → ②), group key requests, and unsubscriptions. It returns
+// when the client disconnects.
+func (p *Publisher) ServeClient(conn net.Conn) {
+	for {
+		m, err := Recv(conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case TypeSubscribe:
+			err = p.handleSubscribe(conn, m)
+		case TypeGroupKey:
+			err = p.handleGroupKey(conn, m)
+		case TypeUnsubscribe:
+			err = p.handleUnsubscribe(conn, m)
+		default:
+			sendErr(conn, "unexpected message %q", m.Type)
+			return
+		}
+		if err != nil {
+			sendErr(conn, "%v", err)
+		}
+	}
+}
+
+// handleSubscribe implements steps ① and ②: decrypt {s}PK, run
+// admission control, validate the subscription, re-encrypt under SK,
+// sign, and forward to the router.
+func (p *Publisher) handleSubscribe(conn net.Conn, m *Message) error {
+	rec, err := p.admit(m)
+	if err != nil {
+		return err
+	}
+	plain, err := scrypto.DecryptPK(p.keys, m.Blob)
+	if err != nil {
+		return fmt.Errorf("decrypting subscription: %w", err)
+	}
+	// Validate before forwarding: the publisher must not relay junk to
+	// the enclave.
+	spec, err := pubsub.DecodeSubscriptionSpec(plain)
+	if err != nil {
+		return fmt.Errorf("invalid subscription: %w", err)
+	}
+	if _, err := pubsub.Normalize(pubsub.NewSchema(), spec); err != nil {
+		return fmt.Errorf("invalid subscription: %w", err)
+	}
+	encSK, err := scrypto.Seal(p.sk, plain)
+	if err != nil {
+		return fmt.Errorf("re-encrypting subscription: %w", err)
+	}
+	sig, err := scrypto.Sign(p.keys, signedRegistration(encSK, m.ClientID))
+	if err != nil {
+		return fmt.Errorf("signing registration: %w", err)
+	}
+	reply, err := p.routerRequest(&Message{Type: TypeRegister, ClientID: m.ClientID, Blob: encSK, Sig: sig})
+	if err != nil {
+		return err
+	}
+	if err := expect(reply, TypeRegisterOK); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.subOwner[reply.SubID] = m.ClientID
+	p.mu.Unlock()
+	// Hand the client the payload group key alongside the ack.
+	keyBlob, epoch, err := p.groupKeyFor(rec)
+	if err != nil {
+		return err
+	}
+	return Send(conn, &Message{Type: TypeSubscribeOK, SubID: reply.SubID, Blob: keyBlob, Epoch: epoch})
+}
+
+// handleGroupKey re-issues the current payload key to an active
+// client (e.g. after a rotation).
+func (p *Publisher) handleGroupKey(conn net.Conn, m *Message) error {
+	rec, err := p.registry.Authorize(m.ClientID)
+	if err != nil {
+		return err
+	}
+	blob, epoch, err := p.groupKeyFor(rec)
+	if err != nil {
+		return err
+	}
+	return Send(conn, &Message{Type: TypeGroupKeyOK, Blob: blob, Epoch: epoch})
+}
+
+// handleUnsubscribe relays a removal to the router after checking
+// ownership.
+func (p *Publisher) handleUnsubscribe(conn net.Conn, m *Message) error {
+	if _, err := p.registry.Authorize(m.ClientID); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	owner, ok := p.subOwner[m.SubID]
+	p.mu.Unlock()
+	if !ok || owner != m.ClientID {
+		return fmt.Errorf("subscription %d is not owned by %s", m.SubID, m.ClientID)
+	}
+	reply, err := p.routerRequest(&Message{Type: TypeRemove, ClientID: m.ClientID, SubID: m.SubID})
+	if err != nil {
+		return err
+	}
+	if err := expect(reply, TypeRemoveOK); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	delete(p.subOwner, m.SubID)
+	p.mu.Unlock()
+	return Send(conn, &Message{Type: TypeUnsubscribeOK, SubID: m.SubID})
+}
+
+// admit performs first-contact admission: the subscribe message
+// carries the client's response key; known-revoked clients are
+// rejected.
+func (p *Publisher) admit(m *Message) (*ClientRecord, error) {
+	if rec, err := p.registry.Authorize(m.ClientID); err == nil {
+		return rec, nil
+	} else if errors.Is(err, ErrRevokedClient) {
+		return nil, err
+	}
+	if len(m.PubKey) == 0 {
+		return nil, fmt.Errorf("client %s supplied no response key", m.ClientID)
+	}
+	parsed, err := x509.ParsePKIXPublicKey(m.PubKey)
+	if err != nil {
+		return nil, fmt.Errorf("client %s response key invalid: %w", m.ClientID, err)
+	}
+	pub, ok := parsed.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("client %s response key is %T, want RSA", m.ClientID, parsed)
+	}
+	if err := p.registry.Admit(m.ClientID, pub); err != nil {
+		return nil, err
+	}
+	return p.registry.Authorize(m.ClientID)
+}
+
+// groupKeyFor wraps the current group key for a client and registers
+// its group membership.
+func (p *Publisher) groupKeyFor(rec *ClientRecord) ([]byte, uint64, error) {
+	key, epoch := p.group.Join(rec.ID)
+	blob, err := scrypto.EncryptPK(rec.PubKey, key.Bytes())
+	if err != nil {
+		return nil, 0, fmt.Errorf("wrapping group key: %w", err)
+	}
+	return blob, epoch, nil
+}
+
+// Publish is step ④: encrypt the header under SK, the payload under
+// the group key, and send both to the router.
+func (p *Publisher) Publish(header pubsub.EventSpec, payload []byte) error {
+	raw, err := pubsub.EncodeEventSpec(header)
+	if err != nil {
+		return err
+	}
+	encHeader, err := scrypto.Seal(p.sk, raw)
+	if err != nil {
+		return fmt.Errorf("broker: encrypting header: %w", err)
+	}
+	groupKey, epoch := p.group.Key()
+	encPayload, err := scrypto.Seal(groupKey, payload)
+	if err != nil {
+		return fmt.Errorf("broker: encrypting payload: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.routerConn == nil {
+		return errors.New("broker: publisher not connected to a router")
+	}
+	return Send(p.routerConn, &Message{Type: TypePublish, Blob: encHeader, Payload: encPayload, Epoch: epoch})
+}
+
+// Revoke excludes a client: admission is withdrawn and the payload
+// group key rotates so the client cannot read future publications.
+func (p *Publisher) Revoke(clientID string) error {
+	if err := p.registry.Revoke(clientID); err != nil {
+		return err
+	}
+	if _, err := p.group.Revoke(clientID); err != nil {
+		return err
+	}
+	return nil
+}
+
+// routerRequest performs one request/response exchange with the
+// router, serialised on the shared connection.
+func (p *Publisher) routerRequest(m *Message) (*Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.routerConn == nil {
+		return nil, errors.New("broker: publisher not connected to a router")
+	}
+	if err := Send(p.routerConn, m); err != nil {
+		return nil, err
+	}
+	return Recv(p.routerConn)
+}

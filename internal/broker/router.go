@@ -1,0 +1,519 @@
+package broker
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"scbr/internal/attest"
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+)
+
+// provisionPayload is the secret bundle the publisher provisions into
+// the enclave after attestation: the symmetric key SK plus the
+// publisher's signature-verification key.
+type provisionPayload struct {
+	SK        []byte `json:"sk"`
+	VerifyKey []byte `json:"verify_key"` // PKIX RSA
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// EnclaveImage is the measured code image; the publisher pins its
+	// measurement during attestation.
+	EnclaveImage []byte
+	// EnclaveSigner signs the image (MRSIGNER).
+	EnclaveSigner *rsa.PublicKey
+	// EPCBytes bounds the enclave page cache (default: the paper's
+	// ~93 MB usable EPC).
+	EPCBytes uint64
+	// PadRecordTo is forwarded to the engine (see core.Options).
+	PadRecordTo int
+	// Switchless routes publications to the matcher through an
+	// untrusted-memory ring consumed by a resident enclave worker
+	// instead of one ecall per publication — the paper's §6 "message
+	// exchanges at the enclave border". Registrations and removals
+	// keep their synchronous ecall path (they must be acknowledged).
+	Switchless bool
+}
+
+// Router hosts the SCBR filtering engine inside an enclave on the
+// untrusted infrastructure. One router serves one service provider —
+// the paper's deployment; run several routers for multi-tenancy.
+type Router struct {
+	dev     *sgx.Device
+	quoter  *attest.Quoter
+	enclave *sgx.Enclave
+	engine  *core.Engine
+
+	mu        sync.Mutex
+	sk        *scrypto.SymmetricKey
+	verifyKey *rsa.PublicKey
+	listeners map[string]net.Conn
+	conns     map[net.Conn]bool
+	clientRef map[string]uint32
+	refName   []string
+	subOwner  map[uint64]string
+	regLog    []logEntry
+
+	wg       sync.WaitGroup
+	closing  chan struct{}
+	listener net.Listener
+
+	// Switchless publication path (nil when disabled).
+	pubRing    *sgx.Ring
+	pushMu     sync.Mutex // serialises producers onto the SPSC ring
+	workerDone chan struct{}
+}
+
+// NewRouter launches the router's enclave on the given device and
+// builds the engine over enclave memory.
+func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Router, error) {
+	if len(cfg.EnclaveImage) == 0 {
+		return nil, errors.New("broker: router needs an enclave image")
+	}
+	enclave, err := dev.Launch(cfg.EnclaveImage, cfg.EnclaveSigner, sgx.EnclaveConfig{EPCBytes: cfg.EPCBytes})
+	if err != nil {
+		return nil, fmt.Errorf("broker: launching router enclave: %w", err)
+	}
+	engine, err := core.NewEngine(enclave.Memory(), pubsub.NewSchema(), core.Options{PadRecordTo: cfg.PadRecordTo})
+	if err != nil {
+		return nil, fmt.Errorf("broker: building engine: %w", err)
+	}
+	r := &Router{
+		dev:       dev,
+		quoter:    quoter,
+		enclave:   enclave,
+		engine:    engine,
+		listeners: make(map[string]net.Conn),
+		conns:     make(map[net.Conn]bool),
+		clientRef: make(map[string]uint32),
+		subOwner:  make(map[uint64]string),
+		closing:   make(chan struct{}),
+	}
+	if cfg.Switchless {
+		ring, err := sgx.NewRing(128)
+		if err != nil {
+			return nil, fmt.Errorf("broker: building publication ring: %w", err)
+		}
+		r.pubRing = ring
+		r.workerDone = make(chan struct{})
+		go r.publicationWorker()
+	}
+	return r, nil
+}
+
+// publicationWorker is the resident enclave thread of the switchless
+// configuration: it enters the enclave once and matches publications
+// straight off the untrusted ring. Per-message failures (tampered
+// ciphertext, malformed headers, unprovisioned router) drop the
+// publication, exactly as the per-ecall path does for fire-and-forget
+// publish messages.
+//
+// The worker does not use Enclave.ServeRing: that helper charges the
+// enclave meter outside any lock and is meant for single-threaded
+// harnesses, while here registration ecalls charge the same meter
+// concurrently. All meter access below happens under r.mu, like every
+// other router path.
+func (r *Router) publicationWorker() {
+	defer close(r.workerDone)
+	entered := false
+	var buf []byte
+	for {
+		raw, ok := r.pubRing.Pop(buf)
+		if !ok {
+			return // ring closed and drained
+		}
+		buf = raw
+		var m Message
+		if err := json.Unmarshal(raw, &m); err != nil {
+			continue // drop undecodable publication
+		}
+		r.mu.Lock()
+		meter := r.engine.Accessor().Meter()
+		if !entered {
+			meter.ChargeTransition() // the worker's one-time entry/exit round trip
+			entered = true
+		}
+		meter.Charge(meter.Cost.SwitchlessPollCycles)
+		if r.sk != nil {
+			if matches, err := r.matchPublication(&m); err == nil {
+				r.forwardLocked(matches, &m)
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Enclave exposes the router's enclave (for identity pinning and
+// experiment counters).
+func (r *Router) Enclave() *sgx.Enclave { return r.enclave }
+
+// Engine exposes the routing engine (experiments read its stats).
+func (r *Router) Engine() *core.Engine { return r.engine }
+
+// MeterSnapshot returns a consistent copy of the enclave meter's
+// counters. The router serialises all enclave work (ecalls and the
+// switchless worker) under its lock, so the snapshot is coherent even
+// while traffic is flowing.
+func (r *Router) MeterSnapshot() simmem.Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine.Accessor().Meter().C
+}
+
+// Identity returns the enclave identity a publisher should pin.
+func (r *Router) Identity() attest.Identity {
+	return attest.Identity{
+		MRENCLAVE: r.enclave.MRENCLAVE(),
+		MRSIGNER:  r.enclave.MRSIGNER(),
+	}
+}
+
+// Serve accepts connections until Close. Each connection is handled on
+// its own goroutine; Serve returns after the listener closes.
+func (r *Router) Serve(l net.Listener) error {
+	r.mu.Lock()
+	r.listener = l
+	r.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-r.closing:
+				return nil
+			default:
+				return fmt.Errorf("broker: accept: %w", err)
+			}
+		}
+		r.mu.Lock()
+		r.conns[conn] = true
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				r.mu.Lock()
+				delete(r.conns, conn)
+				r.mu.Unlock()
+				_ = conn.Close()
+			}()
+			r.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the router, drains the switchless worker if one is
+// running, and waits for connection handlers.
+func (r *Router) Close() {
+	close(r.closing)
+	r.mu.Lock()
+	if r.listener != nil {
+		_ = r.listener.Close()
+	}
+	for c := range r.conns {
+		_ = c.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	if r.pubRing != nil {
+		r.pubRing.Close()
+		<-r.workerDone
+	}
+}
+
+// handleConn dispatches messages from one peer connection.
+func (r *Router) handleConn(conn net.Conn) {
+	for {
+		m, err := Recv(conn)
+		if err != nil {
+			return // connection closed or corrupt framing
+		}
+		switch m.Type {
+		case TypeProvision:
+			err = r.handleProvision(conn)
+		case TypeRegister:
+			err = r.handleRegister(conn, m)
+		case TypeRemove:
+			err = r.handleRemove(conn, m)
+		case TypePublish:
+			// Publications are fire-and-forget on the wire; a publish
+			// that fails authentication is dropped, not answered, so
+			// the reply stream stays aligned with request/response
+			// messages on the same connection.
+			_ = r.handlePublish(m)
+			continue
+		case TypeListen:
+			if err := r.handleListen(conn, m); err != nil {
+				sendErr(conn, "listen: %v", err)
+				return
+			}
+			// The connection now belongs to the delivery path; this
+			// handler keeps draining (ignoring) anything the client
+			// sends so the connection close is still observed.
+			continue
+		default:
+			sendErr(conn, "unexpected message %q", m.Type)
+			return
+		}
+		if err != nil {
+			sendErr(conn, "%v", err)
+		}
+	}
+}
+
+// handleProvision runs the router side of remote attestation: emit a
+// quote-bound provisioning request, then install the secrets the
+// publisher returns.
+func (r *Router) handleProvision(conn net.Conn) error {
+	req, ephemeral, err := attest.NewProvisioningRequest(r.enclave, r.quoter)
+	if err != nil {
+		return fmt.Errorf("building provisioning request: %w", err)
+	}
+	if err := Send(conn, &Message{Type: TypeProvisionReq, Quote: req.Quote, PubKey: req.PubKey}); err != nil {
+		return err
+	}
+	reply, err := Recv(conn)
+	if err != nil {
+		return err
+	}
+	if err := expect(reply, TypeProvisionKey); err != nil {
+		return err
+	}
+	secret, err := attest.ReceiveSecret(r.enclave, ephemeral, reply.Blob)
+	if err != nil {
+		return fmt.Errorf("receiving secret: %w", err)
+	}
+	var payload provisionPayload
+	if err := json.Unmarshal(secret, &payload); err != nil {
+		return fmt.Errorf("decoding provisioned bundle: %w", err)
+	}
+	sk, err := scrypto.SymmetricKeyFromBytes(payload.SK)
+	if err != nil {
+		return fmt.Errorf("decoding SK: %w", err)
+	}
+	parsed, err := x509.ParsePKIXPublicKey(payload.VerifyKey)
+	if err != nil {
+		return fmt.Errorf("decoding verify key: %w", err)
+	}
+	verifyKey, ok := parsed.(*rsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("verify key is %T, want RSA", parsed)
+	}
+	r.mu.Lock()
+	r.sk = sk
+	r.verifyKey = verifyKey
+	r.mu.Unlock()
+	return Send(conn, &Message{Type: TypeProvisionOK})
+}
+
+// handleRegister is step ③: validate the publisher's signature, then
+// decrypt and index the subscription inside the enclave.
+func (r *Router) handleRegister(conn net.Conn, m *Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sk == nil {
+		return errors.New("router not provisioned")
+	}
+	if m.ClientID == "" {
+		return errors.New("registration without client identity")
+	}
+	var subID uint64
+	err := r.enclave.Ecall(func() error {
+		// The signature covers the encrypted subscription and the
+		// client binding, so the infrastructure cannot re-route
+		// subscriptions between clients.
+		if err := scrypto.Verify(r.verifyKey, signedRegistration(m.Blob, m.ClientID), m.Sig); err != nil {
+			return fmt.Errorf("registration signature invalid: %w", err)
+		}
+		plain, err := scrypto.Open(r.sk, m.Blob)
+		if err != nil {
+			return fmt.Errorf("decrypting subscription: %w", err)
+		}
+		r.engine.Accessor().Meter().ChargeAES(len(m.Blob))
+		spec, err := pubsub.DecodeSubscriptionSpec(plain)
+		if err != nil {
+			return fmt.Errorf("decoding subscription: %w", err)
+		}
+		subID, err = r.engine.Register(spec, r.refFor(m.ClientID))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	r.subOwner[subID] = m.ClientID
+	r.regLog = append(r.regLog, logEntry{
+		SubID:    subID,
+		ClientID: m.ClientID,
+		Blob:     append([]byte(nil), m.Blob...),
+		Sig:      append([]byte(nil), m.Sig...),
+	})
+	return Send(conn, &Message{Type: TypeRegisterOK, SubID: subID})
+}
+
+// handleRemove unregisters a subscription on the owner's behalf.
+func (r *Router) handleRemove(conn net.Conn, m *Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.subOwner[m.SubID]
+	if !ok {
+		return fmt.Errorf("unknown subscription %d", m.SubID)
+	}
+	if owner != m.ClientID {
+		return fmt.Errorf("subscription %d is not owned by %s", m.SubID, m.ClientID)
+	}
+	if err := r.enclave.Ecall(func() error { return r.engine.Unregister(m.SubID) }); err != nil {
+		return err
+	}
+	delete(r.subOwner, m.SubID)
+	for i := range r.regLog {
+		if r.regLog[i].SubID == m.SubID {
+			r.regLog = append(r.regLog[:i], r.regLog[i+1:]...)
+			break
+		}
+	}
+	return Send(conn, &Message{Type: TypeRemoveOK, SubID: m.SubID})
+}
+
+// handlePublish is steps ⑤–⑥: decrypt the header inside the enclave,
+// match, and forward the (still encrypted) payload to every client
+// with a matching subscription. In the switchless configuration the
+// message is instead handed to the resident enclave worker through
+// the untrusted ring.
+func (r *Router) handlePublish(m *Message) error {
+	if r.pubRing != nil {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("encoding publication for the ring: %w", err)
+		}
+		r.pushMu.Lock()
+		defer r.pushMu.Unlock()
+		return r.pubRing.Push(raw)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sk == nil {
+		return errors.New("router not provisioned")
+	}
+	var matches []core.MatchResult
+	err := r.enclave.Ecall(func() error {
+		var err error
+		matches, err = r.matchPublication(m)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	r.forwardLocked(matches, m)
+	return nil
+}
+
+// matchPublication is the trusted step ⑤: authenticate and decrypt the
+// header, then match it against the index. The caller holds r.mu and
+// is responsible for enclave-entry accounting (an ecall on the
+// synchronous path, the resident worker on the switchless path).
+func (r *Router) matchPublication(m *Message) ([]core.MatchResult, error) {
+	plain, err := scrypto.Open(r.sk, m.Blob)
+	if err != nil {
+		return nil, fmt.Errorf("decrypting header: %w", err)
+	}
+	r.engine.Accessor().Meter().ChargeAES(len(m.Blob))
+	spec, err := pubsub.DecodeEventSpec(plain)
+	if err != nil {
+		return nil, fmt.Errorf("decoding header: %w", err)
+	}
+	ev, err := spec.Intern(r.engine.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return r.engine.Match(ev)
+}
+
+// forwardLocked is step ⑥: deliver the still-encrypted payload once to
+// every matched client that is currently listening. Caller holds r.mu.
+func (r *Router) forwardLocked(matches []core.MatchResult, m *Message) {
+	// Deduplicate client targets: one delivery per client however many
+	// of its subscriptions matched.
+	seen := make(map[uint32]bool, len(matches))
+	for _, match := range matches {
+		if seen[match.ClientRef] {
+			continue
+		}
+		seen[match.ClientRef] = true
+		name := r.refName[match.ClientRef]
+		conn, ok := r.listeners[name]
+		if !ok {
+			continue // client not currently listening
+		}
+		if err := Send(conn, &Message{Type: TypeDeliver, Payload: m.Payload, Epoch: m.Epoch}); err != nil {
+			// A broken listener must not block the others.
+			delete(r.listeners, name)
+			_ = conn.Close()
+		}
+	}
+}
+
+// handleListen binds a connection as a client's delivery channel.
+func (r *Router) handleListen(conn net.Conn, m *Message) error {
+	if m.ClientID == "" {
+		return errors.New("listen without client identity")
+	}
+	r.mu.Lock()
+	if old, ok := r.listeners[m.ClientID]; ok {
+		_ = old.Close()
+	}
+	r.listeners[m.ClientID] = conn
+	r.mu.Unlock()
+	return Send(conn, &Message{Type: TypeListenOK})
+}
+
+// refFor interns a client identity as the engine's compact client
+// reference. Caller holds r.mu.
+func (r *Router) refFor(clientID string) uint32 {
+	if ref, ok := r.clientRef[clientID]; ok {
+		return ref
+	}
+	ref := uint32(len(r.refName))
+	r.clientRef[clientID] = ref
+	r.refName = append(r.refName, clientID)
+	return ref
+}
+
+// signedRegistration is the byte string the publisher signs for step
+// ②: the ciphertext bound to the client identity.
+func signedRegistration(blob []byte, clientID string) []byte {
+	out := make([]byte, 0, len(blob)+len(clientID)+1)
+	out = append(out, blob...)
+	out = append(out, 0)
+	return append(out, clientID...)
+}
+
+// marshalVerifyKey and unmarshalVerifyKey move the publisher's
+// signature key through sealed state.
+func marshalVerifyKey(pk *rsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pk)
+	if err != nil {
+		return nil, fmt.Errorf("broker: encoding verify key: %w", err)
+	}
+	return der, nil
+}
+
+func unmarshalVerifyKey(der []byte) (*rsa.PublicKey, error) {
+	parsed, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("broker: decoding sealed verify key: %w", err)
+	}
+	pk, ok := parsed.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("broker: sealed verify key is %T, want RSA", parsed)
+	}
+	return pk, nil
+}

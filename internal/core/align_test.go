@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+// alignProbe records every allocation the engine makes so the test can
+// check the CacheAlign invariants without reaching into the arena.
+type alignProbe struct {
+	simmem.Accessor
+	allocs []struct {
+		off  uint64
+		size int
+	}
+}
+
+func (p *alignProbe) Alloc(n int) (uint64, error) {
+	off, err := p.Accessor.Alloc(n)
+	if err == nil {
+		p.allocs = append(p.allocs, struct {
+			off  uint64
+			size int
+		}{off, n})
+	}
+	return off, err
+}
+
+func TestCacheAlignKeepsRecordsLineAligned(t *testing.T) {
+	probe := &alignProbe{Accessor: simmem.NewPlainAccessor(simmem.DefaultCost())}
+	e, err := NewEngine(probe, pubsub.NewSchema(), Options{CacheAlign: true, PadRecordTo: 437})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	registered := 0
+	for i := 0; i < 500; i++ {
+		sp := randomSpec(rng)
+		if _, err := e.Register(sp, uint32(i)); err != nil {
+			continue // randomSpec may produce unsatisfiable conjunctions
+		}
+		registered++
+	}
+	if registered < 300 {
+		t.Fatalf("only %d specs registered; generator too lossy", registered)
+	}
+	// Skip the guard-page reservation (first alloc).
+	for _, a := range probe.allocs[1:] {
+		if a.off%cacheLineSize != 0 {
+			t.Fatalf("record at offset %d is not line-aligned", a.off)
+		}
+		if a.size%cacheLineSize != 0 {
+			t.Fatalf("record size %d is not a line multiple", a.size)
+		}
+	}
+}
+
+// TestCacheAlignEquivalence: alignment is a pure layout change; match
+// results must be identical to the unaligned engine on the same
+// subscription and event stream.
+func TestCacheAlignEquivalence(t *testing.T) {
+	plain := newTestEngine(t)
+	aligned, err := NewEngine(simmem.NewPlainAccessor(simmem.DefaultCost()), pubsub.NewSchema(), Options{CacheAlign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	specs := make([]pubsub.SubscriptionSpec, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		specs = append(specs, randomSpec(rng))
+	}
+	for i, sp := range specs {
+		idP, errP := plain.Register(sp, uint32(i))
+		idA, errA := aligned.Register(sp, uint32(i))
+		if (errP == nil) != (errA == nil) {
+			t.Fatalf("registration divergence at %d: %v vs %v", i, errP, errA)
+		}
+		if errP == nil && idP != idA {
+			t.Fatalf("subscription IDs diverged: %d vs %d", idP, idA)
+		}
+	}
+	symbols := []string{"HAL", "IBM", "MSFT", "AAPL"}
+	for i := 0; i < 200; i++ {
+		attrs := map[string]pubsub.Value{
+			"symbol": pubsub.Str(symbols[rng.Intn(len(symbols))]),
+			"price":  pubsub.Float(float64(rng.Intn(120) - 10)),
+			"volume": pubsub.Float(float64(rng.Intn(120) - 10)),
+			"open":   pubsub.Float(float64(rng.Intn(120) - 10)),
+			"close":  pubsub.Float(float64(rng.Intn(120) - 10)),
+		}
+		evP := event(t, plain, attrs)
+		evA := event(t, aligned, attrs)
+		got := matchIDs(t, aligned, evA)
+		want := matchIDs(t, plain, evP)
+		if len(got) != len(want) {
+			t.Fatalf("event %d: aligned %d matches, plain %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("event %d: aligned %v != plain %v", i, got, want)
+			}
+		}
+	}
+	// Alignment costs footprint: the aligned arena must be at least as
+	// large, and its padding must stay within 2× (sanity bound).
+	pb, ab := plain.Stats().Bytes, aligned.Stats().Bytes
+	if ab < pb {
+		t.Fatalf("aligned footprint %d smaller than plain %d", ab, pb)
+	}
+	if ab > 2*pb {
+		t.Fatalf("aligned footprint %d more than doubles plain %d", ab, pb)
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+)
+
+func newTestDevice(t *testing.T) *sgx.Device {
+	t.Helper()
+	d, err := sgx.NewDevice([]byte("core-test-device"), simmem.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func launchTestEnclave(t *testing.T, d *sgx.Device, epcBytes uint64) *sgx.Enclave {
+	t.Helper()
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.Launch([]byte("scbr matching engine image"), signer.Public(), sgx.EnclaveConfig{EPCBytes: epcBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func newPlainAcc() simmem.Accessor {
+	return simmem.NewPlainAccessor(simmem.DefaultCost())
+}

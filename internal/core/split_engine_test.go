@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+// TestEngineOnSplitMemoryEquivalent runs the engine over the §6
+// split-memory accessor with a deliberately tiny in-enclave cache, so
+// records are sealed out and unsealed back constantly, and checks that
+// registrations, matches, removals and the structural invariants are
+// indistinguishable from the plain engine.
+func TestEngineOnSplitMemoryEquivalent(t *testing.T) {
+	plainE := newTestEngine(t)
+
+	dev := newTestDevice(t)
+	encl := launchTestEnclave(t, dev, 32<<20)
+	splitAcc, err := encl.SplitMemory(16 * simmem.PageSize) // 64 KB cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitE, err := NewEngine(splitAcc, pubsub.NewSchema(), Options{PadRecordTo: 437})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	var livePlain, liveSplit []uint64
+	for step := 0; step < 1500; step++ {
+		if len(livePlain) > 0 && rng.Intn(4) == 0 {
+			k := rng.Intn(len(livePlain))
+			if err := plainE.Unregister(livePlain[k]); err != nil {
+				t.Fatal(err)
+			}
+			if err := splitE.Unregister(liveSplit[k]); err != nil {
+				t.Fatalf("split engine diverged on unregister: %v", err)
+			}
+			livePlain = append(livePlain[:k], livePlain[k+1:]...)
+			liveSplit = append(liveSplit[:k], liveSplit[k+1:]...)
+			continue
+		}
+		sp := randomSpec(rng)
+		idP, errP := plainE.Register(sp, uint32(step))
+		idS, errS := splitE.Register(sp, uint32(step))
+		if (errP == nil) != (errS == nil) {
+			t.Fatalf("step %d: registration divergence: %v vs %v", step, errP, errS)
+		}
+		if errP != nil {
+			continue
+		}
+		livePlain = append(livePlain, idP)
+		liveSplit = append(liveSplit, idS)
+	}
+
+	symbols := []string{"HAL", "IBM", "MSFT", "AAPL"}
+	for i := 0; i < 150; i++ {
+		attrs := map[string]pubsub.Value{
+			"symbol": pubsub.Str(symbols[rng.Intn(len(symbols))]),
+			"price":  pubsub.Float(float64(rng.Intn(120) - 10)),
+			"volume": pubsub.Float(float64(rng.Intn(120) - 10)),
+			"open":   pubsub.Float(float64(rng.Intn(120) - 10)),
+			"close":  pubsub.Float(float64(rng.Intn(120) - 10)),
+		}
+		got := matchIDs(t, splitE, event(t, splitE, attrs))
+		want := matchIDs(t, plainE, event(t, plainE, attrs))
+		if len(got) != len(want) {
+			t.Fatalf("event %d: split %d matches, plain %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("event %d: split %v != plain %v", i, got, want)
+			}
+		}
+	}
+
+	// The store must be far larger than the cache (the test is vacuous
+	// otherwise), and the structural invariants must hold through all
+	// the seal/unseal churn.
+	if splitAcc.Size() < 4*16*simmem.PageSize {
+		t.Fatalf("store %d bytes did not outgrow the 64 KB cache", splitAcc.Size())
+	}
+	if splitAcc.UserFaults() == 0 {
+		t.Fatal("no user-level faults; split path unexercised")
+	}
+	checkInvariants(t, splitE)
+}

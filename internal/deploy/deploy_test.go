@@ -1,0 +1,95 @@
+package deploy
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scbr/internal/attest"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+)
+
+func TestTrustBundleRoundTrip(t *testing.T) {
+	dev, err := sgx.NewDevice([]byte("deploy-test"), simmem.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := attest.NewQuoter(dev, "deploy-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := dev.Launch([]byte("deploy image"), signer.Public(), sgx.EnclaveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := attest.Identity{MRENCLAVE: enclave.MRENCLAVE(), MRSIGNER: enclave.MRSIGNER()}
+
+	bundle, err := NewTrustBundle(quoter, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trust.json")
+	if err := bundle.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrustBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, gotID, err := loaded.Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id {
+		t.Fatalf("identity mismatch: %+v vs %+v", gotID, id)
+	}
+	// The reconstructed service verifies quotes from the original
+	// platform end to end.
+	req, _, err := attest.NewProvisioningRequest(enclave, quoter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attest.ProvisionSecret(svc, gotID, req, []byte("SK")); err != nil {
+		t.Fatalf("provisioning through reloaded bundle failed: %v", err)
+	}
+}
+
+func TestTrustBundleValidation(t *testing.T) {
+	b := &TrustBundle{PlatformID: "x", AttestationKey: []byte("junk"), MRENCLAVE: make([]byte, 32), MRSIGNER: make([]byte, 32)}
+	if _, _, err := b.Service(); err == nil {
+		t.Fatal("junk attestation key accepted")
+	}
+	b2 := &TrustBundle{PlatformID: "x", MRENCLAVE: make([]byte, 5), MRSIGNER: make([]byte, 32)}
+	if _, _, err := b2.Service(); err == nil {
+		t.Fatal("short measurement accepted")
+	}
+	if _, err := LoadTrustBundle(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPublisherKeyRoundTrip(t *testing.T) {
+	kp, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pub.json")
+	if err := SavePublisherKey(path, kp.Public()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPublisherKey(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(kp.Public().N) != 0 || got.E != kp.Public().E {
+		t.Fatal("key round trip mismatch")
+	}
+	if _, err := LoadPublisherKey(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing key file accepted")
+	}
+}

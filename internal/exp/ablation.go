@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/workload"
+)
+
+// BatchRow is one point of the ecall-batching ablation: the paper's
+// future-work proposal to "reduce the frequency of enclave
+// enters/exits (e.g. ... using message batching)". Batch publications
+// per enclave transition and the EENTER/EEXIT cost amortises.
+type BatchRow struct {
+	BatchSize int
+	// Micros is the simulated matching time per publication, including
+	// the amortised transition and AES costs.
+	Micros float64
+	// TransitionShare is the fraction of cycles spent in transitions.
+	TransitionShare float64
+}
+
+// AblationBatching measures in-enclave AES matching on e100a1 at the
+// largest configured size with varying publications per ecall.
+func AblationBatching(cfg Config, batchSizes []int) ([]BatchRow, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(batchSizes) == 0 {
+		return nil, fmt.Errorf("exp: no batch sizes")
+	}
+	spec, err := workload.SpecByName("e100a1")
+	if err != nil {
+		return nil, err
+	}
+	subGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+600)
+	if err != nil {
+		return nil, err
+	}
+	pubGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+700)
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.Sizes[len(cfg.Sizes)-1]
+	pubs := pubGen.Publications(cfg.PubBatch)
+
+	run, err := newEngineRun(cfg, inAES, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	if err := run.register(subGen.Subscriptions(size)); err != nil {
+		return nil, err
+	}
+	headers := make([][]byte, 0, len(pubs))
+	for _, p := range pubs {
+		raw, err := pubsub.EncodeEventSpec(p)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := scrypto.Seal(run.sk, raw)
+		if err != nil {
+			return nil, err
+		}
+		headers = append(headers, enc)
+	}
+
+	rows := make([]BatchRow, 0, len(batchSizes))
+	for _, batch := range batchSizes {
+		if batch <= 0 {
+			return nil, fmt.Errorf("exp: invalid batch size %d", batch)
+		}
+		meter := run.engine.Accessor().Meter()
+		before := meter.C
+		for start := 0; start < len(headers); start += batch {
+			end := start + batch
+			if end > len(headers) {
+				end = len(headers)
+			}
+			chunk := headers[start:end]
+			err := run.enclave.Ecall(func() error {
+				for _, header := range chunk {
+					meter.ChargeAES(len(header))
+					raw, err := scrypto.Open(run.sk, header)
+					if err != nil {
+						return err
+					}
+					hspec, err := pubsub.DecodeEventSpec(raw)
+					if err != nil {
+						return err
+					}
+					ev, err := hspec.Intern(run.engine.Schema())
+					if err != nil {
+						return err
+					}
+					if run.scratch, err = run.engine.MatchAppend(ev, run.scratch[:0]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		delta := meter.C.Sub(before)
+		transitionCycles := delta.Transitions * cfg.Cost.EnclaveTransitionCycles
+		rows = append(rows, BatchRow{
+			BatchSize:       batch,
+			Micros:          cfg.Cost.Micros(delta.Cycles) / float64(len(headers)),
+			TransitionShare: float64(transitionCycles) / float64(delta.Cycles),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+func TestAblationCacheAlignShape(t *testing.T) {
+	rows, err := AblationCacheAlign(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Aligned || !rows[1].Aligned {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.OutMicros <= 0 || r.InMicros <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+		if r.FootprintMB <= 0 {
+			t.Fatalf("no footprint recorded: %+v", r)
+		}
+	}
+	// Alignment pads records, so the aligned store must be larger.
+	if rows[1].FootprintMB <= rows[0].FootprintMB {
+		t.Errorf("aligned footprint %.2f MB not larger than unaligned %.2f MB",
+			rows[1].FootprintMB, rows[0].FootprintMB)
+	}
+	// The layouts must stay within the same order of magnitude — the
+	// ablation decides which wins, but a 10× swing would indicate a
+	// harness bug, not a layout effect.
+	ratio := rows[1].OutMicros / rows[0].OutMicros
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("implausible aligned/unaligned ratio %.2f: %+v", ratio, rows)
+	}
+}

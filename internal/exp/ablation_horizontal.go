@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+	"scbr/internal/streamhub"
+	"scbr/internal/workload"
+)
+
+// HorizontalRow is one partition count of the horizontal-scalability
+// ablation. The paper's conclusion claims the EPC limitation "can be
+// overcome through horizontal scalability"; here the same subscription
+// stream is partitioned across k enclaves (StreamHub-style, §3.4), so
+// a database that pages on one enclave fits k EPCs.
+type HorizontalRow struct {
+	// Partitions is k, the number of enclave-backed matcher slices.
+	Partitions int
+	// DBMB is the total store size across slices.
+	DBMB float64
+	// MicrosPerSub is the mean in-enclave registration cost per
+	// subscription, summed over slices (single-machine work; the
+	// slices of a real deployment run on separate hosts).
+	MicrosPerSub float64
+	// MatchMicros is the simulated makespan per publication when the
+	// slices match in parallel.
+	MatchMicros float64
+	// PageFaults counts EPC paging events across all slices.
+	PageFaults uint64
+}
+
+// AblationHorizontal registers cfg.Fig8Subs subscriptions (workload
+// e80a1, padded records, cfg.EPCBytes per enclave) into hubs of
+// 1, 2, 4 and 8 enclave slices, then matches a publication batch.
+func AblationHorizontal(cfg Config, parts []int) ([]HorizontalRow, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		parts = []int{1, 2, 4, 8}
+	}
+	spec, err := workload.SpecByName("e80a1")
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]HorizontalRow, 0, len(parts))
+	for _, k := range parts {
+		if k <= 0 {
+			return nil, fmt.Errorf("exp: invalid partition count %d", k)
+		}
+		subGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+1200)
+		if err != nil {
+			return nil, err
+		}
+		pubGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+1300)
+		if err != nil {
+			return nil, err
+		}
+
+		dev, err := sgx.NewDevice([]byte(fmt.Sprintf("exp-horizontal-%d", k)), cfg.Cost)
+		if err != nil {
+			return nil, err
+		}
+		signer, err := scrypto.NewKeyPair(nil)
+		if err != nil {
+			return nil, err
+		}
+		enclaves := make([]*sgx.Enclave, k)
+		schema := pubsub.NewSchema()
+		hub, err := streamhub.New(k, schema,
+			func(i int, s *pubsub.Schema) (*core.Engine, error) {
+				e, err := dev.Launch([]byte(fmt.Sprintf("scbr slice image %d", i)), signer.Public(),
+					sgx.EnclaveConfig{EPCBytes: cfg.EPCBytes})
+				if err != nil {
+					return nil, err
+				}
+				enclaves[i] = e
+				return core.NewEngine(e.Memory(), s, core.Options{PadRecordTo: cfg.PadRecordTo})
+			},
+			func(i int, fn func() error) error { return enclaves[i].Ecall(fn) })
+		if err != nil {
+			return nil, err
+		}
+
+		// Registration phase: the stream fans across slices.
+		var before []simmem.Counters
+		for _, e := range enclaves {
+			before = append(before, e.Memory().Meter().C)
+		}
+		for i, s := range subGen.Subscriptions(cfg.Fig8Subs) {
+			if _, err := hub.Register(s, uint32(i)); err != nil {
+				return nil, fmt.Errorf("exp: horizontal k=%d sub %d: %w", k, i, err)
+			}
+		}
+		row := HorizontalRow{Partitions: k}
+		var regCycles uint64
+		for i, e := range enclaves {
+			delta := e.Memory().Meter().C.Sub(before[i])
+			regCycles += delta.Cycles
+			row.PageFaults += delta.PageFaults
+			row.DBMB += float64(e.Memory().Size()) / (1 << 20)
+		}
+		row.MicrosPerSub = cfg.Cost.Micros(regCycles) / float64(cfg.Fig8Subs)
+
+		// Matching phase: parallel fan-out, makespan accounting.
+		var makespan uint64
+		nPubs := cfg.PubBatch
+		for _, p := range pubGen.Publications(nPubs) {
+			ev, err := p.Intern(schema)
+			if err != nil {
+				return nil, err
+			}
+			_, stats, err := hub.Match(ev)
+			if err != nil {
+				return nil, err
+			}
+			makespan += stats.MakespanCycles
+		}
+		row.MatchMicros = cfg.Cost.Micros(makespan) / float64(nPubs)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

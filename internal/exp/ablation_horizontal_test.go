@@ -1,0 +1,44 @@
+package exp
+
+import "testing"
+
+func TestAblationHorizontalShape(t *testing.T) {
+	cfg := smallConfig()
+	// Size the store at ~4× one slice's EPC so k=1 pages heavily and
+	// k=4 does not.
+	rows, err := AblationHorizontal(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one, four := rows[0], rows[1]
+	if one.Partitions != 1 || four.Partitions != 4 {
+		t.Fatalf("partition order wrong: %+v", rows)
+	}
+	// Partitioning must eliminate (or at least decimate) paging.
+	if one.PageFaults == 0 {
+		t.Fatalf("k=1 never paged (DB %.1f MB); ablation vacuous", one.DBMB)
+	}
+	if four.PageFaults*10 > one.PageFaults {
+		t.Errorf("k=4 faults %d not ≪ k=1 faults %d", four.PageFaults, one.PageFaults)
+	}
+	// Registration gets cheaper per subscription when nothing pages.
+	if four.MicrosPerSub >= one.MicrosPerSub {
+		t.Errorf("k=4 registration (%f µs) not cheaper than k=1 (%f µs)",
+			four.MicrosPerSub, one.MicrosPerSub)
+	}
+	// Parallel matching makespan must not degrade.
+	if four.MatchMicros > one.MatchMicros*1.5 {
+		t.Errorf("k=4 match makespan %f µs much worse than k=1 %f µs",
+			four.MatchMicros, one.MatchMicros)
+	}
+}
+
+func TestAblationHorizontalValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := AblationHorizontal(cfg, []int{0}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package exp
+
+import "testing"
+
+func TestAblationSplitShape(t *testing.T) {
+	cfg := smallConfig()
+	rows, err := AblationSplit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != cfg.Fig8Subs/cfg.Fig8Step {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Pre-spill, both in-enclave configurations track the outside run.
+	if first.EPCRatio > 3 || first.SplitRatio > 3 {
+		t.Errorf("pre-spill ratios too high: %+v", first)
+	}
+	// Post-spill, hardware paging must hurt and the split engine must
+	// hurt strictly less — the point of the §6 optimisation.
+	if last.EPCRatio < 3 {
+		t.Errorf("post-spill EPC ratio too low (no knee reached): %+v", last)
+	}
+	if last.SplitRatio >= last.EPCRatio {
+		t.Errorf("split paging not cheaper than hardware paging: split %.2f× vs EPC %.2f×",
+			last.SplitRatio, last.EPCRatio)
+	}
+	if last.SplitFaults == 0 {
+		t.Error("split engine spilled nothing; ablation is vacuous")
+	}
+	if last.EPCFaults == 0 {
+		t.Error("hardware run spilled nothing; ablation is vacuous")
+	}
+	// Clean evictions skip resealing, so writebacks must not exceed
+	// faults by more than the dirty share allows.
+	if last.SplitWritebacks > last.SplitFaults*2 {
+		t.Errorf("writebacks (%d) implausibly exceed faults (%d)",
+			last.SplitWritebacks, last.SplitFaults)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DBMB < rows[i-1].DBMB {
+			t.Fatalf("DB shrank: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestAblationSplitValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Fig8Step = 0
+	if _, err := AblationSplit(cfg); err == nil {
+		t.Fatal("invalid step accepted")
+	}
+	cfg = smallConfig()
+	cfg.Fig8Step = cfg.Fig8Subs + 1
+	if _, err := AblationSplit(cfg); err == nil {
+		t.Fatal("step larger than total accepted")
+	}
+}

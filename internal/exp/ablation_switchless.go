@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/workload"
+)
+
+// SwitchlessRow is one configuration of the enclave-border ablation:
+// how publications reach the in-enclave matcher. The paper's §6 lists
+// both remedies for transition overhead — "message batching" and
+// "implementing message exchanges at the enclave border" — and this
+// ablation measures them side by side on the same engine.
+type SwitchlessRow struct {
+	// Mode is "ecall/1", "ecall/10", "ecall/100" (publications per
+	// enclave transition) or "switchless" (untrusted-memory ring, one
+	// transition total).
+	Mode string
+	// Micros is the simulated matching time per publication including
+	// delivery overhead (transitions or ring polls) and AES.
+	Micros float64
+	// TransitionShare is the fraction of cycles spent in EENTER/EEXIT.
+	TransitionShare float64
+	// Transitions is the absolute number of enclave round trips used
+	// to deliver the whole batch.
+	Transitions uint64
+}
+
+// AblationSwitchless measures in-enclave AES matching on e100a1 at the
+// largest configured size, delivering the publication batch through
+// per-message ecalls, batched ecalls, and the switchless ring.
+func AblationSwitchless(cfg Config) ([]SwitchlessRow, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.SpecByName("e100a1")
+	if err != nil {
+		return nil, err
+	}
+	subGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+600)
+	if err != nil {
+		return nil, err
+	}
+	pubGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+700)
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.Sizes[len(cfg.Sizes)-1]
+	pubs := pubGen.Publications(cfg.PubBatch)
+
+	run, err := newEngineRun(cfg, inAES, cfg.Seed+8)
+	if err != nil {
+		return nil, err
+	}
+	if err := run.register(subGen.Subscriptions(size)); err != nil {
+		return nil, err
+	}
+	headers := make([][]byte, 0, len(pubs))
+	for _, p := range pubs {
+		raw, err := pubsub.EncodeEventSpec(p)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := scrypto.Seal(run.sk, raw)
+		if err != nil {
+			return nil, err
+		}
+		headers = append(headers, enc)
+	}
+
+	// handle decrypts and matches one header inside the enclave — the
+	// identical work item in every delivery mode.
+	meter := run.engine.Accessor().Meter()
+	handle := func(header []byte) error {
+		meter.ChargeAES(len(header))
+		raw, err := scrypto.Open(run.sk, header)
+		if err != nil {
+			return err
+		}
+		hspec, err := pubsub.DecodeEventSpec(raw)
+		if err != nil {
+			return err
+		}
+		ev, err := hspec.Intern(run.engine.Schema())
+		if err != nil {
+			return err
+		}
+		run.scratch, err = run.engine.MatchAppend(ev, run.scratch[:0])
+		return err
+	}
+
+	var rows []SwitchlessRow
+	for _, batch := range []int{1, 10, 100} {
+		before := meter.C
+		for start := 0; start < len(headers); start += batch {
+			end := min(start+batch, len(headers))
+			chunk := headers[start:end]
+			err := run.enclave.Ecall(func() error {
+				for _, h := range chunk {
+					if err := handle(h); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		delta := meter.C.Sub(before)
+		rows = append(rows, SwitchlessRow{
+			Mode:            fmt.Sprintf("ecall/%d", batch),
+			Micros:          cfg.Cost.Micros(delta.Cycles) / float64(len(headers)),
+			TransitionShare: float64(delta.Transitions*cfg.Cost.EnclaveTransitionCycles) / float64(delta.Cycles),
+			Transitions:     delta.Transitions,
+		})
+	}
+
+	// Switchless: the host pushes ciphertext into the ring; the worker
+	// entered once and consumes until close.
+	ring, err := sgx.NewRing(64)
+	if err != nil {
+		return nil, err
+	}
+	pushErr := make(chan error, 1)
+	go func() {
+		defer ring.Close()
+		for _, h := range headers {
+			if err := ring.Push(h); err != nil {
+				pushErr <- err
+				return
+			}
+		}
+		pushErr <- nil
+	}()
+	before := meter.C
+	if err := run.enclave.ServeRing(ring, handle); err != nil {
+		return nil, err
+	}
+	if err := <-pushErr; err != nil {
+		return nil, err
+	}
+	delta := meter.C.Sub(before)
+	rows = append(rows, SwitchlessRow{
+		Mode:            "switchless",
+		Micros:          cfg.Cost.Micros(delta.Cycles) / float64(len(headers)),
+		TransitionShare: float64(delta.Transitions*cfg.Cost.EnclaveTransitionCycles) / float64(delta.Cycles),
+		Transitions:     delta.Transitions,
+	})
+	return rows, nil
+}

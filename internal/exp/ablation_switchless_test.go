@@ -1,0 +1,43 @@
+package exp
+
+import "testing"
+
+func TestAblationSwitchlessShape(t *testing.T) {
+	rows, err := AblationSwitchless(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byMode := make(map[string]SwitchlessRow, len(rows))
+	for _, r := range rows {
+		if r.Micros <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+		byMode[r.Mode] = r
+	}
+	one, ten, switchless := byMode["ecall/1"], byMode["ecall/10"], byMode["switchless"]
+	// Transition accounting: per-message ecalls pay one transition per
+	// publication; the ring pays exactly one in total.
+	if one.Transitions < ten.Transitions || ten.Transitions <= switchless.Transitions {
+		t.Errorf("transition ordering wrong: %+v", rows)
+	}
+	if switchless.Transitions != 1 {
+		t.Errorf("switchless used %d transitions, want 1", switchless.Transitions)
+	}
+	// The transition share must collapse as delivery amortises.
+	if one.TransitionShare <= ten.TransitionShare {
+		t.Errorf("batching did not reduce transition share: %+v", rows)
+	}
+	if switchless.TransitionShare >= one.TransitionShare {
+		t.Errorf("switchless share (%f) not below ecall/1 (%f)",
+			switchless.TransitionShare, one.TransitionShare)
+	}
+	// On a small database the transition dominates, so switchless must
+	// also win on absolute time.
+	if switchless.Micros >= one.Micros {
+		t.Errorf("switchless (%f µs) not cheaper than ecall/1 (%f µs)",
+			switchless.Micros, one.Micros)
+	}
+}

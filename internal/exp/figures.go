@@ -1,0 +1,356 @@
+package exp
+
+import (
+	"fmt"
+
+	"scbr/internal/aspe"
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+	"scbr/internal/workload"
+)
+
+// Fig5Row is one x-position of Figure 5: the four configurations'
+// matching time at a database size (workload e100a1).
+type Fig5Row struct {
+	Subs     int
+	InAES    float64 // µs per matching operation
+	InPlain  float64
+	OutAES   float64
+	OutPlain float64
+}
+
+// Figure5 reproduces "Overhead of encryption and enclave".
+func Figure5(cfg Config) ([]Fig5Row, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.SpecByName("e100a1")
+	if err != nil {
+		return nil, err
+	}
+	subGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	pubGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+200)
+	if err != nil {
+		return nil, err
+	}
+	pubs := pubGen.Publications(cfg.PubBatch)
+
+	kinds := []engineKind{inAES, inPlain, outAES, outPlain}
+	runs := make(map[engineKind]*engineRun, len(kinds))
+	for _, k := range kinds {
+		run, err := newEngineRun(cfg, k, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := run.preparePublications(pubs); err != nil {
+			return nil, err
+		}
+		runs[k] = run
+	}
+
+	rows := make([]Fig5Row, 0, len(cfg.Sizes))
+	registered := 0
+	for _, size := range cfg.Sizes {
+		batch := subGen.Subscriptions(size - registered)
+		registered = size
+		row := Fig5Row{Subs: size}
+		for _, k := range kinds {
+			if err := runs[k].register(batch); err != nil {
+				return nil, err
+			}
+			micros, _, err := runs[k].matchBatch()
+			if err != nil {
+				return nil, err
+			}
+			switch k {
+			case inAES:
+				row.InAES = micros
+			case inPlain:
+				row.InPlain = micros
+			case outAES:
+				row.OutAES = micros
+			case outPlain:
+				row.OutPlain = micros
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Row is one x-position of Figure 6: per-workload plaintext
+// matching time outside enclaves.
+type Fig6Row struct {
+	Subs   int
+	Micros map[string]float64 // workload name → µs/op
+}
+
+// Figure6 reproduces "Performance of the containment-based algorithm
+// applied to the different workloads in plaintext, outside enclaves".
+func Figure6(cfg Config) ([]Fig6Row, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	type wl struct {
+		name string
+		gen  *workload.Generator
+		run  *engineRun
+	}
+	var wls []wl
+	for i, spec := range workload.Table1() {
+		subGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+int64(i)*17+100)
+		if err != nil {
+			return nil, err
+		}
+		pubGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+int64(i)*17+200)
+		if err != nil {
+			return nil, err
+		}
+		run, err := newEngineRun(cfg, outPlain, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := run.preparePublications(pubGen.Publications(cfg.PubBatch)); err != nil {
+			return nil, err
+		}
+		wls = append(wls, wl{name: spec.Name, gen: subGen, run: run})
+	}
+	rows := make([]Fig6Row, 0, len(cfg.Sizes))
+	registered := 0
+	for _, size := range cfg.Sizes {
+		row := Fig6Row{Subs: size, Micros: make(map[string]float64, len(wls))}
+		for _, w := range wls {
+			if err := w.run.register(w.gen.Subscriptions(size - registered)); err != nil {
+				return nil, err
+			}
+			micros, _, err := w.run.matchBatch()
+			if err != nil {
+				return nil, err
+			}
+			row.Micros[w.name] = micros
+		}
+		registered = size
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7Row is one x-position of one Figure 7 panel.
+type Fig7Row struct {
+	Subs     int
+	OutASPE  float64
+	InAES    float64
+	OutAES   float64
+	MissRate float64 // LLC miss rate of the Out AES run
+}
+
+// Figure7 reproduces one panel of "Comparison of different approaches
+// with varying workloads" for the named workload.
+func Figure7(cfg Config, name string) ([]Fig7Row, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	subGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+300)
+	if err != nil {
+		return nil, err
+	}
+	pubGen, err := workload.NewGenerator(spec, rt.qs, cfg.Seed+400)
+	if err != nil {
+		return nil, err
+	}
+	pubs := pubGen.Publications(cfg.PubBatch)
+
+	inRun, err := newEngineRun(cfg, inAES, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	outRun, err := newEngineRun(cfg, outAES, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range []*engineRun{inRun, outRun} {
+		if err := r.preparePublications(pubs); err != nil {
+			return nil, err
+		}
+	}
+
+	// ASPE setup: fixed attribute universe over the workload's merged
+	// arity, scales calibrated from a publication sample.
+	aspeMatcher, aspeEvents, err := buildASPE(cfg, spec, rt, pubs)
+	if err != nil {
+		return nil, err
+	}
+	subSpecs := func(n int) ([]pubsub.SubscriptionSpec, error) {
+		return subGen.Subscriptions(n), nil
+	}
+
+	rows := make([]Fig7Row, 0, len(cfg.Sizes))
+	registered := 0
+	for _, size := range cfg.Sizes {
+		batch, err := subSpecs(size - registered)
+		if err != nil {
+			return nil, err
+		}
+		registered = size
+		if err := inRun.register(batch); err != nil {
+			return nil, err
+		}
+		if err := outRun.register(batch); err != nil {
+			return nil, err
+		}
+		if err := aspeMatcher.register(batch); err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Subs: size}
+		if row.InAES, _, err = inRun.matchBatch(); err != nil {
+			return nil, err
+		}
+		var delta simmem.Counters
+		if row.OutAES, delta, err = outRun.matchBatch(); err != nil {
+			return nil, err
+		}
+		row.MissRate = delta.MissRate()
+		if row.OutASPE, err = aspeMatcher.matchBatch(cfg, size, aspeEvents); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure7All runs every panel.
+func Figure7All(cfg Config) (map[string][]Fig7Row, error) {
+	out := make(map[string][]Fig7Row, 9)
+	for _, spec := range workload.Table1() {
+		rows, err := Figure7(cfg, spec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("exp: figure 7 %s: %w", spec.Name, err)
+		}
+		out[spec.Name] = rows
+	}
+	return out, nil
+}
+
+// aspeRun wraps the ASPE baseline for the harness.
+type aspeRun struct {
+	schema  *pubsub.Schema
+	matcher *aspe.Matcher
+}
+
+// buildASPE constructs the scheme over the union of attribute names
+// the workload can produce and pre-encrypts the publication batch.
+func buildASPE(cfg Config, spec workload.Spec, rt *runtime, pubs []pubsub.EventSpec) (*aspeRun, []*pubsub.Event, error) {
+	schema := pubsub.NewSchema()
+	// Collect the attribute universe from a generous sample plus the
+	// publication batch itself.
+	seen := make(map[pubsub.AttrID]bool)
+	var ids []pubsub.AttrID
+	addNames := func(names []string) error {
+		for _, n := range names {
+			id, err := schema.Intern(n)
+			if err != nil {
+				return err
+			}
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		return nil
+	}
+	base := []string{"symbol", "open", "high", "low", "close", "volume", "day", "month", "year", "adjclose", "change"}
+	if spec.AttrFactor == 1 {
+		if err := addNames(base); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		for i := 1; i <= spec.AttrFactor; i++ {
+			withSuffix := make([]string, len(base))
+			for j, b := range base {
+				withSuffix[j] = fmt.Sprintf("%s_%d", b, i)
+			}
+			if err := addNames(withSuffix); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	scheme, err := aspe.NewScheme(schema, ids, cfg.Seed+500)
+	if err != nil {
+		return nil, nil, err
+	}
+	events := make([]*pubsub.Event, 0, len(pubs))
+	for _, p := range pubs {
+		ev, err := p.Intern(schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		events = append(events, ev)
+	}
+	sample := events
+	if len(sample) > 200 {
+		sample = sample[:200]
+	}
+	if err := scheme.CalibrateScales(sample); err != nil {
+		return nil, nil, err
+	}
+	acc := simmem.NewPlainAccessor(cfg.Cost)
+	matcher := aspe.NewMatcher(scheme, acc, aspe.Options{Prefilter: true})
+	return &aspeRun{schema: schema, matcher: matcher}, events, nil
+}
+
+func (a *aspeRun) register(specs []pubsub.SubscriptionSpec) error {
+	for _, s := range specs {
+		sub, err := pubsub.Normalize(a.schema, s)
+		if err != nil {
+			return err
+		}
+		if _, err := a.matcher.Register(sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchBatch measures only the matching step (points pre-encrypted,
+// as in the paper: "we measured only the matching step, and not the
+// encryption or decryption of ASPE messages").
+func (a *aspeRun) matchBatch(cfg Config, size int, events []*pubsub.Event) (float64, error) {
+	nPubs := cfg.PubBatch
+	if budget := cfg.ASPEPubBudget / max(size, 1); budget < nPubs {
+		nPubs = max(5, budget)
+	}
+	if nPubs > len(events) {
+		nPubs = len(events)
+	}
+	type encPub struct {
+		point  []float64
+		filter *aspe.Bloom
+	}
+	encs := make([]encPub, 0, nPubs)
+	for _, ev := range events[:nPubs] {
+		point, filter, err := a.matcher.EncryptPublication(ev)
+		if err != nil {
+			return 0, err
+		}
+		encs = append(encs, encPub{point: point, filter: filter})
+	}
+	meter := a.matcher.Meter()
+	before := meter.C
+	for _, e := range encs {
+		if _, err := a.matcher.MatchEncrypted(e.point, e.filter); err != nil {
+			return 0, err
+		}
+	}
+	delta := meter.C.Sub(before)
+	return cfg.Cost.Micros(delta.Cycles) / float64(nPubs), nil
+}

@@ -1,0 +1,162 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	s := []Series{{
+		Name: "line",
+		X:    []float64{1, 2, 3, 4},
+		Y:    []float64{1, 2, 3, 4},
+	}}
+	out, err := Render(s, Options{Width: 20, Height: 10, Title: "t", XLabel: "x", YLabel: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t\n") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* line") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// A monotonically increasing series puts the first marker row above
+	// the last: find the topmost and bottommost marker columns.
+	var topCol, bottomCol = -1, -1
+	for _, ln := range lines {
+		if i := strings.IndexByte(ln, '*'); i >= 0 {
+			if topCol == -1 {
+				topCol = i
+			}
+			bottomCol = i
+		}
+	}
+	if topCol == -1 {
+		t.Fatal("no markers rendered")
+	}
+	if topCol <= bottomCol {
+		t.Errorf("increasing series renders top col %d ≤ bottom col %d", topCol, bottomCol)
+	}
+}
+
+func TestRenderEmptyFails(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+	if _, err := Render([]Series{{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}}, Options{}); err == nil {
+		t.Fatal("all-NaN plot accepted")
+	}
+	// On a log axis, non-positive values are unplottable.
+	if _, err := Render([]Series{{Name: "neg", X: []float64{1}, Y: []float64{-5}}}, Options{LogY: true}); err == nil {
+		t.Fatal("negative-on-log plot accepted")
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{1, 1}},
+		{Name: "b", X: []float64{1, 2}, Y: []float64{2, 2}},
+	}
+	out, err := Render(s, Options{Width: 10, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateRange(t *testing.T) {
+	// A single point must render without dividing by zero.
+	out, err := Render([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not rendered")
+	}
+	// Same on log axes.
+	if _, err := Render([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{LogX: true, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAxisUnitProperty: unit() maps every observed value into [0,1],
+// monotonically, on both axis kinds.
+func TestAxisUnitProperty(t *testing.T) {
+	property := func(raw []float64) bool {
+		for _, log := range []bool{false, true} {
+			a := newAxis(log)
+			var vals []float64
+			for _, v := range raw {
+				v = math.Abs(v)
+				if !a.ok(v) {
+					continue
+				}
+				a.observe(v)
+				vals = append(vals, v)
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			a.finish()
+			for _, v := range vals {
+				u := a.unit(v)
+				if u < -1e-9 || u > 1+1e-9 || math.IsNaN(u) {
+					return false
+				}
+			}
+			for i := 1; i < len(vals); i++ {
+				lo, hi := vals[i-1], vals[i]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if a.unit(lo) > a.unit(hi)+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTableAndFloat(t *testing.T) {
+	csv := "subs,out_us,name\n1000,4.5,alpha\n2000,9.25,beta\n"
+	tbl, err := ReadTable(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := tbl.Float("subs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 || subs[0] != 1000 || subs[1] != 2000 {
+		t.Fatalf("subs = %v", subs)
+	}
+	if _, err := tbl.Float("name"); err == nil {
+		t.Fatal("textual column parsed as float")
+	}
+	if _, err := tbl.Float("absent"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	got := tbl.NumericColumns()
+	if len(got) != 2 || got[0] != "subs" || got[1] != "out_us" {
+		t.Fatalf("NumericColumns = %v", got)
+	}
+}
+
+func TestReadTableRejectsHeaderOnly(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("header-only csv accepted")
+	}
+	if _, err := ReadTable(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+}

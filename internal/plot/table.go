@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Table is a parsed scbr-bench CSV: one header row naming columns,
+// then data rows. Columns may be numeric (timings, sizes) or textual
+// (workload names, modes); Float fails only when a requested column
+// is non-numeric.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// ReadTable parses a CSV with a header row.
+func ReadTable(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("plot: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("plot: csv has %d rows, need a header and data", len(records))
+	}
+	return &Table{Header: records[0], Rows: records[1:]}, nil
+}
+
+// index finds a column by name.
+func (t *Table) index(name string) (int, error) {
+	for i, h := range t.Header {
+		if h == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("plot: no column %q (have %v)", name, t.Header)
+}
+
+// Float extracts a column as float64.
+func (t *Table) Float(name string) ([]float64, error) {
+	col, err := t.index(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(t.Rows))
+	for i, row := range t.Rows {
+		if col >= len(row) {
+			return nil, fmt.Errorf("plot: row %d has %d cells, column %q is #%d", i+1, len(row), name, col)
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plot: row %d column %q: %w", i+1, name, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// NumericColumns returns the names of every column whose cells all
+// parse as numbers — the default set a plot renders against x.
+func (t *Table) NumericColumns() []string {
+	var out []string
+column:
+	for i, name := range t.Header {
+		for _, row := range t.Rows {
+			if i >= len(row) {
+				continue column
+			}
+			if _, err := strconv.ParseFloat(row[i], 64); err != nil {
+				continue column
+			}
+		}
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+package pubsub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire formats. Publishers and clients serialise events and
+// subscription specs with attribute *names* (they cannot know the
+// engine's intern table); the engine interns at its trusted boundary
+// after decryption. All integers are little-endian.
+
+// ErrCodec indicates a malformed serialised value.
+var ErrCodec = errors.New("pubsub: malformed encoding")
+
+// NamedValue is one attribute of a wire-level event.
+type NamedValue struct {
+	Name  string
+	Value Value
+}
+
+// EventSpec is the wire-level publication header.
+type EventSpec struct {
+	Attrs []NamedValue
+}
+
+// EncodeEventSpec serialises a header for encryption and transport.
+func EncodeEventSpec(spec EventSpec) ([]byte, error) {
+	if len(spec.Attrs) > math.MaxUint16 {
+		return nil, fmt.Errorf("pubsub: too many attributes (%d)", len(spec.Attrs))
+	}
+	buf := make([]byte, 2, 32*len(spec.Attrs)+2)
+	binary.LittleEndian.PutUint16(buf, uint16(len(spec.Attrs)))
+	for _, a := range spec.Attrs {
+		var err error
+		buf, err = appendString8(buf, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf, err = appendValue(buf, a.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeEventSpec parses a header produced by EncodeEventSpec.
+func DecodeEventSpec(raw []byte) (EventSpec, error) {
+	var spec EventSpec
+	r := reader{buf: raw}
+	n, err := r.uint16()
+	if err != nil {
+		return spec, err
+	}
+	spec.Attrs = make([]NamedValue, 0, n)
+	for i := 0; i < int(n); i++ {
+		name, err := r.string8()
+		if err != nil {
+			return spec, err
+		}
+		v, err := r.value()
+		if err != nil {
+			return spec, err
+		}
+		spec.Attrs = append(spec.Attrs, NamedValue{Name: name, Value: v})
+	}
+	if !r.done() {
+		return spec, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.remaining())
+	}
+	return spec, nil
+}
+
+// Intern converts a wire event into the engine's Event form.
+func (spec EventSpec) Intern(schema *Schema) (*Event, error) {
+	attrs := make(map[string]Value, len(spec.Attrs))
+	for _, a := range spec.Attrs {
+		attrs[a.Name] = a.Value
+	}
+	return NewEvent(schema, attrs)
+}
+
+// EncodeSubscriptionSpec serialises a subscription spec for the
+// client→publisher and publisher→engine legs.
+func EncodeSubscriptionSpec(spec SubscriptionSpec) ([]byte, error) {
+	if len(spec.Predicates) > math.MaxUint16 {
+		return nil, fmt.Errorf("pubsub: too many predicates (%d)", len(spec.Predicates))
+	}
+	buf := make([]byte, 2, 32*len(spec.Predicates)+2)
+	binary.LittleEndian.PutUint16(buf, uint16(len(spec.Predicates)))
+	for _, p := range spec.Predicates {
+		var err error
+		buf, err = appendString8(buf, p.Attr)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, byte(p.Op))
+		buf, err = appendValue(buf, p.Value)
+		if err != nil {
+			return nil, err
+		}
+		if p.Op == OpBetween {
+			buf, err = appendValue(buf, p.Hi)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// DecodeSubscriptionSpec parses EncodeSubscriptionSpec output.
+func DecodeSubscriptionSpec(raw []byte) (SubscriptionSpec, error) {
+	var spec SubscriptionSpec
+	r := reader{buf: raw}
+	n, err := r.uint16()
+	if err != nil {
+		return spec, err
+	}
+	spec.Predicates = make([]Predicate, 0, n)
+	for i := 0; i < int(n); i++ {
+		var p Predicate
+		if p.Attr, err = r.string8(); err != nil {
+			return spec, err
+		}
+		op, err := r.byte()
+		if err != nil {
+			return spec, err
+		}
+		p.Op = Op(op)
+		if p.Value, err = r.value(); err != nil {
+			return spec, err
+		}
+		if p.Op == OpBetween {
+			if p.Hi, err = r.value(); err != nil {
+				return spec, err
+			}
+		}
+		spec.Predicates = append(spec.Predicates, p)
+	}
+	if !r.done() {
+		return spec, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.remaining())
+	}
+	return spec, nil
+}
+
+// Compact constraint encoding — the form stored in enclave arena
+// records. Layout per constraint:
+//
+//	id u16 | flags u8 | payload
+//
+// flags: bit0 Str, bit1 HasLo, bit2 HasHi, bit3 LoIncl, bit4 HiIncl.
+// payload: string (u16 len + bytes) when Str, else Lo f64 when HasLo
+// followed by Hi f64 when HasHi.
+const (
+	cfStr uint8 = 1 << iota
+	cfHasLo
+	cfHasHi
+	cfLoIncl
+	cfHiIncl
+	cfPrefix
+)
+
+// AppendConstraints serialises a normalised subscription's constraints.
+func AppendConstraints(buf []byte, cs []Constraint) ([]byte, error) {
+	if len(cs) > math.MaxUint16 {
+		return nil, fmt.Errorf("pubsub: too many constraints (%d)", len(cs))
+	}
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(cs)))
+	buf = append(buf, u16[:]...)
+	for _, c := range cs {
+		binary.LittleEndian.PutUint16(u16[:], uint16(c.ID))
+		buf = append(buf, u16[:]...)
+		var flags uint8
+		if c.Str {
+			flags |= cfStr
+		}
+		if c.Prefix {
+			flags |= cfPrefix
+		}
+		if c.HasLo {
+			flags |= cfHasLo
+		}
+		if c.HasHi {
+			flags |= cfHasHi
+		}
+		if c.LoIncl {
+			flags |= cfLoIncl
+		}
+		if c.HiIncl {
+			flags |= cfHiIncl
+		}
+		buf = append(buf, flags)
+		if c.Str {
+			if len(c.EqS) > math.MaxUint16 {
+				return nil, fmt.Errorf("pubsub: string constraint too long (%d)", len(c.EqS))
+			}
+			binary.LittleEndian.PutUint16(u16[:], uint16(len(c.EqS)))
+			buf = append(buf, u16[:]...)
+			buf = append(buf, c.EqS...)
+			continue
+		}
+		var f64 [8]byte
+		if c.HasLo {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(c.Lo))
+			buf = append(buf, f64[:]...)
+		}
+		if c.HasHi {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(c.Hi))
+			buf = append(buf, f64[:]...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeConstraints parses AppendConstraints output and returns the
+// constraints plus the number of bytes consumed.
+func DecodeConstraints(raw []byte) ([]Constraint, int, error) {
+	return DecodeConstraintsInto(nil, raw)
+}
+
+// DecodeConstraintsInto is DecodeConstraints reusing dst's backing
+// array; the matching engine calls it on every node visit, so avoiding
+// the per-visit allocation matters.
+func DecodeConstraintsInto(dst []Constraint, raw []byte) ([]Constraint, int, error) {
+	r := reader{buf: raw}
+	n, err := r.uint16()
+	if err != nil {
+		return nil, 0, err
+	}
+	cs := dst[:0]
+	if cap(cs) < int(n) {
+		cs = make([]Constraint, 0, n)
+	}
+	for i := 0; i < int(n); i++ {
+		id, err := r.uint16()
+		if err != nil {
+			return nil, 0, err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return nil, 0, err
+		}
+		c := Constraint{
+			ID:     AttrID(id),
+			Str:    flags&cfStr != 0,
+			Prefix: flags&cfPrefix != 0,
+			HasLo:  flags&cfHasLo != 0,
+			HasHi:  flags&cfHasHi != 0,
+			LoIncl: flags&cfLoIncl != 0,
+			HiIncl: flags&cfHiIncl != 0,
+		}
+		if c.Str {
+			if c.EqS, err = r.string16(); err != nil {
+				return nil, 0, err
+			}
+		} else {
+			if c.HasLo {
+				if c.Lo, err = r.float64(); err != nil {
+					return nil, 0, err
+				}
+			}
+			if c.HasHi {
+				if c.Hi, err = r.float64(); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		cs = append(cs, c)
+	}
+	return cs, r.pos, nil
+}
+
+// value kind tags on the wire.
+const (
+	wireInt    = 1
+	wireFloat  = 2
+	wireString = 3
+)
+
+func appendValue(buf []byte, v Value) ([]byte, error) {
+	var u64 [8]byte
+	switch v.Kind {
+	case KindInt:
+		buf = append(buf, wireInt)
+		binary.LittleEndian.PutUint64(u64[:], uint64(v.I))
+		return append(buf, u64[:]...), nil
+	case KindFloat:
+		buf = append(buf, wireFloat)
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v.F))
+		return append(buf, u64[:]...), nil
+	case KindString:
+		if len(v.S) > math.MaxUint16 {
+			return nil, fmt.Errorf("pubsub: string value too long (%d)", len(v.S))
+		}
+		buf = append(buf, wireString)
+		var u16 [2]byte
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(v.S)))
+		buf = append(buf, u16[:]...)
+		return append(buf, v.S...), nil
+	default:
+		return nil, fmt.Errorf("pubsub: cannot encode invalid value kind %d", v.Kind)
+	}
+}
+
+func appendString8(buf []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint8 {
+		return nil, fmt.Errorf("pubsub: attribute name too long (%d)", len(s))
+	}
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...), nil
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.buf) {
+		return fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrCodec, n, r.pos, len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *reader) float64() (float64, error) {
+	u, err := r.uint64()
+	return math.Float64frombits(u), err
+}
+
+func (r *reader) string8() (string, error) {
+	n, err := r.byte()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) string16() (string, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) value() (Value, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch tag {
+	case wireInt:
+		u, err := r.uint64()
+		return Value{Kind: KindInt, I: int64(u)}, err
+	case wireFloat:
+		f, err := r.float64()
+		return Value{Kind: KindFloat, F: f}, err
+	case wireString:
+		s, err := r.string16()
+		return Value{Kind: KindString, S: s}, err
+	default:
+		return Value{}, fmt.Errorf("%w: unknown value tag %d", ErrCodec, tag)
+	}
+}
+
+func (r *reader) done() bool     { return r.pos == len(r.buf) }
+func (r *reader) remaining() int { return len(r.buf) - r.pos }

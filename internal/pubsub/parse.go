@@ -1,0 +1,150 @@
+package pubsub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a human-readable subscription expression into a
+// SubscriptionSpec. The grammar mirrors the paper's examples
+// ('symbol = "HAL" ∧ price < 50'):
+//
+//	expr      := predicate { ("," | "&&" | "and") predicate }
+//	predicate := attr op value | attr "in" "[" value "," value "]"
+//	op        := "=" | "<" | "<=" | ">" | ">="
+//	value     := number | string (optionally "quoted")
+//
+// Examples:
+//
+//	symbol = HAL, price < 50
+//	price in [10, 50] && volume >= 1000
+func ParseSpec(input string) (SubscriptionSpec, error) {
+	var spec SubscriptionSpec
+	normalised := strings.NewReplacer("&&", ",", " and ", ",", " AND ", ",", "∧", ",").Replace(input)
+	for _, part := range strings.Split(normalised, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// "in [a, b]" ranges contain a comma that the split above broke;
+		// re-join by detecting a dangling '['.
+		if open := strings.Count(part, "["); open > strings.Count(part, "]") {
+			return spec, fmt.Errorf("pubsub: unterminated range in %q (write 'attr in [lo..hi]' or 'attr in [lo;hi]')", input)
+		}
+		pred, err := parsePredicate(part)
+		if err != nil {
+			return spec, err
+		}
+		spec.Predicates = append(spec.Predicates, pred)
+	}
+	if len(spec.Predicates) == 0 {
+		return spec, ErrEmptySubscription
+	}
+	return spec, nil
+}
+
+// indexFold finds token in s with ASCII case folding, returning a byte
+// offset valid in s itself. strings.ToLower would be wrong here: it
+// re-encodes invalid UTF-8 and changes byte offsets.
+func indexFold(s, token string) int {
+	n := len(token)
+	for i := 0; i+n <= len(s); i++ {
+		if strings.EqualFold(s[i:i+n], token) {
+			return i
+		}
+	}
+	return -1
+}
+
+func parsePredicate(s string) (Predicate, error) {
+	// Prefix form: attr prefix value.
+	if idx := indexFold(s, " prefix "); idx > 0 {
+		attr := strings.TrimSpace(s[:idx])
+		val, err := parseValue(strings.TrimSpace(s[idx+8:]), OpEq)
+		if err != nil {
+			return Predicate{}, err
+		}
+		if val.Kind != KindString {
+			return Predicate{}, fmt.Errorf("pubsub: prefix operand for %q must be a string", attr)
+		}
+		return Predicate{Attr: attr, Op: OpPrefix, Value: val}, nil
+	}
+	// Range form: attr in [lo..hi] (also accepts ';' as separator).
+	if idx := indexFold(s, " in "); idx > 0 {
+		attr := strings.TrimSpace(s[:idx])
+		rest := strings.TrimSpace(s[idx+4:])
+		if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+			return Predicate{}, fmt.Errorf("pubsub: range for %q must be like [lo..hi]", attr)
+		}
+		body := rest[1 : len(rest)-1]
+		var loStr, hiStr string
+		switch {
+		case strings.Contains(body, ".."):
+			parts := strings.SplitN(body, "..", 2)
+			loStr, hiStr = parts[0], parts[1]
+		case strings.Contains(body, ";"):
+			parts := strings.SplitN(body, ";", 2)
+			loStr, hiStr = parts[0], parts[1]
+		default:
+			return Predicate{}, fmt.Errorf("pubsub: range bounds for %q must be separated by '..' or ';'", attr)
+		}
+		lo, err := parseNumber(loStr)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("pubsub: range low bound: %w", err)
+		}
+		hi, err := parseNumber(hiStr)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("pubsub: range high bound: %w", err)
+		}
+		return Predicate{Attr: attr, Op: OpBetween, Value: lo, Hi: hi}, nil
+	}
+
+	for _, cand := range []struct {
+		token string
+		op    Op
+	}{
+		{"<=", OpLe}, {">=", OpGe}, {"<", OpLt}, {">", OpGt}, {"=", OpEq},
+	} {
+		idx := strings.Index(s, cand.token)
+		if idx <= 0 {
+			continue
+		}
+		attr := strings.TrimSpace(s[:idx])
+		valStr := strings.TrimSpace(s[idx+len(cand.token):])
+		if attr == "" || valStr == "" {
+			return Predicate{}, fmt.Errorf("pubsub: malformed predicate %q", s)
+		}
+		val, err := parseValue(valStr, cand.op)
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Attr: attr, Op: cand.op, Value: val}, nil
+	}
+	return Predicate{}, fmt.Errorf("pubsub: no operator in predicate %q", s)
+}
+
+func parseValue(s string, op Op) (Value, error) {
+	if strings.HasPrefix(s, `"`) {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("pubsub: bad quoted string %s: %w", s, err)
+		}
+		return Str(unq), nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(v), nil
+	}
+	if op != OpEq {
+		return Value{}, fmt.Errorf("pubsub: %q needs a numeric value for %s", s, op)
+	}
+	return Str(s), nil
+}
+
+func parseNumber(s string) (Value, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("pubsub: %q is not a number", s)
+	}
+	return Float(v), nil
+}

@@ -1,0 +1,86 @@
+package pubsub
+
+import "testing"
+
+func TestParseSpecPaperExample(t *testing.T) {
+	spec, err := ParseSpec(`symbol = "HAL", price < 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Predicates) != 2 {
+		t.Fatalf("predicates = %d", len(spec.Predicates))
+	}
+	p0, p1 := spec.Predicates[0], spec.Predicates[1]
+	if p0.Attr != "symbol" || p0.Op != OpEq || p0.Value.S != "HAL" {
+		t.Fatalf("p0 = %+v", p0)
+	}
+	if p1.Attr != "price" || p1.Op != OpLt || p1.Value.F != 50 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+}
+
+func TestParseSpecOperatorsAndSeparators(t *testing.T) {
+	spec, err := ParseSpec("a >= 1 && b <= 2 and c > 3, d < 4, e = sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpGe, OpLe, OpGt, OpLt, OpEq}
+	if len(spec.Predicates) != len(wantOps) {
+		t.Fatalf("predicates = %v", spec.Predicates)
+	}
+	for i, p := range spec.Predicates {
+		if p.Op != wantOps[i] {
+			t.Fatalf("pred %d op = %v, want %v", i, p.Op, wantOps[i])
+		}
+	}
+	// Bare string only valid for equality.
+	if spec.Predicates[4].Value.Kind != KindString {
+		t.Fatalf("bare string not parsed: %+v", spec.Predicates[4])
+	}
+}
+
+func TestParseSpecRange(t *testing.T) {
+	for _, expr := range []string{"price in [10..50]", "price in [10;50]", "price IN [10 .. 50]"} {
+		spec, err := ParseSpec(expr)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		p := spec.Predicates[0]
+		if p.Op != OpBetween || p.Value.F != 10 || p.Hi.F != 50 {
+			t.Fatalf("%q parsed to %+v", expr, p)
+		}
+	}
+}
+
+func TestParseSpecNormalises(t *testing.T) {
+	spec, err := ParseSpec("price in [10..50], symbol = HAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Normalize(NewSchema(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Constraints) != 2 {
+		t.Fatalf("constraints = %+v", sub.Constraints)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, expr := range []string{
+		"",
+		"   ",
+		"price",
+		"< 50",
+		"price <",
+		"price < fifty",
+		"price in [10, 50]", // comma inside brackets unsupported; '..' required
+		"price in 10..50",
+		"price in [10..]",
+		`symbol = "unterminated`,
+	} {
+		if _, err := ParseSpec(expr); err == nil {
+			t.Errorf("%q parsed without error", expr)
+		}
+	}
+}

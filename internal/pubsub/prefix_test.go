@@ -1,0 +1,182 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func prefixSub(t *testing.T, schema *Schema, preds ...Predicate) *Subscription {
+	t.Helper()
+	sub, err := Normalize(schema, SubscriptionSpec{Predicates: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func TestPrefixMatching(t *testing.T) {
+	schema := NewSchema()
+	sub := prefixSub(t, schema, Predicate{Attr: "symbol", Op: OpPrefix, Value: Str("HA")})
+	cases := []struct {
+		value string
+		want  bool
+	}{
+		{"HAL", true},
+		{"HA", true},
+		{"HAS", true},
+		{"H", false},
+		{"IBM", false},
+		{"", false},
+	}
+	for _, tc := range cases {
+		ev, err := NewEvent(schema, map[string]Value{"symbol": Str(tc.value)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sub.Matches(ev); got != tc.want {
+			t.Errorf("prefix HA vs %q = %v, want %v", tc.value, got, tc.want)
+		}
+	}
+	// Numeric values never satisfy string prefixes.
+	ev, err := NewEvent(schema, map[string]Value{"symbol": Float(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Matches(ev) {
+		t.Error("numeric value satisfied a prefix constraint")
+	}
+}
+
+func TestPrefixCovering(t *testing.T) {
+	schema := NewSchema()
+	pHA := prefixSub(t, schema, Predicate{Attr: "s", Op: OpPrefix, Value: Str("HA")})
+	pHAL := prefixSub(t, schema, Predicate{Attr: "s", Op: OpPrefix, Value: Str("HAL")})
+	eqHAL9000 := prefixSub(t, schema, Predicate{Attr: "s", Op: OpEq, Value: Str("HAL9000")})
+	eqIBM := prefixSub(t, schema, Predicate{Attr: "s", Op: OpEq, Value: Str("IBM")})
+
+	if !pHA.Covers(pHAL) || pHAL.Covers(pHA) {
+		t.Error("prefix/prefix covering wrong")
+	}
+	if !pHA.Covers(eqHAL9000) || !pHAL.Covers(eqHAL9000) {
+		t.Error("prefix must cover extending equalities")
+	}
+	if pHA.Covers(eqIBM) {
+		t.Error("prefix covered non-extending equality")
+	}
+	if eqHAL9000.Covers(pHAL) {
+		t.Error("equality covered an infinite prefix set")
+	}
+	if !pHA.Covers(pHA) {
+		t.Error("prefix covering not reflexive")
+	}
+}
+
+func TestPrefixIntersection(t *testing.T) {
+	schema := NewSchema()
+	// prefix ∧ longer prefix → longer prefix.
+	sub := prefixSub(t, schema,
+		Predicate{Attr: "s", Op: OpPrefix, Value: Str("HA")},
+		Predicate{Attr: "s", Op: OpPrefix, Value: Str("HAL")})
+	if len(sub.Constraints) != 1 || !sub.Constraints[0].Prefix || sub.Constraints[0].EqS != "HAL" {
+		t.Fatalf("prefix∧prefix = %+v", sub.Constraints)
+	}
+	// prefix ∧ extending equality → equality.
+	sub = prefixSub(t, schema,
+		Predicate{Attr: "s", Op: OpPrefix, Value: Str("HA")},
+		Predicate{Attr: "s", Op: OpEq, Value: Str("HAL")})
+	if sub.Constraints[0].Prefix || sub.Constraints[0].EqS != "HAL" {
+		t.Fatalf("prefix∧eq = %+v", sub.Constraints)
+	}
+	// Contradictions.
+	for _, preds := range [][]Predicate{
+		{{Attr: "s", Op: OpPrefix, Value: Str("HA")}, {Attr: "s", Op: OpEq, Value: Str("IBM")}},
+		{{Attr: "s", Op: OpPrefix, Value: Str("HA")}, {Attr: "s", Op: OpPrefix, Value: Str("IB")}},
+		{{Attr: "s", Op: OpPrefix, Value: Str("HA")}, {Attr: "s", Op: OpGt, Value: Float(1)}},
+		{{Attr: "s", Op: OpPrefix, Value: Float(1)}},
+	} {
+		if _, err := Normalize(schema, SubscriptionSpec{Predicates: preds}); err == nil {
+			t.Errorf("contradictory/invalid prefix spec accepted: %v", preds)
+		}
+	}
+}
+
+func TestPrefixCoveringSoundness(t *testing.T) {
+	// Random prefix/equality pairs: covering implies match implication.
+	schema := NewSchema()
+	rng := rand.New(rand.NewSource(9))
+	alphabet := []string{"", "H", "HA", "HAL", "HAL9", "I", "IB", "IBM"}
+	randSub := func() *Subscription {
+		v := alphabet[1+rng.Intn(len(alphabet)-1)]
+		op := OpPrefix
+		if rng.Intn(2) == 0 {
+			op = OpEq
+		}
+		return prefixSub(t, schema, Predicate{Attr: "s", Op: op, Value: Str(v)})
+	}
+	covered := 0
+	for i := 0; i < 5000; i++ {
+		a, b := randSub(), randSub()
+		if !a.Covers(b) {
+			continue
+		}
+		covered++
+		for _, v := range alphabet {
+			ev, err := NewEvent(schema, map[string]Value{"s": Str(v)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Matches(ev) && !a.Matches(ev) {
+				t.Fatalf("prefix covering unsound: a=%+v b=%+v v=%q", a.Constraints, b.Constraints, v)
+			}
+		}
+	}
+	if covered < 100 {
+		t.Fatalf("only %d covered pairs; test too weak", covered)
+	}
+}
+
+func TestPrefixCodecRoundTrip(t *testing.T) {
+	schema := NewSchema()
+	sub := prefixSub(t, schema,
+		Predicate{Attr: "symbol", Op: OpPrefix, Value: Str("HA")},
+		Predicate{Attr: "price", Op: OpLt, Value: Float(50)})
+	raw, err := AppendConstraints(nil, sub.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _, err := DecodeConstraints(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(&Subscription{Constraints: cs}).Equal(sub) {
+		t.Fatalf("prefix codec round trip: %+v vs %+v", cs, sub.Constraints)
+	}
+	// Wire spec codec too.
+	spec := SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpPrefix, Value: Str("HA")},
+	}}
+	wireRaw, err := EncodeSubscriptionSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubscriptionSpec(wireRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predicates[0].Op != OpPrefix || got.Predicates[0].Value.S != "HA" {
+		t.Fatalf("wire round trip = %+v", got.Predicates[0])
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	spec, err := ParseSpec(`symbol prefix HA, price < 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Predicates[0].Op != OpPrefix || spec.Predicates[0].Value.S != "HA" {
+		t.Fatalf("parsed = %+v", spec.Predicates[0])
+	}
+	if _, err := ParseSpec(`symbol prefix 42`); err == nil {
+		t.Fatal("numeric prefix operand accepted")
+	}
+}

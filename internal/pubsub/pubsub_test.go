@@ -1,0 +1,542 @@
+package pubsub
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustNormalize(t *testing.T, schema *Schema, spec SubscriptionSpec) *Subscription {
+	t.Helper()
+	sub, err := Normalize(schema, spec)
+	if err != nil {
+		t.Fatalf("Normalize(%v): %v", spec, err)
+	}
+	return sub
+}
+
+func TestNormalizeMergesPredicates(t *testing.T) {
+	schema := NewSchema()
+	sub := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "price", Op: OpGt, Value: Float(10)},
+		{Attr: "price", Op: OpLe, Value: Float(50)},
+		{Attr: "symbol", Op: OpEq, Value: Str("HAL")},
+	}})
+	if len(sub.Constraints) != 2 {
+		t.Fatalf("constraints = %d, want 2", len(sub.Constraints))
+	}
+	var price Constraint
+	for _, c := range sub.Constraints {
+		if !c.Str {
+			price = c
+		}
+	}
+	if !price.HasLo || price.LoIncl || price.Lo != 10 {
+		t.Fatalf("lower bound wrong: %+v", price)
+	}
+	if !price.HasHi || !price.HiIncl || price.Hi != 50 {
+		t.Fatalf("upper bound wrong: %+v", price)
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	schema := NewSchema()
+	cases := []struct {
+		name string
+		spec SubscriptionSpec
+		want error
+	}{
+		{"empty", SubscriptionSpec{}, ErrEmptySubscription},
+		{"inverted range", SubscriptionSpec{Predicates: []Predicate{
+			{Attr: "x", Op: OpGt, Value: Float(10)},
+			{Attr: "x", Op: OpLt, Value: Float(5)},
+		}}, ErrUnsatisfiable},
+		{"open point", SubscriptionSpec{Predicates: []Predicate{
+			{Attr: "x", Op: OpGt, Value: Float(10)},
+			{Attr: "x", Op: OpLt, Value: Float(10)},
+		}}, ErrUnsatisfiable},
+		{"string vs numeric", SubscriptionSpec{Predicates: []Predicate{
+			{Attr: "x", Op: OpEq, Value: Str("a")},
+			{Attr: "x", Op: OpGt, Value: Float(1)},
+		}}, ErrUnsatisfiable},
+		{"two strings", SubscriptionSpec{Predicates: []Predicate{
+			{Attr: "x", Op: OpEq, Value: Str("a")},
+			{Attr: "x", Op: OpEq, Value: Str("b")},
+		}}, ErrUnsatisfiable},
+		{"between inverted", SubscriptionSpec{Predicates: []Predicate{
+			{Attr: "x", Op: OpBetween, Value: Float(5), Hi: Float(1)},
+		}}, ErrUnsatisfiable},
+	}
+	for _, tc := range cases {
+		if _, err := Normalize(schema, tc.spec); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Structural errors.
+	bad := []SubscriptionSpec{
+		{Predicates: []Predicate{{Attr: "", Op: OpEq, Value: Float(1)}}},
+		{Predicates: []Predicate{{Attr: "x", Op: OpEq}}},
+		{Predicates: []Predicate{{Attr: "x", Op: OpLt, Value: Str("s")}}},
+		{Predicates: []Predicate{{Attr: "x", Op: Op(99), Value: Float(1)}}},
+		{Predicates: []Predicate{{Attr: "x", Op: OpBetween, Value: Str("a"), Hi: Str("b")}}},
+	}
+	for i, spec := range bad {
+		if _, err := Normalize(schema, spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestOpenClosedBoundSemantics(t *testing.T) {
+	schema := NewSchema()
+	lt := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{{Attr: "p", Op: OpLt, Value: Float(50)}}})
+	le := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{{Attr: "p", Op: OpLe, Value: Float(50)}}})
+	ev := func(v float64) *Event {
+		e, err := NewEvent(schema, map[string]Value{"p": Float(v)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if !lt.Matches(ev(49.99)) || lt.Matches(ev(50)) {
+		t.Fatal("OpLt boundary wrong")
+	}
+	if !le.Matches(ev(50)) || le.Matches(ev(50.01)) {
+		t.Fatal("OpLe boundary wrong")
+	}
+	// le covers lt but not vice versa.
+	if !le.Covers(lt) {
+		t.Fatal("x<=50 must cover x<50")
+	}
+	if lt.Covers(le) {
+		t.Fatal("x<50 must not cover x<=50")
+	}
+}
+
+func TestMatchRequiresAttributePresence(t *testing.T) {
+	schema := NewSchema()
+	sub := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpEq, Value: Str("HAL")},
+		{Attr: "price", Op: OpLt, Value: Float(50)},
+	}})
+	e1, err := NewEvent(schema, map[string]Value{"symbol": Str("HAL")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Matches(e1) {
+		t.Fatal("event missing constrained attribute matched")
+	}
+	e2, err := NewEvent(schema, map[string]Value{
+		"symbol": Str("HAL"), "price": Float(42), "volume": Int(1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Matches(e2) {
+		t.Fatal("matching event rejected")
+	}
+	// Type mismatch: string constraint vs numeric value.
+	e3, err := NewEvent(schema, map[string]Value{"symbol": Float(1), "price": Float(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Matches(e3) {
+		t.Fatal("numeric value satisfied string equality")
+	}
+}
+
+func TestPaperCoveringExamples(t *testing.T) {
+	// "x > 0" covers both "x = 1" and "x > 0 ∧ y = 1" (§3.2).
+	schema := NewSchema()
+	xPos := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "x", Op: OpGt, Value: Float(0)},
+	}})
+	xEq1 := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "x", Op: OpEq, Value: Float(1)},
+	}})
+	xPosYEq1 := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "x", Op: OpGt, Value: Float(0)},
+		{Attr: "y", Op: OpEq, Value: Float(1)},
+	}})
+	if !xPos.Covers(xEq1) || !xPos.Covers(xPosYEq1) {
+		t.Fatal("paper covering examples violated")
+	}
+	if xEq1.Covers(xPos) || xPosYEq1.Covers(xPos) {
+		t.Fatal("covering must not be symmetric here")
+	}
+	if !xPos.Covers(xPos) {
+		t.Fatal("covering must be reflexive")
+	}
+}
+
+// randomSub draws constraints over a small universe so that coverage
+// relations actually occur.
+func randomSub(t *testing.T, rng *rand.Rand, schema *Schema) *Subscription {
+	t.Helper()
+	attrs := []string{"a", "b", "c"}
+	nPreds := 1 + rng.Intn(3)
+	spec := SubscriptionSpec{}
+	for i := 0; i < nPreds; i++ {
+		attr := attrs[rng.Intn(len(attrs))]
+		switch rng.Intn(4) {
+		case 0:
+			spec.Predicates = append(spec.Predicates,
+				Predicate{Attr: attr, Op: OpEq, Value: Float(float64(rng.Intn(5)))})
+		case 1:
+			spec.Predicates = append(spec.Predicates,
+				Predicate{Attr: attr, Op: OpLt, Value: Float(float64(rng.Intn(10)))})
+		case 2:
+			spec.Predicates = append(spec.Predicates,
+				Predicate{Attr: attr, Op: OpGe, Value: Float(float64(rng.Intn(10) - 5))})
+		default:
+			lo := float64(rng.Intn(8) - 4)
+			spec.Predicates = append(spec.Predicates,
+				Predicate{Attr: attr, Op: OpBetween, Value: Float(lo), Hi: Float(lo + float64(rng.Intn(5)))})
+		}
+	}
+	sub, err := Normalize(schema, spec)
+	if err != nil {
+		return nil // unsatisfiable draw; caller retries
+	}
+	return sub
+}
+
+func randomEvent(t *testing.T, rng *rand.Rand, schema *Schema) *Event {
+	t.Helper()
+	attrs := map[string]Value{}
+	for _, name := range []string{"a", "b", "c"} {
+		if rng.Intn(4) > 0 {
+			attrs[name] = Float(float64(rng.Intn(12) - 6))
+		}
+	}
+	e, err := NewEvent(schema, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestCoveringSoundness is the paper's definition of containment:
+// s ⊒ t ⇒ every event matching t matches s.
+func TestCoveringSoundness(t *testing.T) {
+	schema := NewSchema()
+	rng := rand.New(rand.NewSource(42))
+	covered := 0
+	for i := 0; i < 20000; i++ {
+		s, u := randomSub(t, rng, schema), randomSub(t, rng, schema)
+		if s == nil || u == nil {
+			continue
+		}
+		if !s.Covers(u) {
+			continue
+		}
+		covered++
+		for j := 0; j < 20; j++ {
+			e := randomEvent(t, rng, schema)
+			if u.Matches(e) && !s.Matches(e) {
+				t.Fatalf("covering unsound: s=%+v u=%+v event=%+v", s, u, e)
+			}
+		}
+	}
+	if covered < 100 {
+		t.Fatalf("only %d covered pairs generated; test too weak", covered)
+	}
+}
+
+func TestCoveringTransitive(t *testing.T) {
+	schema := NewSchema()
+	rng := rand.New(rand.NewSource(7))
+	hits := 0
+	for i := 0; i < 120000; i++ {
+		s, u, v := randomSub(t, rng, schema), randomSub(t, rng, schema), randomSub(t, rng, schema)
+		if s == nil || u == nil || v == nil {
+			continue
+		}
+		if s.Covers(u) && u.Covers(v) {
+			hits++
+			if !s.Covers(v) {
+				t.Fatalf("transitivity violated: s=%+v u=%+v v=%+v", s, u, v)
+			}
+		}
+	}
+	if hits < 50 {
+		t.Fatalf("only %d transitive triples generated; test too weak", hits)
+	}
+}
+
+func TestConstraintEqualAndEquality(t *testing.T) {
+	schema := NewSchema()
+	a := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpEq, Value: Str("IBM")},
+		{Attr: "price", Op: OpEq, Value: Float(10)},
+		{Attr: "volume", Op: OpGt, Value: Float(0)},
+	}})
+	if got := a.NumEqualities(); got != 2 {
+		t.Fatalf("NumEqualities = %d, want 2", got)
+	}
+	id, v, ok := a.EqualityAttr()
+	if !ok {
+		t.Fatal("EqualityAttr not found")
+	}
+	name, _ := schema.Name(id)
+	// Constraints sort by ID; "symbol" was interned first.
+	if name != "symbol" || v.S != "IBM" {
+		t.Fatalf("EqualityAttr = %s %v", name, v)
+	}
+	b := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "volume", Op: OpGt, Value: Float(0)},
+	}})
+	if _, _, ok := b.EqualityAttr(); ok {
+		t.Fatal("range-only subscription reported an equality")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestSchemaIntern(t *testing.T) {
+	s := NewSchema()
+	id1, err := s.Intern("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Intern("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1b, err := s.Intern("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id1b || id1 == id2 {
+		t.Fatalf("intern ids wrong: %d %d %d", id1, id2, id1b)
+	}
+	if name, ok := s.Name(id2); !ok || name != "beta" {
+		t.Fatalf("Name(%d) = %q, %v", id2, name, ok)
+	}
+	if _, ok := s.Name(999); ok {
+		t.Fatal("Name of unknown id succeeded")
+	}
+	if _, ok := s.Lookup("alpha"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := s.Lookup("gamma"); ok {
+		t.Fatal("Lookup invented an attribute")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestEventGet(t *testing.T) {
+	schema := NewSchema()
+	e, err := NewEvent(schema, map[string]Value{
+		"a": Float(1), "b": Float(2), "c": Float(3), "d": Float(4), "e": Float(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		id, _ := schema.Lookup(name)
+		if v, ok := e.Get(id); !ok || !v.Numeric() {
+			t.Fatalf("Get(%s) failed", name)
+		}
+	}
+	if _, ok := e.Get(9999); ok {
+		t.Fatal("Get of absent attribute succeeded")
+	}
+}
+
+func TestEventSpecCodecRoundTrip(t *testing.T) {
+	spec := EventSpec{Attrs: []NamedValue{
+		{Name: "symbol", Value: Str("HAL")},
+		{Name: "price", Value: Float(49.5)},
+		{Name: "volume", Value: Int(120000)},
+	}}
+	raw, err := EncodeEventSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEventSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Attrs) != 3 {
+		t.Fatalf("attrs = %d", len(got.Attrs))
+	}
+	for i := range spec.Attrs {
+		if got.Attrs[i].Name != spec.Attrs[i].Name || !got.Attrs[i].Value.Equal(spec.Attrs[i].Value) {
+			t.Fatalf("attr %d mismatch: %+v vs %+v", i, got.Attrs[i], spec.Attrs[i])
+		}
+	}
+}
+
+func TestSubscriptionSpecCodecRoundTrip(t *testing.T) {
+	spec := SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpEq, Value: Str("HAL")},
+		{Attr: "price", Op: OpBetween, Value: Float(10), Hi: Float(50)},
+		{Attr: "volume", Op: OpGe, Value: Int(100)},
+	}}
+	raw, err := EncodeSubscriptionSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubscriptionSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Predicates) != 3 {
+		t.Fatalf("predicates = %d", len(got.Predicates))
+	}
+	for i := range spec.Predicates {
+		p, q := spec.Predicates[i], got.Predicates[i]
+		if p.Attr != q.Attr || p.Op != q.Op || !p.Value.Equal(q.Value) {
+			t.Fatalf("predicate %d mismatch: %+v vs %+v", i, p, q)
+		}
+	}
+	if !got.Predicates[1].Hi.Equal(Float(50)) {
+		t.Fatal("between Hi lost")
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	// Truncations of a valid encoding must all fail cleanly.
+	spec := EventSpec{Attrs: []NamedValue{
+		{Name: "symbol", Value: Str("HAL")},
+		{Name: "price", Value: Float(49.5)},
+	}}
+	raw, err := EncodeEventSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(raw); n++ {
+		if _, err := DecodeEventSpec(raw[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage must fail.
+	if _, err := DecodeEventSpec(append(raw, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Unknown value tag must fail.
+	bad := []byte{1, 0, 1, 'x', 99}
+	if _, err := DecodeEventSpec(bad); err == nil {
+		t.Fatal("unknown value tag accepted")
+	}
+}
+
+func TestConstraintCodecRoundTrip(t *testing.T) {
+	schema := NewSchema()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		sub := randomSub(t, rng, schema)
+		if sub == nil {
+			continue
+		}
+		raw, err := AppendConstraints(nil, sub.Constraints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, n, err := DecodeConstraints(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(raw) {
+			t.Fatalf("consumed %d of %d bytes", n, len(raw))
+		}
+		decoded := &Subscription{Constraints: cs}
+		if !decoded.Equal(sub) {
+			t.Fatalf("constraint codec round trip mismatch:\n%+v\n%+v", decoded, sub)
+		}
+	}
+	// String constraints too.
+	sub := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpEq, Value: Str("MSFT")},
+		{Attr: "price", Op: OpLt, Value: Float(50)},
+	}})
+	raw, err := AppendConstraints(nil, sub.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _, err := DecodeConstraints(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(&Subscription{Constraints: cs}).Equal(sub) {
+		t.Fatal("string constraint round trip failed")
+	}
+	// Truncations fail.
+	for n := 0; n < len(raw); n++ {
+		if _, _, err := DecodeConstraints(raw[:n]); err == nil {
+			t.Fatalf("constraint truncation to %d accepted", n)
+		}
+	}
+}
+
+func TestValueBasics(t *testing.T) {
+	if !Int(5).Numeric() || !Float(1.5).Numeric() || Str("x").Numeric() {
+		t.Fatal("Numeric wrong")
+	}
+	if Int(5).AsFloat() != 5 || Float(2.5).AsFloat() != 2.5 {
+		t.Fatal("AsFloat wrong")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Fatal("kind-insensitive equality")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Fatal("string equality wrong")
+	}
+	if (Value{}).Valid() {
+		t.Fatal("zero value valid")
+	}
+	for _, v := range []Value{Int(3), Float(2.5), Str("hi")} {
+		if v.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+	if KindInt.String() != "int" || KindFloat.String() != "float" || KindString.String() != "string" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{Attr: "price", Op: OpBetween, Value: Float(1), Hi: Float(2)}
+	if p.String() == "" {
+		t.Fatal("empty predicate string")
+	}
+	spec := SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpEq, Value: Str("HAL")},
+		{Attr: "price", Op: OpLt, Value: Float(50)},
+	}}
+	if spec.String() == "" {
+		t.Fatal("empty spec string")
+	}
+	for _, op := range []Op{OpEq, OpLt, OpLe, OpGt, OpGe, OpBetween, Op(99)} {
+		if op.String() == "" {
+			t.Fatal("empty op string")
+		}
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	schema := NewSchema()
+	sub := mustNormalize(t, schema, SubscriptionSpec{Predicates: []Predicate{
+		{Attr: "symbol", Op: OpEq, Value: Str("HAL")},
+		{Attr: "price", Op: OpBetween, Value: Float(10), Hi: Float(50)},
+		{Attr: "volume", Op: OpGt, Value: Float(100)},
+		{Attr: "name", Op: OpPrefix, Value: Str("HA")},
+	}})
+	if s := sub.String(); s == "" || !strings.Contains(s, "HAL") {
+		t.Fatalf("Subscription.String() = %q", s)
+	}
+	for _, c := range sub.Constraints {
+		if c.String() == "" {
+			t.Fatal("empty constraint string")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AttrID is an interned attribute identifier. The engine stores
+// constraints by ID rather than by name so subscription records stay
+// compact inside the limited enclave memory — the paper's key sizing
+// concern (≈437 bytes per stored subscription).
+type AttrID uint16
+
+// Schema interns attribute names. One Schema belongs to one routing
+// engine; the wire protocol always carries names, and the engine
+// interns them at its boundary. Safe for concurrent use.
+type Schema struct {
+	mu    sync.RWMutex
+	ids   map[string]AttrID
+	names []string
+}
+
+// MaxAttrs bounds the number of distinct attribute names a schema can
+// intern (AttrID is 16 bits).
+const MaxAttrs = 1 << 16
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{ids: make(map[string]AttrID)}
+}
+
+// Intern returns the ID for name, assigning the next free ID on first
+// sight. It fails only when the 16-bit ID space is exhausted.
+func (s *Schema) Intern(name string) (AttrID, error) {
+	s.mu.RLock()
+	id, ok := s.ids[name]
+	s.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[name]; ok {
+		return id, nil
+	}
+	if len(s.names) >= MaxAttrs {
+		return 0, fmt.Errorf("pubsub: schema full (%d attributes)", MaxAttrs)
+	}
+	id = AttrID(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id, nil
+}
+
+// Lookup returns the ID for name without interning.
+func (s *Schema) Lookup(name string) (AttrID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// Name returns the attribute name for id.
+func (s *Schema) Name(id AttrID) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.names) {
+		return "", false
+	}
+	return s.names[id], true
+}
+
+// Len returns the number of interned attributes.
+func (s *Schema) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
+
+// Names returns all interned names sorted alphabetically (for
+// diagnostics).
+func (s *Schema) Names() []string {
+	s.mu.RLock()
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

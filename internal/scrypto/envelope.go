@@ -1,0 +1,111 @@
+package scrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Envelope layout: nonce(16) || ciphertext || tag(32).
+//
+// The paper encrypts headers and subscriptions with AES-CTR. Bare CTR is
+// malleable, and SCBR explicitly requires that the infrastructure cannot
+// tamper with messages, so every envelope carries an encrypt-then-MAC
+// HMAC-SHA256 tag over nonce||ciphertext.
+const (
+	nonceSize       = aes.BlockSize
+	tagSize         = sha256.Size
+	envelopeMinSize = nonceSize + tagSize
+)
+
+// Seal encrypts plaintext under k using AES-CTR with a random nonce and
+// appends an HMAC-SHA256 tag. The result is safe to hand to the
+// untrusted infrastructure.
+func Seal(k *SymmetricKey, plaintext []byte) ([]byte, error) {
+	return sealWithRand(k, plaintext, rand.Reader)
+}
+
+func sealWithRand(k *SymmetricKey, plaintext []byte, src io.Reader) ([]byte, error) {
+	block, err := aes.NewCipher(k.Enc[:])
+	if err != nil {
+		return nil, fmt.Errorf("scrypto: creating cipher: %w", err)
+	}
+	out := make([]byte, nonceSize+len(plaintext), envelopeMinSize+len(plaintext))
+	if _, err := io.ReadFull(src, out[:nonceSize]); err != nil {
+		return nil, fmt.Errorf("scrypto: reading nonce: %w", err)
+	}
+	cipher.NewCTR(block, out[:nonceSize]).XORKeyStream(out[nonceSize:], plaintext)
+	mac := hmac.New(sha256.New, k.MAC[:])
+	mac.Write(out)
+	return mac.Sum(out), nil
+}
+
+// Open authenticates and decrypts an envelope produced by Seal.
+func Open(k *SymmetricKey, envelope []byte) ([]byte, error) {
+	if len(envelope) < envelopeMinSize {
+		return nil, ErrMalformed
+	}
+	body, tag := envelope[:len(envelope)-tagSize], envelope[len(envelope)-tagSize:]
+	mac := hmac.New(sha256.New, k.MAC[:])
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrAuthentication
+	}
+	block, err := aes.NewCipher(k.Enc[:])
+	if err != nil {
+		return nil, fmt.Errorf("scrypto: creating cipher: %w", err)
+	}
+	plaintext := make([]byte, len(body)-nonceSize)
+	cipher.NewCTR(block, body[:nonceSize]).XORKeyStream(plaintext, body[nonceSize:])
+	return plaintext, nil
+}
+
+// SealGCM encrypts-and-authenticates data under a raw 16- or 32-byte key
+// with AES-GCM and the given additional authenticated data. It is used by
+// the enclave simulator for EPC page eviction and sealed storage, where
+// the version counter rides in the AAD to provide replay protection.
+func SealGCM(key, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("scrypto: reading nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// OpenGCM reverses SealGCM; it fails with ErrAuthentication if the
+// ciphertext or the AAD was altered.
+func OpenGCM(key, ciphertext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrMalformed
+	}
+	nonce, body := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plaintext, err := aead.Open(nil, nonce, body, aad)
+	if err != nil {
+		return nil, ErrAuthentication
+	}
+	return plaintext, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("scrypto: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("scrypto: creating GCM: %w", err)
+	}
+	return aead, nil
+}

@@ -1,0 +1,129 @@
+// Package scrypto provides the cryptographic substrate used throughout
+// SCBR: symmetric AES-CTR message envelopes authenticated with
+// HMAC-SHA256, AES-GCM sealing for enclave page eviction and state
+// persistence, RSA-OAEP/PSS for the client→publisher subscription path,
+// and simple key-derivation helpers.
+//
+// The paper uses Crypto++ AES-CTR and RSA outside the enclave and the
+// Intel SDK AES-CTR implementation inside; this package provides the
+// same algorithms on top of the Go standard library.
+package scrypto
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Key sizes in bytes.
+const (
+	// SymmetricKeySize is the AES-128 key size used for SK, matching the
+	// paper's AES-CTR configuration.
+	SymmetricKeySize = 16
+	// MACKeySize is the HMAC-SHA256 key size appended to envelopes.
+	MACKeySize = 32
+	// RSABits is the modulus size for publisher key pairs.
+	RSABits = 2048
+)
+
+var (
+	// ErrAuthentication indicates a MAC or signature verification failure.
+	ErrAuthentication = errors.New("scrypto: authentication failed")
+	// ErrMalformed indicates a ciphertext too short or structurally invalid.
+	ErrMalformed = errors.New("scrypto: malformed ciphertext")
+)
+
+// SymmetricKey is the shared key SK between a publisher and the enclave.
+// It carries independent encryption and MAC sub-keys.
+type SymmetricKey struct {
+	Enc [SymmetricKeySize]byte
+	MAC [MACKeySize]byte
+}
+
+// NewSymmetricKey draws a fresh symmetric key from the given source, or
+// crypto/rand when src is nil.
+func NewSymmetricKey(src io.Reader) (*SymmetricKey, error) {
+	if src == nil {
+		src = rand.Reader
+	}
+	var k SymmetricKey
+	if _, err := io.ReadFull(src, k.Enc[:]); err != nil {
+		return nil, fmt.Errorf("scrypto: reading encryption key: %w", err)
+	}
+	if _, err := io.ReadFull(src, k.MAC[:]); err != nil {
+		return nil, fmt.Errorf("scrypto: reading MAC key: %w", err)
+	}
+	return &k, nil
+}
+
+// Bytes serialises the key for transport inside attestation provisioning
+// messages. The layout is Enc || MAC.
+func (k *SymmetricKey) Bytes() []byte {
+	out := make([]byte, 0, SymmetricKeySize+MACKeySize)
+	out = append(out, k.Enc[:]...)
+	out = append(out, k.MAC[:]...)
+	return out
+}
+
+// SymmetricKeyFromBytes parses the Enc || MAC layout produced by Bytes.
+func SymmetricKeyFromBytes(b []byte) (*SymmetricKey, error) {
+	if len(b) != SymmetricKeySize+MACKeySize {
+		return nil, fmt.Errorf("scrypto: symmetric key must be %d bytes, got %d",
+			SymmetricKeySize+MACKeySize, len(b))
+	}
+	var k SymmetricKey
+	copy(k.Enc[:], b[:SymmetricKeySize])
+	copy(k.MAC[:], b[SymmetricKeySize:])
+	return &k, nil
+}
+
+// Equal reports whether two keys are identical, in constant time.
+func (k *SymmetricKey) Equal(other *SymmetricKey) bool {
+	if other == nil {
+		return false
+	}
+	return hmac.Equal(k.Bytes(), other.Bytes())
+}
+
+// KeyPair is a publisher's RSA key pair (PK / PK⁻¹ in the paper).
+type KeyPair struct {
+	Private *rsa.PrivateKey
+}
+
+// NewKeyPair generates a fresh RSA key pair for a publisher.
+func NewKeyPair(src io.Reader) (*KeyPair, error) {
+	if src == nil {
+		src = rand.Reader
+	}
+	priv, err := rsa.GenerateKey(src, RSABits)
+	if err != nil {
+		return nil, fmt.Errorf("scrypto: generating RSA key: %w", err)
+	}
+	return &KeyPair{Private: priv}, nil
+}
+
+// Public returns the public half distributed to clients.
+func (kp *KeyPair) Public() *rsa.PublicKey { return &kp.Private.PublicKey }
+
+// DeriveKey derives a labelled sub-key from root material using
+// HMAC-SHA256 as an HKDF-expand-style PRF. It is used for group-key
+// epochs and for enclave sealing-key derivation.
+func DeriveKey(root []byte, label string, n int) []byte {
+	out := make([]byte, 0, n)
+	var counter byte
+	var prev []byte
+	for len(out) < n {
+		counter++
+		mac := hmac.New(sha256.New, root)
+		mac.Write(prev)
+		mac.Write([]byte(label))
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:n]
+}

@@ -1,0 +1,128 @@
+package sgx
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// ReportData is the user-supplied payload bound into a report; SCBR
+// puts the hash of the enclave's ephemeral provisioning key here so the
+// attestation transcript pins the secure channel.
+type ReportData [64]byte
+
+// ReportBody carries the attested identity. It is the portion of an
+// SGX REPORT that quotes expose to remote verifiers.
+type ReportBody struct {
+	MRENCLAVE [32]byte
+	MRSIGNER  [32]byte
+	ISVProdID uint16
+	ISVSVN    uint16
+	Debug     bool
+	Data      ReportData
+}
+
+// Marshal encodes the body deterministically for MACs and signatures.
+func (b *ReportBody) Marshal() []byte {
+	out := make([]byte, 0, 32+32+2+2+1+64)
+	out = append(out, b.MRENCLAVE[:]...)
+	out = append(out, b.MRSIGNER[:]...)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], b.ISVProdID)
+	out = append(out, u16[:]...)
+	binary.LittleEndian.PutUint16(u16[:], b.ISVSVN)
+	out = append(out, u16[:]...)
+	if b.Debug {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return append(out, b.Data[:]...)
+}
+
+// UnmarshalReportBody decodes a body produced by Marshal.
+func UnmarshalReportBody(raw []byte) (*ReportBody, error) {
+	if len(raw) != 32+32+2+2+1+64 {
+		return nil, errors.New("sgx: report body has wrong length")
+	}
+	var b ReportBody
+	copy(b.MRENCLAVE[:], raw[:32])
+	copy(b.MRSIGNER[:], raw[32:64])
+	b.ISVProdID = binary.LittleEndian.Uint16(raw[64:66])
+	b.ISVSVN = binary.LittleEndian.Uint16(raw[66:68])
+	b.Debug = raw[68] == 1
+	copy(b.Data[:], raw[69:])
+	return &b, nil
+}
+
+// Report is a locally-verifiable attestation: the MAC key derives from
+// the device root secret and the *target* enclave's measurement, so
+// only an enclave with that measurement on the same device can verify
+// it (EREPORT/EGETKEY semantics).
+type Report struct {
+	Body ReportBody
+	MAC  [32]byte
+}
+
+// Report produces a local attestation report addressed to the enclave
+// whose MRENCLAVE is targetMR.
+func (e *Enclave) Report(targetMR [32]byte, data ReportData) (*Report, error) {
+	if !e.inited {
+		return nil, ErrNotInitialised
+	}
+	r := &Report{Body: ReportBody{
+		MRENCLAVE: e.mrenclave,
+		MRSIGNER:  e.mrsigner,
+		ISVProdID: e.cfg.ISVProdID,
+		ISVSVN:    e.cfg.ISVSVN,
+		Debug:     e.cfg.Debug,
+		Data:      data,
+	}}
+	key := e.dev.deriveKey("report", targetMR[:])
+	mac := hmac.New(sha256.New, key)
+	mac.Write(r.Body.Marshal())
+	copy(r.MAC[:], mac.Sum(nil))
+	return r, nil
+}
+
+// VerifyReport checks a report addressed to this enclave. It returns
+// true only when the report was produced on the same device and
+// addressed to this enclave's measurement.
+func (e *Enclave) VerifyReport(r *Report) bool {
+	if !e.inited || r == nil {
+		return false
+	}
+	key := e.dev.deriveKey("report", e.mrenclave[:])
+	mac := hmac.New(sha256.New, key)
+	mac.Write(r.Body.Marshal())
+	return hmac.Equal(mac.Sum(nil), r.MAC[:])
+}
+
+// verifyReportForQuoting lets the device's quoting facility check any
+// report addressed to the given target measurement. internal/attest
+// uses it to implement the quoting enclave.
+func (d *Device) verifyReportForQuoting(targetMR [32]byte, r *Report) bool {
+	if r == nil {
+		return false
+	}
+	key := d.deriveKey("report", targetMR[:])
+	mac := hmac.New(sha256.New, key)
+	mac.Write(r.Body.Marshal())
+	return hmac.Equal(mac.Sum(nil), r.MAC[:])
+}
+
+// QuotingTargetMR is the well-known measurement value reports are
+// addressed to when they are destined for the platform quoting enclave.
+var QuotingTargetMR = sha256.Sum256([]byte("scbr-quoting-enclave"))
+
+// VerifyQuotableReport checks a report addressed to the quoting enclave
+// on this device. It is the entry point internal/attest builds quotes
+// from.
+func (d *Device) VerifyQuotableReport(r *Report) bool {
+	return d.verifyReportForQuoting(QuotingTargetMR, r)
+}
+
+// EqualMeasurement is a helper for verifiers comparing measurements.
+func EqualMeasurement(a, b [32]byte) bool { return bytes.Equal(a[:], b[:]) }

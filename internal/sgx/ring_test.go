@@ -1,0 +1,278 @@
+package sgx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"scbr/internal/simmem"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewRing(-3); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	r, err := NewRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capacity() != 8 {
+		t.Fatalf("capacity 5 rounded to %d, want 8", r.Capacity())
+	}
+}
+
+func TestRingOrderedDelivery(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var msg [8]byte
+		for i := uint64(0); i < n; i++ {
+			binary.LittleEndian.PutUint64(msg[:], i)
+			if err := r.Push(msg[:]); err != nil {
+				t.Errorf("push %d: %v", i, err)
+				return
+			}
+		}
+		r.Close()
+	}()
+	var buf []byte
+	for i := uint64(0); ; i++ {
+		msg, ok := r.Pop(buf)
+		if !ok {
+			if i != n {
+				t.Fatalf("consumer saw %d messages, want %d", i, n)
+			}
+			break
+		}
+		buf = msg
+		if got := binary.LittleEndian.Uint64(msg); got != i {
+			t.Fatalf("message %d out of order: got %d", i, got)
+		}
+	}
+	wg.Wait()
+}
+
+func TestRingVaryingSizes(t *testing.T) {
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 500)
+	for i := range msgs {
+		msgs[i] = bytes.Repeat([]byte{byte(i)}, 1+i%700)
+	}
+	go func() {
+		for _, m := range msgs {
+			if err := r.Push(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		r.Close()
+	}()
+	var buf []byte
+	for i := 0; ; i++ {
+		msg, ok := r.Pop(buf)
+		if !ok {
+			if i != len(msgs) {
+				t.Fatalf("received %d messages, want %d", i, len(msgs))
+			}
+			return
+		}
+		buf = msg
+		if !bytes.Equal(msg, msgs[i]) {
+			t.Fatalf("message %d corrupted: %d bytes, first %x", i, len(msg), msg[0])
+		}
+	}
+}
+
+func TestRingPushAfterCloseFails(t *testing.T) {
+	r, err := NewRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if err := r.Push([]byte("x")); !errors.Is(err, ErrRingClosed) {
+		t.Fatalf("push after close: err = %v", err)
+	}
+	if ok, err := r.TryPush([]byte("x")); ok || !errors.Is(err, ErrRingClosed) {
+		t.Fatalf("trypush after close: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRingDrainsAfterClose(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Push([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	for i := 0; i < 3; i++ {
+		msg, ok := r.Pop(nil)
+		if !ok || msg[0] != byte(i) {
+			t.Fatalf("drain message %d: ok=%v msg=%v", i, ok, msg)
+		}
+	}
+	if _, ok := r.Pop(nil); ok {
+		t.Fatal("pop returned a message from a drained closed ring")
+	}
+}
+
+func TestRingTryPushFullAndTryPopEmpty(t *testing.T) {
+	r, err := NewRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, closed := r.TryPop(nil); ok || closed {
+		t.Fatal("TryPop on empty open ring must report not-ok, not-closed")
+	}
+	for i := 0; i < r.Capacity(); i++ {
+		ok, err := r.TryPush([]byte{byte(i)})
+		if err != nil || !ok {
+			t.Fatalf("fill push %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if ok, err := r.TryPush([]byte{9}); ok || err != nil {
+		t.Fatalf("push to full ring: ok=%v err=%v", ok, err)
+	}
+	if r.Len() != r.Capacity() {
+		t.Fatalf("Len = %d, want %d", r.Len(), r.Capacity())
+	}
+}
+
+// TestRingWrapAroundProperty pushes and pops pseudo-random batches so
+// positions wrap the ring many times; contents must round-trip.
+func TestRingWrapAroundProperty(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expect [][]byte
+	property := func(batch []byte) bool {
+		// Push the batch as individual messages, then pop and compare.
+		for _, b := range batch {
+			if err := r.Push([]byte{b}); err != nil {
+				return false
+			}
+			expect = append(expect, []byte{b})
+			if r.Len() >= r.Capacity() {
+				msg, ok := r.Pop(nil)
+				if !ok || !bytes.Equal(msg, expect[0]) {
+					return false
+				}
+				expect = expect[1:]
+			}
+		}
+		for len(expect) > 0 {
+			msg, ok := r.Pop(nil)
+			if !ok || !bytes.Equal(msg, expect[0]) {
+				return false
+			}
+			expect = expect[1:]
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRingChargesOneTransition(t *testing.T) {
+	e := launch(t, testDevice(t), []byte("ring code"), EnclaveConfig{})
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	go func() {
+		var msg [4]byte
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(msg[:], uint32(i))
+			if err := r.Push(msg[:]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		r.Close()
+	}()
+	cost := simmem.DefaultCost()
+	before := e.Memory().Meter().C
+	seen := uint32(0)
+	err = e.ServeRing(r, func(msg []byte) error {
+		if got := binary.LittleEndian.Uint32(msg); got != seen {
+			return fmt.Errorf("message %d out of order (got %d)", seen, got)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("handler saw %d messages, want %d", seen, n)
+	}
+	delta := e.Memory().Meter().C.Sub(before)
+	if delta.Transitions != 1 {
+		t.Fatalf("Transitions = %d, want 1 (switchless)", delta.Transitions)
+	}
+	wantPoll := uint64(n) * cost.SwitchlessPollCycles
+	if delta.Cycles != cost.EnclaveTransitionCycles+wantPoll {
+		t.Fatalf("cycles = %d, want %d", delta.Cycles, cost.EnclaveTransitionCycles+wantPoll)
+	}
+}
+
+func TestServeRingHandlerErrorStops(t *testing.T) {
+	e := launch(t, testDevice(t), []byte("ring code"), EnclaveConfig{})
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Push([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("boom")
+	calls := 0
+	err = e.ServeRing(r, func([]byte) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("handler ran %d times, want 2", calls)
+	}
+}
+
+func TestServeRingUninitialisedEnclave(t *testing.T) {
+	var e Enclave
+	r, err := NewRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ServeRing(r, func([]byte) error { return nil }); !errors.Is(err, ErrNotInitialised) {
+		t.Fatalf("err = %v, want ErrNotInitialised", err)
+	}
+}

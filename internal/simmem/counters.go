@@ -1,0 +1,59 @@
+package simmem
+
+// Counters accumulates events observed by the simulator. A Counters
+// value is owned by a single Meter and is not safe for concurrent use;
+// experiments snapshot it between phases.
+type Counters struct {
+	// Cycles is the total simulated cycle count.
+	Cycles uint64
+	// LLCHits and LLCMisses count cache-line lookups in the LLC model.
+	LLCHits   uint64
+	LLCMisses uint64
+	// PageFaults counts EPC paging events (enclave mode).
+	PageFaults uint64
+	// MinorFaults counts soft faults (plain mode first touches).
+	MinorFaults uint64
+	// UserFaults counts split-memory cache misses serviced at user
+	// level inside the enclave (unseal of a cold page) — the §6
+	// "enclaved and external parts" configuration. These replace
+	// PageFaults when the split accessor is in use.
+	UserFaults uint64
+	// UserWritebacks counts dirty-page seals performed by the
+	// split-memory layer on eviction.
+	UserWritebacks uint64
+	// Transitions counts enclave ecall round trips.
+	Transitions uint64
+	// BytesRead and BytesWritten count payload bytes moved through the
+	// accessor (not cache-line traffic).
+	BytesRead    uint64
+	BytesWritten uint64
+	// CryptoBytes counts bytes pushed through the simulated AES charge.
+	CryptoBytes uint64
+}
+
+// Sub returns the delta c - prev, field by field. Snapshot a Counters
+// before a phase and call Sub after it to get per-phase numbers.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Cycles:         c.Cycles - prev.Cycles,
+		LLCHits:        c.LLCHits - prev.LLCHits,
+		LLCMisses:      c.LLCMisses - prev.LLCMisses,
+		PageFaults:     c.PageFaults - prev.PageFaults,
+		MinorFaults:    c.MinorFaults - prev.MinorFaults,
+		UserFaults:     c.UserFaults - prev.UserFaults,
+		UserWritebacks: c.UserWritebacks - prev.UserWritebacks,
+		Transitions:    c.Transitions - prev.Transitions,
+		BytesRead:      c.BytesRead - prev.BytesRead,
+		BytesWritten:   c.BytesWritten - prev.BytesWritten,
+		CryptoBytes:    c.CryptoBytes - prev.CryptoBytes,
+	}
+}
+
+// MissRate returns LLC misses / lookups, or 0 when nothing was accessed.
+func (c Counters) MissRate() float64 {
+	total := c.LLCHits + c.LLCMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(total)
+}

@@ -1,0 +1,100 @@
+package simmem
+
+// LLC is a set-associative last-level cache model with true-LRU
+// replacement. The default geometry mirrors the i7-6700: 8 MB capacity,
+// 64-byte lines, 16 ways. The model tracks tags only — data always
+// lives in the backing arena — so a lookup is a handful of word
+// comparisons.
+type LLC struct {
+	lineSize  uint64
+	lineShift uint
+	setMask   uint64
+	ways      int
+	// sets[s] holds up to `ways` line addresses in LRU order:
+	// index 0 is most recently used.
+	sets [][]uint64
+}
+
+// LLC geometry defaults (i7-6700).
+const (
+	DefaultLLCSize  = 8 << 20
+	DefaultLineSize = 64
+	DefaultLLCWays  = 16
+)
+
+// NewLLC builds a cache model. size and lineSize must be powers of two
+// and size must be divisible by lineSize*ways; NewLLC panics otherwise,
+// since geometry is a compile-time-style configuration error.
+func NewLLC(size, lineSize uint64, ways int) *LLC {
+	if size == 0 || lineSize == 0 || ways <= 0 {
+		panic("simmem: invalid LLC geometry")
+	}
+	if size%(lineSize*uint64(ways)) != 0 {
+		panic("simmem: LLC size must be a multiple of lineSize*ways")
+	}
+	numSets := size / lineSize / uint64(ways)
+	if numSets&(numSets-1) != 0 || lineSize&(lineSize-1) != 0 {
+		panic("simmem: LLC sets and line size must be powers of two")
+	}
+	shift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	sets := make([][]uint64, numSets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, ways)
+	}
+	return &LLC{
+		lineSize:  lineSize,
+		lineShift: shift,
+		setMask:   numSets - 1,
+		ways:      ways,
+		sets:      sets,
+	}
+}
+
+// NewDefaultLLC returns the 8 MB / 64 B / 16-way model.
+func NewDefaultLLC() *LLC { return NewLLC(DefaultLLCSize, DefaultLineSize, DefaultLLCWays) }
+
+// LineSize returns the cache line size in bytes.
+func (c *LLC) LineSize() uint64 { return c.lineSize }
+
+// Touch looks up the line containing addr, updating LRU state, and
+// reports whether it hit. On a miss the line is installed, evicting the
+// LRU way if the set is full.
+func (c *LLC) Touch(addr uint64) (hit bool) {
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (most recently used).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[line&c.setMask] = set
+	return false
+}
+
+// Flush empties the cache (used between experiment phases).
+func (c *LLC) Flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// Lines returns how many cache lines span [addr, addr+size).
+func (c *LLC) Lines(addr uint64, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	return int(last - first + 1)
+}

@@ -1,0 +1,87 @@
+package simmem
+
+// Pager is notified once per distinct page spanned by an access. The
+// enclave layer implements it with EPC residency management; the plain
+// layer implements soft-fault accounting. It returns the extra cycles
+// the touch cost.
+type Pager interface {
+	Touch(page uint64, write bool) (extraCycles uint64)
+}
+
+// Meter charges simulated cycles for memory accesses and CPU work. One
+// Meter corresponds to one core running the filtering engine, matching
+// the paper's single-machine filter deployment.
+type Meter struct {
+	Cost    CostModel
+	LLC     *LLC
+	C       Counters
+	enclave bool
+	pager   Pager
+}
+
+// NewMeter builds a meter in plain (non-enclave) mode with the default
+// LLC geometry.
+func NewMeter(cost CostModel) *Meter {
+	return &Meter{Cost: cost, LLC: NewDefaultLLC()}
+}
+
+// SetEnclave switches MEE charging on LLC misses on or off.
+func (m *Meter) SetEnclave(on bool) { m.enclave = on }
+
+// Enclave reports whether the meter charges MEE costs.
+func (m *Meter) Enclave() bool { return m.enclave }
+
+// SetPager installs the residency layer.
+func (m *Meter) SetPager(p Pager) { m.pager = p }
+
+// Access charges for a read or write of size bytes at addr: one LLC
+// lookup per spanned cache line, DRAM cost per miss, MEE cost per miss
+// in enclave mode, and a pager touch per spanned page.
+func (m *Meter) Access(addr uint64, size int, write bool) {
+	if size <= 0 {
+		return
+	}
+	if m.pager != nil {
+		first := pageOf(addr)
+		last := pageOf(addr + uint64(size) - 1)
+		for p := first; p <= last; p++ {
+			m.C.Cycles += m.pager.Touch(p, write)
+		}
+	}
+	lineSize := m.LLC.LineSize()
+	firstLine := addr / lineSize
+	lastLine := (addr + uint64(size) - 1) / lineSize
+	for line := firstLine; line <= lastLine; line++ {
+		if m.LLC.Touch(line * lineSize) {
+			m.C.LLCHits++
+			m.C.Cycles += m.Cost.LLCHitCycles
+		} else {
+			m.C.LLCMisses++
+			m.C.Cycles += m.Cost.LLCHitCycles + m.Cost.DRAMCycles
+			if m.enclave {
+				m.C.Cycles += m.Cost.MEECycles
+			}
+		}
+	}
+	if write {
+		m.C.BytesWritten += uint64(size)
+	} else {
+		m.C.BytesRead += uint64(size)
+	}
+}
+
+// Charge adds raw CPU cycles (predicate evaluation, arithmetic, ...).
+func (m *Meter) Charge(cycles uint64) { m.C.Cycles += cycles }
+
+// ChargeAES charges the simulated cost of decrypting (or encrypting) an
+// n-byte message: fixed setup plus the per-byte stream cost.
+func (m *Meter) ChargeAES(n int) {
+	m.C.Cycles += m.Cost.AESFixedCycles + uint64(m.Cost.AESByteCycles*float64(n))
+	m.C.CryptoBytes += uint64(n)
+}
+
+// ChargeTransition charges one ecall round trip.
+func (m *Meter) ChargeTransition() {
+	m.C.Cycles += m.Cost.EnclaveTransitionCycles
+	m.C.Transitions++
+}

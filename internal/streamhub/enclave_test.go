@@ -1,0 +1,33 @@
+package streamhub
+
+import (
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+)
+
+// testEnclave wraps one enclave-backed slice for the enclave hub test.
+type testEnclave struct {
+	enclave *sgx.Enclave
+	mem     *sgx.Accessor
+}
+
+func newTestEnclave() (*testEnclave, error) {
+	dev, err := sgx.NewDevice([]byte("streamhub-test"), simmem.DefaultCost())
+	if err != nil {
+		return nil, err
+	}
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		return nil, err
+	}
+	e, err := dev.Launch([]byte("streamhub slice image"), signer.Public(), sgx.EnclaveConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &testEnclave{enclave: e, mem: e.Memory()}, nil
+}
+
+func (t *testEnclave) ecall(fn func() error) error { return t.enclave.Ecall(fn) }
+
+func (t *testEnclave) transitions() uint64 { return t.mem.Meter().C.Transitions }

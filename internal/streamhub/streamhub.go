@@ -1,0 +1,231 @@
+// Package streamhub implements the scaling architecture §3.4 of the
+// paper advocates instead of broker overlays: following StreamHub
+// (Barazzutti et al., DEBS'13), the subscription database is
+// partitioned across independent matching engines ("matcher slices")
+// behind a single ingress. A publication is matched by every slice in
+// parallel and the result sets are merged; the publisher↔matcher key
+// management of SCBR "could be simply replicated" per slice, which is
+// exactly what the enclave-backed constructor does.
+//
+// Partitioning also attacks the paper's EPC-exhaustion problem
+// (Fig. 8): each slice only holds 1/k of the database, so a database
+// that would page on one enclave fits k enclaves' EPCs.
+package streamhub
+
+import (
+	"fmt"
+	"sync"
+
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+// Hub fans registrations and matches across partitioned engines.
+type Hub struct {
+	mu     sync.Mutex
+	schema *pubsub.Schema
+	parts  []*partition
+	owner  map[uint64]int // subscription ID → partition index
+}
+
+type partition struct {
+	engine *core.Engine
+	subs   int
+	enter  func(func() error) error // enclave call gate, or nil
+}
+
+// New builds a hub with k partitions whose engines are produced by
+// newEngine (called with the shared schema and the partition index).
+// enter optionally wraps engine calls in an enclave transition
+// (pass nil for plain slices).
+func New(k int, schema *pubsub.Schema,
+	newEngine func(i int, schema *pubsub.Schema) (*core.Engine, error),
+	enter func(i int, fn func() error) error) (*Hub, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("streamhub: need at least one partition, got %d", k)
+	}
+	h := &Hub{schema: schema, owner: make(map[uint64]int)}
+	for i := 0; i < k; i++ {
+		engine, err := newEngine(i, schema)
+		if err != nil {
+			return nil, fmt.Errorf("streamhub: building partition %d: %w", i, err)
+		}
+		p := &partition{engine: engine}
+		if enter != nil {
+			idx := i
+			p.enter = func(fn func() error) error { return enter(idx, fn) }
+		}
+		h.parts = append(h.parts, p)
+	}
+	return h, nil
+}
+
+// NewPlain builds a hub of k plain-memory slices with the default cost
+// model — the common StreamHub deployment where matchers are ordinary
+// processes.
+func NewPlain(k int, opts core.Options) (*Hub, error) {
+	schema := pubsub.NewSchema()
+	return New(k, schema, func(_ int, s *pubsub.Schema) (*core.Engine, error) {
+		return core.NewEngine(simmem.NewPlainAccessor(simmem.DefaultCost()), s, opts)
+	}, nil)
+}
+
+// Partitions returns the number of slices.
+func (h *Hub) Partitions() int { return len(h.parts) }
+
+// Schema returns the shared attribute intern table; events matched
+// against the hub must be interned through it.
+func (h *Hub) Schema() *pubsub.Schema { return h.schema }
+
+// Register inserts the subscription into the least-loaded slice.
+func (h *Hub) Register(spec pubsub.SubscriptionSpec, clientRef uint32) (uint64, error) {
+	sub, err := pubsub.Normalize(h.schema, spec)
+	if err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	target := 0
+	for i, p := range h.parts {
+		if p.subs < h.parts[target].subs {
+			target = i
+		}
+	}
+	p := h.parts[target]
+	p.subs++
+	h.mu.Unlock()
+
+	var id uint64
+	register := func() error {
+		var err error
+		id, err = p.engine.RegisterNormalized(sub, clientRef)
+		return err
+	}
+	if p.enter != nil {
+		err = p.enter(register)
+	} else {
+		err = register()
+	}
+	if err != nil {
+		h.mu.Lock()
+		p.subs--
+		h.mu.Unlock()
+		return 0, err
+	}
+	// Engine IDs are per-partition; expose a hub-wide ID by packing
+	// the partition into the top byte.
+	hubID := uint64(target)<<56 | id
+	h.mu.Lock()
+	h.owner[hubID] = target
+	h.mu.Unlock()
+	return hubID, nil
+}
+
+// Unregister removes a hub subscription.
+func (h *Hub) Unregister(hubID uint64) error {
+	h.mu.Lock()
+	target, ok := h.owner[hubID]
+	if ok {
+		delete(h.owner, hubID)
+		h.parts[target].subs--
+	}
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
+	}
+	p := h.parts[target]
+	remove := func() error { return p.engine.Unregister(hubID &^ (uint64(0xFF) << 56)) }
+	if p.enter != nil {
+		return p.enter(remove)
+	}
+	return remove()
+}
+
+// MatchStats reports the simulated cost of one fan-out match.
+type MatchStats struct {
+	// MakespanCycles is the slowest slice's cycle count — the simulated
+	// latency when slices run in parallel (separate machines/cores).
+	MakespanCycles uint64
+	// TotalCycles sums all slices — the work a single machine would do.
+	TotalCycles uint64
+}
+
+// Match fans the event out to every slice in parallel and merges the
+// results, rewriting engine IDs into hub IDs.
+func (h *Hub) Match(ev *pubsub.Event) ([]core.MatchResult, MatchStats, error) {
+	type sliceResult struct {
+		idx     int
+		matches []core.MatchResult
+		cycles  uint64
+		err     error
+	}
+	results := make([]sliceResult, len(h.parts))
+	var wg sync.WaitGroup
+	for i, p := range h.parts {
+		wg.Add(1)
+		go func(i int, p *partition) {
+			defer wg.Done()
+			meter := p.engine.Accessor().Meter()
+			before := meter.C.Cycles
+			match := func() error {
+				var err error
+				results[i].matches, err = p.engine.Match(ev)
+				return err
+			}
+			var err error
+			if p.enter != nil {
+				err = p.enter(match)
+			} else {
+				err = match()
+			}
+			results[i] = sliceResult{
+				idx:     i,
+				matches: results[i].matches,
+				cycles:  meter.C.Cycles - before,
+				err:     err,
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var out []core.MatchResult
+	var stats MatchStats
+	for _, r := range results {
+		if r.err != nil {
+			return nil, stats, fmt.Errorf("streamhub: partition %d: %w", r.idx, r.err)
+		}
+		for _, m := range r.matches {
+			m.SubID = uint64(r.idx)<<56 | m.SubID
+			out = append(out, m)
+		}
+		stats.TotalCycles += r.cycles
+		if r.cycles > stats.MakespanCycles {
+			stats.MakespanCycles = r.cycles
+		}
+	}
+	return out, stats, nil
+}
+
+// Stats aggregates the partition engines.
+type Stats struct {
+	Partitions    int
+	Subscriptions int
+	// PerPartition lists each slice's live subscription count.
+	PerPartition []int
+	// Bytes sums the slices' arena footprints.
+	Bytes uint64
+}
+
+// Stats returns hub statistics.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Stats{Partitions: len(h.parts)}
+	for _, p := range h.parts {
+		es := p.engine.Stats()
+		st.Subscriptions += es.Subscriptions
+		st.PerPartition = append(st.PerPartition, es.Subscriptions)
+		st.Bytes += es.Bytes
+	}
+	return st
+}

@@ -1,0 +1,247 @@
+package streamhub
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+func randomSpec(rng *rand.Rand) pubsub.SubscriptionSpec {
+	symbols := []string{"HAL", "IBM", "MSFT", "AAPL"}
+	var preds []pubsub.Predicate
+	if rng.Intn(3) > 0 {
+		preds = append(preds, pubsub.Predicate{
+			Attr: "symbol", Op: pubsub.OpEq, Value: pubsub.Str(symbols[rng.Intn(len(symbols))]),
+		})
+	}
+	preds = append(preds, pubsub.Predicate{
+		Attr: "price", Op: pubsub.OpLt, Value: pubsub.Float(float64(rng.Intn(100))),
+	})
+	return pubsub.SubscriptionSpec{Predicates: preds}
+}
+
+func randomEvent(t *testing.T, rng *rand.Rand, schema *pubsub.Schema) *pubsub.Event {
+	t.Helper()
+	symbols := []string{"HAL", "IBM", "MSFT", "AAPL"}
+	ev, err := pubsub.NewEvent(schema, map[string]pubsub.Value{
+		"symbol": pubsub.Str(symbols[rng.Intn(len(symbols))]),
+		"price":  pubsub.Float(float64(rng.Intn(120))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestHubEquivalentToSingleEngine(t *testing.T) {
+	hub, err := NewPlain(4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleSchema := pubsub.NewSchema()
+	single, err := core.NewEngine(simmem.NewPlainAccessor(simmem.DefaultCost()), singleSchema, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		spec := randomSpec(rng)
+		if _, err := hub.Register(spec, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := single.Register(spec, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		evHub := randomEvent(t, rng, hub.schema)
+		evSingle, err := pubsub.NewEvent(singleSchema, map[string]pubsub.Value{
+			"symbol": {Kind: pubsub.KindString, S: mustGet(evHub, hub.schema, "symbol").S},
+			"price":  {Kind: pubsub.KindFloat, F: mustGet(evHub, hub.schema, "price").F},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := hub.Match(evHub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := single.Match(evSingle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same number of matches and the same client refs.
+		if len(a) != len(b) {
+			t.Fatalf("event %d: hub %d matches, single %d", i, len(a), len(b))
+		}
+		ra, rb := make([]uint32, len(a)), make([]uint32, len(b))
+		for j := range a {
+			ra[j] = a[j].ClientRef
+			rb[j] = b[j].ClientRef
+		}
+		sort.Slice(ra, func(x, y int) bool { return ra[x] < ra[y] })
+		sort.Slice(rb, func(x, y int) bool { return rb[x] < rb[y] })
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("event %d: hub clients %v, single %v", i, ra, rb)
+			}
+		}
+	}
+}
+
+func mustGet(ev *pubsub.Event, schema *pubsub.Schema, name string) pubsub.Value {
+	id, _ := schema.Lookup(name)
+	v, _ := ev.Get(id)
+	return v
+}
+
+func TestHubBalancesPartitions(t *testing.T) {
+	hub, err := NewPlain(4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if _, err := hub.Register(randomSpec(rng), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := hub.Stats()
+	if st.Subscriptions != 1000 || st.Partitions != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i, n := range st.PerPartition {
+		if n != 250 {
+			t.Fatalf("partition %d holds %d subscriptions, want 250 (%v)", i, n, st.PerPartition)
+		}
+	}
+}
+
+func TestHubParallelSpeedup(t *testing.T) {
+	// The makespan of a 4-way hub must be well below the total work —
+	// that is the point of partitioned matching.
+	hub, err := NewPlain(4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		if _, err := hub.Register(randomSpec(rng), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var makespan, total uint64
+	for i := 0; i < 50; i++ {
+		_, stats, err := hub.Match(randomEvent(t, rng, hub.schema))
+		if err != nil {
+			t.Fatal(err)
+		}
+		makespan += stats.MakespanCycles
+		total += stats.TotalCycles
+	}
+	if makespan == 0 || total == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	speedup := float64(total) / float64(makespan)
+	if speedup < 1.5 {
+		t.Fatalf("speedup = %.2f, want ≥ 1.5 with 4 partitions", speedup)
+	}
+}
+
+func TestHubUnregister(t *testing.T) {
+	hub, err := NewPlain(2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: "price", Op: pubsub.OpGt, Value: pubsub.Float(0)},
+	}}
+	id, err := hub.Register(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := pubsub.NewEvent(hub.schema, map[string]pubsub.Value{"price": pubsub.Float(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := hub.Match(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SubID != id {
+		t.Fatalf("match = %v, want hub id %d", got, id)
+	}
+	if err := hub.Unregister(id); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = hub.Match(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("match after unregister = %v", got)
+	}
+	if err := hub.Unregister(id); err == nil {
+		t.Fatal("double unregister succeeded")
+	}
+	if st := hub.Stats(); st.Subscriptions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHubValidation(t *testing.T) {
+	if _, err := NewPlain(0, core.Options{}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	hub, err := NewPlain(1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Register(pubsub.SubscriptionSpec{}, 1); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestHubEnclaveSlices(t *testing.T) {
+	// Enclave-backed slices: each partition gets its own enclave, as
+	// the replicated key-management deployment of §3.4 would.
+	schema := pubsub.NewSchema()
+	enclaves := make([]*testEnclave, 0, 2)
+	hub, err := New(2, schema,
+		func(i int, s *pubsub.Schema) (*core.Engine, error) {
+			e, err := newTestEnclave()
+			if err != nil {
+				return nil, err
+			}
+			enclaves = append(enclaves, e)
+			return core.NewEngine(e.mem, s, core.Options{})
+		},
+		func(i int, fn func() error) error { return enclaves[i].ecall(fn) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		if _, err := hub.Register(randomSpec(rng), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, stats, err := hub.Match(randomEvent(t, rng, schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = got
+	if stats.TotalCycles == 0 {
+		t.Fatal("enclave slices recorded no cycles")
+	}
+	// Both enclaves saw transitions.
+	for i, e := range enclaves {
+		if e.transitions() == 0 {
+			t.Fatalf("enclave %d saw no ecalls", i)
+		}
+	}
+}

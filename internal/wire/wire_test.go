@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		bytes.Repeat([]byte("xyz"), 10000),
+	}
+	for _, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip mismatch for %d bytes", len(p))
+		}
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write: %v", err)
+	}
+	// A forged oversize header must be rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize header: %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Cut inside the body.
+	if _, err := ReadFrame(bytes.NewReader(raw[:7])); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Cut inside the header.
+	if _, err := ReadFrame(bytes.NewReader(raw[:2])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Clean EOF at a frame boundary surfaces as io.EOF.
+	if _, err := ReadFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestFramesOverSocket(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		_ = WriteFrame(client, []byte("first"))
+		_ = WriteFrame(client, []byte("second"))
+	}()
+	a, err := ReadFrame(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFrame(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != "first" || string(b) != "second" {
+		t.Fatalf("got %q, %q", a, b)
+	}
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("seed payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		payload, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// A decoded frame must re-frame to the identical bytes consumed.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), raw[:out.Len()]) {
+			t.Fatal("re-framed bytes differ from input prefix")
+		}
+	})
+}

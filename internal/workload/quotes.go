@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"scbr/internal/pubsub"
+)
+
+// Quote corpus defaults matching the paper's crawl: ≈250 000 entries
+// over 5 years with 8–11 attributes each.
+const (
+	DefaultNumSymbols   = 500
+	DefaultQuotesPerSym = 500
+	tradingDaysPerYear  = 252
+	corpusYears         = 5
+)
+
+// Entry is one quote: the symbol plus its numeric attributes, in a
+// stable attribute order (symbol first).
+type Entry struct {
+	Attrs []pubsub.NamedValue
+}
+
+// Symbol returns the entry's ticker symbol.
+func (e Entry) Symbol() string { return e.Attrs[0].Value.S }
+
+// QuoteSet is the synthetic stand-in for the paper's Yahoo! Finance
+// crawl.
+type QuoteSet struct {
+	Entries  []Entry
+	Symbols  []string
+	bySymbol map[string][]int
+}
+
+// NewQuoteSet generates a deterministic corpus: numSymbols tickers
+// with log-uniform price levels between $2 and $800, each followed
+// through perSymbol daily random-walk quotes spread over five years.
+// Per entry, 8 attributes are always present (symbol, open, high, low,
+// close, volume, day, month) and up to 3 more (year, adjclose, change)
+// appear randomly, giving the paper's 8–11 attributes.
+func NewQuoteSet(seed int64, numSymbols, perSymbol int) (*QuoteSet, error) {
+	if numSymbols <= 0 || perSymbol <= 0 {
+		return nil, fmt.Errorf("workload: invalid corpus size %d×%d", numSymbols, perSymbol)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := &QuoteSet{
+		Entries:  make([]Entry, 0, numSymbols*perSymbol),
+		Symbols:  make([]string, 0, numSymbols),
+		bySymbol: make(map[string][]int, numSymbols),
+	}
+	seen := make(map[string]bool, numSymbols)
+	for len(qs.Symbols) < numSymbols {
+		sym := randomSymbol(rng)
+		if seen[sym] {
+			continue
+		}
+		seen[sym] = true
+		qs.Symbols = append(qs.Symbols, sym)
+	}
+	for _, sym := range qs.Symbols {
+		// Price level: log-uniform in [2, 800].
+		level := 2 * math.Exp(rng.Float64()*math.Log(400))
+		volumeLevel := float64(10_000 * (1 + rng.Intn(1000)))
+		price := level
+		day := rng.Intn(tradingDaysPerYear * corpusYears)
+		for i := 0; i < perSymbol; i++ {
+			// Geometric daily step, ±~2%.
+			price *= math.Exp(rng.NormFloat64() * 0.02)
+			if price < 0.01 {
+				price = 0.01
+			}
+			open := price * (1 + rng.NormFloat64()*0.005)
+			high := math.Max(open, price) * (1 + rng.Float64()*0.01)
+			low := math.Min(open, price) * (1 - rng.Float64()*0.01)
+			volume := volumeLevel * math.Exp(rng.NormFloat64()*0.5)
+			day += 1 + rng.Intn(4)
+			dayOfMonth := 1 + day%28
+			month := 1 + (day/21)%12
+			year := 2011 + day/tradingDaysPerYear
+
+			attrs := []pubsub.NamedValue{
+				{Name: "symbol", Value: pubsub.Str(sym)},
+				{Name: "open", Value: pubsub.Float(round2(open))},
+				{Name: "high", Value: pubsub.Float(round2(high))},
+				{Name: "low", Value: pubsub.Float(round2(low))},
+				{Name: "close", Value: pubsub.Float(round2(price))},
+				{Name: "volume", Value: pubsub.Int(int64(volume))},
+				{Name: "day", Value: pubsub.Int(int64(dayOfMonth))},
+				{Name: "month", Value: pubsub.Int(int64(month))},
+			}
+			if rng.Intn(2) == 0 {
+				attrs = append(attrs, pubsub.NamedValue{Name: "year", Value: pubsub.Int(int64(year))})
+			}
+			if rng.Intn(2) == 0 {
+				attrs = append(attrs, pubsub.NamedValue{Name: "adjclose", Value: pubsub.Float(round2(price * 0.98))})
+			}
+			if rng.Intn(2) == 0 {
+				attrs = append(attrs, pubsub.NamedValue{Name: "change", Value: pubsub.Float(round2((price - open) / open * 100))})
+			}
+			qs.bySymbol[sym] = append(qs.bySymbol[sym], len(qs.Entries))
+			qs.Entries = append(qs.Entries, Entry{Attrs: attrs})
+		}
+	}
+	return qs, nil
+}
+
+// EntriesOf returns the indices of all entries for a symbol.
+func (qs *QuoteSet) EntriesOf(symbol string) []int { return qs.bySymbol[symbol] }
+
+func randomSymbol(rng *rand.Rand) string {
+	n := 1 + rng.Intn(4)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('A' + rng.Intn(26)))
+	}
+	return b.String()
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// MergeEntries combines k entries into one wide entry with suffixed
+// attribute names — the paper's ×2/×4 attribute synthesis ("merging
+// data from multiple quotes").
+func MergeEntries(entries []Entry) Entry {
+	if len(entries) == 1 {
+		return entries[0]
+	}
+	var out Entry
+	total := 0
+	for _, e := range entries {
+		total += len(e.Attrs)
+	}
+	out.Attrs = make([]pubsub.NamedValue, 0, total)
+	for i, e := range entries {
+		suffix := fmt.Sprintf("_%d", i+1)
+		for _, a := range e.Attrs {
+			out.Attrs = append(out.Attrs, pubsub.NamedValue{
+				Name:  a.Name + suffix,
+				Value: a.Value,
+			})
+		}
+	}
+	return out
+}

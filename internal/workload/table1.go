@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scbr/internal/pubsub"
+)
+
+// Distribution selects how subscription values are drawn (last column
+// of Table 1).
+type Distribution int
+
+// Value distributions.
+const (
+	Uniform Distribution = iota + 1
+	// ZipfSymbol draws the subscription's quote with a Zipf(s=1) skew
+	// over ticker symbols ("Zipf on symbol").
+	ZipfSymbol
+	// ZipfAll draws the subscription's quote with a Zipf(s=1) skew over
+	// all corpus entries ("Zipf on all attributes").
+	ZipfAll
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case ZipfSymbol:
+		return "zipf(symbol)"
+	case ZipfAll:
+		return "zipf(all)"
+	default:
+		return "dist?"
+	}
+}
+
+// EqClass is one row of an equality-predicate mix: Frac of the
+// subscriptions carry NumEq equality predicates.
+type EqClass struct {
+	NumEq int
+	Frac  float64
+}
+
+// Spec describes one Table 1 workload.
+type Spec struct {
+	Name string
+	// EqMix is the proportion of equality predicates.
+	EqMix []EqClass
+	// AttrFactor multiplies the publication attribute count by merging
+	// this many quotes (1, 2 or 4).
+	AttrFactor int
+	// Dist is the subscription value distribution.
+	Dist Distribution
+}
+
+// Table1 returns the paper's nine workload specifications.
+func Table1() []Spec {
+	mix80 := []EqClass{{NumEq: 0, Frac: 0.20}, {NumEq: 1, Frac: 0.80}}
+	mixExt := []EqClass{
+		{NumEq: 0, Frac: 0.15},
+		{NumEq: 1, Frac: 0.60},
+		{NumEq: 2, Frac: 0.15},
+		{NumEq: 3, Frac: 0.10},
+	}
+	mix100 := []EqClass{{NumEq: 1, Frac: 1.0}}
+	return []Spec{
+		{Name: "e100a1", EqMix: mix100, AttrFactor: 1, Dist: Uniform},
+		{Name: "e80a1", EqMix: mix80, AttrFactor: 1, Dist: Uniform},
+		{Name: "e80a2", EqMix: mix80, AttrFactor: 2, Dist: Uniform},
+		{Name: "e80a4", EqMix: mix80, AttrFactor: 4, Dist: Uniform},
+		{Name: "extsub2", EqMix: mixExt, AttrFactor: 2, Dist: Uniform},
+		{Name: "extsub4", EqMix: mixExt, AttrFactor: 4, Dist: Uniform},
+		{Name: "e80a1z100", EqMix: mix80, AttrFactor: 1, Dist: ZipfSymbol},
+		{Name: "e80a1zz100", EqMix: mix80, AttrFactor: 1, Dist: ZipfAll},
+		{Name: "e100a1zz100", EqMix: mix100, AttrFactor: 1, Dist: ZipfAll},
+	}
+}
+
+// SpecByName looks a workload up by its Table 1 name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Generator synthesises subscriptions and publications for one
+// workload over a quote corpus. It is deterministic for a given
+// (corpus, spec, seed) triple and not safe for concurrent use.
+type Generator struct {
+	spec      Spec
+	qs        *QuoteSet
+	rng       *rand.Rand
+	zipfSym   *Zipf
+	zipfEntry *Zipf
+	mixCDF    []float64
+	scratch   []Entry
+}
+
+// NewGenerator builds a generator for the given workload.
+func NewGenerator(spec Spec, qs *QuoteSet, seed int64) (*Generator, error) {
+	if spec.AttrFactor < 1 {
+		return nil, fmt.Errorf("workload %s: attribute factor %d", spec.Name, spec.AttrFactor)
+	}
+	if len(spec.EqMix) == 0 {
+		return nil, fmt.Errorf("workload %s: empty equality mix", spec.Name)
+	}
+	g := &Generator{spec: spec, qs: qs, rng: rand.New(rand.NewSource(seed))}
+	sum := 0.0
+	for _, c := range spec.EqMix {
+		sum += c.Frac
+		g.mixCDF = append(g.mixCDF, sum)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("workload %s: equality mix sums to %f", spec.Name, sum)
+	}
+	var err error
+	switch spec.Dist {
+	case Uniform:
+	case ZipfSymbol:
+		if g.zipfSym, err = NewZipf(g.rng, 1, len(qs.Symbols)); err != nil {
+			return nil, err
+		}
+	case ZipfAll:
+		if g.zipfEntry, err = NewZipf(g.rng, 1, len(qs.Entries)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("workload %s: unknown distribution %d", spec.Name, spec.Dist)
+	}
+	return g, nil
+}
+
+// Spec returns the generator's workload spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// drawEntry picks one quote according to the workload distribution.
+func (g *Generator) drawEntry() Entry {
+	switch g.spec.Dist {
+	case ZipfSymbol:
+		sym := g.qs.Symbols[g.zipfSym.Draw()]
+		idxs := g.qs.EntriesOf(sym)
+		return g.qs.Entries[idxs[g.rng.Intn(len(idxs))]]
+	case ZipfAll:
+		return g.qs.Entries[g.zipfEntry.Draw()]
+	default:
+		return g.qs.Entries[g.rng.Intn(len(g.qs.Entries))]
+	}
+}
+
+// mergedEntry draws AttrFactor quotes and merges them into one wide
+// entry (suffix-free for factor 1).
+func (g *Generator) mergedEntry() Entry {
+	g.scratch = g.scratch[:0]
+	for i := 0; i < g.spec.AttrFactor; i++ {
+		g.scratch = append(g.scratch, g.drawEntry())
+	}
+	return MergeEntries(g.scratch)
+}
+
+// numEqualities draws from the workload's equality mix.
+func (g *Generator) numEqualities() int {
+	u := g.rng.Float64()
+	for i, c := range g.mixCDF {
+		if u <= c {
+			return g.spec.EqMix[i].NumEq
+		}
+	}
+	return g.spec.EqMix[len(g.spec.EqMix)-1].NumEq
+}
+
+// Subscription synthesises one subscription: the drawn quote supplies
+// the predicate values, equality predicates land on symbol (then
+// day/month of further merged components), and 2–4 range predicates
+// window the quote's numeric attributes with log-uniform widths
+// (1%–100% of the value), which produces the nested intervals that
+// containment trees exploit.
+func (g *Generator) Subscription() pubsub.SubscriptionSpec {
+	entry := g.mergedEntry()
+	nEq := g.numEqualities()
+	var preds []pubsub.Predicate
+
+	// Equality predicates. The first is always on a symbol attribute
+	// (the paper's z100 naming ties the Zipf skew to the symbol);
+	// later ones pin calendar attributes of further components.
+	eqTargets := []string{"symbol", "day", "month"}
+	for i := 0; i < nEq; i++ {
+		component := i % g.spec.AttrFactor
+		name := eqTargets[min(i, len(eqTargets)-1)]
+		if g.spec.AttrFactor > 1 {
+			name = fmt.Sprintf("%s_%d", name, component+1)
+		}
+		if v, ok := findAttr(entry, name); ok {
+			preds = append(preds, pubsub.Predicate{Attr: name, Op: pubsub.OpEq, Value: v})
+		}
+	}
+
+	// Range predicates over distinct numeric attributes.
+	numeric := numericAttrs(entry)
+	g.rng.Shuffle(len(numeric), func(i, j int) { numeric[i], numeric[j] = numeric[j], numeric[i] })
+	nRange := 2 + g.rng.Intn(3)
+	if nRange > len(numeric) {
+		nRange = len(numeric)
+	}
+	for _, a := range numeric[:nRange] {
+		v := a.Value.AsFloat()
+		width := absf(v) * powUniform(g.rng)
+		if width == 0 {
+			width = 1 + g.rng.Float64()*10
+		}
+		switch g.rng.Intn(8) {
+		case 0:
+			preds = append(preds, pubsub.Predicate{Attr: a.Name, Op: pubsub.OpLt, Value: pubsub.Float(v + width)})
+		case 1:
+			preds = append(preds, pubsub.Predicate{Attr: a.Name, Op: pubsub.OpGt, Value: pubsub.Float(v - width)})
+		default:
+			preds = append(preds, pubsub.Predicate{
+				Attr: a.Name, Op: pubsub.OpBetween,
+				Value: pubsub.Float(v - width), Hi: pubsub.Float(v + width),
+			})
+		}
+	}
+	return pubsub.SubscriptionSpec{Predicates: preds}
+}
+
+// Subscriptions generates n subscription specs.
+func (g *Generator) Subscriptions(n int) []pubsub.SubscriptionSpec {
+	out := make([]pubsub.SubscriptionSpec, n)
+	for i := range out {
+		out[i] = g.Subscription()
+	}
+	return out
+}
+
+// Publication draws one publication header: AttrFactor uniformly
+// chosen quotes merged to the workload's arity. Publications are
+// always drawn uniformly — the skew of Table 1 concerns subscription
+// values.
+func (g *Generator) Publication() pubsub.EventSpec {
+	g.scratch = g.scratch[:0]
+	for i := 0; i < g.spec.AttrFactor; i++ {
+		g.scratch = append(g.scratch, g.qs.Entries[g.rng.Intn(len(g.qs.Entries))])
+	}
+	merged := MergeEntries(g.scratch)
+	return pubsub.EventSpec{Attrs: merged.Attrs}
+}
+
+// Publications generates n publication headers.
+func (g *Generator) Publications(n int) []pubsub.EventSpec {
+	out := make([]pubsub.EventSpec, n)
+	for i := range out {
+		out[i] = g.Publication()
+	}
+	return out
+}
+
+// Mix reports the realised equality-predicate proportions and average
+// attribute counts of a generated subscription set — used to validate
+// the generator against Table 1.
+type Mix struct {
+	// EqFrac[k] is the fraction of subscriptions with k equality
+	// predicates.
+	EqFrac map[int]float64
+	// AvgPreds is the mean number of predicates per subscription.
+	AvgPreds float64
+}
+
+// AnalyzeSpecs computes the realised mix of a subscription set.
+func AnalyzeSpecs(specs []pubsub.SubscriptionSpec) Mix {
+	m := Mix{EqFrac: make(map[int]float64)}
+	if len(specs) == 0 {
+		return m
+	}
+	total := 0
+	for _, s := range specs {
+		eq := 0
+		for _, p := range s.Predicates {
+			if p.Op == pubsub.OpEq {
+				eq++
+			}
+		}
+		m.EqFrac[eq]++
+		total += len(s.Predicates)
+	}
+	for k := range m.EqFrac {
+		m.EqFrac[k] /= float64(len(specs))
+	}
+	m.AvgPreds = float64(total) / float64(len(specs))
+	return m
+}
+
+func findAttr(e Entry, name string) (pubsub.Value, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return pubsub.Value{}, false
+}
+
+func numericAttrs(e Entry) []pubsub.NamedValue {
+	out := make([]pubsub.NamedValue, 0, len(e.Attrs))
+	for _, a := range e.Attrs {
+		if a.Value.Numeric() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// powUniform draws 10^u with u uniform in [-2, 0): widths from 1% to
+// 100% of the attribute value.
+func powUniform(rng *rand.Rand) float64 {
+	u := rng.Float64()*2 - 2
+	return math.Pow(10, u)
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,350 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scbr/internal/pubsub"
+)
+
+func smallCorpus(t *testing.T) *QuoteSet {
+	t.Helper()
+	qs, err := NewQuoteSet(1, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+func TestQuoteSetShape(t *testing.T) {
+	qs := smallCorpus(t)
+	if len(qs.Entries) != 5000 {
+		t.Fatalf("entries = %d, want 5000", len(qs.Entries))
+	}
+	if len(qs.Symbols) != 50 {
+		t.Fatalf("symbols = %d, want 50", len(qs.Symbols))
+	}
+	for _, e := range qs.Entries {
+		if n := len(e.Attrs); n < 8 || n > 11 {
+			t.Fatalf("entry has %d attributes, want 8–11", n)
+		}
+		if e.Attrs[0].Name != "symbol" || e.Attrs[0].Value.Kind != pubsub.KindString {
+			t.Fatalf("first attribute must be the symbol, got %+v", e.Attrs[0])
+		}
+		var hi, lo, cl float64
+		for _, a := range e.Attrs {
+			switch a.Name {
+			case "high":
+				hi = a.Value.AsFloat()
+			case "low":
+				lo = a.Value.AsFloat()
+			case "close":
+				cl = a.Value.AsFloat()
+			}
+		}
+		if hi < lo {
+			t.Fatalf("high %f < low %f", hi, lo)
+		}
+		if cl <= 0 {
+			t.Fatalf("non-positive close %f", cl)
+		}
+	}
+	// Per-symbol index is complete.
+	total := 0
+	for _, sym := range qs.Symbols {
+		total += len(qs.EntriesOf(sym))
+	}
+	if total != len(qs.Entries) {
+		t.Fatalf("per-symbol index covers %d of %d entries", total, len(qs.Entries))
+	}
+}
+
+func TestQuoteSetDeterministic(t *testing.T) {
+	a, err := NewQuoteSet(7, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewQuoteSet(7, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("nondeterministic corpus size")
+	}
+	for i := range a.Entries {
+		if len(a.Entries[i].Attrs) != len(b.Entries[i].Attrs) {
+			t.Fatalf("entry %d differs", i)
+		}
+		for j := range a.Entries[i].Attrs {
+			x, y := a.Entries[i].Attrs[j], b.Entries[i].Attrs[j]
+			if x.Name != y.Name || !x.Value.Equal(y.Value) {
+				t.Fatalf("entry %d attr %d differs: %+v vs %+v", i, j, x, y)
+			}
+		}
+	}
+}
+
+func TestQuoteSetValidation(t *testing.T) {
+	if _, err := NewQuoteSet(1, 0, 10); err == nil {
+		t.Fatal("zero symbols accepted")
+	}
+	if _, err := NewQuoteSet(1, 10, 0); err == nil {
+		t.Fatal("zero quotes accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipf(rng, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	// With s=1 over 100 ranks, P(rank 0) = 1/H(100) ≈ 0.1928.
+	h := 0.0
+	for i := 1; i <= 100; i++ {
+		h += 1.0 / float64(i)
+	}
+	want := 1 / h
+	got := float64(counts[0]) / draws
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("P(rank 0) = %f, want ≈ %f", got, want)
+	}
+	// Monotone-ish decay: rank 0 ≫ rank 50.
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("insufficient skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(rng, 1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(rng, 0, 10); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+}
+
+func TestTable1Definitions(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 9 {
+		t.Fatalf("Table1 has %d workloads, want 9", len(specs))
+	}
+	wantNames := []string{
+		"e100a1", "e80a1", "e80a2", "e80a4", "extsub2", "extsub4",
+		"e80a1z100", "e80a1zz100", "e100a1zz100",
+	}
+	for i, s := range specs {
+		if s.Name != wantNames[i] {
+			t.Fatalf("workload %d = %s, want %s", i, s.Name, wantNames[i])
+		}
+		sum := 0.0
+		for _, c := range s.EqMix {
+			sum += c.Frac
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: mix sums to %f", s.Name, sum)
+		}
+	}
+	if _, err := SpecByName("e80a4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestGeneratorEqualityMix(t *testing.T) {
+	qs := smallCorpus(t)
+	for _, name := range []string{"e100a1", "e80a1", "extsub2"} {
+		spec, err := SpecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(spec, qs, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := g.Subscriptions(5000)
+		mix := AnalyzeSpecs(subs)
+		for _, c := range spec.EqMix {
+			got := mix.EqFrac[c.NumEq]
+			if math.Abs(got-c.Frac) > 0.03 {
+				t.Errorf("%s: %d-equality fraction = %f, want %f±0.03", name, c.NumEq, got, c.Frac)
+			}
+		}
+	}
+}
+
+func TestGeneratorAttributeFactor(t *testing.T) {
+	qs := smallCorpus(t)
+	for _, tc := range []struct {
+		name     string
+		minAttrs int
+		maxAttrs int
+	}{
+		{"e80a1", 8, 11},
+		{"e80a2", 16, 22},
+		{"e80a4", 32, 44},
+	} {
+		spec, err := SpecByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(spec, qs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			pub := g.Publication()
+			if n := len(pub.Attrs); n < tc.minAttrs || n > tc.maxAttrs {
+				t.Fatalf("%s: publication with %d attributes, want %d–%d", tc.name, n, tc.minAttrs, tc.maxAttrs)
+			}
+		}
+	}
+}
+
+func TestGeneratorSubscriptionsNormalise(t *testing.T) {
+	qs := smallCorpus(t)
+	schema := pubsub.NewSchema()
+	for _, spec := range Table1() {
+		g, err := NewGenerator(spec, qs, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			sub := g.Subscription()
+			if len(sub.Predicates) == 0 {
+				t.Fatalf("%s: empty subscription", spec.Name)
+			}
+			if _, err := pubsub.Normalize(schema, sub); err != nil {
+				t.Fatalf("%s: generated unsatisfiable subscription %v: %v", spec.Name, sub, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorZipfSymbolSkew(t *testing.T) {
+	qs := smallCorpus(t)
+	specU, _ := SpecByName("e80a1")
+	specZ, _ := SpecByName("e80a1z100")
+	count := func(spec Spec) map[string]int {
+		g, err := NewGenerator(spec, qs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := make(map[string]int)
+		for i := 0; i < 4000; i++ {
+			sub := g.Subscription()
+			for _, p := range sub.Predicates {
+				if p.Attr == "symbol" && p.Op == pubsub.OpEq {
+					c[p.Value.S]++
+				}
+			}
+		}
+		return c
+	}
+	u, z := count(specU), count(specZ)
+	maxU, maxZ := 0, 0
+	for _, n := range u {
+		if n > maxU {
+			maxU = n
+		}
+	}
+	for _, n := range z {
+		if n > maxZ {
+			maxZ = n
+		}
+	}
+	// Zipf concentrates mass on the top symbol far more than uniform.
+	if maxZ < maxU*3 {
+		t.Fatalf("zipf top symbol %d not ≫ uniform top %d", maxZ, maxU)
+	}
+}
+
+func TestGeneratorMatchability(t *testing.T) {
+	// Generated subscriptions must actually match generated
+	// publications at a sane rate — they window real quote values.
+	qs := smallCorpus(t)
+	schema := pubsub.NewSchema()
+	spec, _ := SpecByName("e80a1")
+	g, err := NewGenerator(spec, qs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*pubsub.Subscription, 0, 2000)
+	for _, s := range g.Subscriptions(2000) {
+		n, err := pubsub.Normalize(schema, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, n)
+	}
+	matches := 0
+	for _, p := range g.Publications(200) {
+		ev, err := p.Intern(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range subs {
+			if s.Matches(ev) {
+				matches++
+			}
+		}
+	}
+	if matches == 0 {
+		t.Fatal("no generated publication matched any subscription; workload is vacuous")
+	}
+}
+
+func TestMergeEntries(t *testing.T) {
+	qs := smallCorpus(t)
+	merged := MergeEntries([]Entry{qs.Entries[0], qs.Entries[1]})
+	if len(merged.Attrs) != len(qs.Entries[0].Attrs)+len(qs.Entries[1].Attrs) {
+		t.Fatal("merge lost attributes")
+	}
+	if merged.Attrs[0].Name != "symbol_1" {
+		t.Fatalf("first merged attr = %s, want symbol_1", merged.Attrs[0].Name)
+	}
+	single := MergeEntries([]Entry{qs.Entries[0]})
+	if single.Attrs[0].Name != "symbol" {
+		t.Fatal("factor-1 merge must keep original names")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	qs := smallCorpus(t)
+	if _, err := NewGenerator(Spec{Name: "x", AttrFactor: 0, EqMix: []EqClass{{0, 1}}}, qs, 1); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if _, err := NewGenerator(Spec{Name: "x", AttrFactor: 1}, qs, 1); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := NewGenerator(Spec{Name: "x", AttrFactor: 1, EqMix: []EqClass{{0, 0.5}}}, qs, 1); err == nil {
+		t.Fatal("non-normalised mix accepted")
+	}
+	if _, err := NewGenerator(Spec{Name: "x", AttrFactor: 1, EqMix: []EqClass{{0, 1}}, Dist: Distribution(99)}, qs, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestAnalyzeSpecsEmpty(t *testing.T) {
+	m := AnalyzeSpecs(nil)
+	if len(m.EqFrac) != 0 || m.AvgPreds != 0 {
+		t.Fatalf("empty analysis = %+v", m)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for _, d := range []Distribution{Uniform, ZipfSymbol, ZipfAll, Distribution(9)} {
+		if d.String() == "" {
+			t.Fatal("empty distribution string")
+		}
+	}
+}

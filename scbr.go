@@ -1,0 +1,274 @@
+// Package scbr is the public API of the SCBR reproduction: a secure
+// content-based routing engine that runs its filtering logic inside a
+// (simulated) Intel SGX enclave, after Pires, Pasin, Felber and
+// Fetzer, "Secure Content-Based Routing Using Intel Software Guard
+// Extensions", Middleware 2016.
+//
+// The package re-exports the pieces an application needs:
+//
+//   - the data model: attribute Values, Predicates, SubscriptionSpecs
+//     and EventSpecs (publication headers), plus ParseSpec for the
+//     textual subscription syntax of the paper's examples,
+//   - the three deployment roles of Figure 3: Router (the filtering
+//     engine inside an enclave on untrusted infrastructure), Publisher
+//     (the service provider owning the keys and admission), and Client
+//     (a consumer),
+//   - the simulated SGX platform (Device, Quoter, attestation Service)
+//     that stands in for real hardware — see DESIGN.md for the
+//     substitution,
+//   - the embedded matching engine (Engine) for applications that want
+//     content-based filtering without the distributed protocol,
+//   - the Table 1 workload generators used by the evaluation.
+//
+// A minimal deployment (see examples/quickstart for the runnable
+// version):
+//
+//	dev, _ := scbr.NewDevice(nil)
+//	quoter, _ := scbr.NewQuoter(dev, "my-platform")
+//	router, _ := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
+//	    EnclaveImage:  image,
+//	    EnclaveSigner: signerKey.Public(),
+//	})
+//	// ... attest + provision via a Publisher, subscribe via Clients.
+package scbr
+
+import (
+	"io"
+
+	"scbr/internal/attest"
+	"scbr/internal/broker"
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+	"scbr/internal/workload"
+)
+
+// Data model.
+type (
+	// Value is a typed attribute value (int, float, or string).
+	Value = pubsub.Value
+	// Predicate is one constraint of a subscription.
+	Predicate = pubsub.Predicate
+	// SubscriptionSpec is a conjunction of predicates.
+	SubscriptionSpec = pubsub.SubscriptionSpec
+	// EventSpec is a publication header: named attribute values.
+	EventSpec = pubsub.EventSpec
+	// NamedValue is one attribute of an EventSpec.
+	NamedValue = pubsub.NamedValue
+	// Op is a predicate operator.
+	Op = pubsub.Op
+)
+
+// Predicate operators.
+const (
+	OpEq      = pubsub.OpEq
+	OpLt      = pubsub.OpLt
+	OpLe      = pubsub.OpLe
+	OpGt      = pubsub.OpGt
+	OpGe      = pubsub.OpGe
+	OpBetween = pubsub.OpBetween
+)
+
+// Value kinds.
+const (
+	KindInt    = pubsub.KindInt
+	KindFloat  = pubsub.KindFloat
+	KindString = pubsub.KindString
+)
+
+// Value constructors and parsing.
+var (
+	// Int builds an integer value.
+	Int = pubsub.Int
+	// Float builds a floating-point value.
+	Float = pubsub.Float
+	// Str builds a string value.
+	Str = pubsub.Str
+	// ParseSpec parses 'symbol = "HAL", price < 50' style expressions.
+	ParseSpec = pubsub.ParseSpec
+)
+
+// Simulated SGX platform.
+type (
+	// Device models one SGX-capable CPU package.
+	Device = sgx.Device
+	// Enclave is a launched enclave instance.
+	Enclave = sgx.Enclave
+	// EnclaveConfig parameterises enclave launch.
+	EnclaveConfig = sgx.EnclaveConfig
+	// Quoter converts enclave reports into attestation quotes.
+	Quoter = attest.Quoter
+	// AttestationService verifies quotes (the IAS stand-in).
+	AttestationService = attest.Service
+	// Identity pins an enclave measurement for provisioning.
+	Identity = attest.Identity
+)
+
+// DefaultEPCBytes is the usable enclave page cache size of the paper's
+// platform (~93 MB).
+const DefaultEPCBytes = sgx.DefaultEPCBytes
+
+// NewDevice creates a simulated SGX device with the calibrated cost
+// model. A deterministic seed may be supplied for tests; nil draws a
+// random device key.
+func NewDevice(seed []byte) (*Device, error) {
+	return sgx.NewDevice(seed, simmem.DefaultCost())
+}
+
+// NewQuoter provisions the platform quoting identity for a device.
+func NewQuoter(dev *Device, platformID string) (*Quoter, error) {
+	return attest.NewQuoter(dev, platformID)
+}
+
+// NewAttestationService returns an empty quote-verification service;
+// register genuine platforms with RegisterPlatform.
+func NewAttestationService() *AttestationService { return attest.NewService() }
+
+// Deployment roles (Figure 3 of the paper).
+type (
+	// Router hosts the filtering engine inside an enclave.
+	Router = broker.Router
+	// RouterConfig parameterises a router.
+	RouterConfig = broker.RouterConfig
+	// Publisher is the service provider: key owner, admission
+	// controller, and data source.
+	Publisher = broker.Publisher
+	// Client is a data consumer.
+	Client = broker.Client
+	// Delivery is one decrypted payload received by a client.
+	Delivery = broker.Delivery
+	// ClientRegistry is the publisher's admission database.
+	ClientRegistry = broker.ClientRegistry
+)
+
+// NewRouter launches the routing enclave on dev.
+func NewRouter(dev *Device, quoter *Quoter, cfg RouterConfig) (*Router, error) {
+	return broker.NewRouter(dev, quoter, cfg)
+}
+
+// NewPublisher creates a publisher that provisions secrets only into
+// enclaves matching id, as vouched for by svc.
+func NewPublisher(svc *AttestationService, id Identity) (*Publisher, error) {
+	return broker.NewPublisher(svc, id)
+}
+
+// NewClient creates a consumer with a fresh response key pair.
+func NewClient(id string) (*Client, error) { return broker.NewClient(id) }
+
+// Embedded engine for applications that want SCBR's matching without
+// the distributed protocol.
+type (
+	// Engine is the containment-based matching engine.
+	Engine = core.Engine
+	// EngineOptions configure an Engine.
+	EngineOptions = core.Options
+	// MatchResult identifies one matching subscription.
+	MatchResult = core.MatchResult
+)
+
+// NewPlainEngine builds an engine over plain (non-enclave) simulated
+// memory — the paper's "outside" configuration.
+func NewPlainEngine(opts EngineOptions) (*Engine, error) {
+	acc := simmem.NewPlainAccessor(simmem.DefaultCost())
+	return core.NewEngine(acc, pubsub.NewSchema(), opts)
+}
+
+// NewEnclaveEngine builds an engine inside a freshly launched enclave
+// on dev and returns both.
+func NewEnclaveEngine(dev *Device, cfg EnclaveConfig, opts EngineOptions) (*Engine, *Enclave, error) {
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	enclave, err := dev.Launch([]byte("scbr embedded engine image"), signer.Public(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := core.NewEngine(enclave.Memory(), pubsub.NewSchema(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, enclave, nil
+}
+
+// NewSplitEngine builds an engine inside a freshly launched enclave
+// using the split-memory layout of the paper's §6 future work: the
+// engine keeps a plaintext working set of at most cacheBytes inside
+// the enclave and seals colder pages to untrusted memory itself,
+// instead of relying on hardware EPC paging. Use it for subscription
+// databases expected to outgrow the EPC — past that point it degrades
+// several times more gracefully than the default layout (see the
+// split ablation in EXPERIMENTS.md).
+func NewSplitEngine(dev *Device, cfg EnclaveConfig, cacheBytes uint64, opts EngineOptions) (*Engine, *Enclave, error) {
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	enclave, err := dev.Launch([]byte("scbr embedded split engine image"), signer.Public(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, err := enclave.SplitMemory(cacheBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := core.NewEngine(acc, pubsub.NewSchema(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, enclave, nil
+}
+
+// Keys.
+type (
+	// KeyPair is an RSA key pair (the publisher's PK/PK⁻¹ or an
+	// enclave signing key).
+	KeyPair = scrypto.KeyPair
+)
+
+// NewKeyPair generates an RSA key pair; src defaults to crypto/rand
+// when nil.
+func NewKeyPair(src io.Reader) (*KeyPair, error) { return scrypto.NewKeyPair(src) }
+
+// Simulated-machine utilities: every engine meters its memory traffic
+// against the calibrated model of the paper's evaluation machine, and
+// experiments read the counters through these re-exports.
+type (
+	// CostModel holds the calibrated cycle costs (see internal/simmem).
+	CostModel = simmem.CostModel
+	// MemoryCounters accumulates the simulator's event counts (cycles,
+	// LLC hits/misses, page faults, transitions, ...).
+	MemoryCounters = simmem.Counters
+)
+
+// DefaultCostModel returns the cycle model calibrated to the paper's
+// machine (3.4 GHz i7-6700, 8 MB LLC, SGX v1).
+func DefaultCostModel() CostModel { return simmem.DefaultCost() }
+
+// Workloads (Table 1 of the paper).
+type (
+	// Workload describes one Table 1 dataset.
+	Workload = workload.Spec
+	// WorkloadGenerator synthesises subscriptions and publications.
+	WorkloadGenerator = workload.Generator
+	// QuoteSet is the synthetic stock-quote corpus.
+	QuoteSet = workload.QuoteSet
+)
+
+// Table1Workloads returns the paper's nine workload specifications.
+func Table1Workloads() []Workload { return workload.Table1() }
+
+// WorkloadByName looks up a Table 1 workload.
+func WorkloadByName(name string) (Workload, error) { return workload.SpecByName(name) }
+
+// NewQuoteSet generates a deterministic synthetic quote corpus.
+func NewQuoteSet(seed int64, numSymbols, perSymbol int) (*QuoteSet, error) {
+	return workload.NewQuoteSet(seed, numSymbols, perSymbol)
+}
+
+// NewWorkloadGenerator builds a generator for a workload over a corpus.
+func NewWorkloadGenerator(spec Workload, qs *QuoteSet, seed int64) (*WorkloadGenerator, error) {
+	return workload.NewGenerator(spec, qs, seed)
+}

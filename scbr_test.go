@@ -1,0 +1,188 @@
+package scbr_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scbr"
+)
+
+// TestPublicAPIEndToEnd exercises the full deployment through the
+// facade only — what a downstream user of the library would write.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dev, err := scbr.NewDevice([]byte("facade-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := scbr.NewQuoter(dev, "facade-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
+		EnclaveImage:  []byte("facade router image"),
+		EnclaveSigner: signer.Public(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = router.Serve(routerLn)
+	}()
+	t.Cleanup(func() {
+		router.Close()
+		wg.Wait()
+	})
+
+	ias := scbr.NewAttestationService()
+	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	publisher, err := scbr.NewPublisher(ias, router.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := publisher.ConnectRouter(rc); err != nil {
+		t.Fatal(err)
+	}
+	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pubLn.Close() })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := pubLn.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				publisher.ServeClient(c)
+			}()
+		}
+	}()
+
+	client, err := scbr.NewClient("facade-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	pc, err := net.Dial("tcp", pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.ConnectPublisher(pc, publisher.PublicKey())
+	lc, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := client.Listen(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Subscribe(spec); err != nil {
+		t.Fatal(err)
+	}
+	header := scbr.EventSpec{Attrs: []scbr.NamedValue{
+		{Name: "symbol", Value: scbr.Str("HAL")},
+		{Name: "price", Value: scbr.Float(42)},
+	}}
+	if err := publisher.Publish(header, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-rx:
+		if d.Err != nil || string(d.Payload) != "payload" {
+			t.Fatalf("delivery = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+// TestEmbeddedEngines covers the facade's engine constructors.
+func TestEmbeddedEngines(t *testing.T) {
+	plain, err := scbr.NewPlainEngine(scbr.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := scbr.NewDevice([]byte("facade-engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclaved, enclave, err := scbr.NewEnclaveEngine(dev, scbr.EnclaveConfig{}, scbr.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enclave.MRENCLAVE() == [32]byte{} {
+		t.Fatal("enclave has empty measurement")
+	}
+	split, splitEnclave, err := scbr.NewSplitEngine(dev, scbr.EnclaveConfig{}, 1<<20, scbr.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splitEnclave.MRENCLAVE() == enclave.MRENCLAVE() {
+		t.Fatal("split engine image must measure differently")
+	}
+	spec := scbr.SubscriptionSpec{Predicates: []scbr.Predicate{
+		{Attr: "x", Op: scbr.OpGt, Value: scbr.Float(0)},
+	}}
+	for _, e := range []*scbr.Engine{plain, enclaved, split} {
+		if _, err := e.Register(spec, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A split cache larger than the EPC is rejected.
+	if _, _, err := scbr.NewSplitEngine(dev, scbr.EnclaveConfig{EPCBytes: 1 << 20}, 2<<20, scbr.EngineOptions{}); err == nil {
+		t.Fatal("oversized split cache accepted")
+	}
+}
+
+// TestWorkloadFacade covers the workload re-exports.
+func TestWorkloadFacade(t *testing.T) {
+	if got := len(scbr.Table1Workloads()); got != 9 {
+		t.Fatalf("Table1Workloads = %d", got)
+	}
+	wl, err := scbr.WorkloadByName("e80a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := scbr.NewQuoteSet(1, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := scbr.NewWorkloadGenerator(wl, qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Subscriptions(5)) != 5 || len(gen.Publications(5)) != 5 {
+		t.Fatal("generator counts wrong")
+	}
+	if _, err := scbr.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
