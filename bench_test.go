@@ -581,7 +581,7 @@ func BenchmarkCodecs(b *testing.B) {
 // BenchmarkEndToEndPublish measures a full in-process deployment:
 // encrypt, route through the enclave, deliver, decrypt.
 func BenchmarkEndToEndPublish(b *testing.B) {
-	engine, _, err := scbr.NewEnclaveEngine(mustDevice(b), scbr.EnclaveConfig{}, scbr.EngineOptions{})
+	engine, _, err := scbr.NewEnclaveEngine(mustDevice(b))
 	if err != nil {
 		b.Fatal(err)
 	}

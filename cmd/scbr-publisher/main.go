@@ -7,11 +7,16 @@
 //
 //	scbr-publisher -router 127.0.0.1:7070 -trust router-trust.json \
 //	    -listen 127.0.0.1:7071 -key publisher-key.json \
-//	    -feed e80a1 -count 1000 -interval 100ms
+//	    -feed e80a1 -count 1000 -interval 100ms [-batch 1]
+//
+// With -batch > 1 the feed pipelines that many quotes per router
+// round trip through PublishBatch.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,9 +27,8 @@ import (
 	"syscall"
 	"time"
 
-	"scbr/internal/broker"
+	"scbr"
 	"scbr/internal/deploy"
-	"scbr/internal/workload"
 )
 
 func main() {
@@ -42,10 +46,14 @@ func run() error {
 		keyPath    = flag.String("key", "publisher-key.json", "path to write the publisher public key")
 		feed       = flag.String("feed", "", "publish a synthetic feed from this Table 1 workload (e.g. e80a1)")
 		count      = flag.Int("count", 0, "number of feed publications (0 = unlimited)")
-		interval   = flag.Duration("interval", 200*time.Millisecond, "delay between feed publications")
+		interval   = flag.Duration("interval", 200*time.Millisecond, "delay between feed rounds")
+		batch      = flag.Int("batch", 1, "publications per router round trip (PublishBatch when > 1)")
 		seed       = flag.Int64("seed", 1, "feed generator seed")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	bundle, err := deploy.LoadTrustBundle(*trustPath)
 	if err != nil {
@@ -55,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	pub, err := broker.NewPublisher(svc, identity)
+	pub, err := scbr.NewPublisher(svc, identity)
 	if err != nil {
 		return err
 	}
@@ -63,7 +71,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("dialing router: %w", err)
 	}
-	if err := pub.ConnectRouter(conn); err != nil {
+	if err := pub.ConnectRouter(ctx, conn); err != nil {
 		return fmt.Errorf("attesting router: %w", err)
 	}
 	log.Printf("router enclave attested; SK provisioned")
@@ -91,22 +99,19 @@ func run() error {
 			go func() {
 				defer wg.Done()
 				defer c.Close()
-				pub.ServeClient(c)
+				pub.ServeClient(ctx, c)
 			}()
 		}
 	}()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-
 	if *feed != "" {
-		if err := runFeed(pub, *feed, *count, *interval, *seed, stop); err != nil {
+		if err := runFeed(ctx, pub, *feed, *count, *interval, *batch, *seed); err != nil {
 			_ = ln.Close()
 			wg.Wait()
 			return err
 		}
 	} else {
-		<-stop
+		<-ctx.Done()
 	}
 	log.Printf("shutting down")
 	_ = ln.Close()
@@ -115,40 +120,63 @@ func run() error {
 	return nil
 }
 
-// runFeed publishes synthetic quotes until count is reached or a
-// signal arrives.
-func runFeed(pub *broker.Publisher, name string, count int, interval time.Duration, seed int64, stop <-chan os.Signal) error {
-	spec, err := workload.SpecByName(name)
+// runFeed publishes synthetic quotes until count is reached or ctx is
+// cancelled. With batch > 1 it pipelines that many quotes per router
+// round trip.
+func runFeed(ctx context.Context, pub *scbr.Publisher, name string, count int, interval time.Duration, batch int, seed int64) error {
+	wl, err := scbr.WorkloadByName(name)
 	if err != nil {
 		return err
 	}
-	qs, err := workload.NewQuoteSet(seed, 100, 200)
+	qs, err := scbr.NewQuoteSet(seed, 100, 200)
 	if err != nil {
 		return err
 	}
-	gen, err := workload.NewGenerator(spec, qs, seed)
+	gen, err := scbr.NewWorkloadGenerator(wl, qs, seed)
 	if err != nil {
 		return err
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	published := 0
 	for count == 0 || published < count {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			log.Printf("feed interrupted after %d publications", published)
 			return nil
 		case <-ticker.C:
 		}
-		header := gen.Publication()
-		payload, err := json.Marshal(header.Attrs)
-		if err != nil {
-			return err
+		round := batch
+		if count > 0 && published+round > count {
+			round = count - published
 		}
-		if err := pub.Publish(header, payload); err != nil {
+		events := make([]scbr.Event, 0, round)
+		for i := 0; i < round; i++ {
+			header := gen.Publication()
+			payload, err := json.Marshal(header.Attrs)
+			if err != nil {
+				return err
+			}
+			events = append(events, scbr.Event{Header: header, Payload: payload})
+		}
+		if len(events) == 1 {
+			err = pub.Publish(ctx, events[0].Header, events[0].Payload)
+		} else {
+			err = pub.PublishBatch(ctx, events)
+		}
+		if errors.Is(err, context.Canceled) {
+			// The interrupt landed mid-publish: same graceful exit as
+			// a cancel caught by the select above.
+			log.Printf("feed interrupted after %d publications", published)
+			return nil
+		}
+		if err != nil {
 			return fmt.Errorf("publishing: %w", err)
 		}
-		published++
+		published += len(events)
 		if published%100 == 0 {
 			log.Printf("published %d quotes (group epoch %d)", published, pub.GroupEpoch())
 		}

@@ -1,16 +1,19 @@
 // Command scbr-router runs the SCBR routing engine: it launches the
 // (simulated) SGX enclave, writes the trust bundle a publisher needs
 // to attest it, and serves registrations, publications, and client
-// delivery channels.
+// delivery channels until interrupted.
 //
 // Usage:
 //
-//	scbr-router -listen 127.0.0.1:7070 -trust router-trust.json
+//	scbr-router -listen 127.0.0.1:7070 -trust router-trust.json \
+//	    [-switchless] [-epc 93] [-pad 0]
 //
 // followed by scbr-publisher and scbr-subscriber pointed at it.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -19,12 +22,8 @@ import (
 	"os/signal"
 	"syscall"
 
-	"scbr/internal/attest"
-	"scbr/internal/broker"
+	"scbr"
 	"scbr/internal/deploy"
-	"scbr/internal/scrypto"
-	"scbr/internal/sgx"
-	"scbr/internal/simmem"
 )
 
 // enclaveImage is the measured router code; publishers pin its
@@ -40,35 +39,39 @@ func main() {
 
 func run() error {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
-		trust    = flag.String("trust", "router-trust.json", "path to write the trust bundle")
-		epcMB    = flag.Uint64("epc", sgx.DefaultEPCBytes>>20, "usable EPC in MB")
-		platform = flag.String("platform", "local-platform", "platform identity for attestation")
-		pad      = flag.Int("pad", 0, "engine record padding in bytes")
+		listen     = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		trust      = flag.String("trust", "router-trust.json", "path to write the trust bundle")
+		epcMB      = flag.Uint64("epc", scbr.DefaultEPCBytes>>20, "usable EPC in MB")
+		platform   = flag.String("platform", "local-platform", "platform identity for attestation")
+		pad        = flag.Int("pad", 0, "engine record padding in bytes")
+		switchless = flag.Bool("switchless", false, "route publications through the untrusted-memory ring")
 	)
 	flag.Parse()
 
-	dev, err := sgx.NewDevice(nil, simmem.DefaultCost())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dev, err := scbr.NewDevice(nil)
 	if err != nil {
 		return err
 	}
-	quoter, err := attest.NewQuoter(dev, *platform)
+	quoter, err := scbr.NewQuoter(dev, *platform)
 	if err != nil {
 		return err
 	}
-	signer, err := scrypto.NewKeyPair(nil)
+	signer, err := scbr.NewKeyPair(nil)
 	if err != nil {
 		return err
 	}
-	router, err := broker.NewRouter(dev, quoter, broker.RouterConfig{
-		EnclaveImage:  enclaveImage,
-		EnclaveSigner: signer.Public(),
-		EPCBytes:      *epcMB << 20,
-		PadRecordTo:   *pad,
-	})
+	opts := []scbr.Option{scbr.WithEPC(*epcMB << 20), scbr.WithPadding(*pad)}
+	if *switchless {
+		opts = append(opts, scbr.WithSwitchless())
+	}
+	router, err := scbr.NewRouter(dev, quoter, enclaveImage, signer.Public(), opts...)
 	if err != nil {
 		return err
 	}
+	defer router.Close()
 	identity := router.Identity()
 	bundle, err := deploy.NewTrustBundle(quoter, identity)
 	if err != nil {
@@ -84,19 +87,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on %s (EPC %d MB)", ln.Addr(), *epcMB)
+	log.Printf("serving on %s (EPC %d MB, switchless=%v)", ln.Addr(), *epcMB, *switchless)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	done := make(chan error, 1)
-	go func() { done <- router.Serve(ln) }()
-	select {
-	case <-sig:
-		log.Printf("shutting down")
-		router.Close()
-		<-done
-		return nil
-	case err := <-done:
+	if err := router.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
+	log.Printf("shutting down")
+	return nil
 }

@@ -1,7 +1,7 @@
 // Command scbr-subscriber is a data consumer: it registers
 // subscriptions with the publisher (which admits it and forwards them
 // to the enclave) and prints the decrypted payloads the router
-// delivers.
+// delivers through its Subscription handles.
 //
 // Usage:
 //
@@ -11,17 +11,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 
-	"scbr/internal/broker"
+	"scbr"
 	"scbr/internal/deploy"
-	"scbr/internal/pubsub"
 )
 
 // subList collects repeated -sub flags.
@@ -44,7 +47,7 @@ func run() error {
 		pubAddr    = flag.String("publisher", "127.0.0.1:7071", "publisher admission address")
 		routerAddr = flag.String("router", "127.0.0.1:7070", "router address")
 		keyPath    = flag.String("key", "publisher-key.json", "publisher public key file")
-		max        = flag.Int("count", 0, "exit after this many deliveries (0 = unlimited)")
+		max        = flag.Int64("count", 0, "exit after this many deliveries (0 = unlimited)")
 	)
 	flag.Var(&subs, "sub", "subscription expression (repeatable), e.g. 'symbol = HAL, close < 50'")
 	flag.Parse()
@@ -52,11 +55,14 @@ func run() error {
 		return fmt.Errorf("at least one -sub expression is required")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	pk, err := deploy.LoadPublisherKey(*keyPath)
 	if err != nil {
 		return err
 	}
-	client, err := broker.NewClient(*id)
+	client, err := scbr.NewClient(*id)
 	if err != nil {
 		return err
 	}
@@ -72,45 +78,50 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("dialing router: %w", err)
 	}
-	deliveries, err := client.Listen(routerConn)
-	if err != nil {
+	if err := client.Attach(ctx, routerConn); err != nil {
 		return fmt.Errorf("binding delivery channel: %w", err)
 	}
 
+	// One Subscription handle per expression, consumed concurrently;
+	// the shared counter enforces -count across all of them.
+	consumeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var received atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, len(subs))
 	for _, expr := range subs {
-		spec, err := pubsub.ParseSpec(expr)
+		spec, err := scbr.ParseSpec(expr)
 		if err != nil {
 			return fmt.Errorf("parsing %q: %w", expr, err)
 		}
-		subID, err := client.Subscribe(spec)
+		sub, err := client.Subscribe(ctx, spec)
 		if err != nil {
 			return fmt.Errorf("subscribing %q: %w", expr, err)
 		}
-		log.Printf("subscribed #%d: %s", subID, spec)
+		log.Printf("subscribed #%d: %s", sub.ID(), sub.Spec())
+		wg.Add(1)
+		go func(sub *scbr.Subscription) {
+			defer wg.Done()
+			errc <- sub.Consume(consumeCtx, func(d scbr.Delivery) error {
+				if d.Err != nil {
+					log.Printf("delivery error (epoch %d): %v", d.Epoch, d.Err)
+					return nil
+				}
+				n := received.Add(1)
+				fmt.Printf("[%d] sub=%d epoch=%d payload=%s\n", n, sub.ID(), d.Epoch, d.Payload)
+				if *max > 0 && n >= *max {
+					cancel()
+				}
+				return nil
+			})
+		}(sub)
 	}
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	received := 0
-	for {
-		select {
-		case <-stop:
-			log.Printf("interrupted after %d deliveries", received)
-			return nil
-		case d, ok := <-deliveries:
-			if !ok {
-				log.Printf("delivery channel closed after %d deliveries", received)
-				return nil
-			}
-			if d.Err != nil {
-				log.Printf("delivery error (epoch %d): %v", d.Epoch, d.Err)
-				continue
-			}
-			received++
-			fmt.Printf("[%d] epoch=%d payload=%s\n", received, d.Epoch, d.Payload)
-			if *max > 0 && received >= *max {
-				return nil
-			}
+	wg.Wait()
+	for range subs {
+		if err := <-errc; err != nil && !errors.Is(err, context.Canceled) {
+			return err
 		}
 	}
+	log.Printf("done after %d deliveries", received.Load())
+	return nil
 }

@@ -1,0 +1,189 @@
+package scbr_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"scbr"
+)
+
+// TestSentinelRevokedAcrossWire: a revoked client's refusal is
+// produced by the remote publisher, yet the client matches it with
+// errors.Is — the error class travels on the wire.
+func TestSentinelRevokedAcrossWire(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d := deploy(t, "err-revoked")
+	bob := d.attach(ctx, "bob")
+	if _, err := bob.Subscribe(ctx, halSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.publisher.Revoke("bob"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := bob.Subscribe(ctx, halSpec(t))
+	if !errors.Is(err, scbr.ErrRevoked) {
+		t.Fatalf("revoked subscribe = %v, want ErrRevoked", err)
+	}
+}
+
+// TestSentinelUnknownAndNotOwner covers unsubscription failures.
+func TestSentinelUnknownAndNotOwner(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d := deploy(t, "err-owner")
+	alice := d.attach(ctx, "alice")
+	mallory := d.attach(ctx, "mallory")
+	sub, err := alice.Subscribe(ctx, halSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory needs admission before ownership is even checked.
+	if _, err := mallory.Subscribe(ctx, halSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mallory.Unsubscribe(ctx, sub.ID()); !errors.Is(err, scbr.ErrNotOwner) {
+		t.Fatalf("foreign unsubscribe = %v, want ErrNotOwner", err)
+	}
+	if err := alice.Unsubscribe(ctx, 99999); !errors.Is(err, scbr.ErrUnknownSubscription) {
+		t.Fatalf("unknown unsubscribe = %v, want ErrUnknownSubscription", err)
+	}
+	// Double unsubscribe: the second attempt names a subscription the
+	// publisher no longer holds.
+	if err := sub.Unsubscribe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Unsubscribe(ctx); !errors.Is(err, scbr.ErrUnknownSubscription) {
+		t.Fatalf("double unsubscribe = %v, want ErrUnknownSubscription", err)
+	}
+}
+
+// TestSentinelNotProvisioned: publications and registrations against
+// a router no publisher has attested fail with ErrNotProvisioned —
+// locally and through a connected publisher's view of the wire.
+func TestSentinelNotProvisioned(t *testing.T) {
+	dev, err := scbr.NewDevice([]byte("err-unprov"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := scbr.NewQuoter(dev, "unprov-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := scbr.NewRouter(dev, quoter, []byte("unprov image"), signer.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if _, err := router.SealState(); !errors.Is(err, scbr.ErrNotProvisioned) {
+		t.Fatalf("SealState = %v, want ErrNotProvisioned", err)
+	}
+}
+
+// TestSentinelAttestationFailed: provisioning against the wrong
+// pinned identity wraps both ErrAttestationFailed and the specific
+// cause.
+func TestSentinelAttestationFailed(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dev, err := scbr.NewDevice([]byte("err-attest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := scbr.NewQuoter(dev, "attest-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := scbr.NewRouter(dev, quoter, []byte("attest image"), signer.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = router.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		router.Close()
+		<-done
+	})
+	ias := scbr.NewAttestationService()
+	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	wrongID := router.Identity()
+	wrongID.MRENCLAVE[0] ^= 1
+	pub, err := scbr.NewPublisher(ias, wrongID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = pub.ConnectRouter(ctx, conn)
+	if !errors.Is(err, scbr.ErrAttestationFailed) {
+		t.Fatalf("wrong identity = %v, want ErrAttestationFailed", err)
+	}
+	if !errors.Is(err, scbr.ErrWrongIdentity) {
+		t.Fatalf("wrong identity = %v, want ErrWrongIdentity in the chain", err)
+	}
+}
+
+// TestSentinelNotConnected: operations before the corresponding
+// connections exist.
+func TestSentinelNotConnected(t *testing.T) {
+	ctx := context.Background()
+	client, err := scbr.NewClient("loner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Subscribe(ctx, halSpec(t)); !errors.Is(err, scbr.ErrNotConnected) {
+		t.Fatalf("subscribe = %v, want ErrNotConnected", err)
+	}
+	if err := client.Unsubscribe(ctx, 1); !errors.Is(err, scbr.ErrNotConnected) {
+		t.Fatalf("unsubscribe = %v, want ErrNotConnected", err)
+	}
+	ias := scbr.NewAttestationService()
+	pub, err := scbr.NewPublisher(ias, scbr.Identity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(ctx, halQuote(42), []byte("x")); !errors.Is(err, scbr.ErrNotConnected) {
+		t.Fatalf("publish = %v, want ErrNotConnected", err)
+	}
+	if err := pub.PublishBatch(ctx, []scbr.Event{{Header: halQuote(42)}}); !errors.Is(err, scbr.ErrNotConnected) {
+		t.Fatalf("publish batch = %v, want ErrNotConnected", err)
+	}
+}
+
+// TestSentinelClosed: a closed client refuses new work with ErrClosed.
+func TestSentinelClosed(t *testing.T) {
+	ctx := context.Background()
+	client, err := scbr.NewClient("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := client.Subscribe(ctx, halSpec(t)); !errors.Is(err, scbr.ErrClosed) {
+		t.Fatalf("subscribe after close = %v, want ErrClosed", err)
+	}
+	if err := client.Unsubscribe(ctx, 1); !errors.Is(err, scbr.ErrClosed) {
+		t.Fatalf("unsubscribe after close = %v, want ErrClosed", err)
+	}
+}

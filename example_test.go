@@ -20,7 +20,7 @@ func ExampleParseSpec() {
 // ExampleNewPlainEngine matches events against an embedded engine —
 // SCBR's filtering without the distributed protocol.
 func ExampleNewPlainEngine() {
-	engine, err := scbr.NewPlainEngine(scbr.EngineOptions{})
+	engine, err := scbr.NewPlainEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func ExampleNewEnclaveEngine() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, enclave, err := scbr.NewEnclaveEngine(dev, scbr.EnclaveConfig{}, scbr.EngineOptions{})
+	engine, enclave, err := scbr.NewEnclaveEngine(dev)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,20 +41,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := scbr.EngineOptions{PadRecordTo: padRecord}
+	opts := []scbr.Option{scbr.WithEPC(budget), scbr.WithPadding(padRecord)}
 
-	plain, err := scbr.NewPlainEngine(opts)
+	plain, err := scbr.NewPlainEngine(scbr.WithPadding(padRecord))
 	if err != nil {
 		return err
 	}
-	epcEngine, _, err := scbr.NewEnclaveEngine(dev, scbr.EnclaveConfig{EPCBytes: budget}, opts)
+	epcEngine, _, err := scbr.NewEnclaveEngine(dev, opts...)
 	if err != nil {
 		return err
 	}
 	// The split engine gets the same protected budget, but manages it
 	// itself: cold pages are sealed to untrusted memory with AES-GCM
 	// and version counters instead of being paged by the hardware.
-	splitEngine, _, err := scbr.NewSplitEngine(dev, scbr.EnclaveConfig{EPCBytes: budget}, budget, opts)
+	splitEngine, _, err := scbr.NewSplitEngine(dev, budget, opts...)
 	if err != nil {
 		return err
 	}

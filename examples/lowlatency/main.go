@@ -1,14 +1,16 @@
 // Lowlatency: publication delivery into the enclave with and without
 // the switchless ring (the paper's §6 "message exchanges at the
-// enclave border").
+// enclave border"), and with batching on top.
 //
 // The classic router pays one EENTER/EEXIT round trip (~2 µs on the
-// paper's hardware) per publication. With RouterConfig.Switchless the
-// router's enclave worker enters once and consumes ciphertext from an
+// paper's hardware) per publication. With WithSwitchless the router's
+// enclave worker enters once and consumes ciphertext from an
 // untrusted-memory ring, so a burst of quotes costs zero per-message
-// transitions. This example runs the same burst through both
-// configurations and prints the enclave transition counts and
-// simulated enclave time per publication.
+// transitions. PublishBatch amortises further: a whole batch is one
+// wire round trip and one enclave crossing even on the per-ecall
+// path. This example runs the same burst through three configurations
+// and prints the enclave transition counts and simulated enclave time
+// per publication.
 //
 // Run with:
 //
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -25,7 +28,10 @@ import (
 	"scbr"
 )
 
-const burst = 2000
+const (
+	burst     = 2000
+	batchSize = 100
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -36,13 +42,13 @@ func main() {
 // stack is one complete deployment: device, router, publisher, one
 // subscribed client.
 type stack struct {
-	router     *scbr.Router
-	publisher  *scbr.Publisher
-	deliveries <-chan scbr.Delivery
-	close      func()
+	router    *scbr.Router
+	publisher *scbr.Publisher
+	sub       *scbr.Subscription
+	close     func()
 }
 
-func deploy(name string, switchless bool) (*stack, error) {
+func deploy(ctx context.Context, name string, opts ...scbr.Option) (*stack, error) {
 	dev, err := scbr.NewDevice(nil)
 	if err != nil {
 		return nil, err
@@ -55,11 +61,7 @@ func deploy(name string, switchless bool) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
-		EnclaveImage:  []byte(name + " router image"),
-		EnclaveSigner: signer.Public(),
-		Switchless:    switchless,
-	})
+	router, err := scbr.NewRouter(dev, quoter, []byte(name+" router image"), signer.Public(), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +73,7 @@ func deploy(name string, switchless bool) (*stack, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_ = router.Serve(routerLn)
+		_ = router.Serve(ctx, routerLn)
 	}()
 
 	ias := scbr.NewAttestationService()
@@ -84,7 +86,7 @@ func deploy(name string, switchless bool) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := publisher.ConnectRouter(rc); err != nil {
+	if err := publisher.ConnectRouter(ctx, rc); err != nil {
 		return nil, fmt.Errorf("attestation failed: %w", err)
 	}
 
@@ -104,7 +106,7 @@ func deploy(name string, switchless bool) (*stack, error) {
 			go func() {
 				defer wg.Done()
 				defer c.Close()
-				publisher.ServeClient(c)
+				publisher.ServeClient(ctx, c)
 			}()
 		}
 	}()
@@ -122,21 +124,21 @@ func deploy(name string, switchless bool) (*stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	deliveries, err := client.Listen(lc)
-	if err != nil {
+	if err := client.Attach(ctx, lc); err != nil {
 		return nil, err
 	}
 	spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := client.Subscribe(spec); err != nil {
+	sub, err := client.Subscribe(ctx, spec)
+	if err != nil {
 		return nil, err
 	}
 	return &stack{
-		router:     router,
-		publisher:  publisher,
-		deliveries: deliveries,
+		router:    router,
+		publisher: publisher,
+		sub:       sub,
 		close: func() {
 			client.Close()
 			_ = pubLn.Close()
@@ -146,23 +148,46 @@ func deploy(name string, switchless bool) (*stack, error) {
 	}, nil
 }
 
-// runBurst publishes the burst and waits for all deliveries, returning
-// the enclave-transition and simulated-cycle deltas.
-func runBurst(s *stack) (transitions, cycles uint64, wall time.Duration, err error) {
-	before := s.router.MeterSnapshot()
-	start := time.Now()
-	for i := 0; i < burst; i++ {
-		header := scbr.EventSpec{Attrs: []scbr.NamedValue{
+func tick(i int) scbr.Event {
+	return scbr.Event{
+		Header: scbr.EventSpec{Attrs: []scbr.NamedValue{
 			{Name: "symbol", Value: scbr.Str("HAL")},
 			{Name: "price", Value: scbr.Float(40 + float64(i%10))},
 			{Name: "volume", Value: scbr.Int(int64(1000 + i))},
-		}}
-		if err := s.publisher.Publish(header, []byte(fmt.Sprintf("tick %d", i))); err != nil {
-			return 0, 0, 0, err
+		}},
+		Payload: []byte(fmt.Sprintf("tick %d", i)),
+	}
+}
+
+// runBurst publishes the burst (optionally batched) and waits for all
+// deliveries, returning the enclave-transition and simulated-cycle
+// deltas.
+func runBurst(ctx context.Context, s *stack, batch int) (transitions, cycles uint64, wall time.Duration, err error) {
+	before := s.router.MeterSnapshot()
+	start := time.Now()
+	if batch <= 1 {
+		for i := 0; i < burst; i++ {
+			ev := tick(i)
+			if err := s.publisher.Publish(ctx, ev.Header, ev.Payload); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	} else {
+		for i := 0; i < burst; i += batch {
+			events := make([]scbr.Event, 0, batch)
+			for j := i; j < i+batch && j < burst; j++ {
+				events = append(events, tick(j))
+			}
+			if err := s.publisher.PublishBatch(ctx, events); err != nil {
+				return 0, 0, 0, err
+			}
 		}
 	}
 	for i := 0; i < burst; i++ {
-		d := <-s.deliveries
+		d, err := s.sub.Next(ctx)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		if d.Err != nil {
 			return 0, 0, 0, d.Err
 		}
@@ -173,28 +198,32 @@ func runBurst(s *stack) (transitions, cycles uint64, wall time.Duration, err err
 }
 
 func run() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	cost := scbr.DefaultCostModel()
 	fmt.Printf("publishing a burst of %d encrypted quotes through each router\n\n", burst)
-	fmt.Println("  mode         transitions   enclave simµs/pub   wall time")
+	fmt.Println("  mode            transitions   enclave simµs/pub   wall time")
 	for _, mode := range []struct {
-		name       string
-		switchless bool
+		name  string
+		batch int
+		opts  []scbr.Option
 	}{
-		{"per-ecall", false},
-		{"switchless", true},
+		{"per-ecall", 1, nil},
+		{"batched", batchSize, nil},
+		{"switchless", 1, []scbr.Option{scbr.WithSwitchless()}},
 	} {
-		s, err := deploy(mode.name, mode.switchless)
+		s, err := deploy(ctx, mode.name, mode.opts...)
 		if err != nil {
 			return fmt.Errorf("%s deployment: %w", mode.name, err)
 		}
-		transitions, cycles, wall, err := runBurst(s)
+		transitions, cycles, wall, err := runBurst(ctx, s, mode.batch)
 		s.close()
 		if err != nil {
 			return fmt.Errorf("%s burst: %w", mode.name, err)
 		}
-		fmt.Printf("  %-12s %11d %19.2f %11s\n",
+		fmt.Printf("  %-15s %11d %19.2f %11s\n",
 			mode.name, transitions, cost.Micros(cycles)/burst, wall.Round(time.Millisecond))
 	}
-	fmt.Println("\ndone: the ring replaces per-publication EENTER/EEXIT with two atomic ops")
+	fmt.Println("\ndone: batching amortises the ecall, the ring eliminates it")
 	return nil
 }

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -37,6 +39,9 @@ func main() {
 }
 
 func run() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	// One physical machine (one device, one quoting identity), shared
 	// by both tenants — the multi-tenant cloud of the paper. The EPC
 	// budget is split between the enclaves.
@@ -58,11 +63,8 @@ func run() error {
 		if err != nil {
 			return nil, err
 		}
-		router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
-			EnclaveImage:  []byte("router image for " + name),
-			EnclaveSigner: signer.Public(),
-			EPCBytes:      scbr.DefaultEPCBytes / 2,
-		})
+		router, err := scbr.NewRouter(dev, quoter, []byte("router image for "+name), signer.Public(),
+			scbr.WithEPC(scbr.DefaultEPCBytes/2))
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +75,7 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = router.Serve(routerLn)
+			_ = router.Serve(ctx, routerLn)
 		}()
 		publisher, err := scbr.NewPublisher(ias, router.Identity())
 		if err != nil {
@@ -83,7 +85,7 @@ func run() error {
 		if err != nil {
 			return nil, err
 		}
-		if err := publisher.ConnectRouter(conn); err != nil {
+		if err := publisher.ConnectRouter(ctx, conn); err != nil {
 			return nil, err
 		}
 		pubLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -102,7 +104,7 @@ func run() error {
 				go func() {
 					defer wg.Done()
 					defer c.Close()
-					publisher.ServeClient(c)
+					publisher.ServeClient(ctx, c)
 				}()
 			}
 		}()
@@ -122,7 +124,7 @@ func run() error {
 	defer lse.close()
 
 	// One client per tenant, same filter on both.
-	attach := func(tn *tenant, clientID string) (*scbr.Client, <-chan scbr.Delivery, error) {
+	attach := func(tn *tenant, clientID string) (*scbr.Client, *scbr.Subscription, error) {
 		c, err := scbr.NewClient(clientID)
 		if err != nil {
 			return nil, nil, err
@@ -136,25 +138,25 @@ func run() error {
 		if err != nil {
 			return nil, nil, err
 		}
-		ch, err := c.Listen(rc)
-		if err != nil {
+		if err := c.Attach(ctx, rc); err != nil {
 			return nil, nil, err
 		}
 		spec, err := scbr.ParseSpec("symbol = ACME, price < 100")
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := c.Subscribe(spec); err != nil {
+		sub, err := c.Subscribe(ctx, spec)
+		if err != nil {
 			return nil, nil, err
 		}
-		return c, ch, nil
+		return c, sub, nil
 	}
-	nyseClient, nyseRx, err := attach(nyse, "nyse-customer")
+	nyseClient, nyseSub, err := attach(nyse, "nyse-customer")
 	if err != nil {
 		return err
 	}
 	defer nyseClient.Close()
-	lseClient, lseRx, err := attach(lse, "lse-customer")
+	lseClient, lseSub, err := attach(lse, "lse-customer")
 	if err != nil {
 		return err
 	}
@@ -165,39 +167,42 @@ func run() error {
 		{Name: "symbol", Value: scbr.Str("ACME")},
 		{Name: "price", Value: scbr.Float(95)},
 	}}
-	if err := nyse.publisher.Publish(header, []byte("NYSE: ACME 95.00")); err != nil {
+	if err := nyse.publisher.Publish(ctx, header, []byte("NYSE: ACME 95.00")); err != nil {
 		return err
 	}
-	if err := lse.publisher.Publish(header, []byte("LSE: ACME 74.50 GBP")); err != nil {
+	if err := lse.publisher.Publish(ctx, header, []byte("LSE: ACME 74.50 GBP")); err != nil {
 		return err
 	}
 
-	got := func(name string, rx <-chan scbr.Delivery) error {
-		select {
-		case d := <-rx:
-			if d.Err != nil {
-				return d.Err
-			}
-			fmt.Printf("%s received: %s\n", name, d.Payload)
-			return nil
-		case <-time.After(5 * time.Second):
-			return fmt.Errorf("%s: timed out", name)
+	got := func(name string, sub *scbr.Subscription) error {
+		waitCtx, waitCancel := context.WithTimeout(ctx, 5*time.Second)
+		defer waitCancel()
+		d, err := sub.Next(waitCtx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
+		if d.Err != nil {
+			return d.Err
+		}
+		fmt.Printf("%s received: %s\n", name, d.Payload)
+		return nil
 	}
-	if err := got("nyse-customer", nyseRx); err != nil {
+	if err := got("nyse-customer", nyseSub); err != nil {
 		return err
 	}
-	if err := got("lse-customer", lseRx); err != nil {
+	if err := got("lse-customer", lseSub); err != nil {
 		return err
 	}
 
-	// Isolation: no cross-tenant deliveries are pending.
-	select {
-	case d := <-nyseRx:
-		return fmt.Errorf("isolation violated: NYSE client got %q", d.Payload)
-	case d := <-lseRx:
-		return fmt.Errorf("isolation violated: LSE client got %q", d.Payload)
-	case <-time.After(300 * time.Millisecond):
+	// Isolation: no cross-tenant deliveries are pending on either
+	// handle — both Next calls must time out empty.
+	for name, sub := range map[string]*scbr.Subscription{"NYSE": nyseSub, "LSE": lseSub} {
+		quiet, quietCancel := context.WithTimeout(ctx, 300*time.Millisecond)
+		d, err := sub.Next(quiet)
+		quietCancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("isolation violated: %s client got %q (err %v)", name, d.Payload, err)
+		}
 	}
 	a, b := nyse.router.Identity(), lse.router.Identity()
 	fmt.Printf("tenant enclaves are distinct: %x… vs %x…\n", a.MRENCLAVE[:6], b.MRENCLAVE[:6])

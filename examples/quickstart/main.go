@@ -1,7 +1,9 @@
 // Quickstart: a complete SCBR deployment in one process — enclave
 // launch, remote attestation, key provisioning, encrypted
-// subscription, encrypted publication, and delivery — using the public
-// scbr API over loopback TCP.
+// subscription, encrypted (batched) publication, and delivery — using
+// the public v1 scbr API over loopback TCP: option-based
+// constructors, context-aware calls, and a first-class Subscription
+// handle.
 //
 // Run with:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -24,6 +27,9 @@ func main() {
 }
 
 func run() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	// --- Infrastructure provider: an SGX machine running the router.
 	dev, err := scbr.NewDevice(nil)
 	if err != nil {
@@ -37,10 +43,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
-		EnclaveImage:  []byte("quickstart router image"),
-		EnclaveSigner: signer.Public(),
-	})
+	router, err := scbr.NewRouter(dev, quoter, []byte("quickstart router image"), signer.Public())
 	if err != nil {
 		return err
 	}
@@ -52,7 +55,7 @@ func run() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_ = router.Serve(routerLn)
+		_ = router.Serve(ctx, routerLn)
 	}()
 	defer func() {
 		router.Close()
@@ -72,7 +75,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := publisher.ConnectRouter(routerConn); err != nil {
+	if err := publisher.ConnectRouter(ctx, routerConn); err != nil {
 		return fmt.Errorf("attestation failed: %w", err)
 	}
 	fmt.Println("enclave attested; symmetric key SK provisioned")
@@ -94,7 +97,7 @@ func run() error {
 			go func() {
 				defer wg.Done()
 				defer c.Close()
-				publisher.ServeClient(c)
+				publisher.ServeClient(ctx, c)
 			}()
 		}
 	}()
@@ -114,8 +117,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	deliveries, err := client.Listen(listenConn)
-	if err != nil {
+	if err := client.Attach(ctx, listenConn); err != nil {
 		return err
 	}
 
@@ -123,13 +125,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	subID, err := client.Subscribe(spec)
+	sub, err := client.Subscribe(ctx, spec)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("subscribed #%d: %s\n", subID, spec)
+	fmt.Printf("subscribed #%d: %s\n", sub.ID(), sub.Spec())
 
-	// --- Publish three quotes; only the matching ones arrive.
+	// --- Publish three quotes as one batch (one router round trip,
+	// one enclave crossing); only the matching ones arrive.
 	quotes := []struct {
 		price float64
 		note  string
@@ -138,21 +141,27 @@ func run() error {
 		{52.75, "filtered out (above 50)"},
 		{47.02, "matches (below 50)"},
 	}
+	batch := make([]scbr.Event, 0, len(quotes))
 	for _, q := range quotes {
-		header := scbr.EventSpec{Attrs: []scbr.NamedValue{
-			{Name: "symbol", Value: scbr.Str("HAL")},
-			{Name: "price", Value: scbr.Float(q.price)},
-			{Name: "volume", Value: scbr.Int(100_000)},
-		}}
-		payload := fmt.Sprintf("HAL trading at $%.2f", q.price)
-		if err := publisher.Publish(header, []byte(payload)); err != nil {
-			return err
-		}
-		fmt.Printf("published: price=%.2f (%s)\n", q.price, q.note)
+		batch = append(batch, scbr.Event{
+			Header: scbr.EventSpec{Attrs: []scbr.NamedValue{
+				{Name: "symbol", Value: scbr.Str("HAL")},
+				{Name: "price", Value: scbr.Float(q.price)},
+				{Name: "volume", Value: scbr.Int(100_000)},
+			}},
+			Payload: []byte(fmt.Sprintf("HAL trading at $%.2f", q.price)),
+		})
+		fmt.Printf("publishing: price=%.2f (%s)\n", q.price, q.note)
+	}
+	if err := publisher.PublishBatch(ctx, batch); err != nil {
+		return err
 	}
 
 	for i := 0; i < 2; i++ {
-		d := <-deliveries
+		d, err := sub.Next(ctx)
+		if err != nil {
+			return err
+		}
 		if d.Err != nil {
 			return d.Err
 		}

@@ -1,5 +1,6 @@
 // Revocation: the publisher excludes a client that stopped paying.
-// The admission registry refuses its new subscriptions and the payload
+// The admission registry refuses its new subscriptions (with an error
+// matching scbr.ErrRevoked even across the wire) and the payload
 // group key rotates, so publications after the revocation are opaque
 // to it even though the router still forwards the encrypted bytes —
 // the paper's requirement that producers can "exclude clients that
@@ -12,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -28,6 +31,9 @@ func main() {
 }
 
 func run() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	dev, err := scbr.NewDevice(nil)
 	if err != nil {
 		return err
@@ -40,10 +46,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
-		EnclaveImage:  []byte("revocation router image"),
-		EnclaveSigner: signer.Public(),
-	})
+	router, err := scbr.NewRouter(dev, quoter, []byte("revocation router image"), signer.Public())
 	if err != nil {
 		return err
 	}
@@ -55,7 +58,7 @@ func run() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_ = router.Serve(routerLn)
+		_ = router.Serve(ctx, routerLn)
 	}()
 	defer func() {
 		router.Close()
@@ -72,7 +75,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := publisher.ConnectRouter(rc); err != nil {
+	if err := publisher.ConnectRouter(ctx, rc); err != nil {
 		return err
 	}
 	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -92,12 +95,12 @@ func run() error {
 			go func() {
 				defer wg.Done()
 				defer c.Close()
-				publisher.ServeClient(c)
+				publisher.ServeClient(ctx, c)
 			}()
 		}
 	}()
 
-	attach := func(id string) (*scbr.Client, <-chan scbr.Delivery, error) {
+	attach := func(id string) (*scbr.Client, *scbr.Subscription, error) {
 		c, err := scbr.NewClient(id)
 		if err != nil {
 			return nil, nil, err
@@ -111,26 +114,26 @@ func run() error {
 		if err != nil {
 			return nil, nil, err
 		}
-		ch, err := c.Listen(lc)
-		if err != nil {
+		if err := c.Attach(ctx, lc); err != nil {
 			return nil, nil, err
 		}
 		spec, err := scbr.ParseSpec("symbol = HAL")
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := c.Subscribe(spec); err != nil {
+		sub, err := c.Subscribe(ctx, spec)
+		if err != nil {
 			return nil, nil, err
 		}
-		return c, ch, nil
+		return c, sub, nil
 	}
 
-	alice, aliceRx, err := attach("alice")
+	alice, aliceSub, err := attach("alice")
 	if err != nil {
 		return err
 	}
 	defer alice.Close()
-	bob, bobRx, err := attach("bob")
+	bob, bobSub, err := attach("bob")
 	if err != nil {
 		return err
 	}
@@ -142,18 +145,20 @@ func run() error {
 			{Name: "symbol", Value: scbr.Str("HAL")},
 			{Name: "price", Value: scbr.Float(44)},
 		}}
-		return publisher.Publish(header, []byte(note))
+		return publisher.Publish(ctx, header, []byte(note))
 	}
-	report := func(name string, rx <-chan scbr.Delivery) {
-		select {
-		case d := <-rx:
-			if d.Err != nil {
-				fmt.Printf("  %-5s ✗ cannot read payload: %v\n", name, d.Err)
-			} else {
-				fmt.Printf("  %-5s ✓ %s (epoch %d)\n", name, d.Payload, d.Epoch)
-			}
-		case <-time.After(5 * time.Second):
-			fmt.Printf("  %-5s timed out\n", name)
+	report := func(name string, sub *scbr.Subscription) {
+		waitCtx, waitCancel := context.WithTimeout(ctx, 5*time.Second)
+		defer waitCancel()
+		d, err := sub.Next(waitCtx)
+		if err != nil {
+			fmt.Printf("  %-5s timed out (%v)\n", name, err)
+			return
+		}
+		if d.Err != nil {
+			fmt.Printf("  %-5s ✗ cannot read payload: %v\n", name, d.Err)
+		} else {
+			fmt.Printf("  %-5s ✓ %s (epoch %d)\n", name, d.Payload, d.Epoch)
 		}
 	}
 
@@ -161,8 +166,8 @@ func run() error {
 	if err := publish("quarterly results leak at 44"); err != nil {
 		return err
 	}
-	report("alice", aliceRx)
-	report("bob", bobRx)
+	report("alice", aliceSub)
+	report("bob", bobSub)
 
 	fmt.Println("revoking bob (stopped paying)…")
 	if err := publisher.Revoke("bob"); err != nil {
@@ -174,16 +179,18 @@ func run() error {
 	if err := publish("merger announcement at 44"); err != nil {
 		return err
 	}
-	report("alice", aliceRx)
-	report("bob", bobRx)
+	report("alice", aliceSub)
+	report("bob", bobSub)
 
 	fmt.Println("bob attempts a new subscription:")
 	spec, err := scbr.ParseSpec("symbol = IBM")
 	if err != nil {
 		return err
 	}
-	if _, err := bob.Subscribe(spec); err != nil {
-		fmt.Printf("  refused as expected: %v\n", err)
+	if _, err := bob.Subscribe(ctx, spec); errors.Is(err, scbr.ErrRevoked) {
+		fmt.Printf("  refused as expected (errors.Is(err, scbr.ErrRevoked)): %v\n", err)
+	} else if err != nil {
+		return fmt.Errorf("refusal lost its error class: %w", err)
 	} else {
 		return fmt.Errorf("revoked client was re-admitted")
 	}

@@ -1,0 +1,3 @@
+module scbr
+
+go 1.24

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -15,6 +16,9 @@ import (
 	"scbr/internal/simmem"
 	"scbr/internal/wire"
 )
+
+// bg is the test-wide background context for the ctx-aware API.
+var bg = context.Background()
 
 // testSystem wires a full deployment over loopback TCP: one router
 // (enclave host), one publisher, and helpers to attach clients.
@@ -69,7 +73,7 @@ func newTestSystemCfg(t *testing.T, mutate func(*RouterConfig)) *testSystem {
 	sys.wg.Add(1)
 	go func() {
 		defer sys.wg.Done()
-		_ = router.Serve(sys.routerLn)
+		_ = router.Serve(bg, sys.routerLn)
 	}()
 
 	sys.publisher, err = NewPublisher(ias, router.Identity())
@@ -80,7 +84,7 @@ func newTestSystemCfg(t *testing.T, mutate func(*RouterConfig)) *testSystem {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.ConnectRouter(routerConn); err != nil {
+	if err := sys.publisher.ConnectRouter(bg, routerConn); err != nil {
 		t.Fatalf("provisioning failed: %v", err)
 	}
 
@@ -100,7 +104,7 @@ func newTestSystemCfg(t *testing.T, mutate func(*RouterConfig)) *testSystem {
 			go func() {
 				defer sys.wg.Done()
 				defer conn.Close()
-				sys.publisher.ServeClient(conn)
+				sys.publisher.ServeClient(bg, conn)
 			}()
 		}
 	}()
@@ -180,10 +184,10 @@ func TestEndToEndPublishSubscribe(t *testing.T) {
 	alice, aliceRx := sys.attach("alice")
 	_, bobRx := sys.attach("bob")
 
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatalf("subscribe: %v", err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("HAL @ 42")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("HAL @ 42")); err != nil {
 		t.Fatal(err)
 	}
 	d := recvDelivery(t, aliceRx)
@@ -193,7 +197,7 @@ func TestEndToEndPublishSubscribe(t *testing.T) {
 	// Bob has no subscription: nothing arrives.
 	expectNoDelivery(t, bobRx)
 	// A non-matching publication reaches nobody.
-	if err := sys.publisher.Publish(halQuote(60), []byte("HAL @ 60")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(60), []byte("HAL @ 60")); err != nil {
 		t.Fatal(err)
 	}
 	expectNoDelivery(t, aliceRx)
@@ -202,13 +206,13 @@ func TestEndToEndPublishSubscribe(t *testing.T) {
 func TestDeliveryDeduplicatedPerClient(t *testing.T) {
 	sys := newTestSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Subscribe(halSpec(100)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(100)); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(10), []byte("x")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(10), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, aliceRx); d.Err != nil {
@@ -221,25 +225,25 @@ func TestDeliveryDeduplicatedPerClient(t *testing.T) {
 func TestUnsubscribeStopsDeliveries(t *testing.T) {
 	sys := newTestSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	subID, err := alice.Subscribe(halSpec(50))
+	sub, err := alice.Subscribe(bg, halSpec(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("one")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("one")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, aliceRx); string(d.Payload) != "one" {
 		t.Fatalf("delivery = %+v", d)
 	}
-	if err := alice.Unsubscribe(subID); err != nil {
+	if err := alice.Unsubscribe(bg, sub.ID()); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("two")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("two")); err != nil {
 		t.Fatal(err)
 	}
 	expectNoDelivery(t, aliceRx)
 	// Double unsubscribe fails cleanly.
-	if err := alice.Unsubscribe(subID); err == nil {
+	if err := alice.Unsubscribe(bg, sub.ID()); err == nil {
 		t.Fatal("double unsubscribe succeeded")
 	}
 }
@@ -248,10 +252,10 @@ func TestRevocationCutsOffPayloads(t *testing.T) {
 	sys := newTestSystem(t)
 	alice, aliceRx := sys.attach("alice")
 	bob, bobRx := sys.attach("bob")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Subscribe(halSpec(50)); err != nil {
+	if _, err := bob.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
 	epochBefore := sys.publisher.GroupEpoch()
@@ -261,7 +265,7 @@ func TestRevocationCutsOffPayloads(t *testing.T) {
 	if sys.publisher.GroupEpoch() != epochBefore+1 {
 		t.Fatal("revocation did not rotate the group key")
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("post-revocation")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("post-revocation")); err != nil {
 		t.Fatal(err)
 	}
 	// Alice transparently refreshes to the new epoch and reads the
@@ -276,7 +280,7 @@ func TestRevocationCutsOffPayloads(t *testing.T) {
 		t.Fatalf("revoked bob decrypted the payload: %q", b.Payload)
 	}
 	// Bob's new subscriptions are refused outright.
-	if _, err := bob.Subscribe(halSpec(10)); err == nil {
+	if _, err := bob.Subscribe(bg, halSpec(10)); err == nil {
 		t.Fatal("revoked client subscribed")
 	}
 }
@@ -285,11 +289,11 @@ func TestClientCannotRemoveOthersSubscription(t *testing.T) {
 	sys := newTestSystem(t)
 	alice, _ := sys.attach("alice")
 	bob, _ := sys.attach("bob")
-	subID, err := alice.Subscribe(halSpec(50))
+	sub, err := alice.Subscribe(bg, halSpec(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.Unsubscribe(subID); err == nil {
+	if err := bob.Unsubscribe(bg, sub.ID()); err == nil {
 		t.Fatal("bob removed alice's subscription")
 	}
 }
@@ -347,7 +351,7 @@ func TestPublishBeforeProvisioningFails(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_ = router.Serve(ln)
+		_ = router.Serve(bg, ln)
 	}()
 	t.Cleanup(func() {
 		router.Close()
@@ -399,7 +403,7 @@ func TestWrongEnclaveIdentityRefusedByPublisher(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_ = router.Serve(ln)
+		_ = router.Serve(bg, ln)
 	}()
 	t.Cleanup(func() {
 		router.Close()
@@ -418,7 +422,7 @@ func TestWrongEnclaveIdentityRefusedByPublisher(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := pub.ConnectRouter(conn); !errors.Is(err, attest.ErrWrongIdentity) {
+	if err := pub.ConnectRouter(bg, conn); !errors.Is(err, attest.ErrWrongIdentity) {
 		t.Fatalf("provisioning to wrong enclave: %v", err)
 	}
 }
@@ -463,11 +467,11 @@ func TestPayloadOpaqueOnTheWire(t *testing.T) {
 	// neither header nor payload appear in plaintext.
 	sys := newTestSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
 	secret := []byte("insider price target 4242")
-	if err := sys.publisher.Publish(halQuote(42), secret); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), secret); err != nil {
 		t.Fatal(err)
 	}
 	d := recvDelivery(t, aliceRx)
@@ -500,10 +504,10 @@ func TestRouterSurvivesGarbageFrames(t *testing.T) {
 	_ = conn.Close()
 	// The system keeps working for legitimate peers.
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("still alive")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("still alive")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, aliceRx); d.Err != nil || string(d.Payload) != "still alive" {
@@ -514,7 +518,7 @@ func TestRouterSurvivesGarbageFrames(t *testing.T) {
 func TestTamperedPublicationDropped(t *testing.T) {
 	sys := newTestSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
 	// The infrastructure (here: a direct peer) replays a publication
@@ -534,7 +538,7 @@ func TestTamperedPublicationDropped(t *testing.T) {
 	}
 	expectNoDelivery(t, aliceRx)
 	// Legitimate traffic still flows.
-	if err := sys.publisher.Publish(halQuote(42), []byte("real")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("real")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, aliceRx); d.Err != nil || string(d.Payload) != "real" {

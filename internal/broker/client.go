@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"crypto/rsa"
 	"crypto/x509"
 	"errors"
@@ -18,8 +19,20 @@ import (
 type Delivery struct {
 	Payload []byte
 	Epoch   uint64
-	Err     error
+	// SubIDs names this client's subscriptions the publication
+	// matched, as reported by the router (empty for deliveries from a
+	// router predating the field).
+	SubIDs []uint64
+	Err    error
 }
+
+// subBuffer is the per-subscription delivery buffer: it absorbs
+// bursts without blocking the client's delivery pump. When a handle's
+// buffer fills, the pump blocks, which propagates backpressure through
+// TCP to the router — deliveries are never dropped, exactly as the
+// pre-Subscription channel API behaved. Consumers must drain (or
+// Unsubscribe) every handle they hold.
+const subBuffer = 256
 
 // Client is a data consumer: it subscribes through the publisher
 // (trusted for the service, §3.2) and receives payloads from the
@@ -34,6 +47,7 @@ type Client struct {
 	routerConn  net.Conn
 	groupKey    *scrypto.SymmetricKey
 	epoch       uint64
+	subs        map[uint64]*Subscription
 	wg          sync.WaitGroup
 	done        chan struct{}
 	closeOnce   sync.Once
@@ -48,7 +62,17 @@ func NewClient(id string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker: generating client keys: %w", err)
 	}
-	return &Client{ID: id, keys: keys, done: make(chan struct{})}, nil
+	return &Client{ID: id, keys: keys, subs: make(map[uint64]*Subscription), done: make(chan struct{})}, nil
+}
+
+// closedErr reports ErrClosed once Close has been called.
+func (c *Client) closedErr() error {
+	select {
+	case <-c.done:
+		return fmt.Errorf("%w: client %s", ErrClosed, c.ID)
+	default:
+		return nil
+	}
 }
 
 // ConnectPublisher binds the client to its service provider. pk is the
@@ -61,57 +85,93 @@ func (c *Client) ConnectPublisher(conn net.Conn, pk *rsa.PublicKey) {
 }
 
 // Subscribe encrypts the subscription under PK and submits it for
-// admission (step ①). On success it returns the subscription ID and
-// stores the payload group key delivered with the ack.
-func (c *Client) Subscribe(spec pubsub.SubscriptionSpec) (uint64, error) {
+// admission (step ①). On success it returns a Subscription handle
+// bound to this client's delivery stream and stores the payload group
+// key delivered with the ack. The handle is fed by the pump of a live
+// Attach: subscribing before Attach (or after the delivery connection
+// dropped) is fine, but deliveries only flow once a pump is running.
+// Cancelling ctx severs the publisher connection.
+func (c *Client) Subscribe(ctx context.Context, spec pubsub.SubscriptionSpec) (*Subscription, error) {
+	if err := c.closedErr(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	raw, err := pubsub.EncodeSubscriptionSpec(spec)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.pubConn == nil || c.publisherPK == nil {
-		return 0, errors.New("broker: client not connected to a publisher")
+		return nil, fmt.Errorf("%w: client %s has no publisher", ErrNotConnected, c.ID)
 	}
 	blob, err := scrypto.EncryptPK(c.publisherPK, raw)
 	if err != nil {
-		return 0, fmt.Errorf("broker: encrypting subscription: %w", err)
+		return nil, fmt.Errorf("broker: encrypting subscription: %w", err)
 	}
 	pubDER, err := x509.MarshalPKIXPublicKey(c.keys.Public())
 	if err != nil {
-		return 0, fmt.Errorf("broker: encoding response key: %w", err)
+		return nil, fmt.Errorf("broker: encoding response key: %w", err)
 	}
+	release := ctxGuard(ctx, c.pubConn)
+	defer release()
 	if err := Send(c.pubConn, &Message{Type: TypeSubscribe, ClientID: c.ID, Blob: blob, PubKey: pubDER}); err != nil {
-		return 0, err
+		return nil, ctxErr(ctx, err)
 	}
 	reply, err := Recv(c.pubConn)
 	if err != nil {
-		return 0, err
+		return nil, ctxErr(ctx, err)
 	}
 	if err := expect(reply, TypeSubscribeOK); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := c.installGroupKeyLocked(reply.Blob, reply.Epoch); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return reply.SubID, nil
+	s := &Subscription{
+		id:   reply.SubID,
+		spec: spec,
+		c:    c,
+		ch:   make(chan Delivery, subBuffer),
+		done: make(chan struct{}),
+	}
+	c.subs[s.id] = s
+	return s, nil
 }
 
-// Unsubscribe withdraws one of this client's subscriptions.
-func (c *Client) Unsubscribe(subID uint64) error {
+// Unsubscribe withdraws one of this client's subscriptions by ID and
+// closes its Subscription handle, if one is live.
+func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
+	if err := c.closedErr(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.pubConn == nil {
-		return errors.New("broker: client not connected to a publisher")
+		return fmt.Errorf("%w: client %s has no publisher", ErrNotConnected, c.ID)
 	}
+	release := ctxGuard(ctx, c.pubConn)
+	defer release()
 	if err := Send(c.pubConn, &Message{Type: TypeUnsubscribe, ClientID: c.ID, SubID: subID}); err != nil {
-		return err
+		return ctxErr(ctx, err)
 	}
 	reply, err := Recv(c.pubConn)
 	if err != nil {
+		return ctxErr(ctx, err)
+	}
+	if err := expect(reply, TypeUnsubscribeOK); err != nil {
 		return err
 	}
-	return expect(reply, TypeUnsubscribeOK)
+	if s, ok := c.subs[subID]; ok {
+		delete(c.subs, subID)
+		s.closeHandle()
+	}
+	return nil
 }
 
 // RefreshGroupKey fetches the current payload key from the publisher;
@@ -125,7 +185,7 @@ func (c *Client) RefreshGroupKey() error {
 
 func (c *Client) refreshGroupKeyLocked() error {
 	if c.pubConn == nil {
-		return errors.New("broker: client not connected to a publisher")
+		return fmt.Errorf("%w: client %s has no publisher", ErrNotConnected, c.ID)
 	}
 	if err := Send(c.pubConn, &Message{Type: TypeGroupKey, ClientID: c.ID}); err != nil {
 		return err
@@ -161,47 +221,148 @@ func (c *Client) Epoch() uint64 {
 	return c.epoch
 }
 
-// Listen registers this client's delivery channel with the router and
-// returns a channel of decrypted deliveries. The channel closes when
-// the connection does. Deliveries whose epoch is newer than the
-// client's key trigger a group key refresh through the publisher; if
-// the refresh is denied (revocation) the delivery surfaces with an
-// error and an opaque payload.
+// Attach registers this client's delivery channel with the router and
+// starts the delivery pump that feeds every Subscription handle.
+// Deliveries are decrypted once and routed to the handles whose
+// subscriptions the router reports as matched. The pump stops when the
+// connection drops, ctx is cancelled, or the client closes.
+func (c *Client) Attach(ctx context.Context, conn net.Conn) error {
+	_, err := c.listen(ctx, conn, false)
+	return err
+}
+
+// Listen binds a merged client-wide delivery channel, the
+// pre-Subscription surface. Every delivery for this client — whatever
+// subscription matched — is sent (blocking) on the returned channel,
+// which closes when the connection does. A pump started by Listen
+// feeds only the merged channel; Subscription handles stay empty on
+// this connection.
+//
+// Deprecated: use Attach and per-Subscription Next/Deliveries instead;
+// the merged channel cannot tell subscriptions apart.
 func (c *Client) Listen(conn net.Conn) (<-chan Delivery, error) {
-	if err := Send(conn, &Message{Type: TypeListen, ClientID: c.ID}); err != nil {
+	return c.listen(context.Background(), conn, true)
+}
+
+func (c *Client) listen(ctx context.Context, conn net.Conn, withStream bool) (<-chan Delivery, error) {
+	if err := c.closedErr(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	release := ctxGuard(ctx, conn)
+	if err := Send(conn, &Message{Type: TypeListen, ClientID: c.ID}); err != nil {
+		release()
+		return nil, ctxErr(ctx, err)
 	}
 	ack, err := Recv(conn)
 	if err != nil {
-		return nil, err
+		release()
+		return nil, ctxErr(ctx, err)
 	}
 	if err := expect(ack, TypeListenOK); err != nil {
+		release()
 		return nil, err
 	}
+	release()
 	c.mu.Lock()
 	c.routerConn = conn
 	c.mu.Unlock()
-	out := make(chan Delivery)
+	var out chan Delivery
+	if withStream {
+		out = make(chan Delivery)
+	}
 	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
+	go c.pump(ctx, conn, out)
+	return out, nil
+}
+
+// pump is the delivery loop of one router connection: it decrypts
+// each delivery once and routes it. A pump started by Attach feeds the
+// matched Subscription handles; a pump started by the deprecated
+// Listen feeds only the merged out channel (handles subscribe-time
+// state would otherwise fill unconsumed buffers and stall the pump).
+// Both paths block when the consumer lags, so backpressure reaches the
+// router instead of deliveries being dropped.
+func (c *Client) pump(ctx context.Context, conn net.Conn, out chan Delivery) {
+	defer c.wg.Done()
+	if out != nil {
 		defer close(out)
-		for {
-			m, err := Recv(conn)
-			if err != nil {
-				return
+	} else {
+		// Attach mode: when the delivery connection is lost (router
+		// gone, ctx cancelled, client closed), close every live
+		// Subscription handle so blocked Next/Consume callers unwind
+		// with ErrClosed — the handle analogue of the legacy channel
+		// closing. Buffered deliveries still drain first. The dead
+		// handles also leave c.subs, so a later re-Attach dispatches
+		// to fresh handles only (re-Subscribe after reconnecting).
+		defer func() {
+			c.mu.Lock()
+			subs := make([]*Subscription, 0, len(c.subs))
+			for id, s := range c.subs {
+				subs = append(subs, s)
+				delete(c.subs, id)
 			}
-			if m.Type != TypeDeliver {
-				continue
+			c.mu.Unlock()
+			for _, s := range subs {
+				s.closeHandle()
 			}
-			select {
-			case out <- c.decryptDelivery(m):
-			case <-c.done:
-				return
-			}
+		}()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-c.done:
+			_ = conn.Close()
+		case <-stop:
 		}
 	}()
-	return out, nil
+	for {
+		m, err := Recv(conn)
+		if err != nil {
+			return
+		}
+		if m.Type != TypeDeliver {
+			continue
+		}
+		d := c.decryptDelivery(m)
+		d.SubIDs = m.SubIDs
+		c.dispatch(d, out)
+	}
+}
+
+// dispatch routes one delivery: to the merged stream in legacy Listen
+// mode, to the matched subscription handles otherwise.
+func (c *Client) dispatch(d Delivery, out chan Delivery) {
+	if out != nil {
+		select {
+		case out <- d:
+		case <-c.done:
+		}
+		return
+	}
+	c.mu.Lock()
+	targets := make([]*Subscription, 0, len(d.SubIDs))
+	if len(d.SubIDs) == 0 {
+		// Router did not name subscriptions: offer to every handle.
+		for _, s := range c.subs {
+			targets = append(targets, s)
+		}
+	} else {
+		for _, id := range d.SubIDs {
+			if s, ok := c.subs[id]; ok {
+				targets = append(targets, s)
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range targets {
+		s.offer(d)
+	}
 }
 
 // decryptDelivery recovers a payload, refreshing the group key when
@@ -224,8 +385,9 @@ func (c *Client) decryptDelivery(m *Message) Delivery {
 	return Delivery{Payload: plain, Epoch: m.Epoch}
 }
 
-// Close shuts down the client's connections and waits for the
-// delivery goroutine. Safe to call more than once.
+// Close shuts down the client's connections, closes every Subscription
+// handle, and waits for the delivery pump. Safe to call more than
+// once.
 func (c *Client) Close() {
 	c.closeOnce.Do(func() { close(c.done) })
 	c.mu.Lock()
@@ -235,6 +397,14 @@ func (c *Client) Close() {
 	if c.pubConn != nil {
 		_ = c.pubConn.Close()
 	}
+	subs := make([]*Subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.subs = make(map[uint64]*Subscription)
 	c.mu.Unlock()
+	for _, s := range subs {
+		s.closeHandle()
+	}
 	c.wg.Wait()
 }

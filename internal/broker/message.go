@@ -47,6 +47,7 @@ const (
 	TypeRemove       MsgType = "remove"
 	TypeRemoveOK     MsgType = "remove-ok"
 	TypePublish      MsgType = "publish"
+	TypePublishBatch MsgType = "publish-batch"
 
 	// Client ↔ router.
 	TypeListen   MsgType = "listen"
@@ -57,6 +58,13 @@ const (
 	TypeError MsgType = "error"
 )
 
+// BatchItem is one publication of a publish-batch message: the
+// SK-encrypted header plus the group-key-encrypted payload.
+type BatchItem struct {
+	Blob    []byte `json:"blob"`
+	Payload []byte `json:"payload"`
+}
+
 // Message is the single wire envelope; unused fields stay empty.
 // []byte fields serialise as Base64 inside JSON, matching the paper's
 // Base64 text serialisation.
@@ -64,13 +72,16 @@ type Message struct {
 	Type     MsgType       `json:"type"`
 	ClientID string        `json:"client_id,omitempty"`
 	SubID    uint64        `json:"sub_id,omitempty"`
+	SubIDs   []uint64      `json:"sub_ids,omitempty"` // deliver: which subscriptions matched
 	Epoch    uint64        `json:"epoch,omitempty"`
 	Blob     []byte        `json:"blob,omitempty"`    // encrypted subscription / header / key material
 	Payload  []byte        `json:"payload,omitempty"` // encrypted publication payload
+	Items    []BatchItem   `json:"items,omitempty"`   // publish-batch publications
 	Sig      []byte        `json:"sig,omitempty"`
 	PubKey   []byte        `json:"pub_key,omitempty"` // PKIX-encoded RSA key
 	Quote    *attest.Quote `json:"quote,omitempty"`
 	Err      string        `json:"err,omitempty"`
+	Code     string        `json:"code,omitempty"` // machine-readable error class
 }
 
 // Send marshals and frames one message.
@@ -95,17 +106,30 @@ func Recv(r io.Reader) (*Message, error) {
 	return &m, nil
 }
 
-// sendErr reports a protocol error to the peer (best effort).
-func sendErr(w io.Writer, format string, args ...any) {
-	_ = Send(w, &Message{Type: TypeError, Err: fmt.Sprintf(format, args...)})
+// sendErr reports a protocol error to the peer (best effort),
+// stamping the machine-readable class code so the sentinel taxonomy
+// survives the hop.
+func sendErr(w io.Writer, err error) {
+	_ = Send(w, &Message{Type: TypeError, Err: err.Error(), Code: codeFor(err)})
 }
 
-// errOf converts an error reply into a Go error.
+// sendErrf is sendErr for ad-hoc protocol violations without a
+// sentinel class.
+func sendErrf(w io.Writer, format string, args ...any) {
+	sendErr(w, fmt.Errorf(format, args...))
+}
+
+// errOf converts an error reply into a Go error, re-wrapping the
+// sentinel named by the reply's class code so errors.Is matches
+// across the network boundary.
 func errOf(m *Message) error {
-	if m.Type == TypeError {
-		return fmt.Errorf("broker: peer error: %s", m.Err)
+	if m.Type != TypeError {
+		return nil
 	}
-	return nil
+	if sentinel := sentinelFor(m.Code); sentinel != nil {
+		return fmt.Errorf("broker: peer error: %w (%s)", sentinel, m.Err)
+	}
+	return fmt.Errorf("broker: peer error: %s", m.Err)
 }
 
 // expect validates a reply's type.

@@ -53,7 +53,7 @@ func (r *Router) SealState() ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.sk == nil {
-		return nil, errors.New("broker: router not provisioned; nothing to seal")
+		return nil, fmt.Errorf("%w: nothing to seal", ErrNotProvisioned)
 	}
 	verifyDER, err := marshalVerifyKey(r.verifyKey)
 	if err != nil {

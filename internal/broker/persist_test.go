@@ -80,7 +80,7 @@ func (f *restartFixture) populate(r *Router, n int) (*Publisher, []uint64) {
 		_ = server.Close()
 		<-done
 	})
-	if err := pub.ConnectRouter(client); err != nil {
+	if err := pub.ConnectRouter(bg, client); err != nil {
 		f.t.Fatal(err)
 	}
 	ids := make([]uint64, 0, n)
@@ -253,7 +253,7 @@ func TestRestartEndToEnd(t *testing.T) {
 	done1 := make(chan struct{})
 	go func() {
 		defer close(done1)
-		_ = r1.Serve(ln1)
+		_ = r1.Serve(bg, ln1)
 	}()
 
 	ias := attest.NewService()
@@ -266,7 +266,7 @@ func TestRestartEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pub.ConnectRouter(conn1); err != nil {
+	if err := pub.ConnectRouter(bg, conn1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -293,7 +293,7 @@ func TestRestartEndToEnd(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				defer c.Close()
-				pub.ServeClient(c)
+				pub.ServeClient(bg, c)
 			}()
 		}
 	}()
@@ -316,10 +316,10 @@ func TestRestartEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
-	if err := pub.Publish(halQuote(42), []byte("before restart")); err != nil {
+	if err := pub.Publish(bg, halQuote(42), []byte("before restart")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, rx1); d.Err != nil || string(d.Payload) != "before restart" {
@@ -345,7 +345,7 @@ func TestRestartEndToEnd(t *testing.T) {
 	done2 := make(chan struct{})
 	go func() {
 		defer close(done2)
-		_ = r2.Serve(ln2)
+		_ = r2.Serve(bg, ln2)
 	}()
 	t.Cleanup(func() {
 		r2.Close()
@@ -372,7 +372,7 @@ func TestRestartEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pub.Publish(halQuote(43), []byte("after restart")); err != nil {
+	if err := pub.Publish(bg, halQuote(43), []byte("after restart")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, rx2); d.Err != nil || string(d.Payload) != "after restart" {

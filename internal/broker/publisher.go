@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"crypto/rsa"
 	"crypto/x509"
 	"encoding/json"
@@ -69,14 +70,21 @@ func (p *Publisher) GroupEpoch() uint64 { return p.group.Epoch() }
 
 // ConnectRouter attests the router enclave over conn and provisions SK
 // and the signature verification key. The connection is retained for
-// registrations and publications.
-func (p *Publisher) ConnectRouter(conn net.Conn) error {
-	if err := Send(conn, &Message{Type: TypeProvision}); err != nil {
+// registrations and publications. Cancelling ctx severs the
+// connection; attestation failures wrap ErrAttestationFailed and keep
+// the underlying attest sentinel in the chain.
+func (p *Publisher) ConnectRouter(ctx context.Context, conn net.Conn) error {
+	if err := ctx.Err(); err != nil {
 		return err
+	}
+	release := ctxGuard(ctx, conn)
+	defer release()
+	if err := Send(conn, &Message{Type: TypeProvision}); err != nil {
+		return ctxErr(ctx, err)
 	}
 	req, err := Recv(conn)
 	if err != nil {
-		return err
+		return ctxErr(ctx, err)
 	}
 	if err := expect(req, TypeProvisionReq); err != nil {
 		return err
@@ -92,14 +100,14 @@ func (p *Publisher) ConnectRouter(conn net.Conn) error {
 	blob, err := attest.ProvisionSecret(p.ias, p.routerID,
 		&attest.ProvisioningRequest{Quote: req.Quote, PubKey: req.PubKey}, bundle)
 	if err != nil {
-		return fmt.Errorf("broker: attestation failed: %w", err)
+		return fmt.Errorf("%w: %w", ErrAttestationFailed, err)
 	}
 	if err := Send(conn, &Message{Type: TypeProvisionKey, Blob: blob}); err != nil {
-		return err
+		return ctxErr(ctx, err)
 	}
 	ok, err := Recv(conn)
 	if err != nil {
-		return err
+		return ctxErr(ctx, err)
 	}
 	if err := expect(ok, TypeProvisionOK); err != nil {
 		return err
@@ -112,8 +120,11 @@ func (p *Publisher) ConnectRouter(conn net.Conn) error {
 
 // ServeClient handles one client connection: subscription admission
 // (step ① → ②), group key requests, and unsubscriptions. It returns
-// when the client disconnects.
-func (p *Publisher) ServeClient(conn net.Conn) {
+// when the client disconnects or ctx is cancelled (which severs the
+// connection).
+func (p *Publisher) ServeClient(ctx context.Context, conn net.Conn) {
+	release := ctxGuard(ctx, conn)
+	defer release()
 	for {
 		m, err := Recv(conn)
 		if err != nil {
@@ -127,11 +138,11 @@ func (p *Publisher) ServeClient(conn net.Conn) {
 		case TypeUnsubscribe:
 			err = p.handleUnsubscribe(conn, m)
 		default:
-			sendErr(conn, "unexpected message %q", m.Type)
+			sendErrf(conn, "unexpected message %q", m.Type)
 			return
 		}
 		if err != nil {
-			sendErr(conn, "%v", err)
+			sendErr(conn, err)
 		}
 	}
 }
@@ -206,8 +217,11 @@ func (p *Publisher) handleUnsubscribe(conn net.Conn, m *Message) error {
 	p.mu.Lock()
 	owner, ok := p.subOwner[m.SubID]
 	p.mu.Unlock()
-	if !ok || owner != m.ClientID {
-		return fmt.Errorf("subscription %d is not owned by %s", m.SubID, m.ClientID)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
+	}
+	if owner != m.ClientID {
+		return fmt.Errorf("%w: subscription %d, client %s", ErrNotOwner, m.SubID, m.ClientID)
 	}
 	reply, err := p.routerRequest(&Message{Type: TypeRemove, ClientID: m.ClientID, SubID: m.SubID})
 	if err != nil {
@@ -259,9 +273,22 @@ func (p *Publisher) groupKeyFor(rec *ClientRecord) ([]byte, uint64, error) {
 	return blob, epoch, nil
 }
 
+// Event is one publication: the routable header (matched inside the
+// enclave) and the payload only subscribed clients can read.
+type Event struct {
+	Header  pubsub.EventSpec
+	Payload []byte
+}
+
 // Publish is step ④: encrypt the header under SK, the payload under
-// the group key, and send both to the router.
-func (p *Publisher) Publish(header pubsub.EventSpec, payload []byte) error {
+// the group key, and send both to the router. Cancellation is checked
+// before the send and a ctx deadline bounds a stalled send; an
+// already-started frame is never abandoned (it would corrupt the
+// stream), so a bare cancel takes effect on the next call.
+func (p *Publisher) Publish(ctx context.Context, header pubsub.EventSpec, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	raw, err := pubsub.EncodeEventSpec(header)
 	if err != nil {
 		return err
@@ -278,9 +305,76 @@ func (p *Publisher) Publish(header pubsub.EventSpec, payload []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.routerConn == nil {
-		return errors.New("broker: publisher not connected to a router")
+		return fmt.Errorf("%w: publisher has no router", ErrNotConnected)
 	}
-	return Send(p.routerConn, &Message{Type: TypePublish, Blob: encHeader, Payload: encPayload, Epoch: epoch})
+	release := deadlineGuard(ctx, p.routerConn)
+	defer release()
+	return ctxErr(ctx, Send(p.routerConn, &Message{Type: TypePublish, Blob: encHeader, Payload: encPayload, Epoch: epoch}))
+}
+
+// batchFrameBudget bounds the pre-encoding size of one publish-batch
+// frame. JSON base64-inflates []byte fields by 4/3 plus field
+// overhead, so staying under this keeps the encoded frame safely
+// below wire.MaxFrame (16 MB) with room to spare.
+const batchFrameBudget = 8 << 20
+
+// PublishBatch is step ④ for a whole batch: every header is encrypted
+// under SK and every payload under the current group key, and the
+// batch travels to the router as one message — one wire round trip,
+// one enclave crossing (one ecall, or one ring pass in the switchless
+// configuration) however many events it carries. This is the
+// amortisation seed for high-throughput feeds: the per-publication
+// EENTER/EEXIT cost of the synchronous path divides by the batch
+// size. A batch whose ciphertext would overflow the wire's frame
+// limit is transparently split into the fewest frames that fit (each
+// still one enclave crossing); an empty batch is a no-op. Delivery
+// order within the batch is preserved either way.
+func (p *Publisher) PublishBatch(ctx context.Context, events []Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	groupKey, epoch := p.group.Key()
+	items := make([]BatchItem, len(events))
+	for i := range events {
+		raw, err := pubsub.EncodeEventSpec(events[i].Header)
+		if err != nil {
+			return fmt.Errorf("broker: batch event %d: %w", i, err)
+		}
+		encHeader, err := scrypto.Seal(p.sk, raw)
+		if err != nil {
+			return fmt.Errorf("broker: encrypting batch header %d: %w", i, err)
+		}
+		encPayload, err := scrypto.Seal(groupKey, events[i].Payload)
+		if err != nil {
+			return fmt.Errorf("broker: encrypting batch payload %d: %w", i, err)
+		}
+		items[i] = BatchItem{Blob: encHeader, Payload: encPayload}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.routerConn == nil {
+		return fmt.Errorf("%w: publisher has no router", ErrNotConnected)
+	}
+	release := deadlineGuard(ctx, p.routerConn)
+	defer release()
+	for start := 0; start < len(items); {
+		end, size := start, 0
+		for end < len(items) {
+			size += len(items[end].Blob) + len(items[end].Payload)
+			if end > start && size > batchFrameBudget {
+				break
+			}
+			end++
+		}
+		if err := ctxErr(ctx, Send(p.routerConn, &Message{Type: TypePublishBatch, Items: items[start:end], Epoch: epoch})); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
 }
 
 // Revoke excludes a client: admission is withdrawn and the payload
@@ -301,7 +395,7 @@ func (p *Publisher) routerRequest(m *Message) (*Message, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.routerConn == nil {
-		return nil, errors.New("broker: publisher not connected to a router")
+		return nil, fmt.Errorf("%w: publisher has no router", ErrNotConnected)
 	}
 	if err := Send(p.routerConn, m); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"crypto/rsa"
 	"crypto/x509"
 	"encoding/json"
@@ -43,6 +44,9 @@ type RouterConfig struct {
 	// exchanges at the enclave border". Registrations and removals
 	// keep their synchronous ecall path (they must be acknowledged).
 	Switchless bool
+	// RingCapacity sizes the switchless publication ring (rounded up
+	// to a power of two; default 128). Ignored unless Switchless.
+	RingCapacity int
 }
 
 // Router hosts the SCBR filtering engine inside an enclave on the
@@ -64,9 +68,10 @@ type Router struct {
 	subOwner  map[uint64]string
 	regLog    []logEntry
 
-	wg       sync.WaitGroup
-	closing  chan struct{}
-	listener net.Listener
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+	listener  net.Listener
 
 	// Switchless publication path (nil when disabled).
 	pubRing    *sgx.Ring
@@ -75,7 +80,9 @@ type Router struct {
 }
 
 // NewRouter launches the router's enclave on the given device and
-// builds the engine over enclave memory.
+// builds the engine over enclave memory. On any failure after launch
+// the enclave is terminated before the error returns, so a failed
+// construction never leaks EPC pages.
 func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Router, error) {
 	if len(cfg.EnclaveImage) == 0 {
 		return nil, errors.New("broker: router needs an enclave image")
@@ -86,6 +93,7 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 	}
 	engine, err := core.NewEngine(enclave.Memory(), pubsub.NewSchema(), core.Options{PadRecordTo: cfg.PadRecordTo})
 	if err != nil {
+		enclave.Terminate()
 		return nil, fmt.Errorf("broker: building engine: %w", err)
 	}
 	r := &Router{
@@ -100,8 +108,13 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		closing:   make(chan struct{}),
 	}
 	if cfg.Switchless {
-		ring, err := sgx.NewRing(128)
+		capacity := cfg.RingCapacity
+		if capacity <= 0 {
+			capacity = 128
+		}
+		ring, err := sgx.NewRing(capacity)
 		if err != nil {
+			enclave.Terminate()
 			return nil, fmt.Errorf("broker: building publication ring: %w", err)
 		}
 		r.pubRing = ring
@@ -145,11 +158,32 @@ func (r *Router) publicationWorker() {
 		}
 		meter.Charge(meter.Cost.SwitchlessPollCycles)
 		if r.sk != nil {
-			if matches, err := r.matchPublication(&m); err == nil {
-				r.forwardLocked(matches, &m)
-			}
+			r.routePublicationLocked(&m)
 		}
 		r.mu.Unlock()
+	}
+}
+
+// routePublicationLocked runs steps ⑤–⑥ for a publish or publish-batch
+// message: match each header inside the enclave and forward the still
+// encrypted payloads. Per-item failures (tampered ciphertext,
+// malformed headers) drop that publication, exactly as the wire's
+// fire-and-forget semantics specify. The caller holds r.mu and has
+// accounted the enclave entry (an ecall on the synchronous path, the
+// resident worker on the switchless path); a batch therefore costs one
+// enclave crossing however many publications it carries.
+func (r *Router) routePublicationLocked(m *Message) {
+	if m.Type == TypePublishBatch {
+		for i := range m.Items {
+			item := &Message{Type: TypePublish, Blob: m.Items[i].Blob, Payload: m.Items[i].Payload, Epoch: m.Epoch}
+			if matches, err := r.matchPublication(item); err == nil {
+				r.forwardLocked(matches, item)
+			}
+		}
+		return
+	}
+	if matches, err := r.matchPublication(m); err == nil {
+		r.forwardLocked(matches, m)
 	}
 }
 
@@ -178,12 +212,37 @@ func (r *Router) Identity() attest.Identity {
 	}
 }
 
-// Serve accepts connections until Close. Each connection is handled on
-// its own goroutine; Serve returns after the listener closes.
-func (r *Router) Serve(l net.Listener) error {
+// Serve accepts connections until ctx is cancelled or Close is
+// called. Each connection is handled on its own goroutine; ctx
+// cancellation severs the listener and every active connection, so
+// handler loops blocked in Recv unwind promptly. Serve returns nil
+// after Close and ctx.Err() after cancellation.
+func (r *Router) Serve(ctx context.Context, l net.Listener) error {
+	select {
+	case <-r.closing:
+		return ErrClosed
+	default:
+	}
 	r.mu.Lock()
 	r.listener = l
 	r.mu.Unlock()
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				_ = l.Close()
+				r.mu.Lock()
+				for c := range r.conns {
+					_ = c.Close()
+				}
+				r.mu.Unlock()
+			case <-r.closing:
+			case <-stop:
+			}
+		}()
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -191,12 +250,21 @@ func (r *Router) Serve(l net.Listener) error {
 			case <-r.closing:
 				return nil
 			default:
-				return fmt.Errorf("broker: accept: %w", err)
 			}
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			return fmt.Errorf("broker: accept: %w", err)
 		}
 		r.mu.Lock()
 		r.conns[conn] = true
 		r.mu.Unlock()
+		if ctx.Err() != nil {
+			// Accepted concurrently with cancellation: the watcher's
+			// sweep may have run before this conn was registered, so
+			// sever it here — either the sweep saw it or this does.
+			_ = conn.Close()
+		}
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
@@ -212,9 +280,10 @@ func (r *Router) Serve(l net.Listener) error {
 }
 
 // Close stops the router, drains the switchless worker if one is
-// running, and waits for connection handlers.
+// running, and waits for connection handlers. Safe to call more than
+// once.
 func (r *Router) Close() {
-	close(r.closing)
+	r.closeOnce.Do(func() { close(r.closing) })
 	r.mu.Lock()
 	if r.listener != nil {
 		_ = r.listener.Close()
@@ -244,7 +313,7 @@ func (r *Router) handleConn(conn net.Conn) {
 			err = r.handleRegister(conn, m)
 		case TypeRemove:
 			err = r.handleRemove(conn, m)
-		case TypePublish:
+		case TypePublish, TypePublishBatch:
 			// Publications are fire-and-forget on the wire; a publish
 			// that fails authentication is dropped, not answered, so
 			// the reply stream stays aligned with request/response
@@ -253,7 +322,7 @@ func (r *Router) handleConn(conn net.Conn) {
 			continue
 		case TypeListen:
 			if err := r.handleListen(conn, m); err != nil {
-				sendErr(conn, "listen: %v", err)
+				sendErr(conn, fmt.Errorf("listen: %w", err))
 				return
 			}
 			// The connection now belongs to the delivery path; this
@@ -261,11 +330,11 @@ func (r *Router) handleConn(conn net.Conn) {
 			// sends so the connection close is still observed.
 			continue
 		default:
-			sendErr(conn, "unexpected message %q", m.Type)
+			sendErrf(conn, "unexpected message %q", m.Type)
 			return
 		}
 		if err != nil {
-			sendErr(conn, "%v", err)
+			sendErr(conn, err)
 		}
 	}
 }
@@ -321,7 +390,7 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.sk == nil {
-		return errors.New("router not provisioned")
+		return ErrNotProvisioned
 	}
 	if m.ClientID == "" {
 		return errors.New("registration without client identity")
@@ -365,10 +434,10 @@ func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 	defer r.mu.Unlock()
 	owner, ok := r.subOwner[m.SubID]
 	if !ok {
-		return fmt.Errorf("unknown subscription %d", m.SubID)
+		return fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
 	}
 	if owner != m.ClientID {
-		return fmt.Errorf("subscription %d is not owned by %s", m.SubID, m.ClientID)
+		return fmt.Errorf("%w: subscription %d, client %s", ErrNotOwner, m.SubID, m.ClientID)
 	}
 	if err := r.enclave.Ecall(func() error { return r.engine.Unregister(m.SubID) }); err != nil {
 		return err
@@ -383,11 +452,13 @@ func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 	return Send(conn, &Message{Type: TypeRemoveOK, SubID: m.SubID})
 }
 
-// handlePublish is steps ⑤–⑥: decrypt the header inside the enclave,
-// match, and forward the (still encrypted) payload to every client
-// with a matching subscription. In the switchless configuration the
-// message is instead handed to the resident enclave worker through
-// the untrusted ring.
+// handlePublish is steps ⑤–⑥ for both single publications and
+// batches: decrypt each header inside the enclave, match, and forward
+// the (still encrypted) payloads to every client with a matching
+// subscription. A batch crosses the enclave border once — one ecall on
+// the synchronous path, one ring pass in the switchless configuration,
+// where the whole message is handed to the resident enclave worker
+// through the untrusted ring.
 func (r *Router) handlePublish(m *Message) error {
 	if r.pubRing != nil {
 		raw, err := json.Marshal(m)
@@ -396,24 +467,20 @@ func (r *Router) handlePublish(m *Message) error {
 		}
 		r.pushMu.Lock()
 		defer r.pushMu.Unlock()
-		return r.pubRing.Push(raw)
+		if err := r.pubRing.Push(raw); err != nil {
+			return fmt.Errorf("%w: publication ring: %v", ErrClosed, err)
+		}
+		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.sk == nil {
-		return errors.New("router not provisioned")
+		return ErrNotProvisioned
 	}
-	var matches []core.MatchResult
-	err := r.enclave.Ecall(func() error {
-		var err error
-		matches, err = r.matchPublication(m)
-		return err
+	return r.enclave.Ecall(func() error {
+		r.routePublicationLocked(m)
+		return nil
 	})
-	if err != nil {
-		return err
-	}
-	r.forwardLocked(matches, m)
-	return nil
 }
 
 // matchPublication is the trusted step ⑤: authenticate and decrypt the
@@ -438,22 +505,28 @@ func (r *Router) matchPublication(m *Message) ([]core.MatchResult, error) {
 }
 
 // forwardLocked is step ⑥: deliver the still-encrypted payload once to
-// every matched client that is currently listening. Caller holds r.mu.
+// every matched client that is currently listening. The delivery names
+// every subscription of that client that matched, so client-side
+// Subscription handles can route it without decrypting twice. Caller
+// holds r.mu.
 func (r *Router) forwardLocked(matches []core.MatchResult, m *Message) {
 	// Deduplicate client targets: one delivery per client however many
 	// of its subscriptions matched.
-	seen := make(map[uint32]bool, len(matches))
+	perClient := make(map[uint32][]uint64, len(matches))
+	order := make([]uint32, 0, len(matches))
 	for _, match := range matches {
-		if seen[match.ClientRef] {
-			continue
+		if _, ok := perClient[match.ClientRef]; !ok {
+			order = append(order, match.ClientRef)
 		}
-		seen[match.ClientRef] = true
-		name := r.refName[match.ClientRef]
+		perClient[match.ClientRef] = append(perClient[match.ClientRef], match.SubID)
+	}
+	for _, ref := range order {
+		name := r.refName[ref]
 		conn, ok := r.listeners[name]
 		if !ok {
 			continue // client not currently listening
 		}
-		if err := Send(conn, &Message{Type: TypeDeliver, Payload: m.Payload, Epoch: m.Epoch}); err != nil {
+		if err := Send(conn, &Message{Type: TypeDeliver, Payload: m.Payload, Epoch: m.Epoch, SubIDs: perClient[ref]}); err != nil {
 			// A broken listener must not block the others.
 			delete(r.listeners, name)
 			_ = conn.Close()

@@ -1,0 +1,125 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"scbr/internal/pubsub"
+)
+
+// Subscription is a first-class handle on one registered subscription:
+// it carries the router-assigned ID, the original spec, and a buffered
+// view of the client's delivery stream filtered to the publications
+// that matched this subscription. Handles are created by
+// Client.Subscribe and live until Unsubscribe or Client.Close.
+//
+// Deliveries are consumed either by iteration (Next), by channel
+// (Deliveries), or by callback (Consume) — pick one per handle; the
+// three drain the same buffer.
+type Subscription struct {
+	id   uint64
+	spec pubsub.SubscriptionSpec
+	c    *Client
+	ch   chan Delivery
+	done chan struct{}
+	once sync.Once
+}
+
+// ID returns the router-assigned subscription ID.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Spec returns the subscription's predicate conjunction as submitted.
+func (s *Subscription) Spec() pubsub.SubscriptionSpec { return s.spec }
+
+// Next blocks until a delivery for this subscription arrives, ctx is
+// cancelled (returning ctx.Err()), or the handle closes (returning an
+// error wrapping ErrClosed). Buffered deliveries drain before a close
+// is reported, but a cancelled ctx is honoured immediately — callers
+// that stop consuming stop, even mid-burst.
+func (s *Subscription) Next(ctx context.Context) (Delivery, error) {
+	if err := ctx.Err(); err != nil {
+		return Delivery{}, err
+	}
+	// Drain buffered deliveries before reporting a close, so closing
+	// the handle never eats them.
+	select {
+	case d := <-s.ch:
+		return d, nil
+	default:
+	}
+	select {
+	case d := <-s.ch:
+		return d, nil
+	case <-ctx.Done():
+		return Delivery{}, ctx.Err()
+	case <-s.done:
+		// The close may race a delivery buffered in the same instant;
+		// honour the drain-before-close guarantee.
+		select {
+		case d := <-s.ch:
+			return d, nil
+		default:
+		}
+		return Delivery{}, fmt.Errorf("%w: subscription %d", ErrClosed, s.id)
+	case <-s.c.done:
+		select {
+		case d := <-s.ch:
+			return d, nil
+		default:
+		}
+		return Delivery{}, fmt.Errorf("%w: client %s", ErrClosed, s.c.ID)
+	}
+}
+
+// Deliveries exposes the handle's buffered delivery channel for
+// select-based consumers. The channel is never closed; use Next or
+// watch Done to observe shutdown.
+func (s *Subscription) Deliveries() <-chan Delivery { return s.ch }
+
+// Done is closed when the handle is no longer live (after Unsubscribe
+// or Client.Close).
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Unsubscribe withdraws the subscription through the publisher and
+// closes the handle. Subsequent Next calls drain the buffer and then
+// report ErrClosed.
+func (s *Subscription) Unsubscribe(ctx context.Context) error {
+	return s.c.Unsubscribe(ctx, s.id)
+}
+
+// Consume invokes fn for every delivery until ctx is cancelled, the
+// handle closes (returning nil — a closed subscription is a normal
+// end of stream), or fn returns an error, which is passed through.
+func (s *Subscription) Consume(ctx context.Context, fn func(Delivery) error) error {
+	for {
+		d, err := s.Next(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+}
+
+// closeHandle marks the handle dead; idempotent.
+func (s *Subscription) closeHandle() {
+	s.once.Do(func() { close(s.done) })
+}
+
+// offer hands a delivery to the handle's buffer. When the buffer is
+// full it blocks until the consumer catches up or the handle (or
+// client) closes — lossless backpressure, like the pre-Subscription
+// channel API.
+func (s *Subscription) offer(d Delivery) {
+	select {
+	case s.ch <- d:
+	case <-s.done:
+	case <-s.c.done:
+	}
+}

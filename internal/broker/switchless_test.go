@@ -18,10 +18,10 @@ func TestSwitchlessEndToEnd(t *testing.T) {
 	alice, aliceRx := sys.attach("alice")
 	_, bobRx := sys.attach("bob")
 
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("HAL @ 42")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("HAL @ 42")); err != nil {
 		t.Fatal(err)
 	}
 	d := recvDelivery(t, aliceRx)
@@ -29,7 +29,7 @@ func TestSwitchlessEndToEnd(t *testing.T) {
 		t.Fatalf("delivery = %+v", d)
 	}
 	expectNoDelivery(t, bobRx)
-	if err := sys.publisher.Publish(halQuote(60), []byte("HAL @ 60")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(60), []byte("HAL @ 60")); err != nil {
 		t.Fatal(err)
 	}
 	expectNoDelivery(t, aliceRx)
@@ -38,7 +38,7 @@ func TestSwitchlessEndToEnd(t *testing.T) {
 func TestSwitchlessOrderedBurst(t *testing.T) {
 	sys := newSwitchlessSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
 	// A burst larger than the ring capacity (128) exercises
@@ -46,7 +46,7 @@ func TestSwitchlessOrderedBurst(t *testing.T) {
 	// complete and in order.
 	const n = 500
 	for i := 0; i < n; i++ {
-		if err := sys.publisher.Publish(halQuote(42), []byte(fmt.Sprintf("q%04d", i))); err != nil {
+		if err := sys.publisher.Publish(bg, halQuote(42), []byte(fmt.Sprintf("q%04d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -64,12 +64,12 @@ func TestSwitchlessOrderedBurst(t *testing.T) {
 func TestSwitchlessPublicationsUseNoPerMessageTransitions(t *testing.T) {
 	sys := newSwitchlessSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
 	// Warm the path so the worker's one-time entry transition has been
 	// charged before the measured window.
-	if err := sys.publisher.Publish(halQuote(42), []byte("warm")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
 	recvDelivery(t, aliceRx)
@@ -77,7 +77,7 @@ func TestSwitchlessPublicationsUseNoPerMessageTransitions(t *testing.T) {
 	before := sys.router.MeterSnapshot().Transitions
 	const n = 50
 	for i := 0; i < n; i++ {
-		if err := sys.publisher.Publish(halQuote(42), []byte("x")); err != nil {
+		if err := sys.publisher.Publish(bg, halQuote(42), []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -94,7 +94,7 @@ func TestSwitchlessPublicationsUseNoPerMessageTransitions(t *testing.T) {
 func TestSwitchlessTamperedPublicationDropped(t *testing.T) {
 	sys := newSwitchlessSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	if _, err := alice.Subscribe(halSpec(50)); err != nil {
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
 		t.Fatal(err)
 	}
 	// A plaintext (unauthenticated) header fails MAC verification
@@ -113,7 +113,7 @@ func TestSwitchlessTamperedPublicationDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	expectNoDelivery(t, aliceRx)
-	if err := sys.publisher.Publish(halQuote(42), []byte("real")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("real")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, aliceRx); d.Err != nil || string(d.Payload) != "real" {
@@ -147,20 +147,20 @@ func TestSwitchlessSealRestore(t *testing.T) {
 func TestSwitchlessUnsubscribeStopsDeliveries(t *testing.T) {
 	sys := newSwitchlessSystem(t)
 	alice, aliceRx := sys.attach("alice")
-	subID, err := alice.Subscribe(halSpec(50))
+	sub, err := alice.Subscribe(bg, halSpec(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("one")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("one")); err != nil {
 		t.Fatal(err)
 	}
 	if d := recvDelivery(t, aliceRx); string(d.Payload) != "one" {
 		t.Fatalf("delivery = %+v", d)
 	}
-	if err := alice.Unsubscribe(subID); err != nil {
+	if err := alice.Unsubscribe(bg, sub.ID()); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.publisher.Publish(halQuote(42), []byte("two")); err != nil {
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("two")); err != nil {
 		t.Fatal(err)
 	}
 	expectNoDelivery(t, aliceRx)

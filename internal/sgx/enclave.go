@@ -214,3 +214,16 @@ func (e *Enclave) sealKey(policy SealPolicy) ([]byte, error) {
 // Device returns the device this enclave runs on (untrusted helpers
 // need it for counter services).
 func (e *Enclave) Device() *Device { return e.dev }
+
+// Terminate destroys the enclave, mirroring EREMOVE on every page: its
+// EPC-backed heap is released and any further Ecall, Report, Seal, or
+// Unseal fails with ErrNotInitialised. Callers that launch an enclave
+// and then fail before handing it to an owner must terminate it, or
+// its EPC pages stay committed for the life of the device.
+func (e *Enclave) Terminate() {
+	e.inited = false
+	if e.acc != nil {
+		e.acc.epc = nil
+	}
+	e.acc = nil
+}

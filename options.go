@@ -1,0 +1,113 @@
+package scbr
+
+import (
+	"crypto/rsa"
+
+	"scbr/internal/broker"
+	"scbr/internal/core"
+	"scbr/internal/sgx"
+)
+
+// Option configures a Router or an embedded Engine. All constructors
+// of the v1 surface accept a trailing list of options; an option that
+// does not apply to the constructed artefact (e.g. WithSwitchless on a
+// plain engine) is ignored, so option sets can be shared between
+// deployment roles.
+type Option func(*settings)
+
+// settings is the resolved option state; zero values select the
+// paper's defaults.
+type settings struct {
+	epcBytes        uint64
+	padRecordTo     int
+	switchless      bool
+	ringCapacity    int
+	cacheAlign      bool
+	disableSharding bool
+	isvProdID       uint16
+	isvSVN          uint16
+	debug           bool
+}
+
+func resolve(opts []Option) settings {
+	var s settings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// routerConfig lowers the resolved options onto the broker's config.
+func (s settings) routerConfig(image []byte, signer *rsa.PublicKey) broker.RouterConfig {
+	return broker.RouterConfig{
+		EnclaveImage:  image,
+		EnclaveSigner: signer,
+		EPCBytes:      s.epcBytes,
+		PadRecordTo:   s.padRecordTo,
+		Switchless:    s.switchless,
+		RingCapacity:  s.ringCapacity,
+	}
+}
+
+// enclaveConfig lowers the resolved options onto an enclave launch.
+func (s settings) enclaveConfig() sgx.EnclaveConfig {
+	return sgx.EnclaveConfig{
+		EPCBytes:  s.epcBytes,
+		ISVProdID: s.isvProdID,
+		ISVSVN:    s.isvSVN,
+		Debug:     s.debug,
+	}
+}
+
+// engineOptions lowers the resolved options onto the matching engine.
+func (s settings) engineOptions() core.Options {
+	return core.Options{
+		PadRecordTo:     s.padRecordTo,
+		DisableSharding: s.disableSharding,
+		CacheAlign:      s.cacheAlign,
+	}
+}
+
+// WithEPC bounds the enclave page cache to n bytes (default: the
+// paper's ~93 MB usable EPC, DefaultEPCBytes). Experiments shrink it
+// to provoke the Figure 8 paging cliff in seconds.
+func WithEPC(n uint64) Option { return func(s *settings) { s.epcBytes = n } }
+
+// WithPadding pads every engine record to at least n bytes, matching
+// the paper's ≈437 B/subscription footprint (see EngineOptions).
+func WithPadding(n int) Option { return func(s *settings) { s.padRecordTo = n } }
+
+// WithSwitchless routes publications into the enclave through the
+// untrusted-memory ring consumed by a resident enclave worker — the
+// paper's §6 "message exchanges at the enclave border" — instead of
+// one ecall per publication.
+func WithSwitchless() Option { return func(s *settings) { s.switchless = true } }
+
+// WithRingCapacity sizes the switchless publication ring (rounded up
+// to a power of two; default 128). Implies nothing by itself — combine
+// with WithSwitchless.
+func WithRingCapacity(n int) Option { return func(s *settings) { s.ringCapacity = n } }
+
+// WithCacheAlign rounds engine record allocations to 64-byte cache
+// lines — the paper's §6 "appropriately fitting [the containment
+// trees] into cache lines".
+func WithCacheAlign() Option { return func(s *settings) { s.cacheAlign = true } }
+
+// WithoutSharding keeps every subscription in a single containment
+// forest, as the paper's engine does. Much slower on large
+// equality-heavy databases; used by the sharding ablation.
+func WithoutSharding() Option { return func(s *settings) { s.disableSharding = true } }
+
+// WithISV sets the enclave's product ID and security version, both
+// part of the measured identity checked at provisioning.
+func WithISV(prodID, svn uint16) Option {
+	return func(s *settings) {
+		s.isvProdID = prodID
+		s.isvSVN = svn
+	}
+}
+
+// WithDebugEnclave launches the enclave in debug mode. Attestation
+// verifiers reject debug enclaves unless explicitly allowed; never
+// combine with production secrets.
+func WithDebugEnclave() Option { return func(s *settings) { s.debug = true } }

@@ -1,0 +1,120 @@
+package scbr_test
+
+import (
+	"testing"
+
+	"scbr"
+)
+
+// TestRouterOptionApplication checks that functional options reach the
+// launched enclave and engine.
+func TestRouterOptionApplication(t *testing.T) {
+	dev, err := scbr.NewDevice([]byte("opts-dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := scbr.NewQuoter(dev, "opts-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := scbr.NewRouter(dev, quoter, []byte("opts image"), signer.Public(),
+		scbr.WithEPC(8<<20), scbr.WithSwitchless(), scbr.WithRingCapacity(512), scbr.WithPadding(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if got := router.Enclave().Config().EPCBytes; got != 8<<20 {
+		t.Fatalf("EPCBytes = %d, want %d", got, 8<<20)
+	}
+
+	// Default options launch with the paper's EPC.
+	router2, err := scbr.NewRouter(dev, quoter, []byte("opts image 2"), signer.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router2.Close()
+	if got := router2.Enclave().Config().EPCBytes; got != uint64(scbr.DefaultEPCBytes) {
+		t.Fatalf("default EPCBytes = %d, want %d", got, uint64(scbr.DefaultEPCBytes))
+	}
+}
+
+// TestEngineOptionApplication checks that padding and ISV options are
+// observable on the constructed artefacts.
+func TestEngineOptionApplication(t *testing.T) {
+	spec, err := scbr.ParseSpec("price < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim, err := scbr.NewPlainEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := scbr.NewPlainEngine(scbr.WithPadding(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*scbr.Engine{slim, padded} {
+		if _, err := e.Register(spec, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slimB, padB := slim.Stats().Bytes, padded.Stats().Bytes; padB <= slimB {
+		t.Fatalf("WithPadding not applied: %d <= %d bytes", padB, slimB)
+	}
+
+	dev, err := scbr.NewDevice([]byte("engine-opts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, enclave, err := scbr.NewEnclaveEngine(dev, scbr.WithEPC(4<<20), scbr.WithISV(7, 3), scbr.WithDebugEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := enclave.Config()
+	if cfg.EPCBytes != 4<<20 || cfg.ISVProdID != 7 || cfg.ISVSVN != 3 || !cfg.Debug {
+		t.Fatalf("enclave config = %+v", cfg)
+	}
+}
+
+// TestDeprecatedRouterShim keeps the positional-config constructor
+// working for old callers.
+func TestDeprecatedRouterShim(t *testing.T) {
+	dev, err := scbr.NewDevice([]byte("shim-dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := scbr.NewQuoter(dev, "shim-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := scbr.NewRouterFromConfig(dev, quoter, scbr.RouterConfig{
+		EnclaveImage:  []byte("shim image"),
+		EnclaveSigner: signer.Public(),
+		EPCBytes:      2 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if got := router.Enclave().Config().EPCBytes; got != 2<<20 {
+		t.Fatalf("EPCBytes = %d", got)
+	}
+	// Equivalent option form measures identically (same image, same
+	// config → same MRENCLAVE).
+	twin, err := scbr.NewRouter(dev, quoter, []byte("shim image"), signer.Public(), scbr.WithEPC(2<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	if router.Identity().MRENCLAVE != twin.Identity().MRENCLAVE {
+		t.Fatal("option form and config form measure differently")
+	}
+}

@@ -4,6 +4,26 @@
 // Fetzer, "Secure Content-Based Routing Using Intel Software Guard
 // Extensions", Middleware 2016.
 //
+// The v1 surface is context-aware and option-based:
+//
+//   - constructors take positional identity arguments plus functional
+//     Options — NewRouter(dev, quoter, image, signer,
+//     WithSwitchless(), WithEPC(n), WithPadding(n)) — instead of
+//     positional config structs (thin deprecated shims remain for the
+//     old forms),
+//   - every blocking or network-touching operation takes a
+//     context.Context — Router.Serve(ctx, l), Publisher.Publish(ctx,
+//     header, payload), Client.Subscribe(ctx, spec) — and
+//     cancellation propagates into the broker's connection loops,
+//   - Subscribe returns a first-class Subscription handle with
+//     Next(ctx)/Deliveries()/Consume iteration and
+//     Unsubscribe(ctx),
+//   - Publisher.PublishBatch pipelines a batch of events through one
+//     router round trip and one enclave crossing,
+//   - failures wrap the typed sentinels of errors.go (ErrRevoked,
+//     ErrNotProvisioned, ErrAttestationFailed, ErrClosed, ...),
+//     matchable with errors.Is even across the wire.
+//
 // The package re-exports the pieces an application needs:
 //
 //   - the data model: attribute Values, Predicates, SubscriptionSpecs
@@ -25,14 +45,15 @@
 //
 //	dev, _ := scbr.NewDevice(nil)
 //	quoter, _ := scbr.NewQuoter(dev, "my-platform")
-//	router, _ := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
-//	    EnclaveImage:  image,
-//	    EnclaveSigner: signerKey.Public(),
-//	})
-//	// ... attest + provision via a Publisher, subscribe via Clients.
+//	router, _ := scbr.NewRouter(dev, quoter, image, signerKey.Public())
+//	go router.Serve(ctx, listener)
+//	// ... attest + provision via a Publisher, then:
+//	sub, _ := client.Subscribe(ctx, spec)
+//	d, _ := sub.Next(ctx)
 package scbr
 
 import (
+	"crypto/rsa"
 	"io"
 
 	"scbr/internal/attest"
@@ -97,6 +118,9 @@ type (
 	// Enclave is a launched enclave instance.
 	Enclave = sgx.Enclave
 	// EnclaveConfig parameterises enclave launch.
+	//
+	// Deprecated: pass WithEPC, WithISV, and WithDebugEnclave options
+	// to the v1 constructors instead.
 	EnclaveConfig = sgx.EnclaveConfig
 	// Quoter converts enclave reports into attestation quotes.
 	Quoter = attest.Quoter
@@ -131,6 +155,9 @@ type (
 	// Router hosts the filtering engine inside an enclave.
 	Router = broker.Router
 	// RouterConfig parameterises a router.
+	//
+	// Deprecated: pass Options to NewRouter instead; RouterConfig
+	// remains only for NewRouterFromConfig.
 	RouterConfig = broker.RouterConfig
 	// Publisher is the service provider: key owner, admission
 	// controller, and data source.
@@ -143,8 +170,21 @@ type (
 	ClientRegistry = broker.ClientRegistry
 )
 
-// NewRouter launches the routing enclave on dev.
-func NewRouter(dev *Device, quoter *Quoter, cfg RouterConfig) (*Router, error) {
+// NewRouter launches the routing enclave on dev from the measured
+// image signed by signer (publishers pin both during attestation) and
+// applies the given options:
+//
+//	router, err := scbr.NewRouter(dev, quoter, image, signer.Public(),
+//	    scbr.WithSwitchless(), scbr.WithEPC(32<<20), scbr.WithPadding(400))
+func NewRouter(dev *Device, quoter *Quoter, image []byte, signer *rsa.PublicKey, opts ...Option) (*Router, error) {
+	return broker.NewRouter(dev, quoter, resolve(opts).routerConfig(image, signer))
+}
+
+// NewRouterFromConfig launches a router from a positional config
+// struct.
+//
+// Deprecated: use NewRouter with Options.
+func NewRouterFromConfig(dev *Device, quoter *Quoter, cfg RouterConfig) (*Router, error) {
 	return broker.NewRouter(dev, quoter, cfg)
 }
 
@@ -163,6 +203,9 @@ type (
 	// Engine is the containment-based matching engine.
 	Engine = core.Engine
 	// EngineOptions configure an Engine.
+	//
+	// Deprecated: pass WithPadding, WithCacheAlign, and
+	// WithoutSharding options to the engine constructors instead.
 	EngineOptions = core.Options
 	// MatchResult identifies one matching subscription.
 	MatchResult = core.MatchResult
@@ -170,24 +213,26 @@ type (
 
 // NewPlainEngine builds an engine over plain (non-enclave) simulated
 // memory — the paper's "outside" configuration.
-func NewPlainEngine(opts EngineOptions) (*Engine, error) {
+func NewPlainEngine(opts ...Option) (*Engine, error) {
 	acc := simmem.NewPlainAccessor(simmem.DefaultCost())
-	return core.NewEngine(acc, pubsub.NewSchema(), opts)
+	return core.NewEngine(acc, pubsub.NewSchema(), resolve(opts).engineOptions())
 }
 
 // NewEnclaveEngine builds an engine inside a freshly launched enclave
 // on dev and returns both.
-func NewEnclaveEngine(dev *Device, cfg EnclaveConfig, opts EngineOptions) (*Engine, *Enclave, error) {
+func NewEnclaveEngine(dev *Device, opts ...Option) (*Engine, *Enclave, error) {
+	s := resolve(opts)
 	signer, err := scrypto.NewKeyPair(nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	enclave, err := dev.Launch([]byte("scbr embedded engine image"), signer.Public(), cfg)
+	enclave, err := dev.Launch([]byte("scbr embedded engine image"), signer.Public(), s.enclaveConfig())
 	if err != nil {
 		return nil, nil, err
 	}
-	engine, err := core.NewEngine(enclave.Memory(), pubsub.NewSchema(), opts)
+	engine, err := core.NewEngine(enclave.Memory(), pubsub.NewSchema(), s.engineOptions())
 	if err != nil {
+		enclave.Terminate()
 		return nil, nil, err
 	}
 	return engine, enclave, nil
@@ -201,24 +246,66 @@ func NewEnclaveEngine(dev *Device, cfg EnclaveConfig, opts EngineOptions) (*Engi
 // databases expected to outgrow the EPC — past that point it degrades
 // several times more gracefully than the default layout (see the
 // split ablation in EXPERIMENTS.md).
-func NewSplitEngine(dev *Device, cfg EnclaveConfig, cacheBytes uint64, opts EngineOptions) (*Engine, *Enclave, error) {
+func NewSplitEngine(dev *Device, cacheBytes uint64, opts ...Option) (*Engine, *Enclave, error) {
+	s := resolve(opts)
 	signer, err := scrypto.NewKeyPair(nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	enclave, err := dev.Launch([]byte("scbr embedded split engine image"), signer.Public(), cfg)
+	enclave, err := dev.Launch([]byte("scbr embedded split engine image"), signer.Public(), s.enclaveConfig())
 	if err != nil {
 		return nil, nil, err
 	}
 	acc, err := enclave.SplitMemory(cacheBytes)
 	if err != nil {
+		enclave.Terminate()
 		return nil, nil, err
 	}
-	engine, err := core.NewEngine(acc, pubsub.NewSchema(), opts)
+	engine, err := core.NewEngine(acc, pubsub.NewSchema(), s.engineOptions())
 	if err != nil {
+		enclave.Terminate()
 		return nil, nil, err
 	}
 	return engine, enclave, nil
+}
+
+// NewPlainEngineFromOptions builds a plain engine from a positional
+// options struct.
+//
+// Deprecated: use NewPlainEngine with Options.
+func NewPlainEngineFromOptions(o EngineOptions) (*Engine, error) {
+	acc := simmem.NewPlainAccessor(simmem.DefaultCost())
+	return core.NewEngine(acc, pubsub.NewSchema(), o)
+}
+
+// NewEnclaveEngineFromConfig builds an enclave engine from positional
+// config structs.
+//
+// Deprecated: use NewEnclaveEngine with Options.
+func NewEnclaveEngineFromConfig(dev *Device, cfg EnclaveConfig, o EngineOptions) (*Engine, *Enclave, error) {
+	return NewEnclaveEngine(dev, fromStructs(cfg, o)...)
+}
+
+// NewSplitEngineFromConfig builds a split-memory engine from
+// positional config structs.
+//
+// Deprecated: use NewSplitEngine with Options.
+func NewSplitEngineFromConfig(dev *Device, cfg EnclaveConfig, cacheBytes uint64, o EngineOptions) (*Engine, *Enclave, error) {
+	return NewSplitEngine(dev, cacheBytes, fromStructs(cfg, o)...)
+}
+
+// fromStructs lifts the legacy config structs onto the option form so
+// the deprecated shims stay one-liners over the v1 constructors.
+func fromStructs(cfg EnclaveConfig, o EngineOptions) []Option {
+	return []Option{func(s *settings) {
+		s.epcBytes = cfg.EPCBytes
+		s.isvProdID = cfg.ISVProdID
+		s.isvSVN = cfg.ISVSVN
+		s.debug = cfg.Debug
+		s.padRecordTo = o.PadRecordTo
+		s.disableSharding = o.DisableSharding
+		s.cacheAlign = o.CacheAlign
+	}}
 }
 
 // Keys.

@@ -1,6 +1,7 @@
 package scbr_test
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -9,14 +10,30 @@ import (
 	"scbr"
 )
 
-// TestPublicAPIEndToEnd exercises the full deployment through the
-// facade only — what a downstream user of the library would write.
-func TestPublicAPIEndToEnd(t *testing.T) {
-	dev, err := scbr.NewDevice([]byte("facade-test"))
+// deployment is one complete in-process stack over loopback TCP,
+// wired through the public v1 API only.
+type deployment struct {
+	t         *testing.T
+	dev       *scbr.Device
+	quoter    *scbr.Quoter
+	router    *scbr.Router
+	publisher *scbr.Publisher
+	routerLn  net.Listener
+	pubLn     net.Listener
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// deploy builds a device, router (with opts), attested publisher, and
+// admission loop, all driven by one cancellable context.
+func deploy(t *testing.T, seed string, opts ...scbr.Option) *deployment {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	dev, err := scbr.NewDevice([]byte(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	quoter, err := scbr.NewQuoter(dev, "facade-platform")
+	quoter, err := scbr.NewQuoter(dev, seed+"-platform")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,109 +41,143 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	router, err := scbr.NewRouter(dev, quoter, scbr.RouterConfig{
-		EnclaveImage:  []byte("facade router image"),
-		EnclaveSigner: signer.Public(),
-	})
+	router, err := scbr.NewRouter(dev, quoter, []byte(seed+" router image"), signer.Public(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	d := &deployment{t: t, dev: dev, quoter: quoter, router: router, cancel: cancel}
+
+	d.routerLn, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wg sync.WaitGroup
-	wg.Add(1)
+	d.wg.Add(1)
 	go func() {
-		defer wg.Done()
-		_ = router.Serve(routerLn)
+		defer d.wg.Done()
+		_ = router.Serve(ctx, d.routerLn)
 	}()
-	t.Cleanup(func() {
-		router.Close()
-		wg.Wait()
-	})
 
 	ias := scbr.NewAttestationService()
 	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
-	publisher, err := scbr.NewPublisher(ias, router.Identity())
+	d.publisher, err = scbr.NewPublisher(ias, router.Identity())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc, err := net.Dial("tcp", routerLn.Addr().String())
+	rc, err := net.Dial("tcp", d.routerLn.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := publisher.ConnectRouter(rc); err != nil {
-		t.Fatal(err)
+	if err := d.publisher.ConnectRouter(ctx, rc); err != nil {
+		t.Fatalf("attestation failed: %v", err)
 	}
-	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+
+	d.pubLn, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = pubLn.Close() })
-	wg.Add(1)
+	d.wg.Add(1)
 	go func() {
-		defer wg.Done()
+		defer d.wg.Done()
 		for {
-			c, err := pubLn.Accept()
+			c, err := d.pubLn.Accept()
 			if err != nil {
 				return
 			}
-			wg.Add(1)
+			d.wg.Add(1)
 			go func() {
-				defer wg.Done()
+				defer d.wg.Done()
 				defer c.Close()
-				publisher.ServeClient(c)
+				d.publisher.ServeClient(ctx, c)
 			}()
 		}
 	}()
 
-	client, err := scbr.NewClient("facade-client")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(client.Close)
-	pc, err := net.Dial("tcp", pubLn.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	client.ConnectPublisher(pc, publisher.PublicKey())
-	lc, err := net.Dial("tcp", routerLn.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rx, err := client.Listen(lc)
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Cleanup(func() {
+		cancel()
+		_ = d.pubLn.Close()
+		router.Close()
+		d.wg.Wait()
+	})
+	return d
+}
 
+// attach creates a client wired to publisher and router through the
+// v1 Attach path (no legacy channel).
+func (d *deployment) attach(ctx context.Context, id string) *scbr.Client {
+	d.t.Helper()
+	c, err := scbr.NewClient(id)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	pc, err := net.Dial("tcp", d.pubLn.Addr().String())
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	c.ConnectPublisher(pc, d.publisher.PublicKey())
+	rc, err := net.Dial("tcp", d.routerLn.Addr().String())
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if err := c.Attach(ctx, rc); err != nil {
+		d.t.Fatal(err)
+	}
+	d.t.Cleanup(c.Close)
+	return c
+}
+
+func halSpec(t *testing.T) scbr.SubscriptionSpec {
+	t.Helper()
 	spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Subscribe(spec); err != nil {
-		t.Fatal(err)
-	}
-	header := scbr.EventSpec{Attrs: []scbr.NamedValue{
+	return spec
+}
+
+func halQuote(price float64) scbr.EventSpec {
+	return scbr.EventSpec{Attrs: []scbr.NamedValue{
 		{Name: "symbol", Value: scbr.Str("HAL")},
-		{Name: "price", Value: scbr.Float(42)},
+		{Name: "price", Value: scbr.Float(price)},
 	}}
-	if err := publisher.Publish(header, []byte("payload")); err != nil {
+}
+
+// TestPublicAPIEndToEnd exercises the full deployment through the v1
+// facade only — what a downstream user of the library would write.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d := deploy(t, "facade-test")
+	client := d.attach(ctx, "facade-client")
+
+	sub, err := client.Subscribe(ctx, halSpec(t))
+	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case d := <-rx:
-		if d.Err != nil || string(d.Payload) != "payload" {
-			t.Fatalf("delivery = %+v", d)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("no delivery")
+	if sub.ID() == 0 {
+		t.Fatal("subscription has no ID")
+	}
+	if got := sub.Spec().String(); got == "" {
+		t.Fatal("subscription lost its spec")
+	}
+	if err := d.publisher.Publish(ctx, halQuote(42), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	del, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Err != nil || string(del.Payload) != "payload" {
+		t.Fatalf("delivery = %+v", del)
+	}
+	if len(del.SubIDs) != 1 || del.SubIDs[0] != sub.ID() {
+		t.Fatalf("delivery names subscriptions %v, want [%d]", del.SubIDs, sub.ID())
 	}
 }
 
-// TestEmbeddedEngines covers the facade's engine constructors.
+// TestEmbeddedEngines covers the facade's option-based engine
+// constructors and the deprecated struct shims.
 func TestEmbeddedEngines(t *testing.T) {
-	plain, err := scbr.NewPlainEngine(scbr.EngineOptions{})
+	plain, err := scbr.NewPlainEngine()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +185,14 @@ func TestEmbeddedEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enclaved, enclave, err := scbr.NewEnclaveEngine(dev, scbr.EnclaveConfig{}, scbr.EngineOptions{})
+	enclaved, enclave, err := scbr.NewEnclaveEngine(dev)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if enclave.MRENCLAVE() == [32]byte{} {
 		t.Fatal("enclave has empty measurement")
 	}
-	split, splitEnclave, err := scbr.NewSplitEngine(dev, scbr.EnclaveConfig{}, 1<<20, scbr.EngineOptions{})
+	split, splitEnclave, err := scbr.NewSplitEngine(dev, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,8 +208,18 @@ func TestEmbeddedEngines(t *testing.T) {
 		}
 	}
 	// A split cache larger than the EPC is rejected.
-	if _, _, err := scbr.NewSplitEngine(dev, scbr.EnclaveConfig{EPCBytes: 1 << 20}, 2<<20, scbr.EngineOptions{}); err == nil {
+	if _, _, err := scbr.NewSplitEngine(dev, 2<<20, scbr.WithEPC(1<<20)); err == nil {
 		t.Fatal("oversized split cache accepted")
+	}
+	// Deprecated struct shims still build the same engines.
+	if _, err := scbr.NewPlainEngineFromOptions(scbr.EngineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := scbr.NewEnclaveEngineFromConfig(dev, scbr.EnclaveConfig{}, scbr.EngineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := scbr.NewSplitEngineFromConfig(dev, scbr.EnclaveConfig{}, 1<<20, scbr.EngineOptions{}); err != nil {
+		t.Fatal(err)
 	}
 }
 

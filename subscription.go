@@ -1,0 +1,38 @@
+package scbr
+
+import (
+	"scbr/internal/broker"
+)
+
+// Subscription is the first-class handle returned by
+// Client.Subscribe: it carries the router-assigned ID and a buffered
+// view of the client's delivery stream filtered to the publications
+// that matched this subscription.
+//
+// Consume deliveries by iteration:
+//
+//	sub, _ := client.Subscribe(ctx, spec)
+//	for {
+//	    d, err := sub.Next(ctx)
+//	    if err != nil {
+//	        break // ctx cancelled or handle closed
+//	    }
+//	    use(d.Payload)
+//	}
+//
+// or by callback:
+//
+//	_ = sub.Consume(ctx, func(d scbr.Delivery) error {
+//	    use(d.Payload)
+//	    return nil
+//	})
+//
+// or select on sub.Deliveries() alongside other channels. Unsubscribe
+// (or Client.Close) ends the stream; buffered deliveries drain before
+// Next reports ErrClosed.
+type Subscription = broker.Subscription
+
+// Event is one publication for Publisher.Publish/PublishBatch: the
+// routable header (matched inside the enclave) and the payload only
+// subscribed clients can read.
+type Event = broker.Event
