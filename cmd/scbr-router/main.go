@@ -6,7 +6,7 @@
 // Usage:
 //
 //	scbr-router -listen 127.0.0.1:7070 -trust router-trust.json \
-//	    [-switchless] [-epc 93] [-pad 0]
+//	    [-partitions 4] [-switchless] [-epc 93] [-pad 0] [-delivery-queue 256]
 //
 // followed by scbr-publisher and scbr-subscriber pointed at it.
 package main
@@ -44,7 +44,9 @@ func run() error {
 		epcMB      = flag.Uint64("epc", scbr.DefaultEPCBytes>>20, "usable EPC in MB")
 		platform   = flag.String("platform", "local-platform", "platform identity for attestation")
 		pad        = flag.Int("pad", 0, "engine record padding in bytes")
-		switchless = flag.Bool("switchless", false, "route publications through the untrusted-memory ring")
+		partitions = flag.Int("partitions", 1, "enclave matcher slices to shard the subscription database across")
+		switchless = flag.Bool("switchless", false, "route publications through per-partition untrusted-memory rings")
+		queueLen   = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256); overflowing clients are disconnected")
 	)
 	flag.Parse()
 
@@ -63,7 +65,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := []scbr.Option{scbr.WithEPC(*epcMB << 20), scbr.WithPadding(*pad)}
+	opts := []scbr.Option{
+		scbr.WithEPC(*epcMB << 20),
+		scbr.WithPadding(*pad),
+		scbr.WithPartitions(*partitions),
+		scbr.WithDeliveryQueue(*queueLen),
+	}
 	if *switchless {
 		opts = append(opts, scbr.WithSwitchless())
 	}
@@ -87,7 +94,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on %s (EPC %d MB, switchless=%v)", ln.Addr(), *epcMB, *switchless)
+	log.Printf("serving on %s (EPC %d MB, %d partitions, switchless=%v)", ln.Addr(), *epcMB, *partitions, *switchless)
 
 	if err := router.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		return err

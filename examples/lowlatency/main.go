@@ -61,6 +61,11 @@ func deploy(ctx context.Context, name string, opts ...scbr.Option) (*stack, erro
 	if err != nil {
 		return nil, err
 	}
+	// The bursts below publish everything before the subscriber drains
+	// a single delivery, so size the per-client delivery queue for a
+	// whole burst — the router's slow-consumer policy would otherwise
+	// disconnect the (deliberately lazy) subscriber mid-burst.
+	opts = append(opts, scbr.WithDeliveryQueue(burst))
 	router, err := scbr.NewRouter(dev, quoter, []byte(name+" router image"), signer.Public(), opts...)
 	if err != nil {
 		return nil, err

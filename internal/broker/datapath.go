@@ -1,0 +1,335 @@
+// The router's matching layer: the subscription database is split
+// across k enclave matcher slices (partitions) behind streamhub.Hub —
+// the paper's §3.4 StreamHub-style answer to scale. A publication is
+// matched by every slice in parallel and the per-slice result sets are
+// merged before delivery; each slice holds 1/k of the database in its
+// own enclave, so matching parallelises and the per-enclave working
+// set shrinks by k (the Fig. 8 paging-cliff remedy).
+//
+// Two publication paths share this layer:
+//
+//   - synchronous: the publishing connection enters each slice's
+//     enclave (one ecall per slice per wire message, a batch still
+//     crossing once per slice) and merges inline;
+//   - switchless: each slice owns an untrusted-memory ring drained by
+//     a resident enclave worker. The raw wire frame is pushed to every
+//     ring, the workers match concurrently, and a single merger
+//     goroutine joins the per-slice results in publication order so
+//     per-client delivery order is preserved.
+
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+)
+
+// partition is one matcher slice: an enclave, its engine (a share of
+// the subscription database), and — in the switchless configuration —
+// the slice's publication ring and resident worker. The partition lock
+// serialises enclave entries and meter access for this slice only;
+// other slices, the control plane, and delivery never wait on it.
+type partition struct {
+	idx     int
+	enclave *sgx.Enclave
+	engine  *core.Engine
+
+	mu sync.Mutex // serialises this slice's enclave entries and meter
+
+	// Switchless plumbing (nil when disabled). jobs carries the decoded
+	// counterpart of every frame pushed onto ring, in ring order.
+	ring       *sgx.Ring
+	jobs       chan *matchJob
+	workerDone chan struct{}
+}
+
+// matchJob is one wire message in flight through the switchless
+// pipeline: the expanded publication items plus the merge state the
+// slices fill in. done closes when the last slice has contributed.
+type matchJob struct {
+	items   []*Message
+	mu      sync.Mutex
+	merged  [][]core.MatchResult // per item, across slices
+	pending int
+	done    chan struct{}
+}
+
+// contribute merges one slice's per-item results and signals the
+// merger when every slice has reported.
+func (j *matchJob) contribute(results [][]core.MatchResult) {
+	j.mu.Lock()
+	for i := range results {
+		j.merged[i] = append(j.merged[i], results[i]...)
+	}
+	j.pending--
+	last := j.pending == 0
+	j.mu.Unlock()
+	if last {
+		close(j.done)
+	}
+}
+
+// expandPublication flattens a publish or publish-batch message into
+// its publication items.
+func expandPublication(m *Message) []*Message {
+	if m.Type != TypePublishBatch {
+		return []*Message{m}
+	}
+	items := make([]*Message, len(m.Items))
+	for i := range m.Items {
+		items[i] = &Message{Type: TypePublish, Blob: m.Items[i].Blob, Payload: m.Items[i].Payload, Epoch: m.Epoch}
+	}
+	return items
+}
+
+// startSwitchless brings up the per-partition rings, resident workers,
+// and the merger. Called once from NewRouter.
+func (r *Router) startSwitchless() error {
+	capacity := r.cfg.RingCapacity
+	if capacity <= 0 {
+		capacity = 128
+	}
+	for _, p := range r.parts {
+		ring, err := sgx.NewRing(capacity)
+		if err != nil {
+			return fmt.Errorf("broker: building publication ring: %w", err)
+		}
+		p.ring = ring
+		// Jobs outstanding between dispatch and the worker's receive
+		// never exceed the in-ring frame count plus the one the worker
+		// already popped, so this capacity keeps dispatch non-blocking.
+		p.jobs = make(chan *matchJob, ring.Capacity()+1)
+		p.workerDone = make(chan struct{})
+	}
+	r.merge = make(chan *matchJob, capacity)
+	r.mergerDone = make(chan struct{})
+	for _, p := range r.parts {
+		go r.publicationWorker(p)
+	}
+	go r.deliveryMerger()
+	return nil
+}
+
+// stopSwitchless drains the pipeline: every dispatched job still
+// completes (the producers are gone by the time Close calls this), the
+// workers unwind, then the merger. No-op when switchless is disabled.
+func (r *Router) stopSwitchless() {
+	if r.merge == nil {
+		return
+	}
+	for _, p := range r.parts {
+		close(p.jobs)
+	}
+	for _, p := range r.parts {
+		<-p.workerDone
+	}
+	for _, p := range r.parts {
+		p.ring.Close()
+	}
+	close(r.merge)
+	<-r.mergerDone
+}
+
+// handlePublish is steps ⑤–⑥ for both single publications and
+// batches. On the synchronous path each slice's enclave is entered
+// once for the whole wire message; on the switchless path the raw
+// frame is handed to every slice's ring and the resident workers do
+// the rest. Either way, delivery happens through the per-client
+// queues — matching never blocks on a client connection.
+func (r *Router) handlePublish(m *Message) error {
+	if r.merge != nil {
+		return r.pushPublication(m)
+	}
+	sk, _ := r.keys()
+	if sk == nil {
+		return ErrNotProvisioned
+	}
+	items := expandPublication(m)
+	merged := r.matchFanout(items, sk)
+	for i, item := range items {
+		r.deliver(merged[i], item)
+	}
+	return nil
+}
+
+// matchFanout runs trusted step ⑤ on every slice in parallel: one
+// ecall per slice covering the whole item list, each contributing its
+// share of the matches. A per-item failure (tampered ciphertext,
+// malformed header) drops that item's contribution, matching the
+// wire's fire-and-forget semantics.
+func (r *Router) matchFanout(items []*Message, sk *scrypto.SymmetricKey) [][]core.MatchResult {
+	perPart := make([][][]core.MatchResult, len(r.parts))
+	run := func(p *partition) {
+		out := make([][]core.MatchResult, len(items))
+		p.mu.Lock()
+		_ = p.enclave.Ecall(func() error {
+			for i, item := range items {
+				if res, err := r.matchSlice(p, item, sk); err == nil {
+					out[i] = res
+				}
+			}
+			return nil
+		})
+		p.mu.Unlock()
+		perPart[p.idx] = out
+	}
+	if len(r.parts) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// One slice, or one P: fan-out would only add scheduling
+		// latency, so visit the slices in the calling goroutine.
+		for _, p := range r.parts {
+			run(p)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, p := range r.parts[1:] {
+			wg.Add(1)
+			go func(p *partition) {
+				defer wg.Done()
+				run(p)
+			}(p)
+		}
+		run(r.parts[0]) // slice 0 rides the caller, saving one handoff
+		wg.Wait()
+	}
+	merged := make([][]core.MatchResult, len(items))
+	for i := range items {
+		for _, out := range perPart {
+			merged[i] = append(merged[i], out[i]...)
+		}
+	}
+	return merged
+}
+
+// matchSlice is trusted step ⑤ on one slice: authenticate and decrypt
+// the header, then match it against the slice's share of the index.
+// Every slice decrypts independently — the replicated key management
+// of the paper's partitioning note — so slices never contend on shared
+// plaintext. The caller holds p.mu and has accounted the enclave entry
+// (an ecall on the synchronous path, the resident worker on the
+// switchless path).
+func (r *Router) matchSlice(p *partition, m *Message, sk *scrypto.SymmetricKey) ([]core.MatchResult, error) {
+	plain, err := scrypto.Open(sk, m.Blob)
+	if err != nil {
+		return nil, fmt.Errorf("decrypting header: %w", err)
+	}
+	p.engine.Accessor().Meter().ChargeAES(len(m.Blob))
+	spec, err := pubsub.DecodeEventSpec(plain)
+	if err != nil {
+		return nil, fmt.Errorf("decoding header: %w", err)
+	}
+	ev, err := spec.Intern(r.hub.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return r.hub.MatchSlice(p.idx, ev, nil)
+}
+
+// pushPublication hands one wire message to the switchless pipeline:
+// the job is dispatched to every slice's worker, the raw frame — the
+// publisher's exact bytes, no re-encode — is pushed onto every slice's
+// ring, and the job joins the merge queue. pushMu keeps the three in
+// the same order across partitions, which is what makes ring position
+// and job position line up and the merger's output order match
+// publication order. Ring backpressure (a full ring blocks Push)
+// propagates to the producer exactly as the single-ring design did.
+func (r *Router) pushPublication(m *Message) error {
+	raw := m.raw
+	if raw == nil {
+		// Direct callers (in-process tests) build Messages by hand;
+		// wire traffic always carries its received frame.
+		var err error
+		raw, err = json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("encoding publication for the ring: %w", err)
+		}
+	}
+	items := expandPublication(m)
+	job := &matchJob{
+		items:   items,
+		merged:  make([][]core.MatchResult, len(items)),
+		pending: len(r.parts),
+		done:    make(chan struct{}),
+	}
+	r.pushMu.Lock()
+	defer r.pushMu.Unlock()
+	for _, p := range r.parts {
+		p.jobs <- job
+	}
+	for _, p := range r.parts {
+		if err := p.ring.Push(raw); err != nil {
+			return fmt.Errorf("%w: publication ring: %v", ErrClosed, err)
+		}
+	}
+	r.merge <- job
+	return nil
+}
+
+// publicationWorker is one slice's resident enclave thread in the
+// switchless configuration: it enters the enclave once and matches
+// publications straight off the slice's untrusted ring. Per-message
+// failures (tampered ciphertext, malformed headers, unprovisioned
+// router) drop the slice's contribution, exactly as the per-ecall path
+// does for fire-and-forget publish messages.
+//
+// The worker does not use Enclave.ServeRing: that helper charges the
+// enclave meter outside any lock, while here registration ecalls on
+// the same slice charge the same meter concurrently. All meter access
+// below happens under the partition lock, like every other path that
+// enters this slice.
+func (r *Router) publicationWorker(p *partition) {
+	defer close(p.workerDone)
+	entered := false
+	var buf []byte
+	for job := range p.jobs {
+		out := make([][]core.MatchResult, len(job.items))
+		raw, ok := p.ring.Pop(buf)
+		if !ok {
+			// Ring severed mid-job (teardown): report empty so the
+			// merger never wedges on this job.
+			job.contribute(out)
+			continue
+		}
+		buf = raw
+		sk, _ := r.keys()
+		p.mu.Lock()
+		meter := p.engine.Accessor().Meter()
+		if !entered {
+			meter.ChargeTransition() // the worker's one-time entry/exit round trip
+			entered = true
+		}
+		meter.Charge(meter.Cost.SwitchlessPollCycles)
+		if sk != nil {
+			for i, item := range job.items {
+				if res, err := r.matchSlice(p, item, sk); err == nil {
+					out[i] = res
+				}
+			}
+		}
+		p.mu.Unlock()
+		job.contribute(out)
+	}
+}
+
+// deliveryMerger joins the per-slice match results in publication
+// order and hands each item to the delivery layer. It is the only
+// goroutine that forwards switchless matches, so per-client delivery
+// order equals publication order even though the slices match out of
+// lockstep; it never blocks on a client (the delivery queues are
+// bounded and slow consumers are cut loose), so one merger keeps up
+// with k matchers.
+func (r *Router) deliveryMerger() {
+	defer close(r.mergerDone)
+	for job := range r.merge {
+		<-job.done
+		for i, item := range job.items {
+			r.deliver(job.merged[i], item)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// The router's delivery layer: step ⑥ decoupled from matching. Every
+// listening client owns a bounded outbound queue drained by a
+// dedicated writer goroutine, so a blocked or broken listener never
+// blocks matching or deliveries to other clients — the matcher's only
+// interaction with a client is a non-blocking enqueue. A client whose
+// queue overflows is not draining its connection and is disconnected
+// (the slow-consumer policy); within one client, deliveries leave in
+// enqueue order.
+
+package broker
+
+import (
+	"net"
+	"sync"
+
+	"scbr/internal/core"
+)
+
+// DefaultDeliveryQueueLen is the per-client outbound queue bound used
+// when RouterConfig.DeliveryQueueLen is zero.
+const DefaultDeliveryQueueLen = 256
+
+// deliveryTable owns the router's client delivery channels.
+type deliveryTable struct {
+	mu       sync.Mutex
+	queues   map[string]*clientQueue
+	queueLen int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// clientQueue is one client's outbound delivery channel: the bounded
+// queue and the connection its writer drains onto.
+type clientQueue struct {
+	name string
+	conn net.Conn
+	ch   chan *Message
+	quit chan struct{}
+	once sync.Once
+}
+
+// stop severs the queue: the writer unwinds (a write in flight fails
+// when the conn closes) and pending deliveries are discarded.
+func (q *clientQueue) stop() {
+	q.once.Do(func() {
+		close(q.quit)
+		_ = q.conn.Close()
+	})
+}
+
+func newDeliveryTable(queueLen int) *deliveryTable {
+	if queueLen <= 0 {
+		queueLen = DefaultDeliveryQueueLen
+	}
+	return &deliveryTable{queues: make(map[string]*clientQueue), queueLen: queueLen}
+}
+
+// attach binds conn as name's delivery channel, replacing (and
+// severing) any previous one. hello is queued before the channel
+// becomes visible to matching, so it is guaranteed to be the first
+// frame the writer puts on the wire.
+func (t *deliveryTable) attach(name string, conn net.Conn, hello *Message) error {
+	q := &clientQueue{
+		name: name,
+		conn: conn,
+		ch:   make(chan *Message, t.queueLen),
+		quit: make(chan struct{}),
+	}
+	q.ch <- hello
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	old := t.queues[name]
+	t.queues[name] = q
+	t.wg.Add(1)
+	t.mu.Unlock()
+	if old != nil {
+		old.stop()
+	}
+	go t.writer(q)
+	return nil
+}
+
+// enqueue offers one delivery to name's queue without ever blocking.
+// A full queue means the client is not draining its connection: it is
+// disconnected rather than allowed to stall the data plane.
+func (t *deliveryTable) enqueue(name string, m *Message) {
+	t.mu.Lock()
+	q := t.queues[name]
+	t.mu.Unlock()
+	if q == nil {
+		return // client not currently listening
+	}
+	select {
+	case q.ch <- m:
+	default:
+		t.drop(q) // slow consumer
+	}
+}
+
+// drop severs one client queue and removes it from the table (unless
+// a newer queue already replaced it).
+func (t *deliveryTable) drop(q *clientQueue) {
+	t.mu.Lock()
+	if t.queues[q.name] == q {
+		delete(t.queues, q.name)
+	}
+	t.mu.Unlock()
+	q.stop()
+}
+
+// writer drains one client's queue onto its connection. It is the
+// only goroutine writing this conn, so frames never interleave.
+func (t *deliveryTable) writer(q *clientQueue) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-q.quit:
+			return
+		case m := <-q.ch:
+			if err := Send(q.conn, m); err != nil {
+				// A broken listener must not block the others.
+				t.drop(q)
+				return
+			}
+		}
+	}
+}
+
+// close severs every client and waits for the writers to unwind.
+func (t *deliveryTable) close() {
+	t.mu.Lock()
+	t.closed = true
+	qs := make([]*clientQueue, 0, len(t.queues))
+	for _, q := range t.queues {
+		qs = append(qs, q)
+	}
+	t.queues = make(map[string]*clientQueue)
+	t.mu.Unlock()
+	for _, q := range qs {
+		q.stop()
+	}
+	t.wg.Wait()
+}
+
+// deliver is step ⑥: hand the still-encrypted payload once to every
+// matched client's outbound queue, whatever number of its
+// subscriptions matched. The delivery names every matched subscription
+// of that client, so client-side Subscription handles can route it
+// without decrypting twice.
+func (r *Router) deliver(matches []core.MatchResult, m *Message) {
+	if len(matches) == 0 {
+		return
+	}
+	// Deduplicate client targets: one delivery per client however many
+	// of its subscriptions matched.
+	perClient := make(map[uint32][]uint64, len(matches))
+	order := make([]uint32, 0, len(matches))
+	for _, match := range matches {
+		if _, ok := perClient[match.ClientRef]; !ok {
+			order = append(order, match.ClientRef)
+		}
+		perClient[match.ClientRef] = append(perClient[match.ClientRef], match.SubID)
+	}
+	names := make([]string, len(order))
+	r.ctlMu.RLock()
+	for i, ref := range order {
+		names[i] = r.refName[ref]
+	}
+	r.ctlMu.RUnlock()
+	for i, ref := range order {
+		r.delivery.enqueue(names[i], &Message{
+			Type:    TypeDeliver,
+			Payload: m.Payload,
+			Epoch:   m.Epoch,
+			SubIDs:  perClient[ref],
+		})
+	}
+}

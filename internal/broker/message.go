@@ -82,6 +82,12 @@ type Message struct {
 	Quote    *attest.Quote `json:"quote,omitempty"`
 	Err      string        `json:"err,omitempty"`
 	Code     string        `json:"code,omitempty"` // machine-readable error class
+
+	// raw is the frame this message was decoded from, kept so the
+	// switchless publication path can hand the publisher's exact bytes
+	// to the partition rings instead of re-encoding the just-decoded
+	// message. Unexported: it never serialises.
+	raw []byte
 }
 
 // Send marshals and frames one message.
@@ -103,6 +109,7 @@ func Recv(r io.Reader) (*Message, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("broker: decoding message: %w", err)
 	}
+	m.raw = raw
 	return &m, nil
 }
 

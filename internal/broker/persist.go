@@ -8,6 +8,7 @@ import (
 	"scbr/internal/pubsub"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
+	"scbr/internal/streamhub"
 )
 
 // Sealed-state persistence: §2 of the paper describes how an enclave
@@ -20,7 +21,13 @@ import (
 // registration log — the signed, SK-encrypted subscriptions exactly as
 // the publisher submitted them. Restore replays the log through the
 // same validation path as live registrations, reproducing the
-// subscription IDs clients hold.
+// subscription IDs clients hold: each ID carries its partition index,
+// so every subscription lands back on the slice that issued it. The
+// log is unordered (removal back-fills), which is fine — replay
+// assigns explicit IDs, so log order is immaterial.
+//
+// Sealing happens in the attestation slice (partition 0); all slices
+// share one measured identity, so the blob binds to the fleet's code.
 
 // stateCounter names the router's rollback-protection counter.
 const stateCounter = "scbr-router-state"
@@ -50,34 +57,44 @@ type routerState struct {
 // monotonic counter value. The returned blob is safe to store on
 // untrusted disk; only the latest blob will restore.
 func (r *Router) SealState() ([]byte, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.sk == nil {
+	r.keyMu.RLock()
+	sk, verifyKey := r.sk, r.verifyKey
+	r.keyMu.RUnlock()
+	if sk == nil {
 		return nil, fmt.Errorf("%w: nothing to seal", ErrNotProvisioned)
 	}
-	verifyDER, err := marshalVerifyKey(r.verifyKey)
+	verifyDER, err := marshalVerifyKey(verifyKey)
 	if err != nil {
 		return nil, err
 	}
+	// stateMu excludes in-flight register/remove two-steps, so the
+	// snapshot never captures an engine/log divergence; the seal ecall
+	// below runs outside it, off the mutators' path.
+	r.stateMu.Lock()
+	r.ctlMu.RLock()
 	state := routerState{
-		SK:        r.sk.Bytes(),
+		SK:        sk.Bytes(),
 		VerifyKey: verifyDER,
 		NextRef:   uint32(len(r.refName)),
 		RefNames:  append([]string(nil), r.refName...),
-		Log:       make([]logEntry, 0, len(r.regLog)),
+		Log:       append(make([]logEntry, 0, len(r.regLog)), r.regLog...),
 	}
-	state.Log = append(state.Log, r.regLog...)
+	r.ctlMu.RUnlock()
+	r.stateMu.Unlock()
 	raw, err := json.Marshal(&state)
 	if err != nil {
 		return nil, fmt.Errorf("broker: encoding state: %w", err)
 	}
 	counter := r.dev.IncrementCounter(stateCounter)
+	p0 := r.parts[0]
 	var blob []byte
-	err = r.enclave.Ecall(func() error {
+	p0.mu.Lock()
+	err = p0.enclave.Ecall(func() error {
 		var sealErr error
-		blob, sealErr = r.enclave.Seal(sgx.SealToMRENCLAVE, raw, counterAAD(counter))
+		blob, sealErr = p0.enclave.Seal(sgx.SealToMRENCLAVE, raw, counterAAD(counter))
 		return sealErr
 	})
+	p0.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("broker: sealing state: %w", err)
 	}
@@ -87,24 +104,33 @@ func (r *Router) SealState() ([]byte, error) {
 // RestoreState rehydrates a router from a sealed snapshot: secrets are
 // unsealed inside the enclave, the counter binding is checked against
 // the platform counter, and the registration log is replayed through
-// full signature verification and decryption. The router must be
-// freshly constructed (no provisioning, no registrations).
+// full signature verification and decryption onto the partitions the
+// logged IDs name. The router must be freshly constructed (no
+// provisioning, no registrations) and must have been built with the
+// partition count that sealed the snapshot.
 func (r *Router) RestoreState(blob []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.sk != nil || len(r.subOwner) > 0 {
+	r.keyMu.RLock()
+	provisioned := r.sk != nil
+	r.keyMu.RUnlock()
+	r.ctlMu.RLock()
+	populated := len(r.subOwner) > 0
+	r.ctlMu.RUnlock()
+	if provisioned || populated {
 		return errors.New("broker: restore requires a fresh router")
 	}
 	counter := r.dev.ReadCounter(stateCounter)
+	p0 := r.parts[0]
 	var raw []byte
-	err := r.enclave.Ecall(func() error {
+	p0.mu.Lock()
+	err := p0.enclave.Ecall(func() error {
 		var unsealErr error
-		raw, unsealErr = r.enclave.Unseal(blob, counterAAD(counter))
+		raw, unsealErr = p0.enclave.Unseal(blob, counterAAD(counter))
 		return unsealErr
 	})
+	p0.mu.Unlock()
 	if err != nil {
-		// Distinguish rollback from corruption is impossible from the
-		// MAC alone; both surface as a rollback-or-corrupt failure.
+		// Distinguishing rollback from corruption is impossible from
+		// the MAC alone; both surface as a rollback-or-corrupt failure.
 		return fmt.Errorf("%w: %v", ErrStateRollback, err)
 	}
 	var state routerState
@@ -119,12 +145,16 @@ func (r *Router) RestoreState(blob []byte) error {
 	if err != nil {
 		return err
 	}
+	r.keyMu.Lock()
 	r.sk = sk
 	r.verifyKey = verifyKey
+	r.keyMu.Unlock()
+	r.ctlMu.Lock()
 	for i, name := range state.RefNames {
 		r.clientRef[name] = uint32(i)
 	}
 	r.refName = append(r.refName, state.RefNames...)
+	r.ctlMu.Unlock()
 
 	for _, ent := range state.Log {
 		if err := r.replayRegistration(ent); err != nil {
@@ -135,13 +165,21 @@ func (r *Router) RestoreState(blob []byte) error {
 }
 
 // replayRegistration re-validates and re-indexes one logged
-// registration under its original ID. Caller holds r.mu.
+// registration under its original ID, on the partition that ID names.
 func (r *Router) replayRegistration(ent logEntry) error {
-	err := r.enclave.Ecall(func() error {
-		if err := scrypto.Verify(r.verifyKey, signedRegistration(ent.Blob, ent.ClientID), ent.Sig); err != nil {
+	target := streamhub.PartitionOf(ent.SubID)
+	if target >= len(r.parts) {
+		return fmt.Errorf("subscription names partition %d, but the router has %d (restore with the sealing partition count)", target, len(r.parts))
+	}
+	sk, verifyKey := r.keys()
+	ref := r.refFor(ent.ClientID)
+	p := r.parts[target]
+	p.mu.Lock()
+	err := p.enclave.Ecall(func() error {
+		if err := scrypto.Verify(verifyKey, signedRegistration(ent.Blob, ent.ClientID), ent.Sig); err != nil {
 			return fmt.Errorf("registration signature invalid: %w", err)
 		}
-		plain, err := scrypto.Open(r.sk, ent.Blob)
+		plain, err := scrypto.Open(sk, ent.Blob)
 		if err != nil {
 			return fmt.Errorf("decrypting subscription: %w", err)
 		}
@@ -149,17 +187,21 @@ func (r *Router) replayRegistration(ent logEntry) error {
 		if err != nil {
 			return fmt.Errorf("decoding subscription: %w", err)
 		}
-		sub, err := pubsub.Normalize(r.engine.Schema(), spec)
+		sub, err := pubsub.Normalize(r.hub.Schema(), spec)
 		if err != nil {
 			return err
 		}
-		return r.engine.RegisterAssigned(sub, r.refFor(ent.ClientID), ent.SubID)
+		return r.hub.RegisterAssignedIn(sub, ref, ent.SubID)
 	})
+	p.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	r.ctlMu.Lock()
 	r.subOwner[ent.SubID] = ent.ClientID
+	r.regPos[ent.SubID] = len(r.regLog)
 	r.regLog = append(r.regLog, ent)
+	r.ctlMu.Unlock()
 	return nil
 }
 

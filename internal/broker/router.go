@@ -16,6 +16,7 @@ import (
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
 	"scbr/internal/simmem"
+	"scbr/internal/streamhub"
 )
 
 // provisionPayload is the secret bundle the publisher provisions into
@@ -33,182 +34,236 @@ type RouterConfig struct {
 	EnclaveImage []byte
 	// EnclaveSigner signs the image (MRSIGNER).
 	EnclaveSigner *rsa.PublicKey
-	// EPCBytes bounds the enclave page cache (default: the paper's
-	// ~93 MB usable EPC).
+	// EPCBytes bounds the total enclave page cache across all matcher
+	// slices (default: the paper's ~93 MB usable EPC). With k
+	// partitions each slice's enclave gets a 1/k share, so a database
+	// that would page on one enclave fits k enclaves' EPCs — the §3.4
+	// StreamHub answer to the Fig. 8 paging cliff.
 	EPCBytes uint64
-	// PadRecordTo is forwarded to the engine (see core.Options).
+	// PadRecordTo is forwarded to the engines (see core.Options).
 	PadRecordTo int
-	// Switchless routes publications to the matcher through an
-	// untrusted-memory ring consumed by a resident enclave worker
-	// instead of one ecall per publication — the paper's §6 "message
-	// exchanges at the enclave border". Registrations and removals
-	// keep their synchronous ecall path (they must be acknowledged).
+	// Partitions splits the subscription database across this many
+	// enclave matcher slices (default 1, max 256). Registrations hash
+	// to a slice; publications are matched by every slice in parallel
+	// and the result sets merged.
+	Partitions int
+	// Switchless routes publications to the matchers through
+	// untrusted-memory rings consumed by resident enclave workers (one
+	// ring and one worker per partition) instead of one ecall per
+	// publication — the paper's §6 "message exchanges at the enclave
+	// border". Registrations and removals keep their synchronous ecall
+	// path (they must be acknowledged).
 	Switchless bool
-	// RingCapacity sizes the switchless publication ring (rounded up
+	// RingCapacity sizes each switchless publication ring (rounded up
 	// to a power of two; default 128). Ignored unless Switchless.
 	RingCapacity int
+	// DeliveryQueueLen bounds each listening client's outbound
+	// delivery queue (default 256 messages). A client whose queue
+	// overflows is disconnected rather than allowed to stall the data
+	// plane — the slow-consumer policy.
+	DeliveryQueueLen int
 }
 
-// Router hosts the SCBR filtering engine inside an enclave on the
+// Router hosts the SCBR filtering engine inside enclaves on the
 // untrusted infrastructure. One router serves one service provider —
-// the paper's deployment; run several routers for multi-tenancy.
+// the paper's deployment; run several routers for multi-tenancy. The
+// subscription database is partitioned across cfg.Partitions enclave
+// matcher slices (streamhub.Hub), and the router's state is split by
+// concern so registrations, matching, and delivery never serialise on
+// one lock:
+//
+//   - keyMu (read-mostly): the provisioned SK and verify key,
+//   - ctlMu: the control plane — client refs, subscription ownership,
+//     and the registration log,
+//   - connMu: the accept loop's connection set,
+//   - one lock per partition: that slice's enclave entries and meter,
+//   - the delivery table's own lock: per-client outbound queues.
 type Router struct {
-	dev     *sgx.Device
-	quoter  *attest.Quoter
-	enclave *sgx.Enclave
-	engine  *core.Engine
+	dev    *sgx.Device
+	quoter *attest.Quoter
+	cfg    RouterConfig
 
-	mu        sync.Mutex
+	hub   *streamhub.Hub
+	parts []*partition
+
+	keyMu     sync.RWMutex
 	sk        *scrypto.SymmetricKey
 	verifyKey *rsa.PublicKey
-	listeners map[string]net.Conn
-	conns     map[net.Conn]bool
+
+	ctlMu     sync.RWMutex
 	clientRef map[string]uint32
 	refName   []string
 	subOwner  map[uint64]string
 	regLog    []logEntry
+	regPos    map[uint64]int // SubID → regLog index (O(1) removal)
+
+	// stateMu makes the register/remove two-step (engine mutation,
+	// then log mutation) atomic with respect to SealState: mutators
+	// hold it shared for the span of both steps, the sealer exclusively
+	// while snapshotting, so a sealed blob never captures an engine/log
+	// divergence a client was already acknowledged across.
+	stateMu sync.RWMutex
+
+	connMu   sync.Mutex
+	conns    map[net.Conn]bool
+	listener net.Listener
+
+	delivery *deliveryTable
 
 	wg        sync.WaitGroup
 	closing   chan struct{}
 	closeOnce sync.Once
-	listener  net.Listener
 
-	// Switchless publication path (nil when disabled).
-	pubRing    *sgx.Ring
-	pushMu     sync.Mutex // serialises producers onto the SPSC ring
-	workerDone chan struct{}
+	// Switchless publication spine (nil merge channel when disabled).
+	pushMu     sync.Mutex // aligns ring pushes with job dispatch across partitions
+	merge      chan *matchJob
+	mergerDone chan struct{}
 }
 
-// NewRouter launches the router's enclave on the given device and
-// builds the engine over enclave memory. On any failure after launch
-// the enclave is terminated before the error returns, so a failed
-// construction never leaks EPC pages.
+// NewRouter launches the router's enclave slices on the given device
+// and builds one engine per slice over enclave memory. On any failure
+// after launch every launched enclave is terminated before the error
+// returns, so a failed construction never leaks EPC pages.
 func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Router, error) {
 	if len(cfg.EnclaveImage) == 0 {
 		return nil, errors.New("broker: router needs an enclave image")
 	}
-	enclave, err := dev.Launch(cfg.EnclaveImage, cfg.EnclaveSigner, sgx.EnclaveConfig{EPCBytes: cfg.EPCBytes})
-	if err != nil {
-		return nil, fmt.Errorf("broker: launching router enclave: %w", err)
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 1
 	}
-	engine, err := core.NewEngine(enclave.Memory(), pubsub.NewSchema(), core.Options{PadRecordTo: cfg.PadRecordTo})
-	if err != nil {
-		enclave.Terminate()
-		return nil, fmt.Errorf("broker: building engine: %w", err)
+	if cfg.Partitions < 0 || cfg.Partitions > streamhub.MaxPartitions {
+		return nil, fmt.Errorf("broker: partition count %d out of range [1,%d]", cfg.Partitions, streamhub.MaxPartitions)
 	}
+	epcTotal := cfg.EPCBytes
+	if epcTotal == 0 {
+		epcTotal = sgx.DefaultEPCBytes
+	}
+	epcPer := epcTotal / uint64(cfg.Partitions)
+	if epcPer < simmem.PageSize {
+		epcPer = simmem.PageSize
+	}
+
 	r := &Router{
 		dev:       dev,
 		quoter:    quoter,
-		enclave:   enclave,
-		engine:    engine,
-		listeners: make(map[string]net.Conn),
-		conns:     make(map[net.Conn]bool),
+		cfg:       cfg,
 		clientRef: make(map[string]uint32),
 		subOwner:  make(map[uint64]string),
+		regPos:    make(map[uint64]int),
+		conns:     make(map[net.Conn]bool),
+		delivery:  newDeliveryTable(cfg.DeliveryQueueLen),
 		closing:   make(chan struct{}),
 	}
+	hub, err := streamhub.New(cfg.Partitions, pubsub.NewSchema(),
+		func(i int, schema *pubsub.Schema) (*core.Engine, error) {
+			enclave, launchErr := dev.Launch(cfg.EnclaveImage, cfg.EnclaveSigner,
+				sgx.EnclaveConfig{EPCBytes: epcPer})
+			if launchErr != nil {
+				return nil, fmt.Errorf("launching slice enclave: %w", launchErr)
+			}
+			p := &partition{idx: i, enclave: enclave}
+			r.parts = append(r.parts, p)
+			engine, engErr := core.NewEngine(enclave.Memory(), schema, core.Options{PadRecordTo: cfg.PadRecordTo})
+			if engErr != nil {
+				return nil, fmt.Errorf("building slice engine: %w", engErr)
+			}
+			p.engine = engine
+			return engine, nil
+		}, nil)
+	if err != nil {
+		for _, p := range r.parts {
+			p.enclave.Terminate()
+		}
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	r.hub = hub
 	if cfg.Switchless {
-		capacity := cfg.RingCapacity
-		if capacity <= 0 {
-			capacity = 128
+		if err := r.startSwitchless(); err != nil {
+			for _, p := range r.parts {
+				p.enclave.Terminate()
+			}
+			return nil, err
 		}
-		ring, err := sgx.NewRing(capacity)
-		if err != nil {
-			enclave.Terminate()
-			return nil, fmt.Errorf("broker: building publication ring: %w", err)
-		}
-		r.pubRing = ring
-		r.workerDone = make(chan struct{})
-		go r.publicationWorker()
 	}
 	return r, nil
 }
 
-// publicationWorker is the resident enclave thread of the switchless
-// configuration: it enters the enclave once and matches publications
-// straight off the untrusted ring. Per-message failures (tampered
-// ciphertext, malformed headers, unprovisioned router) drop the
-// publication, exactly as the per-ecall path does for fire-and-forget
-// publish messages.
-//
-// The worker does not use Enclave.ServeRing: that helper charges the
-// enclave meter outside any lock and is meant for single-threaded
-// harnesses, while here registration ecalls charge the same meter
-// concurrently. All meter access below happens under r.mu, like every
-// other router path.
-func (r *Router) publicationWorker() {
-	defer close(r.workerDone)
-	entered := false
-	var buf []byte
-	for {
-		raw, ok := r.pubRing.Pop(buf)
-		if !ok {
-			return // ring closed and drained
-		}
-		buf = raw
-		var m Message
-		if err := json.Unmarshal(raw, &m); err != nil {
-			continue // drop undecodable publication
-		}
-		r.mu.Lock()
-		meter := r.engine.Accessor().Meter()
-		if !entered {
-			meter.ChargeTransition() // the worker's one-time entry/exit round trip
-			entered = true
-		}
-		meter.Charge(meter.Cost.SwitchlessPollCycles)
-		if r.sk != nil {
-			r.routePublicationLocked(&m)
-		}
-		r.mu.Unlock()
+// Enclave exposes the router's attestation enclave — partition 0, the
+// slice whose quote publishers verify. All slices launch from the same
+// image with the same per-slice EPC share, so they carry the same
+// measured identity.
+func (r *Router) Enclave() *sgx.Enclave { return r.parts[0].enclave }
+
+// Engine exposes partition 0's routing engine (experiments read its
+// stats; with the default single partition it is the whole index). Use
+// DataPlaneStats for the aggregate of a partitioned router.
+func (r *Router) Engine() *core.Engine { return r.parts[0].engine }
+
+// Partitions returns the number of enclave matcher slices.
+func (r *Router) Partitions() int { return len(r.parts) }
+
+// DataPlaneStats summarises the partitioned index.
+type DataPlaneStats struct {
+	// Partitions is the number of enclave matcher slices.
+	Partitions int
+	// Subscriptions is the live count across all slices.
+	Subscriptions int
+	// PerPartition lists each slice's live subscription count.
+	PerPartition []int
+	// Bytes sums the slices' enclave arena footprints.
+	Bytes uint64
+}
+
+// DataPlaneStats aggregates the partition engines.
+func (r *Router) DataPlaneStats() DataPlaneStats {
+	st := r.hub.Stats()
+	return DataPlaneStats{
+		Partitions:    st.Partitions,
+		Subscriptions: st.Subscriptions,
+		PerPartition:  st.PerPartition,
+		Bytes:         st.Bytes,
 	}
 }
 
-// routePublicationLocked runs steps ⑤–⑥ for a publish or publish-batch
-// message: match each header inside the enclave and forward the still
-// encrypted payloads. Per-item failures (tampered ciphertext,
-// malformed headers) drop that publication, exactly as the wire's
-// fire-and-forget semantics specify. The caller holds r.mu and has
-// accounted the enclave entry (an ecall on the synchronous path, the
-// resident worker on the switchless path); a batch therefore costs one
-// enclave crossing however many publications it carries.
-func (r *Router) routePublicationLocked(m *Message) {
-	if m.Type == TypePublishBatch {
-		for i := range m.Items {
-			item := &Message{Type: TypePublish, Blob: m.Items[i].Blob, Payload: m.Items[i].Payload, Epoch: m.Epoch}
-			if matches, err := r.matchPublication(item); err == nil {
-				r.forwardLocked(matches, item)
-			}
-		}
-		return
-	}
-	if matches, err := r.matchPublication(m); err == nil {
-		r.forwardLocked(matches, m)
-	}
-}
-
-// Enclave exposes the router's enclave (for identity pinning and
-// experiment counters).
-func (r *Router) Enclave() *sgx.Enclave { return r.enclave }
-
-// Engine exposes the routing engine (experiments read its stats).
-func (r *Router) Engine() *core.Engine { return r.engine }
-
-// MeterSnapshot returns a consistent copy of the enclave meter's
-// counters. The router serialises all enclave work (ecalls and the
-// switchless worker) under its lock, so the snapshot is coherent even
-// while traffic is flowing.
+// MeterSnapshot aggregates the slices' enclave meters into one view.
+// Each slice's counters are read under its partition lock, so every
+// per-slice contribution is coherent; slices are read one at a time,
+// so concurrent traffic may land between reads, as with any fleet-wide
+// aggregate.
 func (r *Router) MeterSnapshot() simmem.Counters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.engine.Accessor().Meter().C
+	var total simmem.Counters
+	for _, c := range r.SliceMeterSnapshots() {
+		total = total.Add(c)
+	}
+	return total
+}
+
+// SliceMeterSnapshots returns each partition meter's counters, indexed
+// by slice. Experiments compare the slowest slice against the sum to
+// quantify the partition speed-up (slices run in parallel, so the
+// makespan is the max, not the total).
+func (r *Router) SliceMeterSnapshots() []simmem.Counters {
+	out := make([]simmem.Counters, len(r.parts))
+	for i, p := range r.parts {
+		p.mu.Lock()
+		out[i] = p.engine.Accessor().Meter().C
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// keys returns the provisioned secrets (nil SK before provisioning).
+func (r *Router) keys() (*scrypto.SymmetricKey, *rsa.PublicKey) {
+	r.keyMu.RLock()
+	defer r.keyMu.RUnlock()
+	return r.sk, r.verifyKey
 }
 
 // Identity returns the enclave identity a publisher should pin.
 func (r *Router) Identity() attest.Identity {
 	return attest.Identity{
-		MRENCLAVE: r.enclave.MRENCLAVE(),
-		MRSIGNER:  r.enclave.MRSIGNER(),
+		MRENCLAVE: r.Enclave().MRENCLAVE(),
+		MRSIGNER:  r.Enclave().MRSIGNER(),
 	}
 }
 
@@ -223,9 +278,9 @@ func (r *Router) Serve(ctx context.Context, l net.Listener) error {
 		return ErrClosed
 	default:
 	}
-	r.mu.Lock()
+	r.connMu.Lock()
 	r.listener = l
-	r.mu.Unlock()
+	r.connMu.Unlock()
 	if done := ctx.Done(); done != nil {
 		stop := make(chan struct{})
 		defer close(stop)
@@ -233,11 +288,11 @@ func (r *Router) Serve(ctx context.Context, l net.Listener) error {
 			select {
 			case <-done:
 				_ = l.Close()
-				r.mu.Lock()
+				r.connMu.Lock()
 				for c := range r.conns {
 					_ = c.Close()
 				}
-				r.mu.Unlock()
+				r.connMu.Unlock()
 			case <-r.closing:
 			case <-stop:
 			}
@@ -256,22 +311,33 @@ func (r *Router) Serve(ctx context.Context, l net.Listener) error {
 			}
 			return fmt.Errorf("broker: accept: %w", err)
 		}
-		r.mu.Lock()
+		r.connMu.Lock()
+		select {
+		case <-r.closing:
+			// Accepted concurrently with Close: its sweep ran before
+			// this conn was registered, so reject it here — a handler
+			// started now would outlive Close's wg.Wait and publish
+			// into the torn-down pipeline.
+			r.connMu.Unlock()
+			_ = conn.Close()
+			return nil
+		default:
+		}
 		r.conns[conn] = true
-		r.mu.Unlock()
+		r.wg.Add(1)
+		r.connMu.Unlock()
 		if ctx.Err() != nil {
 			// Accepted concurrently with cancellation: the watcher's
 			// sweep may have run before this conn was registered, so
 			// sever it here — either the sweep saw it or this does.
 			_ = conn.Close()
 		}
-		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
 			defer func() {
-				r.mu.Lock()
+				r.connMu.Lock()
 				delete(r.conns, conn)
-				r.mu.Unlock()
+				r.connMu.Unlock()
 				_ = conn.Close()
 			}()
 			r.handleConn(conn)
@@ -279,24 +345,25 @@ func (r *Router) Serve(ctx context.Context, l net.Listener) error {
 	}
 }
 
-// Close stops the router, drains the switchless worker if one is
-// running, and waits for connection handlers. Safe to call more than
-// once.
+// Close stops the router: the accept loop and every connection are
+// severed, the switchless pipeline is drained, and the per-client
+// delivery writers are stopped. Safe to call more than once;
+// concurrent callers block until the first teardown completes.
 func (r *Router) Close() {
-	r.closeOnce.Do(func() { close(r.closing) })
-	r.mu.Lock()
-	if r.listener != nil {
-		_ = r.listener.Close()
-	}
-	for c := range r.conns {
-		_ = c.Close()
-	}
-	r.mu.Unlock()
-	r.wg.Wait()
-	if r.pubRing != nil {
-		r.pubRing.Close()
-		<-r.workerDone
-	}
+	r.closeOnce.Do(func() {
+		close(r.closing)
+		r.connMu.Lock()
+		if r.listener != nil {
+			_ = r.listener.Close()
+		}
+		for c := range r.conns {
+			_ = c.Close()
+		}
+		r.connMu.Unlock()
+		r.wg.Wait() // no producers remain past this point
+		r.stopSwitchless()
+		r.delivery.close()
+	})
 }
 
 // handleConn dispatches messages from one peer connection.
@@ -325,10 +392,15 @@ func (r *Router) handleConn(conn net.Conn) {
 				sendErr(conn, fmt.Errorf("listen: %w", err))
 				return
 			}
-			// The connection now belongs to the delivery path; this
-			// handler keeps draining (ignoring) anything the client
-			// sends so the connection close is still observed.
-			continue
+			// The connection's write side now belongs exclusively to
+			// the delivery writer — replying to anything further here
+			// would interleave frames with in-flight deliveries. Drain
+			// and discard the read side so the close is still observed.
+			for {
+				if _, err := Recv(conn); err != nil {
+					return
+				}
+			}
 		default:
 			sendErrf(conn, "unexpected message %q", m.Type)
 			return
@@ -339,11 +411,17 @@ func (r *Router) handleConn(conn net.Conn) {
 	}
 }
 
-// handleProvision runs the router side of remote attestation: emit a
-// quote-bound provisioning request, then install the secrets the
-// publisher returns.
+// handleProvision runs the router side of remote attestation against
+// the attestation slice (partition 0): emit a quote-bound provisioning
+// request, then install the secrets the publisher returns. The paper's
+// §3.4 partitioning note applies to the keys — "the key management
+// [...] could be simply replicated" — so one provisioning run arms
+// every slice.
 func (r *Router) handleProvision(conn net.Conn) error {
-	req, ephemeral, err := attest.NewProvisioningRequest(r.enclave, r.quoter)
+	p0 := r.parts[0]
+	p0.mu.Lock()
+	req, ephemeral, err := attest.NewProvisioningRequest(p0.enclave, r.quoter)
+	p0.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("building provisioning request: %w", err)
 	}
@@ -357,7 +435,9 @@ func (r *Router) handleProvision(conn net.Conn) error {
 	if err := expect(reply, TypeProvisionKey); err != nil {
 		return err
 	}
-	secret, err := attest.ReceiveSecret(r.enclave, ephemeral, reply.Blob)
+	p0.mu.Lock()
+	secret, err := attest.ReceiveSecret(p0.enclave, ephemeral, reply.Blob)
+	p0.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("receiving secret: %w", err)
 	}
@@ -377,184 +457,144 @@ func (r *Router) handleProvision(conn net.Conn) error {
 	if !ok {
 		return fmt.Errorf("verify key is %T, want RSA", parsed)
 	}
-	r.mu.Lock()
+	r.keyMu.Lock()
 	r.sk = sk
 	r.verifyKey = verifyKey
-	r.mu.Unlock()
+	r.keyMu.Unlock()
 	return Send(conn, &Message{Type: TypeProvisionOK})
 }
 
-// handleRegister is step ③: validate the publisher's signature, then
-// decrypt and index the subscription inside the enclave.
+// handleRegister is step ③: hash the registration to a slice, then
+// validate the publisher's signature and decrypt and index the
+// subscription inside that slice's enclave. Only the target partition
+// serialises — registrations on other slices, and all matching not on
+// this slice, proceed concurrently.
 func (r *Router) handleRegister(conn net.Conn, m *Message) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.sk == nil {
+	sk, verifyKey := r.keys()
+	if sk == nil {
 		return ErrNotProvisioned
 	}
 	if m.ClientID == "" {
 		return errors.New("registration without client identity")
 	}
+	target := r.hub.PlaceKey([]byte(m.ClientID), m.Blob)
+	p := r.parts[target]
 	var subID uint64
-	err := r.enclave.Ecall(func() error {
+	r.stateMu.RLock()
+	p.mu.Lock()
+	err := p.enclave.Ecall(func() error {
 		// The signature covers the encrypted subscription and the
 		// client binding, so the infrastructure cannot re-route
 		// subscriptions between clients.
-		if err := scrypto.Verify(r.verifyKey, signedRegistration(m.Blob, m.ClientID), m.Sig); err != nil {
+		if err := scrypto.Verify(verifyKey, signedRegistration(m.Blob, m.ClientID), m.Sig); err != nil {
 			return fmt.Errorf("registration signature invalid: %w", err)
 		}
-		plain, err := scrypto.Open(r.sk, m.Blob)
+		plain, err := scrypto.Open(sk, m.Blob)
 		if err != nil {
 			return fmt.Errorf("decrypting subscription: %w", err)
 		}
-		r.engine.Accessor().Meter().ChargeAES(len(m.Blob))
+		p.engine.Accessor().Meter().ChargeAES(len(m.Blob))
 		spec, err := pubsub.DecodeSubscriptionSpec(plain)
 		if err != nil {
 			return fmt.Errorf("decoding subscription: %w", err)
 		}
-		subID, err = r.engine.Register(spec, r.refFor(m.ClientID))
+		sub, err := pubsub.Normalize(r.hub.Schema(), spec)
+		if err != nil {
+			return err
+		}
+		// Intern the client identity only now that the registration
+		// authenticated: rejected traffic must leave no state behind.
+		subID, err = r.hub.RegisterNormalizedIn(target, sub, r.refFor(m.ClientID))
 		return err
 	})
+	p.mu.Unlock()
 	if err != nil {
+		r.stateMu.RUnlock()
 		return err
 	}
+	r.ctlMu.Lock()
 	r.subOwner[subID] = m.ClientID
+	r.regPos[subID] = len(r.regLog)
 	r.regLog = append(r.regLog, logEntry{
 		SubID:    subID,
 		ClientID: m.ClientID,
 		Blob:     append([]byte(nil), m.Blob...),
 		Sig:      append([]byte(nil), m.Sig...),
 	})
+	r.ctlMu.Unlock()
+	r.stateMu.RUnlock()
 	return Send(conn, &Message{Type: TypeRegisterOK, SubID: subID})
 }
 
-// handleRemove unregisters a subscription on the owner's behalf.
+// handleRemove unregisters a subscription on the owner's behalf. The
+// registration log is indexed by SubID, so removal under churn is
+// constant-time (the vacated slot is back-filled with the last entry;
+// restore replays by assigned ID, so log order is immaterial).
 func (r *Router) handleRemove(conn net.Conn, m *Message) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.ctlMu.RLock()
 	owner, ok := r.subOwner[m.SubID]
+	r.ctlMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
 	}
 	if owner != m.ClientID {
 		return fmt.Errorf("%w: subscription %d, client %s", ErrNotOwner, m.SubID, m.ClientID)
 	}
-	if err := r.enclave.Ecall(func() error { return r.engine.Unregister(m.SubID) }); err != nil {
+	target := streamhub.PartitionOf(m.SubID)
+	if target >= len(r.parts) {
+		return fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
+	}
+	p := r.parts[target]
+	r.stateMu.RLock()
+	p.mu.Lock()
+	err := p.enclave.Ecall(func() error { return r.hub.UnregisterIn(m.SubID) })
+	p.mu.Unlock()
+	if err != nil {
+		r.stateMu.RUnlock()
 		return err
 	}
+	r.ctlMu.Lock()
 	delete(r.subOwner, m.SubID)
-	for i := range r.regLog {
-		if r.regLog[i].SubID == m.SubID {
-			r.regLog = append(r.regLog[:i], r.regLog[i+1:]...)
-			break
+	if pos, found := r.regPos[m.SubID]; found {
+		last := len(r.regLog) - 1
+		if pos != last {
+			r.regLog[pos] = r.regLog[last]
+			r.regPos[r.regLog[pos].SubID] = pos
 		}
+		r.regLog = r.regLog[:last]
+		delete(r.regPos, m.SubID)
 	}
+	r.ctlMu.Unlock()
+	r.stateMu.RUnlock()
 	return Send(conn, &Message{Type: TypeRemoveOK, SubID: m.SubID})
 }
 
-// handlePublish is steps ⑤–⑥ for both single publications and
-// batches: decrypt each header inside the enclave, match, and forward
-// the (still encrypted) payloads to every client with a matching
-// subscription. A batch crosses the enclave border once — one ecall on
-// the synchronous path, one ring pass in the switchless configuration,
-// where the whole message is handed to the resident enclave worker
-// through the untrusted ring.
-func (r *Router) handlePublish(m *Message) error {
-	if r.pubRing != nil {
-		raw, err := json.Marshal(m)
-		if err != nil {
-			return fmt.Errorf("encoding publication for the ring: %w", err)
-		}
-		r.pushMu.Lock()
-		defer r.pushMu.Unlock()
-		if err := r.pubRing.Push(raw); err != nil {
-			return fmt.Errorf("%w: publication ring: %v", ErrClosed, err)
-		}
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.sk == nil {
-		return ErrNotProvisioned
-	}
-	return r.enclave.Ecall(func() error {
-		r.routePublicationLocked(m)
-		return nil
-	})
-}
-
-// matchPublication is the trusted step ⑤: authenticate and decrypt the
-// header, then match it against the index. The caller holds r.mu and
-// is responsible for enclave-entry accounting (an ecall on the
-// synchronous path, the resident worker on the switchless path).
-func (r *Router) matchPublication(m *Message) ([]core.MatchResult, error) {
-	plain, err := scrypto.Open(r.sk, m.Blob)
-	if err != nil {
-		return nil, fmt.Errorf("decrypting header: %w", err)
-	}
-	r.engine.Accessor().Meter().ChargeAES(len(m.Blob))
-	spec, err := pubsub.DecodeEventSpec(plain)
-	if err != nil {
-		return nil, fmt.Errorf("decoding header: %w", err)
-	}
-	ev, err := spec.Intern(r.engine.Schema())
-	if err != nil {
-		return nil, err
-	}
-	return r.engine.Match(ev)
-}
-
-// forwardLocked is step ⑥: deliver the still-encrypted payload once to
-// every matched client that is currently listening. The delivery names
-// every subscription of that client that matched, so client-side
-// Subscription handles can route it without decrypting twice. Caller
-// holds r.mu.
-func (r *Router) forwardLocked(matches []core.MatchResult, m *Message) {
-	// Deduplicate client targets: one delivery per client however many
-	// of its subscriptions matched.
-	perClient := make(map[uint32][]uint64, len(matches))
-	order := make([]uint32, 0, len(matches))
-	for _, match := range matches {
-		if _, ok := perClient[match.ClientRef]; !ok {
-			order = append(order, match.ClientRef)
-		}
-		perClient[match.ClientRef] = append(perClient[match.ClientRef], match.SubID)
-	}
-	for _, ref := range order {
-		name := r.refName[ref]
-		conn, ok := r.listeners[name]
-		if !ok {
-			continue // client not currently listening
-		}
-		if err := Send(conn, &Message{Type: TypeDeliver, Payload: m.Payload, Epoch: m.Epoch, SubIDs: perClient[ref]}); err != nil {
-			// A broken listener must not block the others.
-			delete(r.listeners, name)
-			_ = conn.Close()
-		}
-	}
-}
-
-// handleListen binds a connection as a client's delivery channel.
+// handleListen binds a connection as a client's delivery channel: a
+// dedicated writer goroutine owns the write side from here on, and the
+// listen ack is queued ahead of any delivery so it is the first frame
+// on the wire.
 func (r *Router) handleListen(conn net.Conn, m *Message) error {
 	if m.ClientID == "" {
 		return errors.New("listen without client identity")
 	}
-	r.mu.Lock()
-	if old, ok := r.listeners[m.ClientID]; ok {
-		_ = old.Close()
-	}
-	r.listeners[m.ClientID] = conn
-	r.mu.Unlock()
-	return Send(conn, &Message{Type: TypeListenOK})
+	return r.delivery.attach(m.ClientID, conn, &Message{Type: TypeListenOK})
 }
 
-// refFor interns a client identity as the engine's compact client
-// reference. Caller holds r.mu.
+// refFor interns a client identity as the engines' compact client
+// reference.
 func (r *Router) refFor(clientID string) uint32 {
+	r.ctlMu.RLock()
+	ref, ok := r.clientRef[clientID]
+	r.ctlMu.RUnlock()
+	if ok {
+		return ref
+	}
+	r.ctlMu.Lock()
+	defer r.ctlMu.Unlock()
 	if ref, ok := r.clientRef[clientID]; ok {
 		return ref
 	}
-	ref := uint32(len(r.refName))
+	ref = uint32(len(r.refName))
 	r.clientRef[clientID] = ref
 	r.refName = append(r.refName, clientID)
 	return ref

@@ -1,0 +1,299 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scbr/internal/pubsub"
+)
+
+// dataPlaneModes runs a subtest per publication path of the
+// partitioned data plane.
+func dataPlaneModes(t *testing.T, partitions int, body func(t *testing.T, sys *testSystem)) {
+	t.Helper()
+	for _, tc := range []struct {
+		name   string
+		mutate func(cfg *RouterConfig)
+	}{
+		{"ecall", func(cfg *RouterConfig) { cfg.Partitions = partitions }},
+		{"switchless", func(cfg *RouterConfig) {
+			cfg.Partitions = partitions
+			cfg.Switchless = true
+			cfg.RingCapacity = 64
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			body(t, newTestSystemCfg(t, tc.mutate))
+		})
+	}
+}
+
+// subscribeOnly registers a subscription for id without binding a
+// delivery channel.
+func subscribeOnly(t *testing.T, sys *testSystem, id string, spec pubsub.SubscriptionSpec) {
+	t.Helper()
+	c, err := NewClient(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubConn, err := net.Dial("tcp", sys.pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ConnectPublisher(pubConn, sys.publisher.PublicKey())
+	if _, err := c.Subscribe(bg, spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+}
+
+// stalledListener binds conn as id's delivery channel and then never
+// reads it again: the router-side writer eventually blocks on the
+// socket and the queue backs up — the deliberately misbehaving
+// consumer of the slow-consumer tests.
+func stalledListener(t *testing.T, sys *testSystem, id string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", sys.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := Send(conn, &Message{Type: TypeListen, ClientID: id}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := Recv(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expect(ack, TypeListenOK); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestPartitionedEndToEnd exercises correctness across slices: a
+// client whose subscriptions hash to different partitions still gets
+// exactly one deduplicated delivery naming all matched subscriptions,
+// and non-matching clients stay silent.
+func TestPartitionedEndToEnd(t *testing.T) {
+	dataPlaneModes(t, 4, func(t *testing.T, sys *testSystem) {
+		alice, aliceRx := sys.attach("alice")
+		_, bobRx := sys.attach("bob")
+		subA, err := alice.Subscribe(bg, halSpec(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subB, err := alice.Subscribe(bg, halSpec(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.publisher.Publish(bg, halQuote(42), []byte("both match")); err != nil {
+			t.Fatal(err)
+		}
+		d := recvDelivery(t, aliceRx)
+		if d.Err != nil || string(d.Payload) != "both match" {
+			t.Fatalf("delivery = %+v", d)
+		}
+		if len(d.SubIDs) != 2 {
+			t.Fatalf("delivery names %v, want both of [%d %d]", d.SubIDs, subA.ID(), subB.ID())
+		}
+		// However many slices matched, the client hears once.
+		expectNoDelivery(t, aliceRx)
+		expectNoDelivery(t, bobRx)
+		if st := sys.router.DataPlaneStats(); st.Partitions != 4 || st.Subscriptions != 2 {
+			t.Fatalf("stats = %+v", st)
+		}
+	})
+}
+
+// TestStalledListenerDoesNotBlockOthers is the delivery-layer
+// guarantee: a listener that stops reading its socket — while holding
+// a subscription that matches everything — must neither delay
+// deliveries to healthy clients nor stall publishers. The tiny
+// delivery queue forces the slow-consumer policy to trip.
+func TestStalledListenerDoesNotBlockOthers(t *testing.T) {
+	dataPlaneModes(t, 2, func(t *testing.T, sys *testSystem) {
+		const (
+			numPublish = 100
+			payloadLen = 64 << 10 // overwhelm socket buffering so the stall is real
+		)
+		alice, aliceRx := sys.attach("alice")
+		if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
+			t.Fatal(err)
+		}
+		subscribeOnly(t, sys, "mallory", halSpec(50))
+		stalled := stalledListener(t, sys, "mallory")
+		_ = stalled
+
+		received := make(chan struct{})
+		go func() {
+			for i := 0; i < numPublish; i++ {
+				d := <-aliceRx
+				if d.Err != nil {
+					t.Errorf("delivery %d: %v", i, d.Err)
+					return
+				}
+			}
+			close(received)
+		}()
+
+		payload := make([]byte, payloadLen)
+		start := time.Now()
+		for i := 0; i < numPublish; i++ {
+			pubStart := time.Now()
+			if err := sys.publisher.Publish(bg, halQuote(42), payload); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(pubStart); d > 2*time.Second {
+				t.Fatalf("publish %d stalled for %v behind a blocked listener", i, d)
+			}
+		}
+		select {
+		case <-received:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("healthy client starved behind a stalled listener (waited %v)", time.Since(start))
+		}
+	})
+}
+
+// TestStalledListenerDisconnected checks the slow-consumer policy
+// itself: once the stalled client's bounded queue overflows, the
+// router cuts the connection instead of buffering without limit.
+func TestStalledListenerDisconnected(t *testing.T) {
+	sys := newTestSystemCfg(t, func(cfg *RouterConfig) {
+		cfg.Partitions = 2
+		cfg.DeliveryQueueLen = 4
+	})
+	subscribeOnly(t, sys, "mallory", halSpec(50))
+	stalled := stalledListener(t, sys, "mallory")
+	payload := make([]byte, 64<<10)
+	for i := 0; i < 64; i++ {
+		if err := sys.publisher.Publish(bg, halQuote(42), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The router must close mallory's connection; draining it observes
+	// the EOF once the in-flight frames are consumed.
+	_ = stalled.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1<<16)
+	for {
+		if _, err := stalled.Read(buf); err != nil {
+			return // disconnected: policy enforced
+		}
+	}
+}
+
+// TestConcurrentDataPlaneStress runs the whole data plane at once
+// under the race detector: parallel publishers, registration and
+// removal churn, and a stalled listener, all against a partitioned
+// router. The healthy subscriber must receive every publication.
+func TestConcurrentDataPlaneStress(t *testing.T) {
+	dataPlaneModes(t, 3, func(t *testing.T, sys *testSystem) {
+		const (
+			numPublish    = 120
+			numPublishers = 2
+			churnRounds   = 30
+		)
+		alice, aliceRx := sys.attach("alice")
+		if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
+			t.Fatal(err)
+		}
+		// bob churns registrations while his deliveries are drained and
+		// discarded; mallory holds a matching subscription on a stalled
+		// delivery socket.
+		bob, bobRx := sys.attach("bob")
+		go func() {
+			for range bobRx {
+			}
+		}()
+		subscribeOnly(t, sys, "mallory", halSpec(50))
+		_ = stalledListener(t, sys, "mallory")
+
+		var got atomic.Int64
+		received := make(chan struct{})
+		go func() {
+			for d := range aliceRx {
+				if d.Err != nil {
+					t.Errorf("alice delivery: %v", d.Err)
+					return
+				}
+				if got.Add(1) == numPublish*numPublishers {
+					close(received)
+					return
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < numPublishers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < numPublish; i++ {
+					if err := sys.publisher.Publish(bg, halQuote(42), []byte(fmt.Sprintf("p%d-%d", w, i))); err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < churnRounds; i++ {
+				sub, err := bob.Subscribe(bg, halSpec(60+float64(i)))
+				if err != nil {
+					t.Errorf("churn subscribe: %v", err)
+					return
+				}
+				if err := bob.Unsubscribe(bg, sub.ID()); err != nil {
+					t.Errorf("churn unsubscribe: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		select {
+		case <-received:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("alice received %d of %d publications", got.Load(), numPublish*numPublishers)
+		}
+		if st := sys.router.DataPlaneStats(); st.Subscriptions != 2 {
+			t.Fatalf("after churn, %d subscriptions remain, want 2 (alice + mallory): %+v", st.Subscriptions, st)
+		}
+	})
+}
+
+// TestPartitionedSealRestore: seal/restore round-trips a partitioned
+// database, landing every subscription back on the slice that issued
+// its ID.
+func TestPartitionedSealRestore(t *testing.T) {
+	f := newRestartFixture(t)
+	f.cfg.Partitions = 3
+	r1 := f.newRouter()
+	defer r1.Close()
+	_, ids := f.populate(r1, 12)
+	before := r1.DataPlaneStats()
+	blob, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := f.newRouter()
+	defer r2.Close()
+	if err := r2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	after := r2.DataPlaneStats()
+	if after.Subscriptions != len(ids) {
+		t.Fatalf("restored %d subscriptions, want %d", after.Subscriptions, len(ids))
+	}
+	for i, n := range after.PerPartition {
+		if n != before.PerPartition[i] {
+			t.Fatalf("slice loads changed across restore: %v → %v", before.PerPartition, after.PerPartition)
+		}
+	}
+}

@@ -33,10 +33,13 @@ type ringSlot struct {
 	data []byte
 }
 
-// Ring is the untrusted-memory message ring. It is safe for exactly
-// one producer goroutine (the untrusted host) and one consumer
-// goroutine (the in-enclave worker); SCBR's router runs one ring per
-// enclave, matching the paper's single-threaded filter.
+// Ring is the untrusted-memory message ring. Ownership is one ring
+// per enclave matcher slice: the producer side belongs to the router's
+// publication dispatch — a single logical producer, since the router
+// serialises its fan-out across the per-partition rings under its own
+// lock — and the consumer side to that slice's resident in-enclave
+// worker. Within that ownership discipline the exchange stays
+// lock-free: two atomic operations and a copy per message.
 type Ring struct {
 	mask   uint64
 	slots  []ringSlot

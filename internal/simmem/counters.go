@@ -49,6 +49,25 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// Add returns the field-by-field sum c + other. Partitioned deployments
+// (one meter per matcher slice) aggregate their slices' counters into a
+// fleet-wide view with it.
+func (c Counters) Add(other Counters) Counters {
+	return Counters{
+		Cycles:         c.Cycles + other.Cycles,
+		LLCHits:        c.LLCHits + other.LLCHits,
+		LLCMisses:      c.LLCMisses + other.LLCMisses,
+		PageFaults:     c.PageFaults + other.PageFaults,
+		MinorFaults:    c.MinorFaults + other.MinorFaults,
+		UserFaults:     c.UserFaults + other.UserFaults,
+		UserWritebacks: c.UserWritebacks + other.UserWritebacks,
+		Transitions:    c.Transitions + other.Transitions,
+		BytesRead:      c.BytesRead + other.BytesRead,
+		BytesWritten:   c.BytesWritten + other.BytesWritten,
+		CryptoBytes:    c.CryptoBytes + other.CryptoBytes,
+	}
+}
+
 // MissRate returns LLC misses / lookups, or 0 when nothing was accessed.
 func (c Counters) MissRate() float64 {
 	total := c.LLCHits + c.LLCMisses

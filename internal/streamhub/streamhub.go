@@ -14,6 +14,7 @@ package streamhub
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"scbr/internal/core"
@@ -28,6 +29,24 @@ type Hub struct {
 	parts  []*partition
 	owner  map[uint64]int // subscription ID → partition index
 }
+
+// Engine IDs are per-partition; the hub exposes hub-wide IDs by
+// packing the partition index into the top byte.
+const (
+	idShift = 56
+	idMask  = (uint64(1) << idShift) - 1
+)
+
+// MaxPartitions bounds a hub's slice count: the partition index must
+// fit the top byte of a hub subscription ID.
+const MaxPartitions = 256
+
+func composeID(part int, engineID uint64) uint64 {
+	return uint64(part)<<idShift | engineID
+}
+
+// PartitionOf returns the partition index packed into a hub ID.
+func PartitionOf(hubID uint64) int { return int(hubID >> idShift) }
 
 type partition struct {
 	engine *core.Engine
@@ -44,6 +63,9 @@ func New(k int, schema *pubsub.Schema,
 	enter func(i int, fn func() error) error) (*Hub, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("streamhub: need at least one partition, got %d", k)
+	}
+	if k > MaxPartitions {
+		return nil, fmt.Errorf("streamhub: %d partitions exceed the ID space (max %d)", k, MaxPartitions)
 	}
 	h := &Hub{schema: schema, owner: make(map[uint64]int)}
 	for i := 0; i < k; i++ {
@@ -112,9 +134,7 @@ func (h *Hub) Register(spec pubsub.SubscriptionSpec, clientRef uint32) (uint64, 
 		h.mu.Unlock()
 		return 0, err
 	}
-	// Engine IDs are per-partition; expose a hub-wide ID by packing
-	// the partition into the top byte.
-	hubID := uint64(target)<<56 | id
+	hubID := composeID(target, id)
 	h.mu.Lock()
 	h.owner[hubID] = target
 	h.mu.Unlock()
@@ -134,11 +154,104 @@ func (h *Hub) Unregister(hubID uint64) error {
 		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
 	}
 	p := h.parts[target]
-	remove := func() error { return p.engine.Unregister(hubID &^ (uint64(0xFF) << 56)) }
+	remove := func() error { return p.engine.Unregister(hubID & idMask) }
 	if p.enter != nil {
 		return p.enter(remove)
 	}
 	return remove()
+}
+
+// The "In" methods below are the direct per-slice surface for callers
+// that run their own fan-out and enclave transitions — the broker's
+// partitioned router, whose per-partition resident workers and
+// registration ecalls are already inside the slice's enclave when the
+// hub is consulted. They skip the optional enter gate; everything else
+// (ID packing, load accounting) matches the gated methods.
+
+// Engine returns partition i's engine (experiments and the broker's
+// per-slice meters read it).
+func (h *Hub) Engine(i int) *core.Engine { return h.parts[i].engine }
+
+// PlaceKey deterministically places a registration key on a slice
+// (FNV-1a over the key parts, 0xff-separated so part boundaries are
+// significant). Hash placement needs no coordination between
+// registering connections and is stable across restarts.
+func (h *Hub) PlaceKey(parts ...[]byte) int {
+	hash := fnv.New64a()
+	for _, part := range parts {
+		_, _ = hash.Write(part)
+		_, _ = hash.Write([]byte{0xff})
+	}
+	return int(hash.Sum64() % uint64(len(h.parts)))
+}
+
+// RegisterNormalizedIn inserts an already-normalised subscription into
+// partition target directly, with no call gate.
+func (h *Hub) RegisterNormalizedIn(target int, sub *pubsub.Subscription, clientRef uint32) (uint64, error) {
+	if target < 0 || target >= len(h.parts) {
+		return 0, fmt.Errorf("streamhub: partition %d of %d", target, len(h.parts))
+	}
+	p := h.parts[target]
+	id, err := p.engine.RegisterNormalized(sub, clientRef)
+	if err != nil {
+		return 0, err
+	}
+	hubID := composeID(target, id)
+	h.mu.Lock()
+	p.subs++
+	h.owner[hubID] = target
+	h.mu.Unlock()
+	return hubID, nil
+}
+
+// RegisterAssignedIn re-inserts a subscription under a previously
+// issued hub ID — the state-restore path. The target partition is the
+// one packed into the ID, so a restored database lands exactly where
+// the sealed log says it lived.
+func (h *Hub) RegisterAssignedIn(sub *pubsub.Subscription, clientRef uint32, hubID uint64) error {
+	target := PartitionOf(hubID)
+	if target >= len(h.parts) {
+		return fmt.Errorf("streamhub: hub ID %d names partition %d, but the hub has %d", hubID, target, len(h.parts))
+	}
+	p := h.parts[target]
+	if err := p.engine.RegisterAssigned(sub, clientRef, hubID&idMask); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	p.subs++
+	h.owner[hubID] = target
+	h.mu.Unlock()
+	return nil
+}
+
+// UnregisterIn removes a hub subscription directly, with no call gate.
+func (h *Hub) UnregisterIn(hubID uint64) error {
+	h.mu.Lock()
+	target, ok := h.owner[hubID]
+	if ok {
+		delete(h.owner, hubID)
+		h.parts[target].subs--
+	}
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
+	}
+	return h.parts[target].engine.Unregister(hubID & idMask)
+}
+
+// MatchSlice matches ev against one slice only, appending to out with
+// engine IDs rewritten into hub IDs — the per-partition half of Match
+// for callers running their own fan-out.
+func (h *Hub) MatchSlice(i int, ev *pubsub.Event, out []core.MatchResult) ([]core.MatchResult, error) {
+	n := len(out)
+	out, err := h.parts[i].engine.MatchAppend(ev, out)
+	if err != nil {
+		return nil, err
+	}
+	for j := n; j < len(out); j++ {
+		out[j].SubID = composeID(i, out[j].SubID)
+	}
+	return out, nil
 }
 
 // MatchStats reports the simulated cost of one fan-out match.
@@ -195,7 +308,7 @@ func (h *Hub) Match(ev *pubsub.Event) ([]core.MatchResult, MatchStats, error) {
 			return nil, stats, fmt.Errorf("streamhub: partition %d: %w", r.idx, r.err)
 		}
 		for _, m := range r.matches {
-			m.SubID = uint64(r.idx)<<56 | m.SubID
+			m.SubID = composeID(r.idx, m.SubID)
 			out = append(out, m)
 		}
 		stats.TotalCycles += r.cycles

@@ -206,6 +206,89 @@ func TestHubValidation(t *testing.T) {
 	}
 }
 
+func TestHubDirectSliceAPI(t *testing.T) {
+	// The In methods are the gate-less surface the broker's partitioned
+	// router drives: hash placement, direct register/unregister, single
+	// slice matching, and ID-addressed re-registration for restore.
+	hub, err := NewPlain(4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: "price", Op: pubsub.OpGt, Value: pubsub.Float(0)},
+	}}
+	sub, err := pubsub.Normalize(hub.Schema(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := hub.PlaceKey([]byte("alice"), []byte("blob-1"))
+	if again := hub.PlaceKey([]byte("alice"), []byte("blob-1")); again != target {
+		t.Fatalf("placement not deterministic: %d then %d", target, again)
+	}
+	if a, b := hub.PlaceKey([]byte("ab"), []byte("c")), hub.PlaceKey([]byte("a"), []byte("bc")); a == b {
+		// Not a hard guarantee for every pair, but these two must not
+		// collide by mere concatenation; the separator keeps part
+		// boundaries significant.
+		t.Logf("note: (ab,c) and (a,bc) hashed to the same slice %d", a)
+	}
+	id, err := hub.RegisterNormalizedIn(target, sub, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PartitionOf(id) != target {
+		t.Fatalf("hub ID %d names partition %d, registered on %d", id, PartitionOf(id), target)
+	}
+	ev, err := pubsub.NewEvent(hub.Schema(), map[string]pubsub.Value{"price": pubsub.Float(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hub.MatchSlice(target, ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SubID != id || got[0].ClientRef != 7 {
+		t.Fatalf("MatchSlice = %v, want hub id %d for client 7", got, id)
+	}
+	for i := 0; i < hub.Partitions(); i++ {
+		if i == target {
+			continue
+		}
+		if other, err := hub.MatchSlice(i, ev, nil); err != nil || len(other) != 0 {
+			t.Fatalf("slice %d matched %v (err %v), want empty", i, other, err)
+		}
+	}
+	if err := hub.UnregisterIn(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.UnregisterIn(id); err == nil {
+		t.Fatal("double UnregisterIn succeeded")
+	}
+	// Restore lands the subscription back on the slice its ID names.
+	if err := hub.RegisterAssignedIn(sub, 7, id); err != nil {
+		t.Fatal(err)
+	}
+	got, err = hub.MatchSlice(target, ev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SubID != id {
+		t.Fatalf("after restore, MatchSlice = %v, want %d", got, id)
+	}
+	if st := hub.Stats(); st.Subscriptions != 1 || st.PerPartition[target] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	bad := composeID(hub.Partitions(), 1)
+	if err := hub.RegisterAssignedIn(sub, 7, bad); err == nil {
+		t.Fatal("RegisterAssignedIn accepted an out-of-range partition")
+	}
+}
+
+func TestHubPartitionBound(t *testing.T) {
+	if _, err := NewPlain(MaxPartitions+1, core.Options{}); err == nil {
+		t.Fatalf("%d partitions accepted, ID top byte would overflow", MaxPartitions+1)
+	}
+}
+
 func TestHubEnclaveSlices(t *testing.T) {
 	// Enclave-backed slices: each partition gets its own enclave, as
 	// the replicated key-management deployment of §3.4 would.

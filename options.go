@@ -18,15 +18,17 @@ type Option func(*settings)
 // settings is the resolved option state; zero values select the
 // paper's defaults.
 type settings struct {
-	epcBytes        uint64
-	padRecordTo     int
-	switchless      bool
-	ringCapacity    int
-	cacheAlign      bool
-	disableSharding bool
-	isvProdID       uint16
-	isvSVN          uint16
-	debug           bool
+	epcBytes         uint64
+	padRecordTo      int
+	partitions       int
+	switchless       bool
+	ringCapacity     int
+	deliveryQueueLen int
+	cacheAlign       bool
+	disableSharding  bool
+	isvProdID        uint16
+	isvSVN           uint16
+	debug            bool
 }
 
 func resolve(opts []Option) settings {
@@ -40,12 +42,14 @@ func resolve(opts []Option) settings {
 // routerConfig lowers the resolved options onto the broker's config.
 func (s settings) routerConfig(image []byte, signer *rsa.PublicKey) broker.RouterConfig {
 	return broker.RouterConfig{
-		EnclaveImage:  image,
-		EnclaveSigner: signer,
-		EPCBytes:      s.epcBytes,
-		PadRecordTo:   s.padRecordTo,
-		Switchless:    s.switchless,
-		RingCapacity:  s.ringCapacity,
+		EnclaveImage:     image,
+		EnclaveSigner:    signer,
+		EPCBytes:         s.epcBytes,
+		PadRecordTo:      s.padRecordTo,
+		Partitions:       s.partitions,
+		Switchless:       s.switchless,
+		RingCapacity:     s.ringCapacity,
+		DeliveryQueueLen: s.deliveryQueueLen,
 	}
 }
 
@@ -77,16 +81,32 @@ func WithEPC(n uint64) Option { return func(s *settings) { s.epcBytes = n } }
 // the paper's ≈437 B/subscription footprint (see EngineOptions).
 func WithPadding(n int) Option { return func(s *settings) { s.padRecordTo = n } }
 
-// WithSwitchless routes publications into the enclave through the
-// untrusted-memory ring consumed by a resident enclave worker — the
-// paper's §6 "message exchanges at the enclave border" — instead of
-// one ecall per publication.
+// WithPartitions shards the router's subscription database across k
+// enclave matcher slices — the paper's §3.4 StreamHub-style
+// partitioning. Registrations hash to a slice; every publication is
+// matched by all slices in parallel and the results merged, so
+// matching parallelises and each enclave holds 1/k of the database
+// (the Fig. 8 paging-cliff remedy). The configured EPC budget is
+// divided across the slices. Default 1, max 256.
+func WithPartitions(k int) Option { return func(s *settings) { s.partitions = k } }
+
+// WithSwitchless routes publications into the enclaves through
+// untrusted-memory rings consumed by resident enclave workers (one
+// ring and worker per partition) — the paper's §6 "message exchanges
+// at the enclave border" — instead of one ecall per publication.
 func WithSwitchless() Option { return func(s *settings) { s.switchless = true } }
 
-// WithRingCapacity sizes the switchless publication ring (rounded up
+// WithRingCapacity sizes each switchless publication ring (rounded up
 // to a power of two; default 128). Implies nothing by itself — combine
 // with WithSwitchless.
 func WithRingCapacity(n int) Option { return func(s *settings) { s.ringCapacity = n } }
+
+// WithDeliveryQueue bounds each listening client's outbound delivery
+// queue to n messages (default 256). A client that stops draining its
+// connection overflows its queue and is disconnected — the router's
+// slow-consumer policy — instead of stalling matching or other
+// clients.
+func WithDeliveryQueue(n int) Option { return func(s *settings) { s.deliveryQueueLen = n } }
 
 // WithCacheAlign rounds engine record allocations to 64-byte cache
 // lines — the paper's §6 "appropriately fitting [the containment

@@ -19,7 +19,12 @@
 //     Next(ctx)/Deliveries()/Consume iteration and
 //     Unsubscribe(ctx),
 //   - Publisher.PublishBatch pipelines a batch of events through one
-//     router round trip and one enclave crossing,
+//     router round trip and one enclave crossing per matcher slice,
+//   - WithPartitions(k) shards the router's data plane across k
+//     enclave matcher slices (§3.4 StreamHub partitioning): matching
+//     parallelises, each enclave holds 1/k of the database, and every
+//     listening client is served by its own bounded delivery queue so
+//     a slow consumer never stalls the data plane,
 //   - failures wrap the typed sentinels of errors.go (ErrRevoked,
 //     ErrNotProvisioned, ErrAttestationFailed, ErrClosed, ...),
 //     matchable with errors.Is even across the wire.
@@ -164,6 +169,8 @@ type (
 	Publisher = broker.Publisher
 	// Client is a data consumer.
 	Client = broker.Client
+	// DataPlaneStats summarises a router's partitioned index.
+	DataPlaneStats = broker.DataPlaneStats
 	// Delivery is one decrypted payload received by a client.
 	Delivery = broker.Delivery
 	// ClientRegistry is the publisher's admission database.
