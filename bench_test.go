@@ -20,10 +20,12 @@ import (
 	"math/rand"
 	"net"
 	"testing"
+	"time"
 
 	"scbr"
 	"scbr/internal/aspe"
 	"scbr/internal/core"
+	scbrdeploy "scbr/internal/deploy"
 	"scbr/internal/exp"
 	"scbr/internal/pubsub"
 	"scbr/internal/scrypto"
@@ -597,6 +599,13 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 			benchEndToEndPublish(b, k)
 		})
 	}
+	// Federated variant: the same probe round trip, but the publisher
+	// and the probe subscriber sit on different routers of a 2-router
+	// overlay, so every probe crosses an attested hop. Compare its
+	// wall-clock and cross-hop simulated makespan against the
+	// partitions=1 single-router baseline above to read the federation
+	// overhead.
+	b.Run("federated=2", benchFederatedPublish)
 }
 
 func benchEndToEndPublish(b *testing.B, partitions int) {
@@ -737,6 +746,112 @@ func benchEndToEndPublish(b *testing.B, partitions int) {
 		}
 	}
 	b.ReportMetric(scbr.DefaultCostModel().Micros(makespan)/float64(b.N), "simµs/op")
+}
+
+// benchFederatedPublish is the 2-router loopback deployment: filler
+// subscriptions and the publisher's feed enter router 0, the probe
+// subscriber is homed on router 1, and each awaited delivery crosses
+// the attested link. The reported simulated makespan is the slowest
+// enclave slice across *both* routers — the cross-hop latency when
+// every router runs on its own machine, as in a real overlay.
+func benchFederatedPublish(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	topo, err := scbrdeploy.NewTopology(ctx, scbrdeploy.TopologySpec{Routers: 2, Links: [][2]int{{0, 1}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(topo.Close)
+	publisher, err := topo.NewPublisher(ctx, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Filler database on the ingress router: matching work, no
+	// deliveries, exactly as the single-router baseline.
+	filler, err := scbr.NewClient("filler")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(filler.Close)
+	fillerConn, pubSide := net.Pipe()
+	go publisher.ServeClient(ctx, pubSide)
+	filler.ConnectPublisher(fillerConn, publisher.PublicKey())
+	filler.UseRouter(topo.IDs[0])
+	qs, err := scbr.NewQuoteSet(1, 100, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wspec, err := scbr.WorkloadByName("e80a1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := scbr.NewWorkloadGenerator(wspec, qs, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range gen.Subscriptions(2000) {
+		if _, err := filler.Subscribe(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	events := gen.Publications(256)
+
+	// Probe subscriber on the far router; its interest propagates to
+	// router 0 as a digest entry before the timed loop starts.
+	probe, err := scbr.NewClient("probe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(probe.Close)
+	if err := topo.ConnectClient(ctx, publisher, probe, 1); err != nil {
+		b.Fatal(err)
+	}
+	spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := probe.Subscribe(ctx, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := topo.WaitRemoteEntries(0, 1, 30*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	header := pubsub.EventSpec{Attrs: []pubsub.NamedValue{
+		{Name: "symbol", Value: pubsub.Str("HAL")},
+		{Name: "price", Value: pubsub.Float(42)},
+	}}
+
+	before := make([][]simmem.Counters, len(topo.Routers))
+	for i, r := range topo.Routers {
+		before[i] = r.SliceMeterSnapshots()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := publisher.Publish(ctx, events[i%len(events)], []byte("load")); err != nil {
+			b.Fatal(err)
+		}
+		if err := publisher.Publish(ctx, header, []byte("probe")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sub.Next(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var makespan uint64
+	for i, r := range topo.Routers {
+		after := r.SliceMeterSnapshots()
+		for j := range after {
+			if d := after[j].Cycles - before[i][j].Cycles; d > makespan {
+				makespan = d
+			}
+		}
+	}
+	b.ReportMetric(scbr.DefaultCostModel().Micros(makespan)/float64(b.N), "simµs/op")
+	fed := topo.Routers[0].FederationSnapshot()
+	b.ReportMetric(float64(fed.Forwarded)/float64(b.N), "fwd/op")
 }
 
 func mustDevice(b *testing.B) *scbr.Device {

@@ -5,8 +5,10 @@ package cmd_test
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -53,6 +55,70 @@ func waitFile(t *testing.T, path string) {
 		time.Sleep(100 * time.Millisecond)
 	}
 	t.Fatalf("%s never appeared", path)
+}
+
+// TestCLIFederation boots two scbr-router processes into an attested
+// overlay (they exchange trust bundles through the filesystem, as a
+// bootstrapping fleet would) and reads the link state off the metrics
+// endpoint.
+func TestCLIFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs two router binaries")
+	}
+	bin := t.TempDir()
+	out, err := exec.Command("go", "build", "-o", filepath.Join(bin, "scbr-router"), "scbr/cmd/scbr-router").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building scbr-router: %v\n%s", err, out)
+	}
+	work := t.TempDir()
+	trustA := filepath.Join(work, "trust-a.json")
+	trustB := filepath.Join(work, "trust-b.json")
+	addrA := freePort(t)
+	addrB := freePort(t)
+	metricsA := freePort(t)
+
+	start := func(args ...string) {
+		cmd := exec.Command(filepath.Join(bin, "scbr-router"), args...)
+		cmd.Dir = work
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting scbr-router: %v", err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		})
+	}
+	start("-listen", addrA, "-trust", trustA, "-platform", "cli-fed-a",
+		"-router-id", "cli-a", "-peer-trust", trustB, "-metrics-addr", metricsA)
+	start("-listen", addrB, "-trust", trustB, "-platform", "cli-fed-b",
+		"-router-id", "cli-b", "-peer", addrA, "-peer-trust", trustA)
+
+	waitListening(t, metricsA)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + metricsA + "/metrics")
+		if err == nil {
+			var snapshot struct {
+				DeliveryQueues map[string]int `json:"delivery_queues"`
+				Federation     struct {
+					Peers int `json:"peers"`
+				} `json:"federation"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&snapshot)
+			_ = resp.Body.Close()
+			if err == nil && snapshot.Federation.Peers >= 1 {
+				if snapshot.DeliveryQueues == nil {
+					t.Fatal("metrics endpoint omitted delivery queue depths")
+				}
+				return // attested link up, metrics readable
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routers never reported an attested peer link on /metrics")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 func TestCLIDeployment(t *testing.T) {

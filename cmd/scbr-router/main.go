@@ -6,29 +6,54 @@
 // Usage:
 //
 //	scbr-router -listen 127.0.0.1:7070 -trust router-trust.json \
-//	    [-partitions 4] [-switchless] [-epc 93] [-pad 0] [-delivery-queue 256]
+//	    [-partitions 4] [-switchless] [-epc 93] [-pad 0] [-delivery-queue 256] \
+//	    [-router-id r1 -peer host:port -peer-trust peer-trust.json ...] \
+//	    [-metrics-addr 127.0.0.1:7079]
 //
 // followed by scbr-publisher and scbr-subscriber pointed at it.
+//
+// Federation: give each router a -router-id and point -peer at the
+// routers it should dial; the routers mutually attest and form an
+// overlay that forwards publications toward matching downstream
+// subscribers. Each -peer-trust file (written by the peer at its own
+// startup) teaches this router the peer's platform key and pinned
+// enclave identity.
+//
+// Observability: -metrics-addr serves the enclave meter aggregate,
+// per-slice meters, delivery-queue depths, and federation counters as
+// JSON on /metrics (expvar-style, poll with curl).
 package main
 
 import (
 	"context"
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"scbr"
 	"scbr/internal/deploy"
+	"scbr/internal/simmem"
 )
 
 // enclaveImage is the measured router code; publishers pin its
 // MRENCLAVE via the trust bundle.
 var enclaveImage = []byte("scbr routing engine enclave image v1.0")
+
+// repeatable collects repeated string flags.
+type repeatable []string
+
+func (r *repeatable) String() string     { return fmt.Sprint(*r) }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	if err := run(); err != nil {
@@ -38,16 +63,23 @@ func main() {
 }
 
 func run() error {
+	var peers, peerTrust repeatable
 	var (
-		listen     = flag.String("listen", "127.0.0.1:7070", "address to serve on")
-		trust      = flag.String("trust", "router-trust.json", "path to write the trust bundle")
-		epcMB      = flag.Uint64("epc", scbr.DefaultEPCBytes>>20, "usable EPC in MB")
-		platform   = flag.String("platform", "local-platform", "platform identity for attestation")
-		pad        = flag.Int("pad", 0, "engine record padding in bytes")
-		partitions = flag.Int("partitions", 1, "enclave matcher slices to shard the subscription database across")
-		switchless = flag.Bool("switchless", false, "route publications through per-partition untrusted-memory rings")
-		queueLen   = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256); overflowing clients are disconnected")
+		listen      = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		trust       = flag.String("trust", "router-trust.json", "path to write the trust bundle")
+		epcMB       = flag.Uint64("epc", scbr.DefaultEPCBytes>>20, "usable EPC in MB")
+		platform    = flag.String("platform", "local-platform", "platform identity for attestation")
+		pad         = flag.Int("pad", 0, "engine record padding in bytes")
+		partitions  = flag.Int("partitions", 1, "enclave matcher slices to shard the subscription database across")
+		switchless  = flag.Bool("switchless", false, "route publications through per-partition untrusted-memory rings")
+		queueLen    = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256); overflowing clients are disconnected")
+		drain       = flag.Duration("drain-timeout", 0, "shutdown drain bound for pending deliveries (0 = default 2s)")
+		routerID    = flag.String("router-id", "", "overlay name of this router; enables federation")
+		fedTTL      = flag.Int("federation-ttl", 0, "hop budget for forwarded publications (0 = default 8)")
+		metricsAddr = flag.String("metrics-addr", "", "serve meter/delivery/federation counters as JSON on this address (empty = disabled)")
 	)
+	flag.Var(&peers, "peer", "peer router address to dial into the federation overlay (repeatable)")
+	flag.Var(&peerTrust, "peer-trust", "trust bundle file of a federated peer, for mutual attestation (repeatable)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,21 +97,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := []scbr.Option{
-		scbr.WithEPC(*epcMB << 20),
-		scbr.WithPadding(*pad),
-		scbr.WithPartitions(*partitions),
-		scbr.WithDeliveryQueue(*queueLen),
-	}
-	if *switchless {
-		opts = append(opts, scbr.WithSwitchless())
-	}
-	router, err := scbr.NewRouter(dev, quoter, enclaveImage, signer.Public(), opts...)
+	// Measure the enclave identity with a short-lived probe and publish
+	// the trust bundle *before* waiting on peers: a federated fleet
+	// starting simultaneously bootstraps by exchanging these files.
+	identity, err := measureIdentity(dev, signer, *epcMB<<20, *partitions)
 	if err != nil {
 		return err
 	}
-	defer router.Close()
-	identity := router.Identity()
 	bundle, err := deploy.NewTrustBundle(quoter, identity)
 	if err != nil {
 		return err
@@ -87,18 +111,168 @@ func run() error {
 	if err := bundle.Save(*trust); err != nil {
 		return err
 	}
-	log.Printf("enclave launched: MRENCLAVE=%x…", identity.MRENCLAVE[:8])
-	log.Printf("trust bundle written to %s", *trust)
+	log.Printf("trust bundle written to %s (MRENCLAVE=%x…)", *trust, identity.MRENCLAVE[:8])
+
+	opts := []scbr.Option{
+		scbr.WithEPC(*epcMB << 20),
+		scbr.WithPadding(*pad),
+		scbr.WithPartitions(*partitions),
+		scbr.WithDeliveryQueue(*queueLen),
+		scbr.WithDrainTimeout(*drain),
+	}
+	if *switchless {
+		opts = append(opts, scbr.WithSwitchless())
+	}
+	if *routerID != "" || len(peers) > 0 {
+		fedOpts, err := federationOptions(ctx, quoter, *routerID, peers, peerTrust, *fedTTL)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, fedOpts...)
+	}
+	router, err := scbr.NewRouter(dev, quoter, enclaveImage, signer.Public(), opts...)
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	launched := router.Identity()
+	log.Printf("enclave launched: MRENCLAVE=%x…", launched.MRENCLAVE[:8])
+
+	if *metricsAddr != "" {
+		msrv, err := serveMetrics(*metricsAddr, router)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = msrv.Shutdown(shutdownCtx)
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on %s (EPC %d MB, %d partitions, switchless=%v)", ln.Addr(), *epcMB, *partitions, *switchless)
+	log.Printf("serving on %s (EPC %d MB, %d partitions, switchless=%v, peers=%d)",
+		ln.Addr(), *epcMB, *partitions, *switchless, len(peers))
 
 	if err := router.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
 	log.Printf("shutting down")
 	return nil
+}
+
+// measureIdentity launches a throwaway enclave with the router's
+// per-slice launch parameters to learn the fleet identity without
+// building the router yet.
+func measureIdentity(dev *scbr.Device, signer *scbr.KeyPair, epcBytes uint64, partitions int) (scbr.Identity, error) {
+	if partitions < 1 {
+		partitions = 1
+	}
+	epcPer := epcBytes / uint64(partitions)
+	if epcPer < simmem.PageSize {
+		epcPer = simmem.PageSize
+	}
+	probe, err := dev.Launch(enclaveImage, signer.Public(), scbr.EnclaveConfig{EPCBytes: epcPer})
+	if err != nil {
+		return scbr.Identity{}, err
+	}
+	defer probe.Terminate()
+	return scbr.Identity{MRENCLAVE: probe.MRENCLAVE(), MRSIGNER: probe.MRSIGNER()}, nil
+}
+
+// federationOptions assembles the overlay options: this router's own
+// platform plus every peer bundle's platform key feed one shared
+// verification service, and each bundle's measurements join the
+// pinned identity set peers are checked against. Peer bundles that do
+// not exist yet are awaited — peers publish them at their own startup.
+func federationOptions(ctx context.Context, quoter *scbr.Quoter, routerID string, peers, peerTrust []string, ttl int) ([]scbr.Option, error) {
+	if routerID == "" {
+		return nil, fmt.Errorf("federation needs -router-id")
+	}
+	svc := scbr.NewAttestationService()
+	svc.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	var ids []scbr.Identity
+	for _, path := range peerTrust {
+		bundle, err := awaitTrustBundle(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		key, err := x509.ParsePKIXPublicKey(bundle.AttestationKey)
+		if err != nil {
+			return nil, fmt.Errorf("peer trust %s: parsing attestation key: %w", path, err)
+		}
+		rsaKey, ok := key.(*rsa.PublicKey)
+		if !ok {
+			return nil, fmt.Errorf("peer trust %s: attestation key is %T, want RSA", path, key)
+		}
+		svc.RegisterPlatform(bundle.PlatformID, rsaKey)
+		var id scbr.Identity
+		copy(id.MRENCLAVE[:], bundle.MRENCLAVE)
+		copy(id.MRSIGNER[:], bundle.MRSIGNER)
+		ids = append(ids, id)
+	}
+	opts := []scbr.Option{
+		scbr.WithRouterID(routerID),
+		scbr.WithPeers(peers...),
+		scbr.WithPeerVerifier(svc, ids...),
+	}
+	if ttl > 0 {
+		opts = append(opts, scbr.WithFederationTTL(ttl))
+	}
+	return opts, nil
+}
+
+// awaitTrustBundle polls for a peer's bundle file for up to 30s.
+func awaitTrustBundle(ctx context.Context, path string) (*deploy.TrustBundle, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		bundle, err := deploy.LoadTrustBundle(path)
+		if err == nil {
+			return bundle, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("peer trust bundle %s never appeared: %w", path, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// serveMetrics exposes the router's observability surface as JSON on
+// /metrics.
+func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snapshot := struct {
+			Meter          scbr.MemoryCounters     `json:"meter"`
+			Slices         []scbr.MemoryCounters   `json:"slices"`
+			DataPlane      scbr.DataPlaneStats     `json:"data_plane"`
+			DeliveryQueues map[string]int          `json:"delivery_queues"`
+			Federation     scbr.FederationCounters `json:"federation"`
+		}{
+			Meter:          router.MeterSnapshot(),
+			Slices:         router.SliceMeterSnapshots(),
+			DataPlane:      router.DataPlaneStats(),
+			DeliveryQueues: router.DeliveryQueueDepths(),
+			Federation:     router.FederationSnapshot(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&snapshot)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	log.Printf("metrics on http://%s/metrics", ln.Addr())
+	return srv, nil
 }

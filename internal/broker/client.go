@@ -42,6 +42,7 @@ type Client struct {
 	keys *scrypto.KeyPair
 
 	mu          sync.Mutex
+	homeRouter  string // federation: the overlay name of the router this client listens on
 	publisherPK *rsa.PublicKey
 	pubConn     net.Conn
 	routerConn  net.Conn
@@ -84,6 +85,16 @@ func (c *Client) ConnectPublisher(conn net.Conn, pk *rsa.PublicKey) {
 	c.publisherPK = pk
 }
 
+// UseRouter names the federated router this client attaches to, so
+// the publisher registers its subscriptions there (deliveries arrive
+// on the router a client listens on, wherever the publication entered
+// the overlay). Leave unset outside federated deployments.
+func (c *Client) UseRouter(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.homeRouter = name
+}
+
 // Subscribe encrypts the subscription under PK and submits it for
 // admission (step ①). On success it returns a Subscription handle
 // bound to this client's delivery stream and stores the payload group
@@ -117,7 +128,7 @@ func (c *Client) Subscribe(ctx context.Context, spec pubsub.SubscriptionSpec) (*
 	}
 	release := ctxGuard(ctx, c.pubConn)
 	defer release()
-	if err := Send(c.pubConn, &Message{Type: TypeSubscribe, ClientID: c.ID, Blob: blob, PubKey: pubDER}); err != nil {
+	if err := Send(c.pubConn, &Message{Type: TypeSubscribe, ClientID: c.ID, Router: c.homeRouter, Blob: blob, PubKey: pubDER}); err != nil {
 		return nil, ctxErr(ctx, err)
 	}
 	reply, err := Recv(c.pubConn)
@@ -131,11 +142,12 @@ func (c *Client) Subscribe(ctx context.Context, spec pubsub.SubscriptionSpec) (*
 		return nil, err
 	}
 	s := &Subscription{
-		id:   reply.SubID,
-		spec: spec,
-		c:    c,
-		ch:   make(chan Delivery, subBuffer),
-		done: make(chan struct{}),
+		id:     reply.SubID,
+		router: c.homeRouter,
+		spec:   spec,
+		c:      c,
+		ch:     make(chan Delivery, subBuffer),
+		done:   make(chan struct{}),
 	}
 	c.subs[s.id] = s
 	return s, nil
@@ -155,9 +167,16 @@ func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
 	if c.pubConn == nil {
 		return fmt.Errorf("%w: client %s has no publisher", ErrNotConnected, c.ID)
 	}
+	// Address the router the subscription was registered on, not the
+	// client's *current* home — IDs are per-router, so a re-homed
+	// client must still unsubscribe where it subscribed.
+	router := c.homeRouter
+	if s, ok := c.subs[subID]; ok {
+		router = s.router
+	}
 	release := ctxGuard(ctx, c.pubConn)
 	defer release()
-	if err := Send(c.pubConn, &Message{Type: TypeUnsubscribe, ClientID: c.ID, SubID: subID}); err != nil {
+	if err := Send(c.pubConn, &Message{Type: TypeUnsubscribe, ClientID: c.ID, Router: router, SubID: subID}); err != nil {
 		return ctxErr(ctx, err)
 	}
 	reply, err := Recv(c.pubConn)

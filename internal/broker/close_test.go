@@ -1,0 +1,103 @@
+package broker
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDeliveryCloseDrainsPending proves the graceful half of Close:
+// deliveries already matched and queued when shutdown starts are
+// flushed to the client before its connection closes, instead of
+// being discarded with the writer.
+func TestDeliveryCloseDrainsPending(t *testing.T) {
+	table := newDeliveryTable(16)
+	server, client := net.Pipe()
+	defer client.Close()
+
+	if err := table.attach("carol", server, &Message{Type: TypeListenOK}); err != nil {
+		t.Fatal(err)
+	}
+	// The client is not reading, so the writer blocks on the hello and
+	// these deliveries pile up in the queue — the state Close used to
+	// tear down lossily.
+	const pending = 5
+	for i := 0; i < pending; i++ {
+		table.enqueue("carol", &Message{Type: TypeDeliver, Payload: []byte{byte(i)}})
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		table.close(5 * time.Second)
+		close(closed)
+	}()
+
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatalf("first frame %q, want listen-ok", m.Type)
+	}
+	for i := 0; i < pending; i++ {
+		m := mustRecv(t, client)
+		if m.Type != TypeDeliver || len(m.Payload) != 1 || m.Payload[0] != byte(i) {
+			t.Fatalf("delivery %d: got %+v", i, m)
+		}
+	}
+	if _, err := Recv(client); err == nil {
+		t.Fatal("connection still open after drain")
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never returned")
+	}
+}
+
+// TestDeliveryCloseBounded proves the drain is bounded: a client that
+// never drains its connection cannot hold shutdown hostage.
+func TestDeliveryCloseBounded(t *testing.T) {
+	table := newDeliveryTable(16)
+	server, client := net.Pipe()
+	defer client.Close()
+
+	if err := table.attach("stalled", server, &Message{Type: TypeListenOK}); err != nil {
+		t.Fatal(err)
+	}
+	table.enqueue("stalled", &Message{Type: TypeDeliver, Payload: []byte("stuck")})
+
+	start := time.Now()
+	table.close(100 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("close took %v despite the 100ms drain bound", elapsed)
+	}
+}
+
+// TestRouterCloseDrainDefault checks the config plumbing: a router
+// built with an explicit DrainTimeout closes within its bound even
+// with a stalled listener holding pending deliveries.
+func TestRouterCloseDrainDefault(t *testing.T) {
+	sys := newTestSystemCfg(t, func(cfg *RouterConfig) {
+		cfg.DrainTimeout = 200 * time.Millisecond
+	})
+	alice, _ := sys.attach("alice")
+	if _, err := alice.Subscribe(bg, halSpec(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.publisher.Publish(bg, halQuote(42), []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sys.router.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("router close took %v", elapsed)
+	}
+}
+
+func mustRecv(t *testing.T, conn net.Conn) *Message {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	m, err := Recv(conn)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return m
+}

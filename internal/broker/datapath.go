@@ -137,13 +137,26 @@ func (r *Router) stopSwitchless() {
 	<-r.mergerDone
 }
 
-// handlePublish is steps ⑤–⑥ for both single publications and
+// handlePublish ingests a publication from a publisher connection:
+// the federation overlay (when enabled) fans it out toward peers
+// whose subscription digests match, and the local data plane matches
+// and delivers it. Forwarded copies arriving from peers re-enter
+// through routeLocal only — their overlay handling (dedup, TTL,
+// re-forward) happened in handleFwdPub.
+func (r *Router) handlePublish(m *Message) error {
+	if r.fed != nil {
+		r.forwardPublication(m)
+	}
+	return r.routeLocal(m)
+}
+
+// routeLocal is steps ⑤–⑥ for both single publications and
 // batches. On the synchronous path each slice's enclave is entered
 // once for the whole wire message; on the switchless path the raw
 // frame is handed to every slice's ring and the resident workers do
 // the rest. Either way, delivery happens through the per-client
 // queues — matching never blocks on a client connection.
-func (r *Router) handlePublish(m *Message) error {
+func (r *Router) routeLocal(m *Message) error {
 	if r.merge != nil {
 		return r.pushPublication(m)
 	}

@@ -12,6 +12,7 @@ package broker
 import (
 	"net"
 	"sync"
+	"time"
 
 	"scbr/internal/core"
 )
@@ -19,6 +20,12 @@ import (
 // DefaultDeliveryQueueLen is the per-client outbound queue bound used
 // when RouterConfig.DeliveryQueueLen is zero.
 const DefaultDeliveryQueueLen = 256
+
+// DefaultDrainTimeout bounds the shutdown drain when
+// RouterConfig.DrainTimeout is zero: Close lets the per-client
+// writers flush already-matched deliveries for at most this long
+// before severing the connections.
+const DefaultDrainTimeout = 2 * time.Second
 
 // deliveryTable owns the router's client delivery channels.
 type deliveryTable struct {
@@ -32,11 +39,13 @@ type deliveryTable struct {
 // clientQueue is one client's outbound delivery channel: the bounded
 // queue and the connection its writer drains onto.
 type clientQueue struct {
-	name string
-	conn net.Conn
-	ch   chan *Message
-	quit chan struct{}
-	once sync.Once
+	name  string
+	conn  net.Conn
+	ch    chan *Message
+	quit  chan struct{}
+	drain chan struct{}
+	once  sync.Once
+	dOnce sync.Once
 }
 
 // stop severs the queue: the writer unwinds (a write in flight fails
@@ -46,6 +55,13 @@ func (q *clientQueue) stop() {
 		close(q.quit)
 		_ = q.conn.Close()
 	})
+}
+
+// beginDrain tells the writer to flush whatever is buffered and then
+// close the connection — the graceful half of shutdown. Producers
+// must already be stopped, so the buffer can only shrink.
+func (q *clientQueue) beginDrain() {
+	q.dOnce.Do(func() { close(q.drain) })
 }
 
 func newDeliveryTable(queueLen int) *deliveryTable {
@@ -61,10 +77,11 @@ func newDeliveryTable(queueLen int) *deliveryTable {
 // frame the writer puts on the wire.
 func (t *deliveryTable) attach(name string, conn net.Conn, hello *Message) error {
 	q := &clientQueue{
-		name: name,
-		conn: conn,
-		ch:   make(chan *Message, t.queueLen),
-		quit: make(chan struct{}),
+		name:  name,
+		conn:  conn,
+		ch:    make(chan *Message, t.queueLen),
+		quit:  make(chan struct{}),
+		drain: make(chan struct{}),
 	}
 	q.ch <- hello
 	t.mu.Lock()
@@ -116,6 +133,14 @@ func (t *deliveryTable) drop(q *clientQueue) {
 func (t *deliveryTable) writer(q *clientQueue) {
 	defer t.wg.Done()
 	for {
+		// quit always wins over buffered work: a forced stop (slow
+		// consumer, drain deadline) must not be outraced by a full
+		// queue.
+		select {
+		case <-q.quit:
+			return
+		default:
+		}
 		select {
 		case <-q.quit:
 			return
@@ -125,12 +150,47 @@ func (t *deliveryTable) writer(q *clientQueue) {
 				t.drop(q)
 				return
 			}
+		case <-q.drain:
+			// Shutdown: flush what is already buffered, then close the
+			// connection. Producers are gone, so this terminates.
+			for {
+				select {
+				case <-q.quit:
+					return
+				case m := <-q.ch:
+					if err := Send(q.conn, m); err != nil {
+						t.drop(q)
+						return
+					}
+				default:
+					q.stop()
+					return
+				}
+			}
 		}
 	}
 }
 
-// close severs every client and waits for the writers to unwind.
-func (t *deliveryTable) close() {
+// depths reports each listening client's buffered delivery count (the
+// observability hook behind the router's metrics endpoint).
+func (t *deliveryTable) depths() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, len(t.queues))
+	for name, q := range t.queues {
+		out[name] = len(q.ch)
+	}
+	return out
+}
+
+// close shuts the table down gracefully: every queue switches to
+// drain mode so already-matched deliveries are flushed, bounded by
+// drainTimeout; queues still busy at the deadline are severed. The
+// caller guarantees no producer enqueues past this point.
+func (t *deliveryTable) close(drainTimeout time.Duration) {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
 	t.mu.Lock()
 	t.closed = true
 	qs := make([]*clientQueue, 0, len(t.queues))
@@ -140,9 +200,24 @@ func (t *deliveryTable) close() {
 	t.queues = make(map[string]*clientQueue)
 	t.mu.Unlock()
 	for _, q := range qs {
-		q.stop()
+		q.beginDrain()
 	}
-	t.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drainTimeout):
+		for _, q := range qs {
+			q.stop()
+		}
+		<-done
+	}
+	for _, q := range qs {
+		q.stop() // ensure every connection is closed after its flush
+	}
 }
 
 // deliver is step ⑥: hand the still-encrypted payload once to every

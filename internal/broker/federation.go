@@ -1,0 +1,400 @@
+// The router's federation layer: peer connection handling over the
+// same wire protocol clients use, bridging internal/federation's
+// overlay state machine onto real connections. A peer link is one TCP
+// connection carrying both directions of digest updates and forwarded
+// publications; the side listed in RouterConfig.Peers dials (with
+// retry), the other side accepts the PEER_HELLO on its ordinary
+// listener. Either way, the link only comes up after mutual
+// attestation, and every federation frame on it is sealed under the
+// per-link key the handshake derived.
+
+package broker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scbr/internal/attest"
+	"scbr/internal/federation"
+	"scbr/internal/pubsub"
+	"scbr/internal/scrypto"
+)
+
+// peerQueueLen bounds a peer link's outbound queue. A peer that stops
+// draining its connection is severed, exactly like a slow client; on
+// redial the digest full-sync restores consistency.
+const peerQueueLen = 256
+
+// peerDialTimeout bounds one dial attempt so Close never waits long on
+// an unreachable peer.
+const peerDialTimeout = 2 * time.Second
+
+// peerLink is the transport half of one attested peer connection: a
+// bounded outbound queue drained by a dedicated writer, so digest
+// broadcasts and forward fan-outs never block on a peer's socket.
+type peerLink struct {
+	fp   *federation.Peer
+	conn net.Conn
+	out  chan *Message
+	quit chan struct{}
+	once sync.Once
+}
+
+func (l *peerLink) stop() {
+	l.once.Do(func() {
+		close(l.quit)
+		_ = l.conn.Close()
+	})
+}
+
+// enqueue offers one frame without blocking; overflow severs the link
+// (the peer redials and resynchronises).
+func (l *peerLink) enqueue(m *Message) {
+	select {
+	case l.out <- m:
+	default:
+		l.stop()
+	}
+}
+
+func (l *peerLink) writer() {
+	for {
+		select {
+		case <-l.quit:
+			return
+		case m := <-l.out:
+			if err := Send(l.conn, m); err != nil {
+				l.stop()
+				return
+			}
+		}
+	}
+}
+
+// startFederation builds the overlay and launches the dialers. Called
+// last in NewRouter, so a construction failure never leaves dialer
+// goroutines behind.
+func (r *Router) startFederation() error {
+	cfg := r.cfg
+	if cfg.RouterID == "" {
+		return errors.New("broker: federation needs a router ID (set RouterConfig.RouterID)")
+	}
+	if cfg.PeerVerifier == nil {
+		return errors.New("broker: federation needs a peer verifier (set RouterConfig.PeerVerifier)")
+	}
+	r.fedLinks = make(map[*peerLink]bool)
+	r.fed = federation.NewOverlay(cfg.RouterID, cfg.FederationTTL, r.hub.Schema(),
+		func(p *federation.Peer, frame []byte) {
+			if link, ok := p.Tag.(*peerLink); ok {
+				link.enqueue(&Message{Type: TypeSubDigest, Blob: frame})
+			}
+		})
+	for _, addr := range cfg.Peers {
+		r.wg.Add(1)
+		go r.dialPeer(addr)
+	}
+	return nil
+}
+
+// peerIdentities returns the enclave identities this router accepts
+// from peers: the configured pin set, or its own identity by default
+// (a fleet launched from one measured image).
+func (r *Router) peerIdentities() []attest.Identity {
+	if len(r.cfg.PeerIdentities) > 0 {
+		return r.cfg.PeerIdentities
+	}
+	return []attest.Identity{r.Identity()}
+}
+
+// dialPeer maintains one outbound peer link: dial, attest, run, and
+// redial with backoff until the router closes.
+func (r *Router) dialPeer(addr string) {
+	defer r.wg.Done()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-r.closing:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+		if err == nil {
+			var name string
+			var key *scrypto.SymmetricKey
+			name, key, err = r.dialHandshake(conn)
+			if err == nil {
+				backoff = 50 * time.Millisecond
+				r.runPeer(conn, name, key)
+			} else {
+				_ = conn.Close()
+			}
+		}
+		select {
+		case <-r.closing:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > peerDialTimeout {
+			backoff = peerDialTimeout
+		}
+	}
+}
+
+// dialHandshake runs the dialer's half of the attested handshake on a
+// fresh connection. The connection is not yet registered for teardown
+// (that happens in runPeer), so the whole exchange runs under a
+// deadline — a stalled peer cannot wedge Close behind wg.Wait.
+func (r *Router) dialHandshake(conn net.Conn) (name string, key *scrypto.SymmetricKey, err error) {
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	p0 := r.parts[0]
+	p0.mu.Lock()
+	hello, ephemeral, err := federation.NewHello(r.cfg.RouterID, p0.enclave, r.quoter)
+	p0.mu.Unlock()
+	if err != nil {
+		return "", nil, err
+	}
+	blob, err := json.Marshal(hello)
+	if err != nil {
+		return "", nil, fmt.Errorf("broker: encoding peer hello: %w", err)
+	}
+	if err := Send(conn, &Message{Type: TypePeerHello, Blob: blob}); err != nil {
+		return "", nil, err
+	}
+	reply, err := Recv(conn)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := expect(reply, TypePeerWelcome); err != nil {
+		return "", nil, err
+	}
+	var welcome federation.Welcome
+	if err := json.Unmarshal(reply.Blob, &welcome); err != nil {
+		return "", nil, fmt.Errorf("broker: decoding peer welcome: %w", err)
+	}
+	p0.mu.Lock()
+	key, err = federation.CompleteHandshake(&welcome, r.cfg.PeerVerifier, r.peerIdentities(), p0.enclave, ephemeral)
+	p0.mu.Unlock()
+	if err != nil {
+		return "", nil, err
+	}
+	return welcome.RouterID, key, nil
+}
+
+// handlePeerHello runs the acceptor's half on a connection whose
+// first message was PEER_HELLO, then serves the link until it drops.
+// The connection never returns to the ordinary client loop.
+func (r *Router) handlePeerHello(conn net.Conn, m *Message) error {
+	if r.fed == nil {
+		return errors.New("federation disabled on this router")
+	}
+	var hello federation.Hello
+	if err := json.Unmarshal(m.Blob, &hello); err != nil {
+		return fmt.Errorf("decoding peer hello: %w", err)
+	}
+	p0 := r.parts[0]
+	p0.mu.Lock()
+	welcome, key, err := federation.AcceptHello(&hello, r.cfg.PeerVerifier, r.peerIdentities(),
+		r.cfg.RouterID, p0.enclave, r.quoter)
+	p0.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(welcome)
+	if err != nil {
+		return fmt.Errorf("encoding peer welcome: %w", err)
+	}
+	if err := Send(conn, &Message{Type: TypePeerWelcome, Blob: blob}); err != nil {
+		return err
+	}
+	r.runPeer(conn, hello.RouterID, key)
+	return nil
+}
+
+// runPeer attaches an attested link to the overlay and serves its
+// read side until the connection drops or the router closes.
+func (r *Router) runPeer(conn net.Conn, name string, key *scrypto.SymmetricKey) {
+	link := &peerLink{
+		conn: conn,
+		out:  make(chan *Message, peerQueueLen),
+		quit: make(chan struct{}),
+	}
+	link.fp = r.fed.AttachPeer(name, key, link)
+	r.fedMu.Lock()
+	select {
+	case <-r.closing:
+		r.fedMu.Unlock()
+		r.fed.DetachPeer(link.fp)
+		link.stop()
+		return
+	default:
+	}
+	r.fedLinks[link] = true
+	r.fedMu.Unlock()
+	go link.writer()
+	defer func() {
+		r.fed.DetachPeer(link.fp)
+		r.fedMu.Lock()
+		delete(r.fedLinks, link)
+		r.fedMu.Unlock()
+		link.stop()
+	}()
+	for {
+		m, err := Recv(conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case TypeSubDigest:
+			p0 := r.parts[0]
+			p0.mu.Lock()
+			err := p0.enclave.Ecall(func() error { return r.fed.HandleDigest(link.fp, m.Blob) })
+			p0.mu.Unlock()
+			if err != nil {
+				// A digest that fails to apply leaves this side's view
+				// of the peer's interests divergent, and the sender has
+				// already advanced its announced set — the lost delta
+				// would never be re-sent. Sever the link; the redial
+				// full-sync restores consistency.
+				return
+			}
+		case TypeFwdPub:
+			r.handleFwdPub(link, m)
+		default:
+			return // protocol violation: sever the link
+		}
+	}
+}
+
+// openHeaderLocked is the federation layer's trusted header
+// decryption: recover and intern the publication header for digest
+// evaluation. The caller holds the partition lock and is inside its
+// enclave, exactly like matchSlice.
+func (r *Router) openHeaderLocked(p *partition, blob []byte, sk *scrypto.SymmetricKey) (*pubsub.Event, error) {
+	plain, err := scrypto.Open(sk, blob)
+	if err != nil {
+		return nil, fmt.Errorf("decrypting header: %w", err)
+	}
+	p.engine.Accessor().Meter().ChargeAES(len(blob))
+	spec, err := pubsub.DecodeEventSpec(plain)
+	if err != nil {
+		return nil, fmt.Errorf("decoding header: %w", err)
+	}
+	return spec.Intern(r.hub.Schema())
+}
+
+// forwardPublication fans a locally ingested publication out to the
+// peers whose digests match, alongside (and independent of) the local
+// match fan-out. The digest evaluation decrypts the header inside the
+// attestation slice's enclave; the frames relayed to peers carry the
+// publisher's original ciphertexts.
+func (r *Router) forwardPublication(m *Message) {
+	if !r.fed.HasPeers() {
+		// No attached links: don't pay the partition-0 enclave entry
+		// (and its lock) just to decide "forward nowhere".
+		return
+	}
+	sk, _ := r.keys()
+	if sk == nil {
+		return
+	}
+	items := expandPublication(m)
+	p0 := r.parts[0]
+	var outs []federation.Outbound
+	p0.mu.Lock()
+	_ = p0.enclave.Ecall(func() error {
+		for _, item := range items {
+			ev, err := r.openHeaderLocked(p0, item.Blob, sk)
+			if err != nil {
+				continue // tampered item: the local path drops it too
+			}
+			o, err := r.fed.ForwardLocal(item.Blob, item.Payload, item.Epoch, ev)
+			if err == nil {
+				outs = append(outs, o...)
+			}
+		}
+		return nil
+	})
+	p0.mu.Unlock()
+	r.fedSend(outs)
+}
+
+// handleFwdPub processes one forwarded publication from a peer:
+// suppress duplicates and our own publications come full circle,
+// re-forward toward further matching downstreams, and route the first
+// sighting into the local matching pipeline so its deliveries flow
+// through the ordinary per-client queues.
+func (r *Router) handleFwdPub(link *peerLink, m *Message) {
+	sk, _ := r.keys()
+	p0 := r.parts[0]
+	var (
+		fwd  *federation.ForwardedPublication
+		outs []federation.Outbound
+		err  error
+	)
+	p0.mu.Lock()
+	_ = p0.enclave.Ecall(func() error {
+		fwd, outs, err = r.fed.HandleForward(link.fp, m.Blob, func(header []byte) (*pubsub.Event, error) {
+			if sk == nil {
+				return nil, ErrNotProvisioned
+			}
+			return r.openHeaderLocked(p0, header, sk)
+		})
+		return nil
+	})
+	p0.mu.Unlock()
+	if err != nil {
+		return // malformed or unauthenticated frame: drop
+	}
+	r.fedSend(outs)
+	if fwd != nil {
+		_ = r.routeLocal(&Message{Type: TypePublish, Blob: fwd.Header, Payload: fwd.Payload, Epoch: fwd.Epoch})
+	}
+}
+
+// fedSend enqueues sealed frames onto their links.
+func (r *Router) fedSend(outs []federation.Outbound) {
+	for _, ob := range outs {
+		if link, ok := ob.Peer.Tag.(*peerLink); ok {
+			link.enqueue(&Message{Type: TypeFwdPub, Blob: ob.Frame})
+		}
+	}
+}
+
+// fedAddLocal folds an accepted registration into the digest state,
+// inside the attestation slice's enclave (subscription plaintext never
+// leaves enclaves).
+func (r *Router) fedAddLocal(subID uint64, spec pubsub.SubscriptionSpec) {
+	if r.fed == nil {
+		return
+	}
+	p0 := r.parts[0]
+	p0.mu.Lock()
+	_ = p0.enclave.Ecall(func() error { return r.fed.AddLocal(subID, spec) })
+	p0.mu.Unlock()
+}
+
+// fedRemoveLocal drops a removed registration from the digest state.
+func (r *Router) fedRemoveLocal(subID uint64) {
+	if r.fed == nil {
+		return
+	}
+	p0 := r.parts[0]
+	p0.mu.Lock()
+	_ = p0.enclave.Ecall(func() error { r.fed.RemoveLocal(subID); return nil })
+	p0.mu.Unlock()
+}
+
+// FederationSnapshot reports the overlay's counters: live peers,
+// digest sizes and update counts, and the forwarded / withheld /
+// suppressed publication tallies. Zero when federation is disabled.
+func (r *Router) FederationSnapshot() federation.Counters {
+	if r.fed == nil {
+		return federation.Counters{}
+	}
+	return r.fed.Snapshot()
+}

@@ -54,6 +54,16 @@ const (
 	TypeListenOK MsgType = "listen-ok"
 	TypeDeliver  MsgType = "deliver"
 
+	// Router ↔ router (federation overlay). PEER_HELLO/PEER_WELCOME
+	// carry the mutual attestation handshake; after it, SUB_DIGEST
+	// carries incremental subscription-digest updates and FWD_PUB
+	// carries publications forwarded toward matching downstreams, both
+	// sealed under the per-link key the handshake derived.
+	TypePeerHello   MsgType = "peer-hello"
+	TypePeerWelcome MsgType = "peer-welcome"
+	TypeSubDigest   MsgType = "sub-digest"
+	TypeFwdPub      MsgType = "fwd-pub"
+
 	// Any direction.
 	TypeError MsgType = "error"
 )
@@ -71,6 +81,7 @@ type BatchItem struct {
 type Message struct {
 	Type     MsgType       `json:"type"`
 	ClientID string        `json:"client_id,omitempty"`
+	Router   string        `json:"router,omitempty"` // subscribe/unsubscribe: the client's home router
 	SubID    uint64        `json:"sub_id,omitempty"`
 	SubIDs   []uint64      `json:"sub_ids,omitempty"` // deliver: which subscriptions matched
 	Epoch    uint64        `json:"epoch,omitempty"`

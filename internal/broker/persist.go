@@ -174,6 +174,7 @@ func (r *Router) replayRegistration(ent logEntry) error {
 	sk, verifyKey := r.keys()
 	ref := r.refFor(ent.ClientID)
 	p := r.parts[target]
+	var spec pubsub.SubscriptionSpec // retained for the federation digest
 	p.mu.Lock()
 	err := p.enclave.Ecall(func() error {
 		if err := scrypto.Verify(verifyKey, signedRegistration(ent.Blob, ent.ClientID), ent.Sig); err != nil {
@@ -183,7 +184,7 @@ func (r *Router) replayRegistration(ent logEntry) error {
 		if err != nil {
 			return fmt.Errorf("decrypting subscription: %w", err)
 		}
-		spec, err := pubsub.DecodeSubscriptionSpec(plain)
+		spec, err = pubsub.DecodeSubscriptionSpec(plain)
 		if err != nil {
 			return fmt.Errorf("decoding subscription: %w", err)
 		}
@@ -202,6 +203,7 @@ func (r *Router) replayRegistration(ent logEntry) error {
 	r.regPos[ent.SubID] = len(r.regLog)
 	r.regLog = append(r.regLog, ent)
 	r.ctlMu.Unlock()
+	r.fedAddLocal(ent.SubID, spec)
 	return nil
 }
 

@@ -94,7 +94,7 @@ func (f *restartFixture) populate(r *Router, n int) (*Publisher, []uint64) {
 		if err != nil {
 			f.t.Fatal(err)
 		}
-		reply, err := pub.routerRequest(&Message{Type: TypeRegister, ClientID: "alice", Blob: encSK, Sig: sig})
+		reply, err := pub.routerRequest("", &Message{Type: TypeRegister, ClientID: "alice", Blob: encSK, Sig: sig})
 		if err != nil {
 			f.t.Fatal(err)
 		}

@@ -28,8 +28,15 @@ type Publisher struct {
 	routerID attest.Identity
 
 	mu         sync.Mutex
-	routerConn net.Conn
-	subOwner   map[uint64]string // subscription → owning client
+	routerConn net.Conn            // default route (ConnectRouter / SetDefaultRouter)
+	routers    map[string]net.Conn // named routes into a federated overlay
+	subOwner   map[string]string   // (router, subscription) → owning client
+}
+
+// subKey keys the ownership table: subscription IDs are per-router,
+// so two routers of a federation may issue the same ID.
+func subKey(router string, id uint64) string {
+	return fmt.Sprintf("%s\x00%d", router, id)
 }
 
 // NewPublisher creates a publisher that will only provision SK into
@@ -54,7 +61,8 @@ func NewPublisher(ias *attest.Service, routerID attest.Identity) (*Publisher, er
 		registry: NewClientRegistry(),
 		ias:      ias,
 		routerID: routerID,
-		subOwner: make(map[uint64]string),
+		routers:  make(map[string]net.Conn),
+		subOwner: make(map[string]string),
 	}, nil
 }
 
@@ -74,6 +82,52 @@ func (p *Publisher) GroupEpoch() uint64 { return p.group.Epoch() }
 // connection; attestation failures wrap ErrAttestationFailed and keep
 // the underlying attest sentinel in the chain.
 func (p *Publisher) ConnectRouter(ctx context.Context, conn net.Conn) error {
+	if err := p.provisionRouter(ctx, conn); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.routerConn = conn
+	p.mu.Unlock()
+	return nil
+}
+
+// ConnectRouterNamed attests and provisions one router of a federated
+// overlay and retains the connection under the router's overlay name,
+// so subscriptions from clients homed on that router register there.
+// Every router of the overlay must be provisioned (they share one SK)
+// — call this once per router, then SetDefaultRouter to choose where
+// this publisher's own publications enter the overlay.
+func (p *Publisher) ConnectRouterNamed(ctx context.Context, name string, conn net.Conn) error {
+	if name == "" {
+		return errors.New("broker: router name must not be empty")
+	}
+	if err := p.provisionRouter(ctx, conn); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.routers[name] = conn
+	if p.routerConn == nil {
+		p.routerConn = conn
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// SetDefaultRouter selects which named router this publisher's
+// publications enter the overlay through.
+func (p *Publisher) SetDefaultRouter(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, ok := p.routers[name]
+	if !ok {
+		return fmt.Errorf("%w: publisher knows no router %q", ErrNotConnected, name)
+	}
+	p.routerConn = conn
+	return nil
+}
+
+// provisionRouter runs the attest-and-provision exchange on conn.
+func (p *Publisher) provisionRouter(ctx context.Context, conn net.Conn) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -109,13 +163,7 @@ func (p *Publisher) ConnectRouter(ctx context.Context, conn net.Conn) error {
 	if err != nil {
 		return ctxErr(ctx, err)
 	}
-	if err := expect(ok, TypeProvisionOK); err != nil {
-		return err
-	}
-	p.mu.Lock()
-	p.routerConn = conn
-	p.mu.Unlock()
-	return nil
+	return expect(ok, TypeProvisionOK)
 }
 
 // ServeClient handles one client connection: subscription admission
@@ -176,7 +224,10 @@ func (p *Publisher) handleSubscribe(conn net.Conn, m *Message) error {
 	if err != nil {
 		return fmt.Errorf("signing registration: %w", err)
 	}
-	reply, err := p.routerRequest(&Message{Type: TypeRegister, ClientID: m.ClientID, Blob: encSK, Sig: sig})
+	// Register on the client's home router (m.Router; the default
+	// route when unset), so in a federated overlay the subscription
+	// lives where the client listens.
+	reply, err := p.routerRequest(m.Router, &Message{Type: TypeRegister, ClientID: m.ClientID, Blob: encSK, Sig: sig})
 	if err != nil {
 		return err
 	}
@@ -184,7 +235,7 @@ func (p *Publisher) handleSubscribe(conn net.Conn, m *Message) error {
 		return err
 	}
 	p.mu.Lock()
-	p.subOwner[reply.SubID] = m.ClientID
+	p.subOwner[subKey(m.Router, reply.SubID)] = m.ClientID
 	p.mu.Unlock()
 	// Hand the client the payload group key alongside the ack.
 	keyBlob, epoch, err := p.groupKeyFor(rec)
@@ -214,8 +265,9 @@ func (p *Publisher) handleUnsubscribe(conn net.Conn, m *Message) error {
 	if _, err := p.registry.Authorize(m.ClientID); err != nil {
 		return err
 	}
+	key := subKey(m.Router, m.SubID)
 	p.mu.Lock()
-	owner, ok := p.subOwner[m.SubID]
+	owner, ok := p.subOwner[key]
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
@@ -223,7 +275,7 @@ func (p *Publisher) handleUnsubscribe(conn net.Conn, m *Message) error {
 	if owner != m.ClientID {
 		return fmt.Errorf("%w: subscription %d, client %s", ErrNotOwner, m.SubID, m.ClientID)
 	}
-	reply, err := p.routerRequest(&Message{Type: TypeRemove, ClientID: m.ClientID, SubID: m.SubID})
+	reply, err := p.routerRequest(m.Router, &Message{Type: TypeRemove, ClientID: m.ClientID, SubID: m.SubID})
 	if err != nil {
 		return err
 	}
@@ -231,7 +283,7 @@ func (p *Publisher) handleUnsubscribe(conn net.Conn, m *Message) error {
 		return err
 	}
 	p.mu.Lock()
-	delete(p.subOwner, m.SubID)
+	delete(p.subOwner, key)
 	p.mu.Unlock()
 	return Send(conn, &Message{Type: TypeUnsubscribeOK, SubID: m.SubID})
 }
@@ -389,16 +441,24 @@ func (p *Publisher) Revoke(clientID string) error {
 	return nil
 }
 
-// routerRequest performs one request/response exchange with the
-// router, serialised on the shared connection.
-func (p *Publisher) routerRequest(m *Message) (*Message, error) {
+// routerRequest performs one request/response exchange with the named
+// router (the default route when router is empty), serialised on the
+// publisher's shared connections.
+func (p *Publisher) routerRequest(router string, m *Message) (*Message, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.routerConn == nil {
+	conn := p.routerConn
+	if router != "" {
+		conn = p.routers[router]
+		if conn == nil {
+			return nil, fmt.Errorf("%w: publisher knows no router %q", ErrNotConnected, router)
+		}
+	}
+	if conn == nil {
 		return nil, fmt.Errorf("%w: publisher has no router", ErrNotConnected)
 	}
-	if err := Send(p.routerConn, m); err != nil {
+	if err := Send(conn, m); err != nil {
 		return nil, err
 	}
-	return Recv(p.routerConn)
+	return Recv(conn)
 }

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"scbr/internal/attest"
 	"scbr/internal/core"
+	"scbr/internal/federation"
 	"scbr/internal/pubsub"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
@@ -62,6 +64,31 @@ type RouterConfig struct {
 	// overflows is disconnected rather than allowed to stall the data
 	// plane — the slow-consumer policy.
 	DeliveryQueueLen int
+	// DrainTimeout bounds how long Close waits for the per-client
+	// delivery writers to flush already-matched deliveries before
+	// severing the connections (default 2s).
+	DrainTimeout time.Duration
+
+	// RouterID names this router in a federation overlay. Setting it
+	// (or Peers) enables federation: the router accepts attested peer
+	// links, exchanges subscription digests, and forwards publications
+	// toward matching downstreams.
+	RouterID string
+	// Peers lists the addresses of peer routers this router dials
+	// (with retry) to establish attested links. The reverse direction
+	// of each link needs no entry — links are bidirectional.
+	Peers []string
+	// PeerVerifier vouches for peer platforms (their quoting keys), as
+	// the attestation service does for publishers. Required when
+	// federation is enabled.
+	PeerVerifier *attest.Service
+	// PeerIdentities pins the enclave identities accepted from peers.
+	// Empty means "my own identity" — the common fleet launched from
+	// one measured image.
+	PeerIdentities []attest.Identity
+	// FederationTTL is the hop budget forwarded publications start
+	// with (default federation.DefaultTTL).
+	FederationTTL int
 }
 
 // Router hosts the SCBR filtering engine inside enclaves on the
@@ -118,6 +145,12 @@ type Router struct {
 	pushMu     sync.Mutex // aligns ring pushes with job dispatch across partitions
 	merge      chan *matchJob
 	mergerDone chan struct{}
+
+	// Federation overlay (nil when disabled): digest state plus the
+	// live attested peer links.
+	fed      *federation.Overlay
+	fedMu    sync.Mutex
+	fedLinks map[*peerLink]bool
 }
 
 // NewRouter launches the router's enclave slices on the given device
@@ -179,6 +212,15 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 	r.hub = hub
 	if cfg.Switchless {
 		if err := r.startSwitchless(); err != nil {
+			for _, p := range r.parts {
+				p.enclave.Terminate()
+			}
+			return nil, err
+		}
+	}
+	if cfg.RouterID != "" || len(cfg.Peers) > 0 {
+		if err := r.startFederation(); err != nil {
+			r.stopSwitchless()
 			for _, p := range r.parts {
 				p.enclave.Terminate()
 			}
@@ -250,6 +292,13 @@ func (r *Router) SliceMeterSnapshots() []simmem.Counters {
 		p.mu.Unlock()
 	}
 	return out
+}
+
+// DeliveryQueueDepths reports each listening client's buffered
+// delivery count — the backlog the per-client writers have yet to put
+// on the wire.
+func (r *Router) DeliveryQueueDepths() map[string]int {
+	return r.delivery.depths()
 }
 
 // keys returns the provisioned secrets (nil SK before provisioning).
@@ -345,10 +394,12 @@ func (r *Router) Serve(ctx context.Context, l net.Listener) error {
 	}
 }
 
-// Close stops the router: the accept loop and every connection are
-// severed, the switchless pipeline is drained, and the per-client
-// delivery writers are stopped. Safe to call more than once;
-// concurrent callers block until the first teardown completes.
+// Close stops the router: the accept loop, every client connection,
+// and every peer link are severed, the switchless pipeline is
+// drained, and the per-client delivery writers flush already-matched
+// deliveries (bounded by DrainTimeout) before their connections
+// close. Safe to call more than once; concurrent callers block until
+// the first teardown completes.
 func (r *Router) Close() {
 	r.closeOnce.Do(func() {
 		close(r.closing)
@@ -360,9 +411,17 @@ func (r *Router) Close() {
 			_ = c.Close()
 		}
 		r.connMu.Unlock()
+		r.fedMu.Lock()
+		for link := range r.fedLinks {
+			link.stop()
+		}
+		r.fedMu.Unlock()
 		r.wg.Wait() // no producers remain past this point
+		if r.fed != nil {
+			r.fed.Close()
+		}
 		r.stopSwitchless()
-		r.delivery.close()
+		r.delivery.close(r.cfg.DrainTimeout)
 	})
 }
 
@@ -387,6 +446,13 @@ func (r *Router) handleConn(conn net.Conn) {
 			// messages on the same connection.
 			_ = r.handlePublish(m)
 			continue
+		case TypePeerHello:
+			// The connection becomes an attested peer link; it never
+			// returns to this loop (runPeer serves it until it drops).
+			if err := r.handlePeerHello(conn, m); err != nil {
+				sendErr(conn, fmt.Errorf("peer hello: %w", err))
+			}
+			return
 		case TypeListen:
 			if err := r.handleListen(conn, m); err != nil {
 				sendErr(conn, fmt.Errorf("listen: %w", err))
@@ -480,6 +546,7 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	target := r.hub.PlaceKey([]byte(m.ClientID), m.Blob)
 	p := r.parts[target]
 	var subID uint64
+	var spec pubsub.SubscriptionSpec // retained for the federation digest
 	r.stateMu.RLock()
 	p.mu.Lock()
 	err := p.enclave.Ecall(func() error {
@@ -494,7 +561,7 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 			return fmt.Errorf("decrypting subscription: %w", err)
 		}
 		p.engine.Accessor().Meter().ChargeAES(len(m.Blob))
-		spec, err := pubsub.DecodeSubscriptionSpec(plain)
+		spec, err = pubsub.DecodeSubscriptionSpec(plain)
 		if err != nil {
 			return fmt.Errorf("decoding subscription: %w", err)
 		}
@@ -523,6 +590,7 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	})
 	r.ctlMu.Unlock()
 	r.stateMu.RUnlock()
+	r.fedAddLocal(subID, spec)
 	return Send(conn, &Message{Type: TypeRegisterOK, SubID: subID})
 }
 
@@ -566,6 +634,7 @@ func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 	}
 	r.ctlMu.Unlock()
 	r.stateMu.RUnlock()
+	r.fedRemoveLocal(m.SubID)
 	return Send(conn, &Message{Type: TypeRemoveOK, SubID: m.SubID})
 }
 

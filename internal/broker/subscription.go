@@ -19,12 +19,13 @@ import (
 // (Deliveries), or by callback (Consume) — pick one per handle; the
 // three drain the same buffer.
 type Subscription struct {
-	id   uint64
-	spec pubsub.SubscriptionSpec
-	c    *Client
-	ch   chan Delivery
-	done chan struct{}
-	once sync.Once
+	id     uint64
+	router string // the home router it was registered on (federation)
+	spec   pubsub.SubscriptionSpec
+	c      *Client
+	ch     chan Delivery
+	done   chan struct{}
+	once   sync.Once
 }
 
 // ID returns the router-assigned subscription ID.

@@ -1,0 +1,218 @@
+// Multi-router federation topologies. The paper's deployment is one
+// service provider and one routing engine; the federation overlay
+// composes several engines, and this helper stands up a whole overlay
+// in process — one simulated SGX device per router, a shared
+// attestation service vouching for every platform, a shared measured
+// image so all routers carry one pinned identity, and attested peer
+// links along the requested edges. Tests and examples build chains,
+// cycles, and meshes from it.
+
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"scbr/internal/attest"
+	"scbr/internal/broker"
+	"scbr/internal/federation"
+	"scbr/internal/scrypto"
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+)
+
+// TopologySpec describes a federated overlay to stand up.
+type TopologySpec struct {
+	// Routers is the number of routers (≥ 1). Router i is named
+	// "router-i" in the overlay.
+	Routers int
+	// Links lists directed dial edges {dialer, acceptor} by router
+	// index. Each link is one bidirectional attested connection; a
+	// chain of three routers is {{0,1},{1,2}}, a cycle adds {2,0}.
+	Links [][2]int
+	// Image is the measured enclave image every router launches
+	// (default: a fixed topology image). All routers must share it —
+	// peer attestation pins the fleet's single identity.
+	Image []byte
+	// Mutate optionally adjusts each router's config before launch
+	// (partitions, switchless, EPC, TTL, ...). Fields that define the
+	// overlay — RouterID, Peers, PeerVerifier — are set after Mutate
+	// and cannot be overridden.
+	Mutate func(i int, cfg *broker.RouterConfig)
+}
+
+// Topology is a running overlay.
+type Topology struct {
+	// Service vouches for every router platform (register publishers'
+	// verification against it).
+	Service *attest.Service
+	// Identity is the fleet's shared enclave identity.
+	Identity attest.Identity
+	// Routers, IDs, and Addrs are indexed by router number.
+	Routers []*broker.Router
+	IDs     []string
+	Addrs   []string
+
+	listeners []net.Listener
+}
+
+// NewTopology launches the overlay and serves every router. Callers
+// must Close it.
+func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
+	if spec.Routers < 1 {
+		return nil, fmt.Errorf("deploy: topology needs at least one router, got %d", spec.Routers)
+	}
+	for _, l := range spec.Links {
+		if l[0] < 0 || l[0] >= spec.Routers || l[1] < 0 || l[1] >= spec.Routers || l[0] == l[1] {
+			return nil, fmt.Errorf("deploy: link %v names no router pair of %d", l, spec.Routers)
+		}
+	}
+	image := spec.Image
+	if len(image) == 0 {
+		image = []byte("scbr federated router image v1")
+	}
+	signer, err := scrypto.NewKeyPair(nil)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: generating fleet signer: %w", err)
+	}
+	t := &Topology{Service: attest.NewService()}
+	ok := false
+	defer func() {
+		if !ok {
+			t.Close()
+		}
+	}()
+
+	// Listeners first, so every router knows its peers' addresses at
+	// construction time regardless of launch order.
+	for i := 0; i < spec.Routers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("deploy: listening for router %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.Addrs = append(t.Addrs, ln.Addr().String())
+		t.IDs = append(t.IDs, fmt.Sprintf("router-%d", i))
+	}
+
+	for i := 0; i < spec.Routers; i++ {
+		dev, err := sgx.NewDevice(nil, simmem.DefaultCost())
+		if err != nil {
+			return nil, fmt.Errorf("deploy: device %d: %w", i, err)
+		}
+		quoter, err := attest.NewQuoter(dev, fmt.Sprintf("topology-platform-%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("deploy: quoter %d: %w", i, err)
+		}
+		t.Service.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+		cfg := broker.RouterConfig{
+			EnclaveImage:  image,
+			EnclaveSigner: signer.Public(),
+		}
+		if spec.Mutate != nil {
+			spec.Mutate(i, &cfg)
+		}
+		cfg.EnclaveImage = image
+		cfg.EnclaveSigner = signer.Public()
+		cfg.RouterID = t.IDs[i]
+		cfg.PeerVerifier = t.Service
+		cfg.PeerIdentities = nil // pin the fleet's own identity
+		for _, l := range spec.Links {
+			if l[0] == i {
+				cfg.Peers = append(cfg.Peers, t.Addrs[l[1]])
+			}
+		}
+		router, err := broker.NewRouter(dev, quoter, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: router %d: %w", i, err)
+		}
+		t.Routers = append(t.Routers, router)
+		go func(r *broker.Router, ln net.Listener) { _ = r.Serve(ctx, ln) }(router, t.listeners[i])
+	}
+	t.Identity = t.Routers[0].Identity()
+	ok = true
+	return t, nil
+}
+
+// NewPublisher creates the overlay's service provider: it attests and
+// provisions every router (the overlay shares one SK) and routes its
+// own publications through router home.
+func (t *Topology) NewPublisher(ctx context.Context, home int) (*broker.Publisher, error) {
+	if home < 0 || home >= len(t.Routers) {
+		return nil, fmt.Errorf("deploy: home router %d of %d", home, len(t.Routers))
+	}
+	pub, err := broker.NewPublisher(t.Service, t.Identity)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Routers {
+		conn, err := net.Dial("tcp", t.Addrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("deploy: dialing router %d: %w", i, err)
+		}
+		if err := pub.ConnectRouterNamed(ctx, t.IDs[i], conn); err != nil {
+			return nil, fmt.Errorf("deploy: provisioning router %d: %w", i, err)
+		}
+	}
+	if err := pub.SetDefaultRouter(t.IDs[home]); err != nil {
+		return nil, err
+	}
+	return pub, nil
+}
+
+// ConnectClient homes a client on router home: it binds the client to
+// the publisher over an in-process pipe (pub.ServeClient runs until
+// the pipe closes) and attaches the client's delivery channel to its
+// home router.
+func (t *Topology) ConnectClient(ctx context.Context, pub *broker.Publisher, c *broker.Client, home int) error {
+	if home < 0 || home >= len(t.Routers) {
+		return fmt.Errorf("deploy: home router %d of %d", home, len(t.Routers))
+	}
+	clientSide, pubSide := net.Pipe()
+	go pub.ServeClient(ctx, pubSide)
+	c.ConnectPublisher(clientSide, pub.PublicKey())
+	c.UseRouter(t.IDs[home])
+	conn, err := net.Dial("tcp", t.Addrs[home])
+	if err != nil {
+		return fmt.Errorf("deploy: dialing home router %d: %w", home, err)
+	}
+	return c.Attach(ctx, conn)
+}
+
+// WaitFederation polls router i's federation counters until cond
+// holds or the timeout elapses — the barrier tests use around
+// asynchronous digest propagation.
+func (t *Topology) WaitFederation(i int, timeout time.Duration, cond func(federation.Counters) bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond(t.Routers[i].FederationSnapshot()) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("deploy: router %d federation state never converged: %+v",
+				i, t.Routers[i].FederationSnapshot())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitRemoteEntries blocks until router i's overlay has learned at
+// least n digest entries from its peers — the barrier between
+// subscribing on one router and publishing on another.
+func (t *Topology) WaitRemoteEntries(i, n int, timeout time.Duration) error {
+	return t.WaitFederation(i, timeout, func(c federation.Counters) bool {
+		return c.RemoteEntries >= n
+	})
+}
+
+// Close stops every router and listener.
+func (t *Topology) Close() {
+	for _, r := range t.Routers {
+		r.Close()
+	}
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+}

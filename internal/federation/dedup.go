@@ -1,0 +1,67 @@
+package federation
+
+// dedupWindow bounds the per-origin set of remembered sequence
+// numbers. Sequence numbers more than dedupWindow below the highest
+// seen are treated as already delivered — by then any copy still in
+// flight is a stale loop artefact, and remembering an unbounded past
+// would grow without limit.
+const dedupWindow = 4096
+
+// dedup tracks which (origin, seq) pairs this router has already
+// accepted, and with how much hop budget. Not safe for concurrent
+// use; the overlay serialises access under its lock.
+type dedup struct {
+	origins map[string]*originWindow
+}
+
+type originWindow struct {
+	max uint64
+	// seen maps seq → the best remaining TTL any accepted copy
+	// carried after its decrement.
+	seen map[uint64]int
+}
+
+func newDedup() *dedup {
+	return &dedup{origins: make(map[string]*originWindow)}
+}
+
+// observe records one sighting with its post-decrement hop budget.
+// fresh is true on the first sighting (deliver and re-forward);
+// improved is true when a duplicate arrives with a larger remaining
+// TTL than any earlier copy — such a copy must not be re-delivered,
+// but re-forwarding it can reach routers the earlier, more
+// hop-starved copy could not.
+func (d *dedup) observe(origin string, seq uint64, ttl int) (fresh, improved bool) {
+	w := d.origins[origin]
+	if w == nil {
+		w = &originWindow{seen: make(map[uint64]int)}
+		d.origins[origin] = w
+	}
+	if w.max >= dedupWindow && seq <= w.max-dedupWindow {
+		return false, false // below the window: assume seen and spent
+	}
+	best, dup := w.seen[seq]
+	switch {
+	case !dup:
+		fresh = true
+	case ttl > best:
+		improved = true
+	default:
+		return false, false
+	}
+	w.seen[seq] = ttl
+	if seq > w.max {
+		w.max = seq
+	}
+	// Prune lazily so steady-state traffic amortises the sweep instead
+	// of paying it on every max-advancing publication.
+	if len(w.seen) > 2*dedupWindow && w.max >= dedupWindow {
+		floor := w.max - dedupWindow
+		for s := range w.seen {
+			if s <= floor {
+				delete(w.seen, s)
+			}
+		}
+	}
+	return fresh, improved
+}

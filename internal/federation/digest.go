@@ -1,0 +1,187 @@
+// Digest entries: canonical, schema-independent encodings of
+// normalised subscriptions, plus the containment compaction that keeps
+// announcements compact. The canonical form carries attribute *names*
+// (every router interns its own schema, so IDs do not travel), orders
+// constraints by name, and folds each attribute's predicates into the
+// engine's normalised single-constraint form — two subscriptions that
+// match the same events canonicalise to the same bytes, so refcounting
+// and set diffs work across routers.
+
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"scbr/internal/pubsub"
+)
+
+// entry is one digest element: the canonical wire encoding and the
+// subscription normalised against the local router's schema (the form
+// Covers and Matches operate on).
+type entry struct {
+	enc []byte
+	sub *pubsub.Subscription
+	// refs counts local registrations canonicalising to this entry;
+	// unused (0) in learned sets, which have set semantics.
+	refs int
+}
+
+// canonicalize normalises spec against schema and re-encodes it in
+// canonical name-keyed form. The returned key is the canonical bytes
+// as a string (map key), enc the same bytes for the wire.
+func canonicalize(schema *pubsub.Schema, spec pubsub.SubscriptionSpec) (key string, e *entry, err error) {
+	sub, err := pubsub.Normalize(schema, spec)
+	if err != nil {
+		return "", nil, err
+	}
+	canon, err := canonicalSpec(schema, sub)
+	if err != nil {
+		return "", nil, err
+	}
+	enc, err := pubsub.EncodeSubscriptionSpec(canon)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(enc), &entry{enc: enc, sub: sub}, nil
+}
+
+// canonicalSpec converts a normalised subscription back into a
+// name-keyed spec with a deterministic predicate order: attributes
+// sorted by name, lower bound before upper bound.
+func canonicalSpec(schema *pubsub.Schema, sub *pubsub.Subscription) (pubsub.SubscriptionSpec, error) {
+	type namedConstraint struct {
+		name string
+		c    pubsub.Constraint
+	}
+	ncs := make([]namedConstraint, 0, len(sub.Constraints))
+	for _, c := range sub.Constraints {
+		name, ok := schema.Name(c.ID)
+		if !ok {
+			return pubsub.SubscriptionSpec{}, fmt.Errorf("federation: constraint names unknown attribute %d", c.ID)
+		}
+		ncs = append(ncs, namedConstraint{name: name, c: c})
+	}
+	sort.Slice(ncs, func(i, j int) bool { return ncs[i].name < ncs[j].name })
+	var spec pubsub.SubscriptionSpec
+	for _, nc := range ncs {
+		spec.Predicates = append(spec.Predicates, constraintPredicates(nc.name, nc.c)...)
+	}
+	return spec, nil
+}
+
+// constraintPredicates expands one normalised constraint into its
+// canonical predicate list.
+func constraintPredicates(name string, c pubsub.Constraint) []pubsub.Predicate {
+	if c.Str {
+		op := pubsub.OpEq
+		if c.Prefix {
+			op = pubsub.OpPrefix
+		}
+		return []pubsub.Predicate{{Attr: name, Op: op, Value: pubsub.Str(c.EqS)}}
+	}
+	if c.HasLo && c.HasHi && c.LoIncl && c.HiIncl {
+		if c.Lo == c.Hi {
+			return []pubsub.Predicate{{Attr: name, Op: pubsub.OpEq, Value: pubsub.Float(c.Lo)}}
+		}
+		return []pubsub.Predicate{{Attr: name, Op: pubsub.OpBetween, Value: pubsub.Float(c.Lo), Hi: pubsub.Float(c.Hi)}}
+	}
+	var out []pubsub.Predicate
+	if c.HasLo {
+		op := pubsub.OpGt
+		if c.LoIncl {
+			op = pubsub.OpGe
+		}
+		out = append(out, pubsub.Predicate{Attr: name, Op: op, Value: pubsub.Float(c.Lo)})
+	}
+	if c.HasHi {
+		op := pubsub.OpLt
+		if c.HiIncl {
+			op = pubsub.OpLe
+		}
+		out = append(out, pubsub.Predicate{Attr: name, Op: op, Value: pubsub.Float(c.Hi)})
+	}
+	return out
+}
+
+// decodeEntry rebuilds an entry from its canonical wire bytes,
+// normalising against the local schema.
+func decodeEntry(schema *pubsub.Schema, enc []byte) (string, *entry, error) {
+	spec, err := pubsub.DecodeSubscriptionSpec(enc)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadUpdate, err)
+	}
+	sub, err := pubsub.Normalize(schema, spec)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadUpdate, err)
+	}
+	return string(enc), &entry{enc: enc, sub: sub}, nil
+}
+
+// maximal filters a pool of entries down to its ⊒-maximal elements:
+// an entry covered by another entry contributes nothing to "does any
+// subscription match this event", so it is dropped. Mutually covering
+// (equal) entries keep the one with the smaller canonical key, so
+// exactly one survives.
+func maximal(pool map[string]*entry) map[string]*entry {
+	out := make(map[string]*entry, len(pool))
+	for k, e := range pool {
+		covered := false
+		for k2, f := range pool {
+			if k2 == k {
+				continue
+			}
+			if f.sub.Covers(e.sub) && (!e.sub.Covers(f.sub) || k2 < k) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out[k] = e
+		}
+	}
+	return out
+}
+
+// anyMatch reports whether any entry of the set matches the event.
+func anyMatch(set map[string]*entry, ev *pubsub.Event) bool {
+	for _, e := range set {
+		if e.sub.Matches(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// digestUpdate is the SUB_DIGEST payload, sealed under the link key
+// before it touches the wire: set deltas of canonical entries. Full
+// marks a from-scratch synchronisation (link establishment).
+type digestUpdate struct {
+	Version uint64   `json:"version"`
+	Full    bool     `json:"full,omitempty"`
+	Add     [][]byte `json:"add,omitempty"`
+	Remove  [][]byte `json:"remove,omitempty"`
+}
+
+// forwardPub is the FWD_PUB payload, sealed under the link key: the
+// publisher's original ciphertexts plus the loop-safety envelope. The
+// header stays encrypted under SK and the payload under the group key
+// end to end — hops relay ciphertext, they never re-encrypt content.
+type forwardPub struct {
+	Origin  string `json:"origin"`
+	Seq     uint64 `json:"seq"`
+	TTL     int    `json:"ttl"`
+	Header  []byte `json:"header"`
+	Payload []byte `json:"payload"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+}
+
+// ForwardedPublication is the decoded form of an accepted forward the
+// broker routes into its local matching pipeline.
+type ForwardedPublication struct {
+	Origin  string
+	Seq     uint64
+	Header  []byte
+	Payload []byte
+	Epoch   uint64
+}

@@ -1,0 +1,87 @@
+// Package federation lets SCBR routers peer into an overlay, the
+// broker-network deployment the paper positions content-based routing
+// for: one enclave-backed router is a single filtering hop, and total
+// capacity scales by composing many of them (cf. PubSub-SGX, which
+// scales privacy-preserving pub/sub across multiple enclave matcher
+// nodes, and the StreamHub partitioning the paper's §3.4 adopts
+// *inside* one router).
+//
+// Three mechanisms make the overlay safe on untrusted infrastructure:
+//
+//   - Attested links (handshake.go): peers mutually attest each
+//     other's enclaves — the same quote/verify/pinned-measurement flow
+//     a publisher runs before provisioning SK — and derive a per-link
+//     symmetric key from a secret that only the two enclaves learn. An
+//     operator between routers sees framing, never digest contents.
+//
+//   - Subscription digests (digest.go, overlay.go): each router
+//     summarises the subscriptions reachable through it as the set of
+//     ⊒-maximal subscriptions (§3.2 containment: if s covers t, any
+//     event matching t matches s, so announcing s alone suffices for
+//     forwarding decisions). Digests propagate with split horizon —
+//     a peer is never told about interests learned from itself — and
+//     stay fresh through incremental add/remove updates.
+//
+//   - Loop-safe forwarding (overlay.go, dedup.go): every publication
+//     carries its origin router ID, a per-origin sequence number, and
+//     a hop TTL. A router delivers and re-forwards a publication only
+//     the first time it sees an (origin, seq) pair, and only toward
+//     peers whose digest matches the decrypted header, so cyclic peer
+//     graphs neither duplicate nor loop traffic.
+package federation
+
+import "errors"
+
+// DefaultTTL is the hop budget a publication starts with when the
+// overlay configuration does not set one. Digest-driven forwarding
+// already prevents loops on consistent state; the TTL bounds the blast
+// radius while digests are converging.
+const DefaultTTL = 8
+
+// Errors of the federation layer.
+var (
+	// ErrPeerRejected reports a peer handshake that failed attestation
+	// or channel binding.
+	ErrPeerRejected = errors.New("federation: peer rejected")
+	// ErrBadUpdate reports a digest update that could not be decoded or
+	// applied.
+	ErrBadUpdate = errors.New("federation: malformed digest update")
+	// ErrBadForward reports a forwarded publication that could not be
+	// opened under the link key or decoded.
+	ErrBadForward = errors.New("federation: malformed forwarded publication")
+)
+
+// Counters is a snapshot of the overlay's federation activity,
+// exposed next to the router's enclave meter snapshots.
+type Counters struct {
+	// Peers is the number of live attested peer links.
+	Peers int `json:"peers"`
+	// LocalEntries counts distinct canonical subscriptions registered
+	// locally (refcounted duplicates collapse into one entry).
+	LocalEntries int `json:"local_entries"`
+	// RemoteEntries sums the digest entries peers have announced to
+	// this router — its view of reachable downstream interests.
+	RemoteEntries int `json:"remote_entries"`
+	// AnnouncedEntries sums the entries this router has announced
+	// across its peers (after containment compaction and split
+	// horizon).
+	AnnouncedEntries int `json:"announced_entries"`
+	// DigestUpdatesSent and DigestUpdatesReceived count incremental
+	// SUB_DIGEST messages on all links.
+	DigestUpdatesSent     uint64 `json:"digest_updates_sent"`
+	DigestUpdatesReceived uint64 `json:"digest_updates_received"`
+	// Forwarded counts publications sent to a peer (per link, so one
+	// publication fanned out to two peers counts twice).
+	Forwarded uint64 `json:"forwarded"`
+	// Withheld counts peer links skipped because the peer's digest had
+	// no subscription matching the publication.
+	Withheld uint64 `json:"withheld"`
+	// ReceivedForwards counts forwarded publications accepted for
+	// local delivery (first sighting of their origin+seq).
+	ReceivedForwards uint64 `json:"received_forwards"`
+	// SuppressedDuplicates counts forwarded publications dropped
+	// because their origin+seq was already seen (cycle suppression);
+	// SuppressedTTL counts re-forwards stopped by an exhausted TTL.
+	SuppressedDuplicates uint64 `json:"suppressed_duplicates"`
+	SuppressedTTL        uint64 `json:"suppressed_ttl"`
+}

@@ -2,7 +2,9 @@ package scbr
 
 import (
 	"crypto/rsa"
+	"time"
 
+	"scbr/internal/attest"
 	"scbr/internal/broker"
 	"scbr/internal/core"
 	"scbr/internal/sgx"
@@ -24,11 +26,18 @@ type settings struct {
 	switchless       bool
 	ringCapacity     int
 	deliveryQueueLen int
+	drainTimeout     time.Duration
 	cacheAlign       bool
 	disableSharding  bool
 	isvProdID        uint16
 	isvSVN           uint16
 	debug            bool
+
+	routerID       string
+	peers          []string
+	peerVerifier   *attest.Service
+	peerIdentities []attest.Identity
+	federationTTL  int
 }
 
 func resolve(opts []Option) settings {
@@ -50,6 +59,12 @@ func (s settings) routerConfig(image []byte, signer *rsa.PublicKey) broker.Route
 		Switchless:       s.switchless,
 		RingCapacity:     s.ringCapacity,
 		DeliveryQueueLen: s.deliveryQueueLen,
+		DrainTimeout:     s.drainTimeout,
+		RouterID:         s.routerID,
+		Peers:            s.peers,
+		PeerVerifier:     s.peerVerifier,
+		PeerIdentities:   s.peerIdentities,
+		FederationTTL:    s.federationTTL,
 	}
 }
 
@@ -117,6 +132,44 @@ func WithCacheAlign() Option { return func(s *settings) { s.cacheAlign = true } 
 // forest, as the paper's engine does. Much slower on large
 // equality-heavy databases; used by the sharding ablation.
 func WithoutSharding() Option { return func(s *settings) { s.disableSharding = true } }
+
+// WithDrainTimeout bounds the graceful half of Router.Close: the
+// per-client delivery writers get up to d to flush already-matched
+// deliveries before their connections are severed (default 2s).
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *settings) { s.drainTimeout = d }
+}
+
+// WithRouterID names the router in a federation overlay and enables
+// federation: the router accepts mutually attested peer links,
+// exchanges subscription digests with its peers, and forwards
+// publications hop by hop toward matching downstream subscribers.
+// Combine with WithPeers and WithPeerVerifier.
+func WithRouterID(id string) Option { return func(s *settings) { s.routerID = id } }
+
+// WithPeers lists peer router addresses this router dials (with
+// retry) to form attested overlay links. Links are bidirectional —
+// only one side of each pair needs the other in its peer list.
+func WithPeers(addrs ...string) Option {
+	return func(s *settings) { s.peers = append(s.peers, addrs...) }
+}
+
+// WithPeerVerifier supplies the attestation service that vouches for
+// peer platforms and, optionally, the enclave identities accepted
+// from peers (defaulting to the router's own identity — a fleet
+// launched from one measured image). Required for federation.
+func WithPeerVerifier(svc *AttestationService, ids ...Identity) Option {
+	return func(s *settings) {
+		s.peerVerifier = svc
+		s.peerIdentities = append(s.peerIdentities, ids...)
+	}
+}
+
+// WithFederationTTL sets the hop budget forwarded publications start
+// with (default 8). Digest-driven forwarding already prevents loops on
+// converged state; the TTL bounds the blast radius while digests are
+// propagating.
+func WithFederationTTL(n int) Option { return func(s *settings) { s.federationTTL = n } }
 
 // WithISV sets the enclave's product ID and security version, both
 // part of the measured identity checked at provisioning.

@@ -1,7 +1,10 @@
 package scbr_test
 
 import (
+	"context"
+	"net"
 	"testing"
+	"time"
 
 	"scbr"
 )
@@ -77,6 +80,65 @@ func TestEngineOptionApplication(t *testing.T) {
 	cfg := enclave.Config()
 	if cfg.EPCBytes != 4<<20 || cfg.ISVProdID != 7 || cfg.ISVSVN != 3 || !cfg.Debug {
 		t.Fatalf("enclave config = %+v", cfg)
+	}
+}
+
+// TestFederationOptions federates two routers through the public
+// option surface and checks the attested link comes up and is
+// reported on the federation snapshot.
+func TestFederationOptions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := scbr.NewAttestationService()
+	image := []byte("fed options image")
+
+	newNode := func(name, platform string, peers ...string) (*scbr.Router, string) {
+		t.Helper()
+		dev, err := scbr.NewDevice(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quoter, err := scbr.NewQuoter(dev, platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+		opts := []scbr.Option{
+			scbr.WithRouterID(name),
+			scbr.WithPeerVerifier(svc),
+			scbr.WithFederationTTL(4),
+			scbr.WithDrainTimeout(time.Second),
+		}
+		if len(peers) > 0 {
+			opts = append(opts, scbr.WithPeers(peers...))
+		}
+		router, err := scbr.NewRouter(dev, quoter, image, signer.Public(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(router.Close)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = router.Serve(ctx, ln) }()
+		return router, ln.Addr().String()
+	}
+
+	a, addrA := newNode("fed-a", "fed-platform-a")
+	b, _ := newNode("fed-b", "fed-platform-b", addrA)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for a.FederationSnapshot().Peers < 1 || b.FederationSnapshot().Peers < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer link never came up: a=%+v b=%+v",
+				a.FederationSnapshot(), b.FederationSnapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

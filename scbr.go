@@ -11,20 +11,33 @@
 //     WithSwitchless(), WithEPC(n), WithPadding(n)) — instead of
 //     positional config structs (thin deprecated shims remain for the
 //     old forms),
+//
 //   - every blocking or network-touching operation takes a
 //     context.Context — Router.Serve(ctx, l), Publisher.Publish(ctx,
 //     header, payload), Client.Subscribe(ctx, spec) — and
 //     cancellation propagates into the broker's connection loops,
+//
 //   - Subscribe returns a first-class Subscription handle with
 //     Next(ctx)/Deliveries()/Consume iteration and
 //     Unsubscribe(ctx),
+//
 //   - Publisher.PublishBatch pipelines a batch of events through one
 //     router round trip and one enclave crossing per matcher slice,
+//
 //   - WithPartitions(k) shards the router's data plane across k
 //     enclave matcher slices (§3.4 StreamHub partitioning): matching
 //     parallelises, each enclave holds 1/k of the database, and every
 //     listening client is served by its own bounded delivery queue so
 //     a slow consumer never stalls the data plane,
+//
+//   - WithRouterID/WithPeers/WithPeerVerifier federate routers into
+//     an overlay: peers dial each other over mutually attested links,
+//     exchange containment-compacted subscription digests, and
+//     forward publications hop by hop only toward routers with
+//     matching downstream subscribers, loop-safe on cyclic
+//     topologies (origin+sequence duplicate suppression plus a hop
+//     TTL); Router.FederationSnapshot exposes the overlay counters,
+//
 //   - failures wrap the typed sentinels of errors.go (ErrRevoked,
 //     ErrNotProvisioned, ErrAttestationFailed, ErrClosed, ...),
 //     matchable with errors.Is even across the wire.
@@ -64,6 +77,7 @@ import (
 	"scbr/internal/attest"
 	"scbr/internal/broker"
 	"scbr/internal/core"
+	"scbr/internal/federation"
 	"scbr/internal/pubsub"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
@@ -171,6 +185,10 @@ type (
 	Client = broker.Client
 	// DataPlaneStats summarises a router's partitioned index.
 	DataPlaneStats = broker.DataPlaneStats
+	// FederationCounters snapshots a router's overlay activity: live
+	// peers, digest sizes, and forwarded/withheld/suppressed tallies
+	// (Router.FederationSnapshot).
+	FederationCounters = federation.Counters
 	// Delivery is one decrypted payload received by a client.
 	Delivery = broker.Delivery
 	// ClientRegistry is the publisher's admission database.
