@@ -72,7 +72,10 @@ func run() error {
 		pad         = flag.Int("pad", 0, "engine record padding in bytes")
 		partitions  = flag.Int("partitions", 1, "enclave matcher slices to shard the subscription database across")
 		switchless  = flag.Bool("switchless", false, "route publications through per-partition untrusted-memory rings")
-		queueLen    = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256); overflowing clients are disconnected")
+		queueLen    = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256)")
+		overflow    = flag.String("overflow", "drop-oldest", "slow-consumer policy when a delivery queue fills: drop-oldest, disconnect, or pause")
+		replayRing  = flag.Int("replay-ring", 0, "per-client delivery replay ring bound for cursor resume (0 = default 512, negative = disabled)")
+		resumeWin   = flag.Duration("resume-window", 0, "how long a detached client's cursor/ring state is retained for resume (0 = default 5m)")
 		drain       = flag.Duration("drain-timeout", 0, "shutdown drain bound for pending deliveries (0 = default 2s)")
 		routerID    = flag.String("router-id", "", "overlay name of this router; enables federation")
 		fedTTL      = flag.Int("federation-ttl", 0, "hop budget for forwarded publications (0 = default 8)")
@@ -113,11 +116,18 @@ func run() error {
 	}
 	log.Printf("trust bundle written to %s (MRENCLAVE=%x…)", *trust, identity.MRENCLAVE[:8])
 
+	policy, err := scbr.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		return err
+	}
 	opts := []scbr.Option{
 		scbr.WithEPC(*epcMB << 20),
 		scbr.WithPadding(*pad),
 		scbr.WithPartitions(*partitions),
 		scbr.WithDeliveryQueue(*queueLen),
+		scbr.WithOverflowPolicy(policy),
+		scbr.WithReplayRing(*replayRing),
+		scbr.WithResumeWindow(*resumeWin),
 		scbr.WithDrainTimeout(*drain),
 	}
 	if *switchless {
@@ -258,12 +268,14 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 			Slices         []scbr.MemoryCounters   `json:"slices"`
 			DataPlane      scbr.DataPlaneStats     `json:"data_plane"`
 			DeliveryQueues map[string]int          `json:"delivery_queues"`
+			Delivery       scbr.DeliveryCounters   `json:"delivery"`
 			Federation     scbr.FederationCounters `json:"federation"`
 		}{
 			Meter:          router.MeterSnapshot(),
 			Slices:         router.SliceMeterSnapshots(),
 			DataPlane:      router.DataPlaneStats(),
 			DeliveryQueues: router.DeliveryQueueDepths(),
+			Delivery:       router.DeliverySnapshot(),
 			Federation:     router.FederationSnapshot(),
 		}
 		w.Header().Set("Content-Type", "application/json")

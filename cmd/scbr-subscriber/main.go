@@ -7,7 +7,14 @@
 //
 //	scbr-subscriber -id alice -publisher 127.0.0.1:7071 \
 //	    -router 127.0.0.1:7070 -key publisher-key.json \
-//	    -sub 'symbol = HAL, close < 50' -sub 'volume >= 1000000'
+//	    -sub 'symbol = HAL, close < 50' -sub 'volume >= 1000000' \
+//	    [-resume]
+//
+// With -resume the subscriber binds its delivery channel through the
+// cursor-resume protocol: if the router connection drops it redials
+// and presents its last-seen delivery cursor, the router replays the
+// retained gap, and consumption continues on the same Subscription
+// handles without loss (unrecoverable losses are logged as a gap).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"scbr"
 	"scbr/internal/deploy"
@@ -48,6 +56,7 @@ func run() error {
 		routerAddr = flag.String("router", "127.0.0.1:7070", "router address")
 		keyPath    = flag.String("key", "publisher-key.json", "publisher public key file")
 		max        = flag.Int64("count", 0, "exit after this many deliveries (0 = unlimited)")
+		resume     = flag.Bool("resume", false, "reconnect on delivery-connection loss and resume from the last-seen cursor")
 	)
 	flag.Var(&subs, "sub", "subscription expression (repeatable), e.g. 'symbol = HAL, close < 50'")
 	flag.Parse()
@@ -78,7 +87,11 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("dialing router: %w", err)
 	}
-	if err := client.Attach(ctx, routerConn); err != nil {
+	if *resume {
+		if _, err := client.Resume(ctx, routerConn); err != nil {
+			return fmt.Errorf("binding delivery channel: %w", err)
+		}
+	} else if err := client.Attach(ctx, routerConn); err != nil {
 		return fmt.Errorf("binding delivery channel: %w", err)
 	}
 
@@ -86,6 +99,48 @@ func run() error {
 	// the shared counter enforces -count across all of them.
 	consumeCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	if *resume {
+		// The resume loop: whenever the delivery pump exits, redial the
+		// router and continue from the last-seen cursor. The handles
+		// stay live throughout, so the Consume goroutines below never
+		// notice the flap beyond a momentary quiet.
+		go func() {
+			for {
+				select {
+				case <-consumeCtx.Done():
+					return
+				case <-client.DeliveryDone():
+				}
+				conn, err := net.Dial("tcp", *routerAddr)
+				if err != nil {
+					log.Printf("resume: redial: %v", err)
+					select {
+					case <-consumeCtx.Done():
+						return
+					case <-time.After(500 * time.Millisecond):
+					}
+					continue
+				}
+				gap, err := client.Resume(consumeCtx, conn)
+				if err != nil {
+					log.Printf("resume: %v", err)
+					_ = conn.Close()
+					select {
+					case <-consumeCtx.Done():
+						return
+					case <-time.After(500 * time.Millisecond):
+					}
+					continue
+				}
+				if gap > 0 {
+					log.Printf("resumed at cursor %d with %d deliveries lost beyond the replay ring", client.LastCursor(), gap)
+				} else {
+					log.Printf("resumed at cursor %d, no loss", client.LastCursor())
+				}
+			}
+		}()
+	}
 	var received atomic.Int64
 	var wg sync.WaitGroup
 	errc := make(chan error, len(subs))

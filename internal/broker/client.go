@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"scbr/internal/pubsub"
 	"scbr/internal/scrypto"
@@ -49,9 +51,16 @@ type Client struct {
 	groupKey    *scrypto.SymmetricKey
 	epoch       uint64
 	subs        map[uint64]*Subscription
+	listened    bool          // a delivery channel has been bound at least once
+	pumpDone    chan struct{} // closed when the current delivery pump exits
 	wg          sync.WaitGroup
 	done        chan struct{}
 	closeOnce   sync.Once
+
+	// cursor is the highest delivery cursor observed from the router —
+	// what a Resume presents to have the gap replayed. Atomic: the
+	// pump advances it while callers read it.
+	cursor atomic.Uint64
 }
 
 // NewClient creates a client with a fresh response key pair.
@@ -77,12 +86,19 @@ func (c *Client) closedErr() error {
 }
 
 // ConnectPublisher binds the client to its service provider. pk is the
-// publisher's public key PK, obtained out of band.
+// publisher's public key PK, obtained out of band. Rebinding (e.g.
+// reconnecting after a publisher restart) closes the previous
+// connection — it belongs to this client, and leaving it open would
+// leak it and wedge the old publisher's serving loop.
 func (c *Client) ConnectPublisher(conn net.Conn, pk *rsa.PublicKey) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	old := c.pubConn
 	c.pubConn = conn
 	c.publisherPK = pk
+	c.mu.Unlock()
+	if old != nil && old != conn {
+		_ = old.Close()
+	}
 }
 
 // UseRouter names the federated router this client attaches to, so
@@ -244,10 +260,50 @@ func (c *Client) Epoch() uint64 {
 // starts the delivery pump that feeds every Subscription handle.
 // Deliveries are decrypted once and routed to the handles whose
 // subscriptions the router reports as matched. The pump stops when the
-// connection drops, ctx is cancelled, or the client closes.
+// connection drops, ctx is cancelled, or the client closes; losing
+// the connection closes every Subscription handle. For handles that
+// survive reconnects, bind with Resume instead.
 func (c *Client) Attach(ctx context.Context, conn net.Conn) error {
-	_, err := c.listen(ctx, conn, false)
+	_, _, err := c.listen(ctx, conn, false, false)
 	return err
+}
+
+// Resume binds conn as the client's delivery channel, continuing the
+// cursor-stamped stream where the previous connection left off: the
+// router replays every delivery it retained past the client's
+// last-seen cursor, and the returned gap counts deliveries that had
+// already left the router's replay ring (0 means the resume was
+// lossless). Replayed duplicates are filtered by cursor, so each
+// delivery reaches the Subscription handles exactly once, in order.
+//
+// Unlike Attach, a pump started by Resume leaves Subscription handles
+// open when the connection drops — they simply go quiet until the
+// next Resume. The first Resume of a fresh client is an ordinary
+// attach (nothing to replay). Watch DeliveryDone to learn when the
+// connection needs resuming.
+func (c *Client) Resume(ctx context.Context, conn net.Conn) (gap uint64, err error) {
+	_, gap, err = c.listen(ctx, conn, false, true)
+	return gap, err
+}
+
+// LastCursor returns the highest delivery cursor this client has
+// observed — what the next Resume will present to the router.
+func (c *Client) LastCursor() uint64 { return c.cursor.Load() }
+
+// DeliveryDone returns a channel that closes when the current
+// delivery pump exits (connection lost, ctx cancelled, or client
+// closed). Before any Attach/Resume — or after the pump has already
+// exited — the returned channel is closed, so a reconnect loop can
+// simply wait on it and Resume.
+func (c *Client) DeliveryDone() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pumpDone == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return closed
+	}
+	return c.pumpDone
 }
 
 // Listen binds a merged client-wide delivery channel, the
@@ -260,41 +316,95 @@ func (c *Client) Attach(ctx context.Context, conn net.Conn) error {
 // Deprecated: use Attach and per-Subscription Next/Deliveries instead;
 // the merged channel cannot tell subscriptions apart.
 func (c *Client) Listen(conn net.Conn) (<-chan Delivery, error) {
-	return c.listen(context.Background(), conn, true)
+	out, _, err := c.listen(context.Background(), conn, true, false)
+	return out, err
 }
 
-func (c *Client) listen(ctx context.Context, conn net.Conn, withStream bool) (<-chan Delivery, error) {
+func (c *Client) listen(ctx context.Context, conn net.Conn, withStream, resumable bool) (<-chan Delivery, uint64, error) {
 	if err := c.closedErr(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	// A resuming client that has listened before presents its cursor;
+	// the first bind is an ordinary attach with nothing to replay.
+	c.mu.Lock()
+	resume := resumable && c.listened
+	c.mu.Unlock()
+	hello := &Message{Type: TypeListen, ClientID: c.ID}
+	if resume {
+		hello.Resume = true
+		hello.Cursor = c.cursor.Load()
 	}
 	release := ctxGuard(ctx, conn)
-	if err := Send(conn, &Message{Type: TypeListen, ClientID: c.ID}); err != nil {
+	if err := Send(conn, hello); err != nil {
 		release()
-		return nil, ctxErr(ctx, err)
+		return nil, 0, ctxErr(ctx, err)
 	}
 	ack, err := Recv(conn)
 	if err != nil {
 		release()
-		return nil, ctxErr(ctx, err)
+		return nil, 0, ctxErr(ctx, err)
 	}
 	if err := expect(ack, TypeListenOK); err != nil {
 		release()
-		return nil, err
+		return nil, 0, err
 	}
 	release()
+	// Rebinding replaces any previous delivery connection: close it and
+	// wait for its pump to unwind before touching the cursor — a live
+	// old pump shares c.cursor and could race the rebaselines below (or
+	// CAS the cursor back up from a stale delivery), silencing the new
+	// stream.
+	c.mu.Lock()
+	oldConn, oldDone := c.routerConn, c.pumpDone
+	c.mu.Unlock()
+	if oldConn != nil && oldConn != conn {
+		_ = oldConn.Close()
+		if oldDone != nil {
+			select {
+			case <-oldDone:
+			case <-time.After(2 * time.Second):
+				// The old pump is parked handing a stale delivery to a
+				// slow consumer. Its cursor write for that frame already
+				// happened (the cursor advances before dispatch) and its
+				// connection is closed, so no further writes can race
+				// the rebaseline — proceed.
+			}
+		}
+	}
+	if !resume {
+		// Baseline: deliveries before this bind were never ours, so a
+		// later Resume must not replay them.
+		c.cursor.Store(ack.Cursor)
+	} else if ack.Cursor < hello.Cursor {
+		// The router's cursor for us regressed below what we have seen:
+		// it lost its delivery state (restarted without restore, or we
+		// re-homed to a different router). Rebaseline — otherwise every
+		// future delivery would be filtered as replay overlap and the
+		// stream would go silent forever.
+		c.cursor.Store(ack.Cursor)
+	} else if ack.Gap > 0 {
+		// The router reported unrecoverable loss immediately past our
+		// cursor. Acknowledge it, so the replay stream is contiguous
+		// from the new baseline and the pump's jump detection does not
+		// mistake the already-reported gap for fresh loss.
+		c.cursor.Store(hello.Cursor + ack.Gap)
+	}
 	c.mu.Lock()
 	c.routerConn = conn
+	c.listened = true
+	pumpDone := make(chan struct{})
+	c.pumpDone = pumpDone
 	c.mu.Unlock()
 	var out chan Delivery
 	if withStream {
 		out = make(chan Delivery)
 	}
 	c.wg.Add(1)
-	go c.pump(ctx, conn, out)
-	return out, nil
+	go c.pump(ctx, conn, out, resumable, pumpDone)
+	return out, ack.Gap, nil
 }
 
 // pump is the delivery loop of one router connection: it decrypts
@@ -304,11 +414,12 @@ func (c *Client) listen(ctx context.Context, conn net.Conn, withStream bool) (<-
 // state would otherwise fill unconsumed buffers and stall the pump).
 // Both paths block when the consumer lags, so backpressure reaches the
 // router instead of deliveries being dropped.
-func (c *Client) pump(ctx context.Context, conn net.Conn, out chan Delivery) {
+func (c *Client) pump(ctx context.Context, conn net.Conn, out chan Delivery, resumable bool, pumpDone chan struct{}) {
 	defer c.wg.Done()
+	defer close(pumpDone)
 	if out != nil {
 		defer close(out)
-	} else {
+	} else if !resumable {
 		// Attach mode: when the delivery connection is lost (router
 		// gone, ctx cancelled, client closed), close every live
 		// Subscription handle so blocked Next/Consume callers unwind
@@ -316,6 +427,8 @@ func (c *Client) pump(ctx context.Context, conn net.Conn, out chan Delivery) {
 		// closing. Buffered deliveries still drain first. The dead
 		// handles also leave c.subs, so a later re-Attach dispatches
 		// to fresh handles only (re-Subscribe after reconnecting).
+		// Resume-mode pumps skip this: handles outlive the connection
+		// and pick the stream back up on the next Resume.
 		defer func() {
 			c.mu.Lock()
 			subs := make([]*Subscription, 0, len(c.subs))
@@ -348,9 +461,41 @@ func (c *Client) pump(ctx context.Context, conn net.Conn, out chan Delivery) {
 		if m.Type != TypeDeliver {
 			continue
 		}
+		if resumable && m.Cursor > c.cursor.Load()+1 {
+			// A cursor jump on a live connection: the router dropped the
+			// frames in between (DropOldest overflow). Processing this
+			// frame would advance our cursor past the gap and orphan
+			// them in the replay ring, so sever instead — DeliveryDone
+			// fires, and the owner's next Resume presents the cursor
+			// from before the gap, recovering the dropped frames.
+			_ = conn.Close()
+			return
+		}
+		if !c.advanceCursor(m.Cursor) {
+			continue // replay overlap: this delivery was already seen
+		}
 		d := c.decryptDelivery(m)
 		d.SubIDs = m.SubIDs
 		c.dispatch(d, out)
+	}
+}
+
+// advanceCursor records a delivery's cursor and reports whether the
+// delivery is new. Cursor-less frames (a router predating stamping)
+// always pass; replayed duplicates — at-least-once on the wire — are
+// filtered here, so consumers see exactly-once.
+func (c *Client) advanceCursor(cursor uint64) bool {
+	if cursor == 0 {
+		return true
+	}
+	for {
+		cur := c.cursor.Load()
+		if cursor <= cur {
+			return false
+		}
+		if c.cursor.CompareAndSwap(cur, cursor) {
+			return true
+		}
 	}
 }
 

@@ -11,11 +11,11 @@ import (
 // flushed to the client before its connection closes, instead of
 // being discarded with the writer.
 func TestDeliveryCloseDrainsPending(t *testing.T) {
-	table := newDeliveryTable(16)
+	table := newDeliveryTable(16, 0, OverflowDropOldest, -1)
 	server, client := net.Pipe()
 	defer client.Close()
 
-	if err := table.attach("carol", server, &Message{Type: TypeListenOK}); err != nil {
+	if err := table.attach("carol", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	// The client is not reading, so the writer blocks on the hello and
@@ -54,11 +54,11 @@ func TestDeliveryCloseDrainsPending(t *testing.T) {
 // TestDeliveryCloseBounded proves the drain is bounded: a client that
 // never drains its connection cannot hold shutdown hostage.
 func TestDeliveryCloseBounded(t *testing.T) {
-	table := newDeliveryTable(16)
+	table := newDeliveryTable(16, 0, OverflowDropOldest, -1)
 	server, client := net.Pipe()
 	defer client.Close()
 
-	if err := table.attach("stalled", server, &Message{Type: TypeListenOK}); err != nil {
+	if err := table.attach("stalled", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	table.enqueue("stalled", &Message{Type: TypeDeliver, Payload: []byte("stuck")})

@@ -2,16 +2,26 @@
 // listening client owns a bounded outbound queue drained by a
 // dedicated writer goroutine, so a blocked or broken listener never
 // blocks matching or deliveries to other clients — the matcher's only
-// interaction with a client is a non-blocking enqueue. A client whose
-// queue overflows is not draining its connection and is disconnected
-// (the slow-consumer policy); within one client, deliveries leave in
-// enqueue order.
+// interaction with a client is an enqueue that never waits on a
+// socket.
+//
+// Delivery is resumable: each client has a durable per-router cursor
+// (stamped on every deliver frame) and a bounded replay ring of its
+// most recent deliveries, both of which outlive any single
+// connection. A listener that reconnects and presents its last-seen
+// cursor has the gap replayed from the ring instead of losing
+// whatever was buffered when its previous connection died; deliveries
+// evicted from the ring before the client came back are reported as a
+// gap on the listen ack, so loss is observable rather than silent.
+// What happens when the live queue overflows is the OverflowPolicy.
 
 package broker
 
 import (
+	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scbr/internal/core"
@@ -21,35 +31,204 @@ import (
 // when RouterConfig.DeliveryQueueLen is zero.
 const DefaultDeliveryQueueLen = 256
 
+// DefaultReplayRingLen is the per-client replay ring bound used when
+// RouterConfig.ReplayRingLen is zero. The ring retains the client's
+// most recent stamped deliveries for cursor-based replay, so it should
+// cover at least one delivery queue plus the burst expected during a
+// reconnect window.
+const DefaultReplayRingLen = 512
+
 // DefaultDrainTimeout bounds the shutdown drain when
 // RouterConfig.DrainTimeout is zero: Close lets the per-client
 // writers flush already-matched deliveries for at most this long
 // before severing the connections.
 const DefaultDrainTimeout = 2 * time.Second
 
-// deliveryTable owns the router's client delivery channels.
-type deliveryTable struct {
-	mu       sync.Mutex
-	queues   map[string]*clientQueue
-	queueLen int
-	closed   bool
-	wg       sync.WaitGroup
+// DefaultResumeWindow is how long a detached client's delivery state
+// (cursor + replay ring) is retained for resumption when
+// RouterConfig.ResumeWindow is zero. Without a bound, client churn
+// would grow the table — and the payloads its rings pin — forever.
+const DefaultResumeWindow = 5 * time.Minute
+
+// OverflowPolicy selects what the router does when a listening
+// client's bounded delivery queue is full — the slow-consumer policy.
+type OverflowPolicy int
+
+const (
+	// OverflowDropOldest (the default) evicts the oldest queued frame
+	// to make room. The client stays connected and observes the loss as
+	// a cursor jump; the evicted frames remain in the replay ring, so a
+	// reconnect with the last-seen cursor recovers them — at-least-once
+	// within the ring's reach.
+	OverflowDropOldest OverflowPolicy = iota
+	// OverflowDisconnect severs the client's connection, the legacy
+	// policy: a client that stops draining its socket is cut loose
+	// rather than allowed to stall the data plane. Deliveries keep
+	// accumulating cursors (and ring slots) while it is gone, so a
+	// resume still recovers everything the ring retained.
+	OverflowDisconnect
+	// OverflowPause blocks the enqueue until the writer frees a slot,
+	// exerting backpressure into the delivery merger (switchless) or
+	// the publishing connection (synchronous) — never into the enclave
+	// matchers, which have already finished by the time delivery runs.
+	// Lossless while the connection lives, at the cost of one stalled
+	// client throttling the publication stream feeding it; a frame
+	// parked when the connection dies is abandoned like any other
+	// in-flight frame and recovered through the replay ring on resume.
+	OverflowPause
+)
+
+// String names the policy for flags and logs.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowDisconnect:
+		return "disconnect"
+	case OverflowPause:
+		return "pause"
+	default:
+		return "drop-oldest"
+	}
 }
 
-// clientQueue is one client's outbound delivery channel: the bounded
-// queue and the connection its writer drains onto.
+// ParseOverflowPolicy maps a flag string onto a policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "drop-oldest", "":
+		return OverflowDropOldest, nil
+	case "disconnect":
+		return OverflowDisconnect, nil
+	case "pause":
+		return OverflowPause, nil
+	}
+	return 0, fmt.Errorf("broker: unknown overflow policy %q (want drop-oldest, disconnect, or pause)", s)
+}
+
+// DeliveryCounters observes the delivery layer's loss and recovery
+// activity. All counts are cumulative since router start.
+type DeliveryCounters struct {
+	// Enqueued counts deliveries handed to the layer (one per matched
+	// client per publication).
+	Enqueued uint64 `json:"enqueued"`
+	// DeliveriesDropped counts frames evicted from a live outbound
+	// queue under OverflowDropOldest — losses on the current
+	// connection, still recoverable from the replay ring on resume.
+	DeliveriesDropped uint64 `json:"deliveries_dropped"`
+	// SlowConsumerDisconnects counts connections severed under
+	// OverflowDisconnect.
+	SlowConsumerDisconnects uint64 `json:"slow_consumer_disconnects"`
+	// DeliveriesReplayed counts frames re-sent from replay rings to
+	// resuming listeners.
+	DeliveriesReplayed uint64 `json:"deliveries_replayed"`
+	// PauseStalls counts enqueues that blocked under OverflowPause.
+	PauseStalls uint64 `json:"pause_stalls"`
+	// ReplayGapTotal sums the gaps reported to resuming listeners —
+	// deliveries that had already left the replay ring and are
+	// unrecoverable.
+	ReplayGapTotal uint64 `json:"replay_gap_total"`
+}
+
+// deliveryTable owns the router's client delivery state: the durable
+// per-client cursors and replay rings, and the live per-connection
+// queues.
+type deliveryTable struct {
+	queueLen     int
+	ringLen      int
+	policy       OverflowPolicy
+	resumeWindow time.Duration // ≤ 0: retain detached state forever
+
+	mu      sync.Mutex
+	clients map[string]*clientState
+	closed  bool
+	wg      sync.WaitGroup
+
+	sweepQuit chan struct{}
+	sweepDone chan struct{}
+
+	enqueued    atomic.Uint64
+	dropped     atomic.Uint64
+	disconnects atomic.Uint64
+	replayed    atomic.Uint64
+	pauseStalls atomic.Uint64
+	gapTotal    atomic.Uint64
+}
+
+// clientState is one client's durable delivery state. It outlives any
+// single connection — that is what makes reconnection resumable.
+type clientState struct {
+	name string
+
+	// sendMu serialises enqueues for this client, so cursor order
+	// equals queue order even when a Pause-policy enqueue blocks.
+	// attach never takes it: a reconnect always gets through, however
+	// wedged the previous connection is.
+	sendMu sync.Mutex
+
+	mu     sync.Mutex
+	cursor uint64 // last stamped delivery sequence (first delivery is 1)
+	// ring is the replay buffer: a circular window over the most
+	// recent stamped deliveries. It grows to the table's ring bound
+	// and then overwrites in place — eviction is O(1), not a shift.
+	ring       []*Message
+	head       int          // index of the oldest retained frame
+	q          *clientQueue // live connection, nil while detached
+	detachedAt time.Time    // when q last became nil (resume-window clock)
+}
+
+// ringPushLocked retains m in the replay ring, evicting the oldest
+// frame once the bound is reached. Caller holds st.mu.
+func (st *clientState) ringPushLocked(m *Message, bound int) {
+	if len(st.ring) < bound {
+		st.ring = append(st.ring, m)
+		return
+	}
+	st.ring[st.head] = m
+	st.head = (st.head + 1) % len(st.ring)
+}
+
+// replayAfterLocked returns the retained deliveries past lastSeen (in
+// cursor order) and the count of deliveries lost to ring eviction
+// that the listener can no longer recover. Caller holds st.mu.
+func (st *clientState) replayAfterLocked(lastSeen uint64) ([]*Message, uint64) {
+	if lastSeen > st.cursor {
+		lastSeen = st.cursor // bogus future cursor: clamp, replay nothing
+	}
+	oldest := st.cursor + 1 // empty ring: nothing retained
+	if len(st.ring) > 0 {
+		oldest = st.ring[st.head].Cursor
+	}
+	var gap uint64
+	if lastSeen+1 < oldest {
+		gap = oldest - lastSeen - 1
+	}
+	var replay []*Message
+	for i := 0; i < len(st.ring); i++ {
+		m := st.ring[(st.head+i)%len(st.ring)]
+		if m.Cursor > lastSeen {
+			replay = append(replay, m)
+		}
+	}
+	return replay, gap
+}
+
+// clientQueue is one client's live outbound delivery channel: the
+// bounded queue and the connection its writer drains onto. pending
+// carries the listen ack plus any cursor replay, written before the
+// channel is drained so they are guaranteed to be the first frames on
+// the wire.
 type clientQueue struct {
-	name  string
-	conn  net.Conn
-	ch    chan *Message
-	quit  chan struct{}
-	drain chan struct{}
-	once  sync.Once
-	dOnce sync.Once
+	st      *clientState
+	conn    net.Conn
+	pending []*Message
+	ch      chan *Message
+	quit    chan struct{}
+	drain   chan struct{}
+	once    sync.Once
+	dOnce   sync.Once
 }
 
 // stop severs the queue: the writer unwinds (a write in flight fails
-// when the conn closes) and pending deliveries are discarded.
+// when the conn closes) and buffered deliveries are abandoned — they
+// remain in the replay ring for a later resume.
 func (q *clientQueue) stop() {
 	q.once.Do(func() {
 		close(q.quit)
@@ -64,33 +243,116 @@ func (q *clientQueue) beginDrain() {
 	q.dOnce.Do(func() { close(q.drain) })
 }
 
-func newDeliveryTable(queueLen int) *deliveryTable {
+func newDeliveryTable(queueLen, ringLen int, policy OverflowPolicy, resumeWindow time.Duration) *deliveryTable {
 	if queueLen <= 0 {
 		queueLen = DefaultDeliveryQueueLen
 	}
-	return &deliveryTable{queues: make(map[string]*clientQueue), queueLen: queueLen}
+	if ringLen == 0 {
+		ringLen = DefaultReplayRingLen
+	} else if ringLen < 0 {
+		ringLen = 0 // replay disabled: cursors still stamp, nothing is retained
+	}
+	if resumeWindow == 0 {
+		resumeWindow = DefaultResumeWindow
+	}
+	t := &deliveryTable{
+		queueLen:     queueLen,
+		ringLen:      ringLen,
+		policy:       policy,
+		resumeWindow: resumeWindow,
+		clients:      make(map[string]*clientState),
+		sweepQuit:    make(chan struct{}),
+		sweepDone:    make(chan struct{}),
+	}
+	if resumeWindow > 0 {
+		go t.sweeper()
+	} else {
+		close(t.sweepDone)
+	}
+	return t
+}
+
+// sweeper bounds the table in time: a client detached for longer than
+// the resume window has its state — cursor and the payloads its ring
+// pins — released, so client churn cannot grow the router without
+// bound. A client resuming after eviction is a fresh listener whose
+// ack cursor restarts at zero (the client rebaselines on the
+// regression).
+func (t *deliveryTable) sweeper() {
+	defer close(t.sweepDone)
+	period := t.resumeWindow / 4
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.sweepQuit:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-t.resumeWindow)
+		t.mu.Lock()
+		for name, st := range t.clients {
+			st.mu.Lock()
+			expired := st.q == nil && !st.detachedAt.IsZero() && st.detachedAt.Before(cutoff)
+			st.mu.Unlock()
+			if expired {
+				delete(t.clients, name)
+			}
+		}
+		t.mu.Unlock()
+	}
 }
 
 // attach binds conn as name's delivery channel, replacing (and
-// severing) any previous one. hello is queued before the channel
-// becomes visible to matching, so it is guaranteed to be the first
-// frame the writer puts on the wire.
-func (t *deliveryTable) attach(name string, conn net.Conn, hello *Message) error {
+// severing) any previous one. hello is stamped with the client's
+// current cursor and sent first; when the listener resumes (presenting
+// its last-seen cursor), the retained gap is queued for replay behind
+// the hello and the unrecoverable remainder reported in hello.Gap.
+// The whole swap runs under the table lock, so an attach and a
+// concurrent close always agree on who owns the connection: a closed
+// table closes conn before returning ErrClosed (the write side
+// belonged to the delivery layer from the listen frame on — leaving
+// it open would leak the connection when a listener races
+// Router.Close).
+func (t *deliveryTable) attach(name string, conn net.Conn, hello *Message, lastSeen uint64, resume bool) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return ErrClosed
+	}
+	st := t.clients[name]
+	if st == nil {
+		st = &clientState{name: name}
+		t.clients[name] = st
+	}
 	q := &clientQueue{
-		name:  name,
+		st:    st,
 		conn:  conn,
 		ch:    make(chan *Message, t.queueLen),
 		quit:  make(chan struct{}),
 		drain: make(chan struct{}),
 	}
-	q.ch <- hello
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrClosed
+	st.mu.Lock()
+	old := st.q
+	hello.Cursor = st.cursor
+	q.pending = []*Message{hello}
+	if resume {
+		replay, gap := st.replayAfterLocked(lastSeen)
+		hello.Gap = gap
+		q.pending = append(q.pending, replay...)
+		t.replayed.Add(uint64(len(replay)))
+		t.gapTotal.Add(gap)
 	}
-	old := t.queues[name]
-	t.queues[name] = q
+	st.q = q
+	st.detachedAt = time.Time{}
+	st.mu.Unlock()
 	t.wg.Add(1)
 	t.mu.Unlock()
 	if old != nil {
@@ -100,42 +362,105 @@ func (t *deliveryTable) attach(name string, conn net.Conn, hello *Message) error
 	return nil
 }
 
-// enqueue offers one delivery to name's queue without ever blocking.
-// A full queue means the client is not draining its connection: it is
-// disconnected rather than allowed to stall the data plane.
+// enqueue stamps one delivery with name's next cursor, retains it in
+// the replay ring, and offers it to the live queue. It never blocks
+// on a socket; whether it may wait for queue space at all is the
+// overflow policy. m must be owned by the caller (deliver builds one
+// Message per target client) — the cursor stamp mutates it.
 func (t *deliveryTable) enqueue(name string, m *Message) {
 	t.mu.Lock()
-	q := t.queues[name]
+	st := t.clients[name]
 	t.mu.Unlock()
+	if st == nil {
+		return // client has never listened here: nothing to resume onto
+	}
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	st.mu.Lock()
+	st.cursor++
+	m.Cursor = st.cursor
+	if t.ringLen > 0 {
+		st.ringPushLocked(m, t.ringLen)
+	}
+	q := st.q
+	st.mu.Unlock()
+	t.enqueued.Add(1)
 	if q == nil {
-		return // client not currently listening
+		return // detached: retained in the ring for a later resume
 	}
 	select {
 	case q.ch <- m:
+		return
 	default:
-		t.drop(q) // slow consumer
+	}
+	switch t.policy {
+	case OverflowDisconnect:
+		t.disconnects.Add(1)
+		t.detach(q)
+	case OverflowPause:
+		t.pauseStalls.Add(1)
+		select {
+		case q.ch <- m:
+		case <-q.quit:
+			// The queue died while we waited (listener broke, reconnect
+			// replaced it, shutdown): the ring retains m for replay.
+		}
+	default: // OverflowDropOldest
+		for {
+			select {
+			case q.ch <- m:
+				return
+			default:
+			}
+			select {
+			case <-q.ch:
+				t.dropped.Add(1)
+			default:
+			}
+			select {
+			case <-q.quit:
+				return // severed mid-overflow: the ring retains m
+			default:
+			}
+		}
 	}
 }
 
-// drop severs one client queue and removes it from the table (unless
-// a newer queue already replaced it).
-func (t *deliveryTable) drop(q *clientQueue) {
-	t.mu.Lock()
-	if t.queues[q.name] == q {
-		delete(t.queues, q.name)
+// detach severs one live queue and clears it from its client state
+// (unless a newer queue already replaced it). The client's cursor and
+// ring survive for resumption.
+func (t *deliveryTable) detach(q *clientQueue) {
+	st := q.st
+	st.mu.Lock()
+	if st.q == q {
+		st.q = nil
+		st.detachedAt = time.Now()
 	}
-	t.mu.Unlock()
+	st.mu.Unlock()
 	q.stop()
 }
 
 // writer drains one client's queue onto its connection. It is the
-// only goroutine writing this conn, so frames never interleave.
+// only goroutine writing this conn, so frames never interleave; the
+// pending frames (listen ack, then any replay) go first.
 func (t *deliveryTable) writer(q *clientQueue) {
 	defer t.wg.Done()
+	for _, m := range q.pending {
+		select {
+		case <-q.quit:
+			return
+		default:
+		}
+		if err := Send(q.conn, m); err != nil {
+			t.detach(q)
+			return
+		}
+	}
+	q.pending = nil
 	for {
-		// quit always wins over buffered work: a forced stop (slow
-		// consumer, drain deadline) must not be outraced by a full
-		// queue.
+		// quit always wins over buffered work: a forced stop (drain
+		// deadline, replacement by a reconnect) must not be outraced by
+		// a full queue.
 		select {
 		case <-q.quit:
 			return
@@ -147,7 +472,7 @@ func (t *deliveryTable) writer(q *clientQueue) {
 		case m := <-q.ch:
 			if err := Send(q.conn, m); err != nil {
 				// A broken listener must not block the others.
-				t.drop(q)
+				t.detach(q)
 				return
 			}
 		case <-q.drain:
@@ -159,7 +484,7 @@ func (t *deliveryTable) writer(q *clientQueue) {
 					return
 				case m := <-q.ch:
 					if err := Send(q.conn, m); err != nil {
-						t.drop(q)
+						t.detach(q)
 						return
 					}
 				default:
@@ -171,19 +496,76 @@ func (t *deliveryTable) writer(q *clientQueue) {
 	}
 }
 
-// depths reports each listening client's buffered delivery count (the
+// depths reports each attached client's buffered delivery count (the
 // observability hook behind the router's metrics endpoint).
 func (t *deliveryTable) depths() map[string]int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make(map[string]int, len(t.queues))
-	for name, q := range t.queues {
-		out[name] = len(q.ch)
+	out := make(map[string]int)
+	for name, st := range t.clients {
+		st.mu.Lock()
+		if st.q != nil {
+			out[name] = len(st.q.ch)
+		}
+		st.mu.Unlock()
 	}
 	return out
 }
 
-// close shuts the table down gracefully: every queue switches to
+// cursors snapshots every client's delivery cursor — the part of the
+// delivery state that seals into persisted router state, so resumes
+// keep working across a router restart.
+func (t *deliveryTable) cursors() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64)
+	for name, st := range t.clients {
+		st.mu.Lock()
+		if st.cursor > 0 {
+			out[name] = st.cursor
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// seed pre-creates client states with restored cursors, so stamping
+// continues where the sealed router left off. Rings start empty —
+// deliveries matched before the restart are gone, and a resuming
+// listener observes exactly that as its reported gap.
+func (t *deliveryTable) seed(cursors map[string]uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, c := range cursors {
+		st := t.clients[name]
+		if st == nil {
+			// Restored clients start the resume-window clock now: if
+			// none returns within it, the cursor is released like any
+			// other detached state.
+			t.clients[name] = &clientState{name: name, cursor: c, detachedAt: time.Now()}
+			continue
+		}
+		st.mu.Lock()
+		if st.cursor < c {
+			st.cursor = c
+		}
+		st.mu.Unlock()
+	}
+}
+
+// snapshot reads the loss/recovery counters.
+func (t *deliveryTable) snapshot() DeliveryCounters {
+	return DeliveryCounters{
+		Enqueued:                t.enqueued.Load(),
+		DeliveriesDropped:       t.dropped.Load(),
+		SlowConsumerDisconnects: t.disconnects.Load(),
+		DeliveriesReplayed:      t.replayed.Load(),
+		PauseStalls:             t.pauseStalls.Load(),
+		ReplayGapTotal:          t.gapTotal.Load(),
+	}
+}
+
+// close shuts the table down gracefully: every live queue switches to
 // drain mode so already-matched deliveries are flushed, bounded by
 // drainTimeout; queues still busy at the deadline are severed. The
 // caller guarantees no producer enqueues past this point.
@@ -191,13 +573,20 @@ func (t *deliveryTable) close(drainTimeout time.Duration) {
 	if drainTimeout <= 0 {
 		drainTimeout = DefaultDrainTimeout
 	}
+	if t.resumeWindow > 0 {
+		close(t.sweepQuit)
+	}
+	<-t.sweepDone
 	t.mu.Lock()
 	t.closed = true
-	qs := make([]*clientQueue, 0, len(t.queues))
-	for _, q := range t.queues {
-		qs = append(qs, q)
+	var qs []*clientQueue
+	for _, st := range t.clients {
+		st.mu.Lock()
+		if st.q != nil {
+			qs = append(qs, st.q)
+		}
+		st.mu.Unlock()
 	}
-	t.queues = make(map[string]*clientQueue)
 	t.mu.Unlock()
 	for _, q := range qs {
 		q.beginDrain()
@@ -224,7 +613,10 @@ func (t *deliveryTable) close(drainTimeout time.Duration) {
 // matched client's outbound queue, whatever number of its
 // subscriptions matched. The delivery names every matched subscription
 // of that client, so client-side Subscription handles can route it
-// without decrypting twice.
+// without decrypting twice; each frame is stamped with the client's
+// delivery cursor by enqueue. Forwarded publications arriving over
+// federation links take this same path, so cross-router deliveries
+// ride local cursors like any other.
 func (r *Router) deliver(matches []core.MatchResult, m *Message) {
 	if len(matches) == 0 {
 		return

@@ -1,0 +1,582 @@
+package broker
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// deliverMsg builds one numbered test delivery.
+func deliverMsg(i int) *Message {
+	return &Message{Type: TypeDeliver, Payload: []byte{byte(i)}}
+}
+
+// expectClosedConn asserts the peer observes the connection closed
+// promptly — the leak check for attach racing close.
+func expectClosedConn(t *testing.T, conn net.Conn) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after attach was refused")
+	}
+}
+
+// TestAttachAfterCloseClosesConn: an attach landing on a closed table
+// must not leak the caller's connection — the write side belonged to
+// the delivery layer from the listen frame on, so ErrClosed comes with
+// the conn closed.
+func TestAttachAfterCloseClosesConn(t *testing.T) {
+	table := newDeliveryTable(4, 8, OverflowDropOldest, -1)
+	table.close(10 * time.Millisecond)
+	server, client := net.Pipe()
+	defer client.Close()
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach on closed table = %v, want ErrClosed", err)
+	}
+	expectClosedConn(t, client)
+}
+
+// TestAttachDuringCloseWithBlockedWriter is the attach-during-close
+// race, deterministic: client A's writer is blocked mid-hello (its
+// peer never reads), the table starts its bounded drain, and a
+// reconnect attempt lands while the drain is in flight. The reconnect
+// must be refused with its connection closed, the drain must still
+// flush A's frames, and close must return.
+func TestAttachDuringCloseWithBlockedWriter(t *testing.T) {
+	table := newDeliveryTable(16, 32, OverflowDropOldest, -1)
+	serverA, clientA := net.Pipe()
+	defer clientA.Close()
+	if err := table.attach("a", serverA, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	const pending = 3
+	for i := 0; i < pending; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		table.close(5 * time.Second)
+		close(closed)
+	}()
+	// The drain has begun once the table is marked closed; the writer
+	// is still wedged on the unread hello.
+	for {
+		table.mu.Lock()
+		c := table.closed
+		table.mu.Unlock()
+		if c {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	serverB, clientB := net.Pipe()
+	defer clientB.Close()
+	if err := table.attach("a", serverB, &Message{Type: TypeListenOK}, 0, true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach during close = %v, want ErrClosed", err)
+	}
+	expectClosedConn(t, clientB)
+
+	// Unblock the drain: A's hello and every pending delivery arrive.
+	if m := mustRecv(t, clientA); m.Type != TypeListenOK {
+		t.Fatalf("first frame %q, want listen-ok", m.Type)
+	}
+	for i := 0; i < pending; i++ {
+		m := mustRecv(t, clientA)
+		if m.Type != TypeDeliver || m.Payload[0] != byte(i) {
+			t.Fatalf("delivery %d: got %+v", i, m)
+		}
+		if m.Cursor != uint64(i+1) {
+			t.Fatalf("delivery %d stamped cursor %d", i, m.Cursor)
+		}
+	}
+	if _, err := Recv(clientA); err == nil {
+		t.Fatal("connection still open after drain")
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never returned")
+	}
+}
+
+// TestResumeReplaysAcrossReconnect: frames the previous connection
+// never put on the wire are replayed — exactly once, in cursor order —
+// when the listener reconnects and presents its last-seen cursor.
+func TestResumeReplaysAcrossReconnect(t *testing.T) {
+	table := newDeliveryTable(8, 16, OverflowDropOldest, -1)
+	server1, client1 := net.Pipe()
+	if err := table.attach("a", server1, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client1); m.Type != TypeListenOK || m.Cursor != 0 {
+		t.Fatalf("hello = %+v", m)
+	}
+	for i := 1; i <= 3; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+	for i := 1; i <= 3; i++ {
+		if m := mustRecv(t, client1); m.Cursor != uint64(i) {
+			t.Fatalf("cursor %d, want %d", m.Cursor, i)
+		}
+	}
+	// The connection dies; the client only processed up to cursor 2.
+	_ = client1.Close()
+	// Deliveries keep arriving while the client is away: the first may
+	// land in the dead queue (the writer discovers the break on its
+	// send), the rest accumulate ring-only. All stay replayable.
+	for i := 4; i <= 5; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	hello := mustRecv(t, client2)
+	if hello.Type != TypeListenOK || hello.Cursor != 5 || hello.Gap != 0 {
+		t.Fatalf("resume hello = %+v, want cursor 5 gap 0", hello)
+	}
+	for i := 3; i <= 5; i++ {
+		m := mustRecv(t, client2)
+		if m.Type != TypeDeliver || m.Cursor != uint64(i) || m.Payload[0] != byte(i) {
+			t.Fatalf("replayed frame %d: %+v", i, m)
+		}
+	}
+	if got := table.snapshot().DeliveriesReplayed; got != 3 {
+		t.Fatalf("DeliveriesReplayed = %d, want 3", got)
+	}
+}
+
+// TestResumeReportsGap: deliveries evicted from the bounded replay
+// ring before the client came back are unrecoverable, and the resume
+// ack says exactly how many.
+func TestResumeReportsGap(t *testing.T) {
+	table := newDeliveryTable(4, 2, OverflowDropOldest, -1)
+	server1, client1 := net.Pipe()
+	if err := table.attach("a", server1, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client1); m.Type != TypeListenOK {
+		t.Fatalf("hello = %+v", m)
+	}
+	_ = client1.Close()
+	const total = 5
+	for i := 1; i <= total; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	hello := mustRecv(t, client2)
+	if hello.Cursor != total || hello.Gap != total-2 {
+		t.Fatalf("resume hello = cursor %d gap %d, want cursor %d gap %d", hello.Cursor, hello.Gap, total, total-2)
+	}
+	for i := total - 1; i <= total; i++ {
+		if m := mustRecv(t, client2); m.Cursor != uint64(i) {
+			t.Fatalf("replayed cursor %d, want %d", m.Cursor, i)
+		}
+	}
+	if got := table.snapshot().ReplayGapTotal; got != total-2 {
+		t.Fatalf("ReplayGapTotal = %d, want %d", got, total-2)
+	}
+}
+
+// TestOverflowDropOldest: a full queue evicts its oldest frame, keeps
+// the connection, counts the drops, and the ring still covers the
+// evicted frames for resume.
+func TestOverflowDropOldest(t *testing.T) {
+	table := newDeliveryTable(2, 16, OverflowDropOldest, -1)
+	server, client := net.Pipe()
+	defer client.Close()
+	// The writer wedges on the unread hello, so the queue fills.
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	const total = 5
+	for i := 1; i <= total; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+	c := table.snapshot()
+	if c.DeliveriesDropped != total-2 {
+		t.Fatalf("DeliveriesDropped = %d, want %d", c.DeliveriesDropped, total-2)
+	}
+	if c.SlowConsumerDisconnects != 0 {
+		t.Fatal("drop-oldest severed the connection")
+	}
+	// The survivors are the newest frames, in order.
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatalf("hello = %+v", m)
+	}
+	for i := total - 1; i <= total; i++ {
+		if m := mustRecv(t, client); m.Cursor != uint64(i) {
+			t.Fatalf("survivor cursor %d, want %d", m.Cursor, i)
+		}
+	}
+}
+
+// TestOverflowDisconnect: the legacy policy severs the stalled
+// listener and counts it; the ring keeps the frames for resumption.
+func TestOverflowDisconnect(t *testing.T) {
+	table := newDeliveryTable(2, 16, OverflowDisconnect, -1)
+	server, client := net.Pipe()
+	defer client.Close()
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+	if got := table.snapshot().SlowConsumerDisconnects; got != 1 {
+		t.Fatalf("SlowConsumerDisconnects = %d, want 1", got)
+	}
+	expectClosedConn(t, client)
+	// Everything enqueued — including the overflow frame — is
+	// recoverable by resuming from the start.
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if hello := mustRecv(t, client2); hello.Gap != 0 {
+		t.Fatalf("resume gap = %d, want 0", hello.Gap)
+	}
+	for i := 1; i <= 3; i++ {
+		if m := mustRecv(t, client2); m.Cursor != uint64(i) {
+			t.Fatalf("replayed cursor %d, want %d", m.Cursor, i)
+		}
+	}
+}
+
+// TestOverflowPauseBackpressure: a full queue blocks the enqueue until
+// the consumer drains — lossless — and a reconnect releases a blocked
+// enqueue instead of deadlocking, with the parked frame recovered via
+// replay.
+func TestOverflowPauseBackpressure(t *testing.T) {
+	table := newDeliveryTable(1, 16, OverflowPause, -1)
+	server, client := net.Pipe()
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatalf("hello = %+v", m)
+	}
+	// Frame 1 is taken by the writer (which wedges on the unread send),
+	// frame 2 fills the queue, frame 3 must block.
+	table.enqueue("a", deliverMsg(1))
+	table.enqueue("a", deliverMsg(2))
+	unblocked := make(chan struct{})
+	go func() {
+		table.enqueue("a", deliverMsg(3))
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("enqueue did not block on a full queue under Pause")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Draining the connection releases the backpressure losslessly.
+	for i := 1; i <= 3; i++ {
+		if m := mustRecv(t, client); m.Cursor != uint64(i) {
+			t.Fatalf("cursor %d, want %d", m.Cursor, i)
+		}
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("enqueue stayed blocked after the queue drained")
+	}
+	if c := table.snapshot(); c.PauseStalls == 0 || c.DeliveriesDropped != 0 {
+		t.Fatalf("counters = %+v, want pause stalls and no drops", c)
+	}
+
+	// Reconnect-during-stall: wedge the queue again, then attach a new
+	// connection. The swap must unblock the parked enqueue (the old
+	// queue dies), and the resume replay must deliver its frame anyway.
+	table.enqueue("a", deliverMsg(4))
+	table.enqueue("a", deliverMsg(5))
+	parked := make(chan struct{})
+	go func() {
+		table.enqueue("a", deliverMsg(6))
+		close(parked)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the enqueue park
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-parked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reconnect left the paused enqueue parked")
+	}
+	_ = client.Close()
+	if hello := mustRecv(t, client2); hello.Gap != 0 {
+		t.Fatalf("resume gap = %d, want 0", hello.Gap)
+	}
+	seen := make(map[uint64]bool)
+	for i := 4; i <= 6; i++ {
+		m := mustRecv(t, client2)
+		if m.Type != TypeDeliver || seen[m.Cursor] {
+			t.Fatalf("replay frame %d: %+v", i, m)
+		}
+		seen[m.Cursor] = true
+	}
+	for i := uint64(4); i <= 6; i++ {
+		if !seen[i] {
+			t.Fatalf("cursor %d never replayed (saw %v)", i, seen)
+		}
+	}
+}
+
+// TestDetachedDeliveriesAccumulate: a client between connections keeps
+// its cursor advancing and its ring filling, so a resume after a quiet
+// detachment loses nothing.
+func TestDetachedDeliveriesAccumulate(t *testing.T) {
+	table := newDeliveryTable(4, 16, OverflowDropOldest, -1)
+	server, client := net.Pipe()
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatal("no hello")
+	}
+	_ = client.Close()
+	table.enqueue("a", deliverMsg(1)) // writer discovers the break here
+	for {
+		st := table.clients["a"]
+		st.mu.Lock()
+		detached := st.q == nil
+		st.mu.Unlock()
+		if detached {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 2; i <= 4; i++ {
+		table.enqueue("a", deliverMsg(i))
+	}
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if hello := mustRecv(t, client2); hello.Cursor != 4 || hello.Gap != 0 {
+		t.Fatalf("resume hello = %+v", hello)
+	}
+	for i := 1; i <= 4; i++ {
+		if m := mustRecv(t, client2); m.Cursor != uint64(i) {
+			t.Fatalf("replayed cursor %d, want %d", m.Cursor, i)
+		}
+	}
+}
+
+// TestParseOverflowPolicy round-trips the flag strings.
+func TestParseOverflowPolicy(t *testing.T) {
+	for _, p := range []OverflowPolicy{OverflowDropOldest, OverflowDisconnect, OverflowPause} {
+		got, err := ParseOverflowPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseOverflowPolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if p, err := ParseOverflowPolicy(""); err != nil || p != OverflowDropOldest {
+		t.Fatalf("empty policy = %v, %v, want default drop-oldest", p, err)
+	}
+}
+
+// TestResumeWindowEvictsDetachedState: a client that stays away past
+// the resume window has its cursor and ring released — churn cannot
+// grow the table forever — and a later return is a fresh listener.
+func TestResumeWindowEvictsDetachedState(t *testing.T) {
+	table := newDeliveryTable(4, 8, OverflowDropOldest, 50*time.Millisecond)
+	defer table.close(10 * time.Millisecond)
+	server, client := net.Pipe()
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatalf("hello = %+v", m)
+	}
+	_ = client.Close()
+	table.enqueue("a", deliverMsg(1)) // the writer discovers the break and detaches
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		table.mu.Lock()
+		_, alive := table.clients["a"]
+		table.mu.Unlock()
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached state never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Returning after eviction starts over: the ack cursor regresses to
+	// zero, which is the client's signal to rebaseline.
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if hello := mustRecv(t, client2); hello.Cursor != 0 {
+		t.Fatalf("post-eviction resume cursor = %d, want 0", hello.Cursor)
+	}
+}
+
+// TestPumpSeversOnLiveCursorJump: frames dropped on a live connection
+// under DropOldest show up as a cursor jump; a resumable pump must
+// sever instead of riding past the gap, so the owner's next Resume
+// (from the pre-gap cursor) recovers the dropped frames.
+func TestPumpSeversOnLiveCursorJump(t *testing.T) {
+	c, err := NewClient("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	server, client := net.Pipe()
+	defer server.Close()
+	go func() {
+		if _, err := Recv(server); err != nil { // listen
+			return
+		}
+		_ = Send(server, &Message{Type: TypeListenOK})
+		for _, cur := range []uint64{1, 2, 5} { // 3 and 4 "dropped"
+			_ = Send(server, &Message{Type: TypeDeliver, Cursor: cur})
+		}
+	}()
+	if _, err := c.Resume(bg, client); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.DeliveryDone():
+	case <-time.After(5 * time.Second):
+		t.Fatal("pump did not sever on the cursor jump")
+	}
+	if got := c.LastCursor(); got != 2 {
+		t.Fatalf("cursor after jump = %d, want 2 (the pre-gap position a Resume must present)", got)
+	}
+	// The client closed the connection, not just stopped reading.
+	_ = server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := Recv(server); err == nil {
+		t.Fatal("connection still open after the jump")
+	}
+}
+
+// TestResumeAcknowledgesReportedGap: when the resume ack reports
+// unrecoverable loss, the client folds it into its baseline so the
+// replay stream is contiguous and jump detection does not re-sever on
+// the first retained frame.
+func TestResumeAcknowledgesReportedGap(t *testing.T) {
+	c, err := NewClient("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	server1, client1 := net.Pipe()
+	go func() {
+		if _, err := Recv(server1); err != nil {
+			return
+		}
+		_ = Send(server1, &Message{Type: TypeListenOK})
+		_ = Send(server1, &Message{Type: TypeDeliver, Cursor: 1})
+		_ = Send(server1, &Message{Type: TypeDeliver, Cursor: 2})
+		_ = server1.Close()
+	}()
+	if _, err := c.Resume(bg, client1); err != nil {
+		t.Fatal(err)
+	}
+	<-c.DeliveryDone()
+	if got := c.LastCursor(); got != 2 {
+		t.Fatalf("cursor = %d, want 2", got)
+	}
+
+	server2, client2 := net.Pipe()
+	defer server2.Close()
+	ready := make(chan struct{})
+	go func() {
+		m, err := Recv(server2)
+		if err != nil || !m.Resume || m.Cursor != 2 {
+			t.Errorf("resume frame = %+v, %v; want resume at cursor 2", m, err)
+			return
+		}
+		// Cursors 3..5 fell off the ring: report the gap, then replay
+		// the retained tail.
+		_ = Send(server2, &Message{Type: TypeListenOK, Cursor: 7, Gap: 3})
+		_ = Send(server2, &Message{Type: TypeDeliver, Cursor: 6})
+		_ = Send(server2, &Message{Type: TypeDeliver, Cursor: 7})
+		close(ready)
+	}()
+	gap, err := c.Resume(bg, client2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap != 3 {
+		t.Fatalf("Resume gap = %d, want 3", gap)
+	}
+	<-ready
+	deadline := time.Now().Add(5 * time.Second)
+	for c.LastCursor() != 7 {
+		select {
+		case <-c.DeliveryDone():
+			t.Fatalf("pump severed on the post-gap replay (cursor %d)", c.LastCursor())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cursor = %d, want 7 (acknowledged gap + replay)", c.LastCursor())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDisabledReplayRing: a negative ring bound turns retention off —
+// cursors still stamp and resumes still work, but nothing replays and
+// the whole detached span is reported as a gap.
+func TestDisabledReplayRing(t *testing.T) {
+	table := newDeliveryTable(4, -1, OverflowDropOldest, -1)
+	server, client := net.Pipe()
+	if err := table.attach("a", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatalf("hello = %+v", m)
+	}
+	for i := 1; i <= 2; i++ {
+		table.enqueue("a", deliverMsg(i))
+		if m := mustRecv(t, client); m.Cursor != uint64(i) {
+			t.Fatalf("live cursor %d, want %d", m.Cursor, i)
+		}
+	}
+	_ = client.Close()
+	table.enqueue("a", deliverMsg(3)) // detaches; nothing retained
+
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := table.attach("a", server2, &Message{Type: TypeListenOK}, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	hello := mustRecv(t, client2)
+	if hello.Cursor != 3 || hello.Gap != 1 {
+		t.Fatalf("resume hello = cursor %d gap %d, want cursor 3 gap 1", hello.Cursor, hello.Gap)
+	}
+	// Live delivery continues the numbering; no replay preceded it.
+	table.enqueue("a", deliverMsg(4))
+	if m := mustRecv(t, client2); m.Cursor != 4 {
+		t.Fatalf("post-resume cursor = %d, want 4", m.Cursor)
+	}
+	if got := table.snapshot().DeliveriesReplayed; got != 0 {
+		t.Fatalf("DeliveriesReplayed = %d with the ring disabled", got)
+	}
+}

@@ -79,20 +79,29 @@ type BatchItem struct {
 // []byte fields serialise as Base64 inside JSON, matching the paper's
 // Base64 text serialisation.
 type Message struct {
-	Type     MsgType       `json:"type"`
-	ClientID string        `json:"client_id,omitempty"`
-	Router   string        `json:"router,omitempty"` // subscribe/unsubscribe: the client's home router
-	SubID    uint64        `json:"sub_id,omitempty"`
-	SubIDs   []uint64      `json:"sub_ids,omitempty"` // deliver: which subscriptions matched
-	Epoch    uint64        `json:"epoch,omitempty"`
-	Blob     []byte        `json:"blob,omitempty"`    // encrypted subscription / header / key material
-	Payload  []byte        `json:"payload,omitempty"` // encrypted publication payload
-	Items    []BatchItem   `json:"items,omitempty"`   // publish-batch publications
-	Sig      []byte        `json:"sig,omitempty"`
-	PubKey   []byte        `json:"pub_key,omitempty"` // PKIX-encoded RSA key
-	Quote    *attest.Quote `json:"quote,omitempty"`
-	Err      string        `json:"err,omitempty"`
-	Code     string        `json:"code,omitempty"` // machine-readable error class
+	Type     MsgType  `json:"type"`
+	ClientID string   `json:"client_id,omitempty"`
+	Router   string   `json:"router,omitempty"` // subscribe/unsubscribe: the client's home router
+	SubID    uint64   `json:"sub_id,omitempty"`
+	SubIDs   []uint64 `json:"sub_ids,omitempty"` // deliver: which subscriptions matched
+	Epoch    uint64   `json:"epoch,omitempty"`
+	// Cursor is the per-client delivery sequence: stamped on every
+	// deliver frame, presented by a resuming listen (last seen), and
+	// echoed on listen-ok (the router's current position).
+	Cursor uint64 `json:"cursor,omitempty"`
+	// Resume asks a listen to replay retained deliveries past Cursor.
+	Resume bool `json:"resume,omitempty"`
+	// Gap on listen-ok counts deliveries a resuming listener missed
+	// that had already left the replay ring — unrecoverable loss.
+	Gap     uint64        `json:"gap,omitempty"`
+	Blob    []byte        `json:"blob,omitempty"`    // encrypted subscription / header / key material
+	Payload []byte        `json:"payload,omitempty"` // encrypted publication payload
+	Items   []BatchItem   `json:"items,omitempty"`   // publish-batch publications
+	Sig     []byte        `json:"sig,omitempty"`
+	PubKey  []byte        `json:"pub_key,omitempty"` // PKIX-encoded RSA key
+	Quote   *attest.Quote `json:"quote,omitempty"`
+	Err     string        `json:"err,omitempty"`
+	Code    string        `json:"code,omitempty"` // machine-readable error class
 
 	// raw is the frame this message was decoded from, kept so the
 	// switchless publication path can hand the publisher's exact bytes

@@ -51,6 +51,13 @@ type routerState struct {
 	NextRef   uint32     `json:"next_ref"`
 	RefNames  []string   `json:"ref_names"`
 	Log       []logEntry `json:"log"`
+	// Cursors are the per-client delivery cursors at seal time, so a
+	// restored router keeps stamping where the old one stopped and a
+	// client's resume cursor stays meaningful across the restart. The
+	// replay rings are not sealed — deliveries matched before the
+	// restart are gone, which a resuming listener observes as its
+	// reported gap.
+	Cursors map[string]uint64 `json:"cursors,omitempty"`
 }
 
 // SealState snapshots the router's trusted state, bound to a fresh
@@ -78,6 +85,7 @@ func (r *Router) SealState() ([]byte, error) {
 		NextRef:   uint32(len(r.refName)),
 		RefNames:  append([]string(nil), r.refName...),
 		Log:       append(make([]logEntry, 0, len(r.regLog)), r.regLog...),
+		Cursors:   r.delivery.cursors(),
 	}
 	r.ctlMu.RUnlock()
 	r.stateMu.Unlock()
@@ -155,6 +163,7 @@ func (r *Router) RestoreState(blob []byte) error {
 	}
 	r.refName = append(r.refName, state.RefNames...)
 	r.ctlMu.Unlock()
+	r.delivery.seed(state.Cursors)
 
 	for _, ent := range state.Log {
 		if err := r.replayRegistration(ent); err != nil {

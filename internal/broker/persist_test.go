@@ -379,3 +379,62 @@ func TestRestartEndToEnd(t *testing.T) {
 		t.Fatalf("post-restart delivery = %+v", d)
 	}
 }
+
+// TestRestoreSeedsDeliveryCursors: per-client delivery cursors ride
+// the sealed snapshot, so a client resuming against the restored
+// router continues the same numbering — with the deliveries matched
+// before the restart accounted as an explicit gap (the replay rings
+// are not sealed).
+func TestRestoreSeedsDeliveryCursors(t *testing.T) {
+	f := newRestartFixture(t)
+	r1 := f.newRouter()
+	defer r1.Close()
+	f.populate(r1, 2)
+
+	// Bind carol's delivery channel and run three deliveries through
+	// the table, of which carol processes only the first two.
+	server, client := net.Pipe()
+	if err := r1.delivery.attach("carol", server, &Message{Type: TypeListenOK}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m := mustRecv(t, client); m.Type != TypeListenOK {
+		t.Fatalf("hello = %+v", m)
+	}
+	for i := 1; i <= 3; i++ {
+		r1.delivery.enqueue("carol", &Message{Type: TypeDeliver, Payload: []byte{byte(i)}})
+	}
+	for i := 1; i <= 2; i++ {
+		if m := mustRecv(t, client); m.Cursor != uint64(i) {
+			t.Fatalf("cursor %d, want %d", m.Cursor, i)
+		}
+	}
+	_ = client.Close()
+
+	blob, err := r1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := f.newRouter()
+	defer r2.Close()
+	if err := r2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Carol resumes at cursor 2 against the restored router: the
+	// numbering continues at 3, and the one delivery she missed across
+	// the restart is reported as an unrecoverable gap, not silence.
+	server2, client2 := net.Pipe()
+	defer client2.Close()
+	if err := r2.delivery.attach("carol", server2, &Message{Type: TypeListenOK}, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	hello := mustRecv(t, client2)
+	if hello.Cursor != 3 || hello.Gap != 1 {
+		t.Fatalf("post-restore resume = cursor %d gap %d, want cursor 3 gap 1", hello.Cursor, hello.Gap)
+	}
+	// New deliveries continue the sealed numbering.
+	r2.delivery.enqueue("carol", &Message{Type: TypeDeliver, Payload: []byte{4}})
+	if m := mustRecv(t, client2); m.Cursor != 4 {
+		t.Fatalf("post-restore delivery cursor = %d, want 4", m.Cursor)
+	}
+}

@@ -60,10 +60,27 @@ type RouterConfig struct {
 	// to a power of two; default 128). Ignored unless Switchless.
 	RingCapacity int
 	// DeliveryQueueLen bounds each listening client's outbound
-	// delivery queue (default 256 messages). A client whose queue
-	// overflows is disconnected rather than allowed to stall the data
-	// plane — the slow-consumer policy.
+	// delivery queue (default 256 messages). OverflowPolicy decides
+	// what happens to a client whose queue fills.
 	DeliveryQueueLen int
+	// OverflowPolicy is the slow-consumer policy applied when a
+	// client's delivery queue overflows (default OverflowDropOldest:
+	// evict the oldest queued frame, recoverable from the replay ring
+	// on resume; the pre-cursor behaviour is OverflowDisconnect).
+	OverflowPolicy OverflowPolicy
+	// ReplayRingLen bounds each client's delivery replay ring (default
+	// 512 messages) — the window a reconnecting listener can recover
+	// by presenting its last-seen cursor. Negative disables the ring
+	// entirely: cursors still stamp (loss stays observable as gaps),
+	// but nothing is retained for replay and no payload memory is
+	// pinned per client.
+	ReplayRingLen int
+	// ResumeWindow bounds how long a detached client's delivery state
+	// (cursor + replay ring, and the payloads it pins) is retained for
+	// resumption (default 5m). A client returning later is a fresh
+	// listener. Negative disables eviction — unbounded growth under
+	// client churn; use only in tests.
+	ResumeWindow time.Duration
 	// DrainTimeout bounds how long Close waits for the per-client
 	// delivery writers to flush already-matched deliveries before
 	// severing the connections (default 2s).
@@ -184,7 +201,7 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		subOwner:  make(map[uint64]string),
 		regPos:    make(map[uint64]int),
 		conns:     make(map[net.Conn]bool),
-		delivery:  newDeliveryTable(cfg.DeliveryQueueLen),
+		delivery:  newDeliveryTable(cfg.DeliveryQueueLen, cfg.ReplayRingLen, cfg.OverflowPolicy, cfg.ResumeWindow),
 		closing:   make(chan struct{}),
 	}
 	hub, err := streamhub.New(cfg.Partitions, pubsub.NewSchema(),
@@ -299,6 +316,15 @@ func (r *Router) SliceMeterSnapshots() []simmem.Counters {
 // on the wire.
 func (r *Router) DeliveryQueueDepths() map[string]int {
 	return r.delivery.depths()
+}
+
+// DeliverySnapshot reports the delivery layer's loss and recovery
+// counters: enqueues, overflow drops, slow-consumer disconnects,
+// cursor replays, pause stalls, and unrecoverable replay gaps. Zero
+// loss counters with a non-zero Enqueued means every matched delivery
+// made it onto a queue.
+func (r *Router) DeliverySnapshot() DeliveryCounters {
+	return r.delivery.snapshot()
 }
 
 // keys returns the provisioned secrets (nil SK before provisioning).
@@ -641,12 +667,14 @@ func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 // handleListen binds a connection as a client's delivery channel: a
 // dedicated writer goroutine owns the write side from here on, and the
 // listen ack is queued ahead of any delivery so it is the first frame
-// on the wire.
+// on the wire. A resuming listen presents the client's last-seen
+// cursor; retained deliveries past it are replayed right behind the
+// ack, and the unrecoverable remainder is reported as the ack's gap.
 func (r *Router) handleListen(conn net.Conn, m *Message) error {
 	if m.ClientID == "" {
 		return errors.New("listen without client identity")
 	}
-	return r.delivery.attach(m.ClientID, conn, &Message{Type: TypeListenOK})
+	return r.delivery.attach(m.ClientID, conn, &Message{Type: TypeListenOK}, m.Cursor, m.Resume)
 }
 
 // refFor interns a client identity as the engines' compact client

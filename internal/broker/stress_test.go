@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -160,13 +161,14 @@ func TestStalledListenerDoesNotBlockOthers(t *testing.T) {
 	})
 }
 
-// TestStalledListenerDisconnected checks the slow-consumer policy
-// itself: once the stalled client's bounded queue overflows, the
+// TestStalledListenerDisconnected checks the OverflowDisconnect
+// policy: once the stalled client's bounded queue overflows, the
 // router cuts the connection instead of buffering without limit.
 func TestStalledListenerDisconnected(t *testing.T) {
 	sys := newTestSystemCfg(t, func(cfg *RouterConfig) {
 		cfg.Partitions = 2
 		cfg.DeliveryQueueLen = 4
+		cfg.OverflowPolicy = OverflowDisconnect
 	})
 	subscribeOnly(t, sys, "mallory", halSpec(50))
 	stalled := stalledListener(t, sys, "mallory")
@@ -268,6 +270,219 @@ func TestConcurrentDataPlaneStress(t *testing.T) {
 	})
 }
 
+// resumableClient wires a client for cursor-resumable delivery: a
+// publisher connection, a subscription, and a delivery connection
+// bound through Resume so the Subscription handle survives reconnects.
+func resumableClient(t *testing.T, sys *testSystem, id string) (*Client, *Subscription, net.Conn) {
+	t.Helper()
+	c, err := NewClient(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	pubConn, err := net.Dial("tcp", sys.pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ConnectPublisher(pubConn, sys.publisher.PublicKey())
+	sub, err := c.Subscribe(bg, halSpec(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", sys.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resume(bg, conn); err != nil {
+		t.Fatal(err)
+	}
+	return c, sub, conn
+}
+
+// TestReconnectZeroLossUnderDropOldest is the at-least-once stress
+// for the detached window: the subscriber's connection is killed
+// mid-burst under the default DropOldest policy, a whole second wave
+// of publications matches while it is away, and yet every matched
+// publication arrives exactly once, in order — the replay ring covers
+// the outage and the resume cursor dedupes the overlap. (Live-queue
+// overflow and the client-side jump-sever recovery are covered by the
+// delivery_test.go unit tests.)
+func TestReconnectZeroLossUnderDropOldest(t *testing.T) {
+	for _, switchless := range []bool{false, true} {
+		name := "ecall"
+		if switchless {
+			name = "switchless"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := newTestSystemCfg(t, func(cfg *RouterConfig) {
+				cfg.Partitions = 2
+				cfg.Switchless = switchless
+				cfg.ReplayRingLen = 4096
+				cfg.OverflowPolicy = OverflowDropOldest
+			})
+			const (
+				wave1 = 100
+				total = 200
+			)
+			alice, sub, conn := resumableClient(t, sys, "alice")
+
+			// The publisher sends wave 1, then holds wave 2 until the
+			// subscriber's delivery connection is provably dead — so wave
+			// 2's frames are enqueued while the client is away and can
+			// only reach it through the resume replay.
+			outage := make(chan struct{})
+			pubErr := make(chan error, 1)
+			go func() {
+				for i := 0; i < wave1; i++ {
+					if err := sys.publisher.Publish(bg, halQuote(42), []byte(fmt.Sprintf("%04d", i))); err != nil {
+						pubErr <- err
+						return
+					}
+				}
+				<-outage
+				for i := wave1; i < total; i++ {
+					if err := sys.publisher.Publish(bg, halQuote(42), []byte(fmt.Sprintf("%04d", i))); err != nil {
+						pubErr <- err
+						return
+					}
+				}
+				pubErr <- nil
+			}()
+
+			done := make(chan error, 1)
+			go func() {
+				next := 0
+				for next < total {
+					d, err := sub.Next(bg)
+					if err != nil {
+						done <- fmt.Errorf("delivery %d: %w", next, err)
+						return
+					}
+					if d.Err != nil {
+						done <- fmt.Errorf("delivery %d: %w", next, d.Err)
+						return
+					}
+					if got := string(d.Payload); got != fmt.Sprintf("%04d", next) {
+						done <- fmt.Errorf("delivery %d out of order, duplicated, or lost: %q", next, got)
+						return
+					}
+					next++
+					if next == 25 {
+						// Kill the delivery connection mid-burst; release
+						// wave 2 only once the pump is dead, and resume only
+						// once part of it is already enqueued router-side.
+						_ = conn.Close()
+						<-alice.DeliveryDone()
+						close(outage)
+						for sys.router.DeliverySnapshot().Enqueued <= wave1 {
+							time.Sleep(time.Millisecond)
+						}
+						nc, err := net.Dial("tcp", sys.routerLn.Addr().String())
+						if err != nil {
+							done <- err
+							return
+						}
+						gap, err := alice.Resume(bg, nc)
+						if err != nil {
+							done <- err
+							return
+						}
+						if gap != 0 {
+							done <- fmt.Errorf("resume at delivery %d lost %d frames beyond the ring", next, gap)
+							return
+						}
+						conn = nc
+					}
+				}
+				done <- nil
+			}()
+
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("subscriber never received the full stream")
+			}
+			if err := <-pubErr; err != nil {
+				t.Fatal(err)
+			}
+			// The reconnect was a real recovery: wave-2 frames enqueued
+			// while the client was away came back from the ring.
+			if got := sys.router.DeliverySnapshot(); got.DeliveriesReplayed == 0 {
+				t.Fatalf("the reconnect replayed nothing: %+v", got)
+			}
+		})
+	}
+}
+
+// TestReconnectGapReportedUnderDisconnect: under the legacy Disconnect
+// policy with a replay ring smaller than the backlog, loss is not
+// silent — the resume ack reports exactly how many deliveries fell off
+// the ring, and the retained tail replays contiguously.
+func TestReconnectGapReportedUnderDisconnect(t *testing.T) {
+	sys := newTestSystemCfg(t, func(cfg *RouterConfig) {
+		cfg.Partitions = 2
+		cfg.DeliveryQueueLen = 4
+		cfg.ReplayRingLen = 8
+		cfg.OverflowPolicy = OverflowDisconnect
+	})
+	subscribeOnly(t, sys, "mallory", halSpec(50))
+	stalled := stalledListener(t, sys, "mallory")
+	const total = 64
+	payload := make([]byte, 64<<10)
+	for i := 0; i < total; i++ {
+		if err := sys.publisher.Publish(bg, halQuote(42), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stalled listener must have been cut by the policy, and every
+	// publication accounted a cursor, before the resume is judged.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := sys.router.DeliverySnapshot()
+		if c.SlowConsumerDisconnects > 0 && c.Enqueued == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow-consumer policy never tripped: %+v", c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = stalled.Close()
+
+	// Resume from scratch: the ack must account for every one of the
+	// total deliveries as either gap (evicted) or replay (retained).
+	conn, err := net.Dial("tcp", sys.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Send(conn, &Message{Type: TypeListen, ClientID: "mallory", Cursor: 0, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	hello := mustRecv(t, conn)
+	if err := expect(hello, TypeListenOK); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Cursor != total {
+		t.Fatalf("resume cursor = %d, want %d", hello.Cursor, total)
+	}
+	if hello.Gap == 0 || hello.Gap != total-8 {
+		t.Fatalf("resume gap = %d, want %d (ring bound 8)", hello.Gap, total-8)
+	}
+	for want := uint64(total - 8 + 1); want <= total; want++ {
+		m := mustRecv(t, conn)
+		if m.Type != TypeDeliver || m.Cursor != want {
+			t.Fatalf("replayed frame = %+v, want cursor %d", m, want)
+		}
+	}
+	if got := sys.router.DeliverySnapshot(); got.DeliveriesReplayed != 8 || got.ReplayGapTotal != total-8 {
+		t.Fatalf("delivery counters = %+v", got)
+	}
+}
+
 // TestPartitionedSealRestore: seal/restore round-trips a partitioned
 // database, landing every subscription back on the slice that issued
 // its ID.
@@ -296,4 +511,67 @@ func TestPartitionedSealRestore(t *testing.T) {
 			t.Fatalf("slice loads changed across restore: %v → %v", before.PerPartition, after.PerPartition)
 		}
 	}
+}
+
+// TestResumeRebaselinesAfterRouterStateLoss: a client resuming against
+// a router that knows nothing of its cursor (state lost, or re-homed)
+// must not filter the fresh stream as replay overlap — the regressed
+// ack cursor rebaselines the client, and deliveries flow again.
+func TestResumeRebaselinesAfterRouterStateLoss(t *testing.T) {
+	sys1 := newTestSystemCfg(t, nil)
+	alice, sub1, conn := resumableClient(t, sys1, "alice")
+	if err := sys1.publisher.Publish(bg, halQuote(42), []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if d := recvSub(t, sub1); string(d.Payload) != "before" {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if alice.LastCursor() == 0 {
+		t.Fatal("no cursor observed before the loss")
+	}
+	_ = conn.Close()
+	<-alice.DeliveryDone()
+
+	// A second, independent router stands in for total state loss.
+	sys2 := newTestSystemCfg(t, nil)
+	pubConn, err := net.Dial("tcp", sys2.pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice.ConnectPublisher(pubConn, sys2.publisher.PublicKey())
+	sub2, err := alice.Subscribe(bg, halSpec(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, err := net.Dial("tcp", sys2.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Resume(bg, conn2); err != nil {
+		t.Fatal(err)
+	}
+	// The new router stamps from 1 — below alice's old cursor. Without
+	// rebaselining, this delivery would be silently discarded forever.
+	if err := sys2.publisher.Publish(bg, halQuote(42), []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if d := recvSub(t, sub2); string(d.Payload) != "after" {
+		t.Fatalf("post-loss delivery = %+v", d)
+	}
+	// Close alice before the systems' cleanups run: sys2 was created
+	// after her, so its teardown (which waits for its publisher serving
+	// loops) would otherwise precede hers.
+	alice.Close()
+}
+
+// recvSub reads one delivery from a Subscription handle with a bound.
+func recvSub(t *testing.T, sub *Subscription) Delivery {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	d, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("waiting for delivery: %v", err)
+	}
+	return d
 }

@@ -304,3 +304,78 @@ func TestFederationPartitionedSwitchlessRouters(t *testing.T) {
 	}
 	expectDelivery(t, sub, "switchless hop")
 }
+
+// TestFederationBatchCrossHop audits the batch-expansion path on the
+// forwarded side: a PublishBatch entering router A is expanded into
+// per-item publications *before* the federation layer stamps each
+// item's origin/seq/TTL envelope, so every matching item — and only
+// the matching items — must cross the attested hop, arrive in batch
+// order, exactly once, and ride the subscriber's local delivery
+// cursors like any native publication.
+func TestFederationBatchCrossHop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	topo, err := NewTopology(ctx, TopologySpec{Routers: 2, Links: [][2]int{{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	pub, err := topo.NewPublisher(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol, err := broker.NewClient("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer carol.Close()
+	if err := topo.ConnectClient(ctx, pub, carol, 1); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := carol.Subscribe(ctx, halSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.WaitRemoteEntries(0, 1, fedWait); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two matching items bracket a non-matching one: order and
+	// selectivity must both survive expansion + forwarding.
+	batch := []broker.Event{
+		{Header: halHeader("HAL"), Payload: []byte("batch-0")},
+		{Header: halHeader("IBM"), Payload: []byte("withheld")},
+		{Header: halHeader("HAL"), Payload: []byte("batch-2")},
+	}
+	if err := pub.PublishBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"batch-0", "batch-2"} {
+		dctx, dcancel := context.WithTimeout(ctx, fedWait)
+		d, err := sub.Next(dctx)
+		dcancel()
+		if err != nil {
+			t.Fatalf("waiting for %q: %v", want, err)
+		}
+		if d.Err != nil || string(d.Payload) != want {
+			t.Fatalf("delivery = %+v, want %q", d, want)
+		}
+	}
+	expectQuiet(t, sub)
+
+	// Forwarded deliveries ride the subscriber's local cursors: one per
+	// matching batch item.
+	if got := carol.LastCursor(); got != 2 {
+		t.Fatalf("carol's delivery cursor = %d, want 2", got)
+	}
+	// The non-matching item was withheld at A per-item, not forwarded
+	// as part of the batch envelope.
+	snapA := topo.Routers[0].FederationSnapshot()
+	if snapA.Forwarded != 2 || snapA.Withheld != 1 {
+		t.Fatalf("router A forwarded %d / withheld %d, want 2 / 1", snapA.Forwarded, snapA.Withheld)
+	}
+	if got := topo.Routers[1].FederationSnapshot().ReceivedForwards; got != 2 {
+		t.Fatalf("router B received %d forwards, want 2", got)
+	}
+}

@@ -26,6 +26,9 @@ type settings struct {
 	switchless       bool
 	ringCapacity     int
 	deliveryQueueLen int
+	overflowPolicy   broker.OverflowPolicy
+	replayRingLen    int
+	resumeWindow     time.Duration
 	drainTimeout     time.Duration
 	cacheAlign       bool
 	disableSharding  bool
@@ -59,6 +62,9 @@ func (s settings) routerConfig(image []byte, signer *rsa.PublicKey) broker.Route
 		Switchless:       s.switchless,
 		RingCapacity:     s.ringCapacity,
 		DeliveryQueueLen: s.deliveryQueueLen,
+		OverflowPolicy:   s.overflowPolicy,
+		ReplayRingLen:    s.replayRingLen,
+		ResumeWindow:     s.resumeWindow,
 		DrainTimeout:     s.drainTimeout,
 		RouterID:         s.routerID,
 		Peers:            s.peers,
@@ -118,10 +124,40 @@ func WithRingCapacity(n int) Option { return func(s *settings) { s.ringCapacity 
 
 // WithDeliveryQueue bounds each listening client's outbound delivery
 // queue to n messages (default 256). A client that stops draining its
-// connection overflows its queue and is disconnected — the router's
-// slow-consumer policy — instead of stalling matching or other
-// clients.
+// connection overflows its queue and is handled by the router's
+// overflow policy (WithOverflowPolicy) instead of stalling matching
+// or other clients.
 func WithDeliveryQueue(n int) Option { return func(s *settings) { s.deliveryQueueLen = n } }
+
+// WithOverflowPolicy selects the router's slow-consumer policy: what
+// happens when a client's bounded delivery queue is full. The default
+// is OverflowDropOldest (evict the oldest queued frame; the client can
+// recover it by resuming with its cursor). OverflowDisconnect restores
+// the pre-cursor behaviour of severing the connection; OverflowPause
+// blocks the delivery stage instead — lossless, but a stalled client
+// throttles the publication stream feeding it. Matching itself never
+// blocks under any policy.
+func WithOverflowPolicy(p OverflowPolicy) Option {
+	return func(s *settings) { s.overflowPolicy = p }
+}
+
+// WithReplayRing bounds each client's delivery replay ring to n
+// messages (default 512) — the window a reconnecting listener can
+// recover by presenting its last-seen cursor to Client.Resume. Losses
+// beyond the ring are reported as the resume gap. A negative n
+// disables the ring: cursors still stamp and gaps stay observable,
+// but no payloads are retained per client — for deployments that
+// never resume and want the memory back.
+func WithReplayRing(n int) Option { return func(s *settings) { s.replayRingLen = n } }
+
+// WithResumeWindow bounds how long the router retains a detached
+// client's delivery state (cursor + replay ring) for resumption
+// (default 5m). Past the window the state — and the payload memory
+// its ring pins — is released, so client churn cannot grow the
+// router without bound; a client returning later starts fresh.
+func WithResumeWindow(d time.Duration) Option {
+	return func(s *settings) { s.resumeWindow = d }
+}
 
 // WithCacheAlign rounds engine record allocations to 64-byte cache
 // lines — the paper's §6 "appropriately fitting [the containment

@@ -193,7 +193,34 @@ type (
 	Delivery = broker.Delivery
 	// ClientRegistry is the publisher's admission database.
 	ClientRegistry = broker.ClientRegistry
+	// OverflowPolicy is the router's slow-consumer policy
+	// (WithOverflowPolicy): what happens when a listening client's
+	// bounded delivery queue is full.
+	OverflowPolicy = broker.OverflowPolicy
+	// DeliveryCounters snapshots a router's delivery-layer loss and
+	// recovery activity (Router.DeliverySnapshot): overflow drops,
+	// slow-consumer disconnects, cursor replays, and resume gaps.
+	DeliveryCounters = broker.DeliveryCounters
 )
+
+// Slow-consumer overflow policies (see WithOverflowPolicy).
+const (
+	// OverflowDropOldest (default): evict the oldest queued frame; the
+	// client recovers it by resuming with its delivery cursor.
+	OverflowDropOldest = broker.OverflowDropOldest
+	// OverflowDisconnect: sever the stalled client's connection (the
+	// legacy policy).
+	OverflowDisconnect = broker.OverflowDisconnect
+	// OverflowPause: block the delivery stage until the client drains —
+	// lossless, at the cost of throttling the publication stream.
+	OverflowPause = broker.OverflowPause
+)
+
+// ParseOverflowPolicy maps "drop-oldest", "disconnect", or "pause"
+// onto the corresponding policy (the CLIs' -overflow flag values).
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	return broker.ParseOverflowPolicy(s)
+}
 
 // NewRouter launches the routing enclave on dev from the measured
 // image signed by signer (publishers pin both during attestation) and

@@ -30,6 +30,15 @@ import (
 // or select on sub.Deliveries() alongside other channels. Unsubscribe
 // (or Client.Close) ends the stream; buffered deliveries drain before
 // Next reports ErrClosed.
+//
+// Handles bound through Client.Attach close when the delivery
+// connection drops. Handles bound through Client.Resume survive it:
+// the stream goes quiet, and the next Resume presents the client's
+// last-seen delivery cursor so the router replays the gap — consumers
+// keep iterating the same handle across reconnects and see every
+// delivery exactly once, in order, as long as the router's replay
+// ring covered the outage (Resume reports the unrecoverable remainder
+// as its gap).
 type Subscription = broker.Subscription
 
 // Event is one publication for Publisher.Publish/PublishBatch: the
