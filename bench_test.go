@@ -596,9 +596,17 @@ func BenchmarkCodecs(b *testing.B) {
 func BenchmarkEndToEndPublish(b *testing.B) {
 	for _, k := range []int{1, 4} {
 		b.Run(fmt.Sprintf("partitions=%d", k), func(b *testing.B) {
-			benchEndToEndPublish(b, k)
+			benchEndToEndPublish(b, k, scbr.SchemePlain)
 		})
 	}
+	// ASPE variant: the identical single-partition deployment with the
+	// software-only encrypted scheme on the data plane. Comparing its
+	// simµs/op against partitions=1 above reproduces the paper's
+	// headline plain-vs-ASPE matching gap (Figure 7) on the live
+	// pipeline rather than the offline harness.
+	b.Run("scheme=aspe", func(b *testing.B) {
+		benchEndToEndPublish(b, 1, scbr.SchemeASPE)
+	})
 	// Federated variant: the same probe round trip, but the publisher
 	// and the probe subscriber sit on different routers of a 2-router
 	// overlay, so every probe crosses an attested hop. Compare its
@@ -608,7 +616,19 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 	b.Run("federated=2", benchFederatedPublish)
 }
 
-func benchEndToEndPublish(b *testing.B, partitions int) {
+// benchSchemeOptions parameterises the deployment's matching scheme:
+// the ASPE universe spans the quote-corpus attributes plus the probe's
+// "price".
+func benchSchemeOptions(schemeName string) scbr.Option {
+	return scbr.WithScheme(schemeName,
+		scbr.WithSchemeAttrs(append(scbr.QuoteAttrs(1), "price")...),
+		scbr.WithSchemeSeed(29),
+		scbr.WithSchemeScale("price", 100),
+		scbr.WithSchemeScale("volume", 10_000_000),
+		scbr.WithSchemeScale("year", 3_000))
+}
+
+func benchEndToEndPublish(b *testing.B, partitions int, schemeName string) {
 	ctx := context.Background()
 	dev := mustDevice(b)
 	quoter, err := scbr.NewQuoter(dev, "bench-platform")
@@ -622,7 +642,7 @@ func benchEndToEndPublish(b *testing.B, partitions int) {
 		b.Fatal(err)
 	}
 	router, err := scbr.NewRouter(dev, quoter, []byte("bench router image"), signer.Public(),
-		scbr.WithPartitions(partitions))
+		scbr.WithPartitions(partitions), benchSchemeOptions(schemeName))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -633,7 +653,7 @@ func benchEndToEndPublish(b *testing.B, partitions int) {
 	go func() { _ = router.Serve(ctx, routerLn) }()
 	b.Cleanup(router.Close)
 
-	publisher, err := scbr.NewPublisher(ias, router.Identity())
+	publisher, err := scbr.NewPublisher(ias, router.Identity(), benchSchemeOptions(schemeName))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -121,6 +121,10 @@ func TestCLIFederation(t *testing.T) {
 	}
 }
 
+// TestCLIDeployment drives router + publisher + subscriber end to end
+// once per registered matching scheme — the CLI half of the paper's
+// plain-vs-ASPE comparison. Setting SCBR_SCHEME restricts the run to
+// one scheme (the CI matrix does).
 func TestCLIDeployment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs three binaries")
@@ -132,6 +136,17 @@ func TestCLIDeployment(t *testing.T) {
 			t.Fatalf("building %s: %v\n%s", tool, err, out)
 		}
 	}
+	for _, schemeName := range []string{"sgx-plain", "aspe"} {
+		if only := os.Getenv("SCBR_SCHEME"); only != "" && only != schemeName {
+			continue
+		}
+		t.Run(schemeName, func(t *testing.T) {
+			runCLIDeployment(t, bin, schemeName)
+		})
+	}
+}
+
+func runCLIDeployment(t *testing.T, bin, schemeName string) {
 	work := t.TempDir()
 	trust := filepath.Join(work, "trust.json")
 	pubKey := filepath.Join(work, "pub.json")
@@ -153,13 +168,14 @@ func TestCLIDeployment(t *testing.T) {
 		return cmd
 	}
 
-	start("scbr-router", "-listen", routerAddr, "-trust", trust)
+	start("scbr-router", "-listen", routerAddr, "-trust", trust, "-scheme", schemeName,
+		"-platform", "cli-"+schemeName)
 	waitFile(t, trust)
 	waitListening(t, routerAddr)
 
 	start("scbr-publisher",
 		"-router", routerAddr, "-trust", trust,
-		"-listen", pubAddr, "-key", pubKey,
+		"-listen", pubAddr, "-key", pubKey, "-scheme", schemeName,
 		"-feed", "e80a1", "-count", "0", "-interval", "50ms", "-seed", "3")
 	waitFile(t, pubKey)
 	waitListening(t, pubAddr)
@@ -214,5 +230,5 @@ func TestCLIDeployment(t *testing.T) {
 			t.Fatalf("timed out with %d deliveries", received)
 		}
 	}
-	fmt.Println("CLI deployment delivered", received, "quotes")
+	fmt.Printf("CLI deployment (%s) delivered %d quotes\n", schemeName, received)
 }

@@ -7,10 +7,16 @@
 //
 //	scbr-publisher -router 127.0.0.1:7070 -trust router-trust.json \
 //	    -listen 127.0.0.1:7071 -key publisher-key.json \
-//	    -feed e80a1 -count 1000 -interval 100ms [-batch 1]
+//	    -feed e80a1 -count 1000 -interval 100ms [-batch 1] \
+//	    [-scheme sgx-plain|aspe] [-scheme-attrs a,b,c] [-scheme-seed 0]
 //
 // With -batch > 1 the feed pipelines that many quotes per router
 // round trip through PublishBatch.
+//
+// -scheme selects the matching scheme (must match the router's
+// -scheme). The aspe scheme needs a fixed attribute universe:
+// -scheme-attrs lists it explicitly, defaulting to the quote-corpus
+// attributes of the selected -feed workload.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -49,6 +56,9 @@ func run() error {
 		interval   = flag.Duration("interval", 200*time.Millisecond, "delay between feed rounds")
 		batch      = flag.Int("batch", 1, "publications per router round trip (PublishBatch when > 1)")
 		seed       = flag.Int64("seed", 1, "feed generator seed")
+		schemeName = flag.String("scheme", scbr.SchemePlain, "matching scheme to encode under (sgx-plain or aspe; must match the router's -scheme)")
+		schemeAttr = flag.String("scheme-attrs", "", "comma-separated attribute universe for schemes that need one (default: the -feed workload's quote attributes)")
+		schemeSeed = flag.Int64("scheme-seed", 0, "deterministic seed for the scheme's secret material (0 = random)")
 	)
 	flag.Parse()
 
@@ -63,10 +73,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	pub, err := scbr.NewPublisher(svc, identity)
+	schemeOpts, err := schemeOptions(*schemeName, *schemeAttr, *feed, *schemeSeed)
 	if err != nil {
 		return err
 	}
+	pub, err := scbr.NewPublisher(svc, identity, scbr.WithScheme(*schemeName, schemeOpts...))
+	if err != nil {
+		return err
+	}
+	log.Printf("encoding under matching scheme %s", pub.Scheme())
 	conn, err := net.Dial("tcp", *routerAddr)
 	if err != nil {
 		return fmt.Errorf("dialing router: %w", err)
@@ -118,6 +133,44 @@ func run() error {
 	_ = conn.Close()
 	wg.Wait()
 	return nil
+}
+
+// schemeOptions assembles the scheme codec options: an explicit
+// -scheme-attrs universe wins; otherwise schemes that need one get the
+// quote attributes of the selected feed workload (suffixed per its
+// attribute factor).
+func schemeOptions(schemeName, attrCSV, feed string, seed int64) ([]scbr.SchemeOption, error) {
+	var opts []scbr.SchemeOption
+	if seed != 0 {
+		opts = append(opts, scbr.WithSchemeSeed(seed))
+	}
+	if attrCSV != "" {
+		var names []string
+		for _, a := range strings.Split(attrCSV, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				names = append(names, a)
+			}
+		}
+		return append(opts, scbr.WithSchemeAttrs(names...)), nil
+	}
+	caps, err := scbr.LookupScheme(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	// Schemes with sealed plaintext exchange have no fixed universe;
+	// only supply the default one where a universe is meaningful.
+	if caps.SealedExchange {
+		return opts, nil
+	}
+	factor := 1
+	if feed != "" {
+		wl, err := scbr.WorkloadByName(feed)
+		if err != nil {
+			return nil, err
+		}
+		factor = wl.AttrFactor
+	}
+	return append(opts, scbr.WithSchemeAttrs(scbr.QuoteAttrs(factor)...)), nil
 }
 
 // runFeed publishes synthetic quotes until count is reached or ctx is

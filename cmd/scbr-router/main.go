@@ -6,6 +6,7 @@
 // Usage:
 //
 //	scbr-router -listen 127.0.0.1:7070 -trust router-trust.json \
+//	    [-scheme sgx-plain|aspe] \
 //	    [-partitions 4] [-switchless] [-epc 93] [-pad 0] [-delivery-queue 256] \
 //	    [-router-id r1 -peer host:port -peer-trust peer-trust.json ...] \
 //	    [-metrics-addr 127.0.0.1:7079]
@@ -70,6 +71,7 @@ func run() error {
 		epcMB       = flag.Uint64("epc", scbr.DefaultEPCBytes>>20, "usable EPC in MB")
 		platform    = flag.String("platform", "local-platform", "platform identity for attestation")
 		pad         = flag.Int("pad", 0, "engine record padding in bytes")
+		schemeName  = flag.String("scheme", scbr.SchemePlain, "matching scheme the slices store and match under (sgx-plain or aspe; must match the publisher's -scheme)")
 		partitions  = flag.Int("partitions", 1, "enclave matcher slices to shard the subscription database across")
 		switchless  = flag.Bool("switchless", false, "route publications through per-partition untrusted-memory rings")
 		queueLen    = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256)")
@@ -121,6 +123,7 @@ func run() error {
 		return err
 	}
 	opts := []scbr.Option{
+		scbr.WithScheme(*schemeName),
 		scbr.WithEPC(*epcMB << 20),
 		scbr.WithPadding(*pad),
 		scbr.WithPartitions(*partitions),
@@ -164,8 +167,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on %s (EPC %d MB, %d partitions, switchless=%v, peers=%d)",
-		ln.Addr(), *epcMB, *partitions, *switchless, len(peers))
+	log.Printf("serving on %s (scheme %s, EPC %d MB, %d partitions, switchless=%v, peers=%d)",
+		ln.Addr(), router.Scheme(), *epcMB, *partitions, *switchless, len(peers))
 
 	if err := router.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		return err

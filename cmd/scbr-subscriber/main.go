@@ -15,6 +15,14 @@
 // and presents its last-seen delivery cursor, the router replays the
 // retained gap, and consumption continues on the same Subscription
 // handles without loss (unrecoverable losses are logged as a gap).
+//
+// The subscriber is matching-scheme transparent: it always submits
+// plaintext subscription expressions to the publisher, which encodes
+// them under the deployment's scheme (-scheme on scbr-publisher and
+// scbr-router), and payloads arrive group-key-sealed either way. The
+// client learns the scheme ID from the subscribe ack and tags its
+// listen binds with it, so attaching to a wrong-scheme router fails
+// loudly instead of waiting forever.
 package main
 
 import (

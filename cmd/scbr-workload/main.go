@@ -6,6 +6,13 @@
 //
 //	scbr-workload -stats
 //	scbr-workload -workload e80a4 -subs 1000 -pubs 100 -out data/
+//	scbr-workload -workload e80a1 -subs 1000 -pubs 100 -scheme aspe
+//
+// With -scheme the tool also reports the average wire footprint of the
+// generated sets under that matching scheme — the space side of the
+// paper's plain-vs-ASPE comparison (ASPE registrations carry up to
+// three encrypted sign-test vectors per constraint, plaintext ones a
+// few dozen bytes).
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/workload"
 )
 
@@ -38,6 +46,7 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		symbols = flag.Int("symbols", workload.DefaultNumSymbols, "corpus symbols")
 		perSym  = flag.Int("per-symbol", workload.DefaultQuotesPerSym, "quotes per symbol")
+		schemeN = flag.String("scheme", "", "report the generated sets' wire footprint under this matching scheme (e.g. sgx-plain, aspe)")
 	)
 	flag.Parse()
 
@@ -59,10 +68,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	subs := gen.Subscriptions(*nSubs)
+	events := gen.Publications(*nPubs)
 	if *nSubs > 0 {
 		if err := export(*outDir, spec.Name+"-subs.jsonl", func(w *bufio.Writer) error {
 			enc := json.NewEncoder(w)
-			for _, s := range gen.Subscriptions(*nSubs) {
+			for _, s := range subs {
 				if err := enc.Encode(subJSON(s)); err != nil {
 					return err
 				}
@@ -75,7 +86,7 @@ func run() error {
 	if *nPubs > 0 {
 		if err := export(*outDir, spec.Name+"-pubs.jsonl", func(w *bufio.Writer) error {
 			enc := json.NewEncoder(w)
-			for _, p := range gen.Publications(*nPubs) {
+			for _, p := range events {
 				if err := enc.Encode(pubJSON(p)); err != nil {
 					return err
 				}
@@ -85,6 +96,45 @@ func run() error {
 			return err
 		}
 	}
+	if *schemeN != "" {
+		return reportFootprint(*schemeN, spec, subs, events)
+	}
+	return nil
+}
+
+// reportFootprint encodes the generated sets under the named matching
+// scheme and prints the average wire blob sizes.
+func reportFootprint(schemeName string, spec workload.Spec, subs []pubsub.SubscriptionSpec, events []pubsub.EventSpec) error {
+	codec, err := scheme.NewCodec(schemeName,
+		scheme.WithAttrs(workload.QuoteAttrs(spec.AttrFactor)...),
+		scheme.WithCalibration(events...))
+	if err != nil {
+		return err
+	}
+	avg := func(n, total int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(total) / float64(n)
+	}
+	subBytes := 0
+	for _, s := range subs {
+		enc, err := codec.EncodeSubscription(s)
+		if err != nil {
+			return fmt.Errorf("encoding subscription under %s: %w", codec.Name(), err)
+		}
+		subBytes += len(enc)
+	}
+	pubBytes := 0
+	for _, p := range events {
+		enc, err := codec.EncodeEvent(p)
+		if err != nil {
+			return fmt.Errorf("encoding publication under %s: %w", codec.Name(), err)
+		}
+		pubBytes += len(enc)
+	}
+	fmt.Fprintf(os.Stderr, "scheme %s wire footprint: %.1f B/subscription (%d), %.1f B/publication header (%d)\n",
+		codec.Name(), avg(len(subs), subBytes), len(subs), avg(len(events), pubBytes), len(events))
 	return nil
 }
 

@@ -43,6 +43,12 @@ var (
 	// ErrStateRollback reports a sealed router snapshot that is not
 	// the most recently sealed one (§2 rollback protection).
 	ErrStateRollback = broker.ErrStateRollback
+	// ErrSchemeMismatch reports a matching-scheme disagreement: a
+	// publisher or client encoded under one scheme talking to a router
+	// running another (WithScheme), or a sealed snapshot restored into
+	// a router configured with a different scheme. Carried across the
+	// wire, so errors.Is works on the rejected side.
+	ErrSchemeMismatch = broker.ErrSchemeMismatch
 
 	// Attestation causes, for callers that need to distinguish them
 	// under ErrAttestationFailed.

@@ -302,16 +302,16 @@ func TestPrefilterReducesWork(t *testing.T) {
 		}
 	}
 	ev := randomASPEEvent(t, rng, schema)
-	beforePlain := plain.acc.Meter().C
+	beforePlain := plain.Meter().C
 	if _, err := plain.Match(ev); err != nil {
 		t.Fatal(err)
 	}
-	costPlain := plain.acc.Meter().C.Sub(beforePlain).Cycles
-	beforeFiltered := filtered.acc.Meter().C
+	costPlain := plain.Meter().C.Sub(beforePlain).Cycles
+	beforeFiltered := filtered.Meter().C
 	if _, err := filtered.Match(ev); err != nil {
 		t.Fatal(err)
 	}
-	costFiltered := filtered.acc.Meter().C.Sub(beforeFiltered).Cycles
+	costFiltered := filtered.Meter().C.Sub(beforeFiltered).Cycles
 	// With only a handful of dimensions the saving is modest (the
 	// unfiltered scan already fails fast on the equality product); the
 	// prefilter must still be a clear win.

@@ -2,7 +2,6 @@ package aspe
 
 import (
 	"encoding/binary"
-	"fmt"
 	"hash/fnv"
 	"math"
 
@@ -48,7 +47,7 @@ func bloomHashes(id pubsub.AttrID, v float64) (uint32, uint32) {
 	return uint32(sum % BloomBits), uint32((sum >> 32) % BloomBits)
 }
 
-// Options configure a Matcher.
+// Options configure a Matcher or Store.
 type Options struct {
 	// Prefilter enables the DEBS'12 Bloom pre-filtering of equality
 	// constraints. Disabling it gives the plain ASPE baseline (used by
@@ -56,84 +55,54 @@ type Options struct {
 	Prefilter bool
 }
 
-// subEntry is the matcher-side handle of one registered subscription.
-type subEntry struct {
-	id      uint64
-	vecOffs []uint64 // arena offsets, one ciphertext vector each
-	qNorm   float64
-	filter  Bloom
-	hasEq   bool
-}
-
-// Matcher is the software-only encrypted matcher. Ciphertext vectors
-// live in a metered arena so its LLC behaviour is simulated like the
-// SCBR engine's; compute is charged per multiply-accumulate. The
-// matcher never sees plaintext subscriptions after registration —
-// registration is performed by the trusted side (the publisher in the
-// paper's deployment), which holds the scheme.
+// Matcher bundles the scheme's trusted half (the Scheme holding the
+// secret matrices) with an untrusted Store — the paper's
+// single-process ASPE baseline, where registration-side encryption and
+// matching are measured on one machine. The distributed deployment
+// splits the halves: the publisher encodes with the Scheme, the router
+// stores and matches with a Store it configures from the scheme's
+// public dimension. Ciphertext vectors live in a metered arena so the
+// matcher's LLC behaviour is simulated like the SCBR engine's; compute
+// is charged per multiply-accumulate.
 type Matcher struct {
 	scheme *Scheme
-	acc    simmem.Accessor
-	opts   Options
-	subs   []subEntry
-	nextID uint64
-
-	// vec is the decode scratch for one ciphertext vector.
-	vec []float64
+	store  *Store
 }
 
 // NewMatcher builds a matcher over the accessor.
 func NewMatcher(scheme *Scheme, acc simmem.Accessor, opts Options) *Matcher {
-	return &Matcher{scheme: scheme, acc: acc, opts: opts}
+	store := NewStore(acc, opts)
+	// The local scheme fixes the dimension; Configure on a fresh store
+	// with a valid dimension cannot fail.
+	if err := store.Configure(scheme.Dim()); err != nil {
+		panic(err)
+	}
+	return &Matcher{scheme: scheme, store: store}
 }
 
-// vecBytes is the ciphertext size of one query vector.
-func (m *Matcher) vecBytes() int { return m.scheme.Dim() * 8 }
+// Store exposes the matcher's untrusted half.
+func (m *Matcher) Store() *Store { return m.store }
 
 // Register encrypts and stores a subscription, returning its ID.
 func (m *Matcher) Register(sub *pubsub.Subscription) (uint64, error) {
-	vecs, qNorm, err := m.scheme.QueryVectors(sub)
+	es, err := m.scheme.EncodeSubscription(sub)
 	if err != nil {
 		return 0, err
 	}
-	ent := subEntry{qNorm: qNorm}
 	// Registration-side encryption cost: one M⁻¹ multiply per vector.
+	// The single-process baseline charges it to the matcher's meter; in
+	// the distributed deployment this work happens at the publisher, on
+	// real silicon.
 	n := m.scheme.Dim()
-	m.acc.Charge(uint64(float64(len(vecs)*n*n) * m.acc.Meter().Cost.MulAddCycles))
-	buf := make([]byte, m.vecBytes())
-	for _, v := range vecs {
-		off, err := m.acc.Alloc(len(buf))
-		if err != nil {
-			return 0, fmt.Errorf("aspe: storing query vector: %w", err)
-		}
-		for i, x := range v {
-			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
-		}
-		m.acc.Write(off, buf)
-		ent.vecOffs = append(ent.vecOffs, off)
-	}
-	for _, c := range sub.Constraints {
-		if !c.IsEquality() {
-			continue
-		}
-		ent.hasEq = true
-		if c.Str {
-			ent.filter.add(c.ID, valueScalar(pubsub.Str(c.EqS)))
-		} else {
-			ent.filter.add(c.ID, c.Lo)
-		}
-	}
-	m.nextID++
-	ent.id = m.nextID
-	m.subs = append(m.subs, ent)
-	return ent.id, nil
+	m.store.acc.Charge(uint64(float64(len(es.Vectors)*n*n) * m.store.acc.Meter().Cost.MulAddCycles))
+	return m.store.Register(es, 0)
 }
 
 // Len returns the number of registered subscriptions.
-func (m *Matcher) Len() int { return len(m.subs) }
+func (m *Matcher) Len() int { return m.store.Len() }
 
 // Meter exposes the matcher's cycle meter for experiment snapshots.
-func (m *Matcher) Meter() *simmem.Meter { return m.acc.Meter() }
+func (m *Matcher) Meter() *simmem.Meter { return m.store.Meter() }
 
 // Match encrypts the publication and scans all subscriptions,
 // returning the IDs whose sign tests all pass. This is the matching
@@ -143,55 +112,23 @@ func (m *Matcher) Meter() *simmem.Meter { return m.acc.Meter() }
 // completeness but callers measuring only matching can snapshot
 // counters around MatchEncrypted).
 func (m *Matcher) Match(ev *pubsub.Event) ([]uint64, error) {
-	point, err := m.scheme.EncryptPoint(ev)
+	ep, err := m.scheme.EncodePublication(ev)
 	if err != nil {
 		return nil, err
 	}
-	var filter Bloom
-	for _, a := range ev.Attrs {
-		filter.add(a.ID, valueScalar(a.Value))
-	}
-	return m.MatchEncrypted(point, &filter)
+	return m.MatchEncrypted(ep.Point, &ep.Filter)
 }
 
 // MatchEncrypted matches a pre-encrypted point (with its publication
 // Bloom filter) against the database.
 func (m *Matcher) MatchEncrypted(point []float64, filter *Bloom) ([]uint64, error) {
-	if len(point) != m.scheme.Dim() {
-		return nil, fmt.Errorf("aspe: point has dimension %d, want %d", len(point), m.scheme.Dim())
+	res, err := m.store.MatchEncoded(&EncodedPublication{Dim: len(point), Point: point, Filter: *filter}, nil)
+	if err != nil {
+		return nil, err
 	}
-	cost := m.acc.Meter().Cost
-	pNorm := PointNorm(point)
-	if cap(m.vec) < m.scheme.Dim() {
-		m.vec = make([]float64, m.scheme.Dim())
-	}
-	var out []uint64
-	for si := range m.subs {
-		ent := &m.subs[si]
-		if m.opts.Prefilter && ent.hasEq {
-			// Bloom subset test: a handful of word ops.
-			m.acc.Charge(uint64(bloomWords) * 2)
-			if !ent.filter.subsetOf(filter) {
-				continue
-			}
-		}
-		tol := m.scheme.Tolerance(pNorm, ent.qNorm)
-		matched := true
-		for _, off := range ent.vecOffs {
-			raw := m.acc.Read(off, m.vecBytes())
-			vec := m.vec[:m.scheme.Dim()]
-			for i := range vec {
-				vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
-			}
-			m.acc.Charge(uint64(float64(len(vec)) * cost.MulAddCycles))
-			if Dot(point, vec) < -tol {
-				matched = false
-				break
-			}
-		}
-		if matched {
-			out = append(out, ent.id)
-		}
+	out := make([]uint64, 0, len(res))
+	for _, r := range res {
+		out = append(out, r.SubID)
 	}
 	return out, nil
 }
@@ -200,13 +137,38 @@ func (m *Matcher) MatchEncrypted(point []float64, filter *Bloom) ([]uint64, erro
 // for callers that split encryption from matching (Figure 7 measures
 // only the matching step).
 func (m *Matcher) EncryptPublication(ev *pubsub.Event) ([]float64, *Bloom, error) {
-	point, err := m.scheme.EncryptPoint(ev)
+	ep, err := m.scheme.EncodePublication(ev)
 	if err != nil {
 		return nil, nil, err
 	}
-	var filter Bloom
-	for _, a := range ev.Attrs {
-		filter.add(a.ID, valueScalar(a.Value))
+	return ep.Point, &ep.Filter, nil
+}
+
+// subscriptionFilter builds the registration-side Bloom filter over a
+// subscription's equality constraints.
+func subscriptionFilter(cs []pubsub.Constraint) (Bloom, bool) {
+	var f Bloom
+	hasEq := false
+	for _, c := range cs {
+		if !c.IsEquality() {
+			continue
+		}
+		hasEq = true
+		if c.Str {
+			f.add(c.ID, valueScalar(pubsub.Str(c.EqS)))
+		} else {
+			f.add(c.ID, c.Lo)
+		}
 	}
-	return point, &filter, nil
+	return f, hasEq
+}
+
+// publicationFilter builds the publication-side Bloom filter over an
+// event's attribute values.
+func publicationFilter(ev *pubsub.Event) Bloom {
+	var f Bloom
+	for _, a := range ev.Attrs {
+		f.add(a.ID, valueScalar(a.Value))
+	}
+	return f
 }

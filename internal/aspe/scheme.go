@@ -1,8 +1,12 @@
 package aspe
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"math/rand"
 
@@ -83,6 +87,33 @@ func NewScheme(schema *pubsub.Schema, attrs []pubsub.AttrID, seed int64) (*Schem
 
 // Dim returns the vector dimensionality n.
 func (s *Scheme) Dim() int { return s.n }
+
+// KeyID fingerprints everything that fixes the meaning of this
+// scheme's encodings: the attribute layout, the public scales, and the
+// secret matrices. Two schemes with equal KeyIDs produce mutually
+// matchable ciphertexts; a store provisioned under one KeyID must
+// reject re-provisioning under another while it holds vectors (their
+// dot products against the new scheme's points would be noise). A
+// SHA-256 digest of the secrets is safe to publish — it reveals
+// nothing invertible about the matrices.
+func (s *Scheme) KeyID() string {
+	h := sha256.New()
+	for _, id := range s.attrs {
+		name, _ := s.schema.Name(id)
+		_, _ = io.WriteString(h, name)
+		h.Write([]byte{0})
+	}
+	var buf [8]byte
+	for _, sc := range s.scales {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(sc))
+		h.Write(buf[:])
+	}
+	for _, v := range s.m.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
 
 // NumAttrs returns the size of the attribute universe d.
 func (s *Scheme) NumAttrs() int { return len(s.attrs) }
@@ -252,7 +283,36 @@ func (s *Scheme) QueryVectors(sub *pubsub.Subscription) ([][]float64, float64, e
 // (one hash slot, one cent of a scaled price) sit several orders of
 // magnitude above it.
 func (s *Scheme) Tolerance(pointNorm, queryNorm float64) float64 {
-	return 1e-12 * float64(s.n) * (1 + pointNorm) * (1 + queryNorm)
+	return toleranceFor(s.n, pointNorm, queryNorm)
+}
+
+// EncodeSubscription builds the complete registration-side form of one
+// normalised subscription: encrypted query vectors plus the DEBS'12
+// Bloom pre-filter over its equality constraints. This is what the
+// publisher ships to an untrusted ASPE store.
+func (s *Scheme) EncodeSubscription(sub *pubsub.Subscription) (*EncodedSubscription, error) {
+	vecs, qNorm, err := s.QueryVectors(sub)
+	if err != nil {
+		return nil, err
+	}
+	filter, hasEq := subscriptionFilter(sub.Constraints)
+	return &EncodedSubscription{
+		Dim:     s.n,
+		Vectors: vecs,
+		QNorm:   qNorm,
+		Filter:  filter,
+		HasEq:   hasEq,
+	}, nil
+}
+
+// EncodePublication builds the complete publication-side form of one
+// event: the encrypted point plus its Bloom filter.
+func (s *Scheme) EncodePublication(ev *pubsub.Event) (*EncodedPublication, error) {
+	point, err := s.EncryptPoint(ev)
+	if err != nil {
+		return nil, err
+	}
+	return &EncodedPublication{Dim: s.n, Point: point, Filter: publicationFilter(ev)}, nil
 }
 
 // PointNorm exposes the ciphertext norm of an encrypted point.

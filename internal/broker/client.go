@@ -45,6 +45,7 @@ type Client struct {
 
 	mu          sync.Mutex
 	homeRouter  string // federation: the overlay name of the router this client listens on
+	scheme      string // the deployment's matching scheme, learned from the subscribe ack
 	publisherPK *rsa.PublicKey
 	pubConn     net.Conn
 	routerConn  net.Conn
@@ -157,6 +158,10 @@ func (c *Client) Subscribe(ctx context.Context, spec pubsub.SubscriptionSpec) (*
 	if err := c.installGroupKeyLocked(reply.Blob, reply.Epoch); err != nil {
 		return nil, err
 	}
+	// Remember the deployment's matching scheme: subsequent listen
+	// frames are tagged with it, so attaching to a wrong-scheme router
+	// fails loudly with ErrSchemeMismatch instead of going silent.
+	c.scheme = reply.Scheme
 	s := &Subscription{
 		id:     reply.SubID,
 		router: c.homeRouter,
@@ -331,8 +336,9 @@ func (c *Client) listen(ctx context.Context, conn net.Conn, withStream, resumabl
 	// the first bind is an ordinary attach with nothing to replay.
 	c.mu.Lock()
 	resume := resumable && c.listened
+	schemeTag := c.scheme
 	c.mu.Unlock()
-	hello := &Message{Type: TypeListen, ClientID: c.ID}
+	hello := &Message{Type: TypeListen, ClientID: c.ID, Scheme: schemeTag}
 	if resume {
 		hello.Resume = true
 		hello.Cursor = c.cursor.Load()

@@ -26,20 +26,22 @@ import (
 	"sync"
 
 	"scbr/internal/core"
-	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
 )
 
-// partition is one matcher slice: an enclave, its engine (a share of
-// the subscription database), and — in the switchless configuration —
-// the slice's publication ring and resident worker. The partition lock
-// serialises enclave entries and meter access for this slice only;
-// other slices, the control plane, and delivery never wait on it.
+// partition is one matcher slice: an enclave, its scheme store (a
+// share of the subscription database in the matching scheme's
+// encoding), and — in the switchless configuration — the slice's
+// publication ring and resident worker. The partition lock serialises
+// enclave entries and meter access for this slice only; other slices,
+// the control plane, and delivery never wait on it.
 type partition struct {
 	idx     int
 	enclave *sgx.Enclave
-	engine  *core.Engine
+	slice   scheme.Slice
+	engine  *core.Engine // the slice's engine for sgx-plain; nil otherwise
 
 	mu sync.Mutex // serialises this slice's enclave entries and meter
 
@@ -144,6 +146,11 @@ func (r *Router) stopSwitchless() {
 // through routeLocal only — their overlay handling (dedup, TTL,
 // re-forward) happened in handleFwdPub.
 func (r *Router) handlePublish(m *Message) error {
+	if err := r.checkScheme(m.Scheme); err != nil {
+		// Publications are fire-and-forget; a frame encoded under a
+		// different scheme would only be misinterpreted, so drop it.
+		return err
+	}
 	if r.fed != nil {
 		r.forwardPublication(m)
 	}
@@ -220,28 +227,25 @@ func (r *Router) matchFanout(items []*Message, sk *scrypto.SymmetricKey) [][]cor
 	return merged
 }
 
-// matchSlice is trusted step ⑤ on one slice: authenticate and decrypt
-// the header, then match it against the slice's share of the index.
-// Every slice decrypts independently — the replicated key management
-// of the paper's partitioning note — so slices never contend on shared
-// plaintext. The caller holds p.mu and has accounted the enclave entry
-// (an ecall on the synchronous path, the resident worker on the
-// switchless path).
+// matchSlice is trusted step ⑤ on one slice: authenticate the header
+// and match it against the slice's share of the index in the scheme's
+// encoding. Sealed-exchange schemes (sgx-plain) open the SK envelope
+// first — every slice decrypts independently, the replicated key
+// management of the paper's partitioning note — while ciphertext
+// schemes (aspe) hand the blob to the store as-is. The caller holds
+// p.mu and has accounted the enclave entry (an ecall on the
+// synchronous path, the resident worker on the switchless path).
 func (r *Router) matchSlice(p *partition, m *Message, sk *scrypto.SymmetricKey) ([]core.MatchResult, error) {
-	plain, err := scrypto.Open(sk, m.Blob)
-	if err != nil {
-		return nil, fmt.Errorf("decrypting header: %w", err)
+	enc := m.Blob
+	if r.backend.Caps.SealedExchange {
+		plain, err := scrypto.Open(sk, m.Blob)
+		if err != nil {
+			return nil, fmt.Errorf("decrypting header: %w", err)
+		}
+		p.slice.Accessor().Meter().ChargeAES(len(m.Blob))
+		enc = plain
 	}
-	p.engine.Accessor().Meter().ChargeAES(len(m.Blob))
-	spec, err := pubsub.DecodeEventSpec(plain)
-	if err != nil {
-		return nil, fmt.Errorf("decoding header: %w", err)
-	}
-	ev, err := spec.Intern(r.hub.Schema())
-	if err != nil {
-		return nil, err
-	}
-	return r.hub.MatchSlice(p.idx, ev, nil)
+	return r.hub.MatchEncodedIn(p.idx, enc, nil)
 }
 
 // pushPublication hands one wire message to the switchless pipeline:
@@ -312,7 +316,7 @@ func (r *Router) publicationWorker(p *partition) {
 		buf = raw
 		sk, _ := r.keys()
 		p.mu.Lock()
-		meter := p.engine.Accessor().Meter()
+		meter := p.slice.Accessor().Meter()
 		if !entered {
 			meter.ChargeTransition() // the worker's one-time entry/exit round trip
 			entered = true

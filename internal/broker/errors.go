@@ -37,6 +37,12 @@ var (
 	// ErrNotOwner reports an attempt to remove a subscription owned by
 	// a different client.
 	ErrNotOwner = errors.New("broker: subscription not owned by client")
+	// ErrSchemeMismatch reports a matching-scheme disagreement: a frame
+	// (or a sealed state snapshot) whose blobs are encoded under a
+	// different scheme than the router runs, or a provisioning attempt
+	// announcing one. Matching a blob against the wrong scheme's store
+	// would misinterpret the encoding, so mismatches fail fast.
+	ErrSchemeMismatch = errors.New("broker: matching-scheme mismatch")
 )
 
 // ErrUnknownSubscription re-exports the engine's sentinel: operations
@@ -55,6 +61,7 @@ const (
 	codeUnknownSubscription = "unknown-subscription"
 	codeUnknownClient       = "unknown-client"
 	codeRevokedClient       = "revoked"
+	codeSchemeMismatch      = "scheme-mismatch"
 )
 
 // wireSentinels orders the code↔sentinel mapping; more specific
@@ -65,6 +72,7 @@ var wireSentinels = []struct {
 	err  error
 }{
 	{codeRevokedClient, ErrRevokedClient},
+	{codeSchemeMismatch, ErrSchemeMismatch},
 	{codeUnknownClient, ErrUnknownClient},
 	{codeUnknownSubscription, ErrUnknownSubscription},
 	{codeNotOwner, ErrNotOwner},

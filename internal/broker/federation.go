@@ -279,7 +279,7 @@ func (r *Router) openHeaderLocked(p *partition, blob []byte, sk *scrypto.Symmetr
 	if err != nil {
 		return nil, fmt.Errorf("decrypting header: %w", err)
 	}
-	p.engine.Accessor().Meter().ChargeAES(len(blob))
+	p.slice.Accessor().Meter().ChargeAES(len(blob))
 	spec, err := pubsub.DecodeEventSpec(plain)
 	if err != nil {
 		return nil, fmt.Errorf("decoding header: %w", err)

@@ -79,12 +79,19 @@ type BatchItem struct {
 // []byte fields serialise as Base64 inside JSON, matching the paper's
 // Base64 text serialisation.
 type Message struct {
-	Type     MsgType  `json:"type"`
-	ClientID string   `json:"client_id,omitempty"`
-	Router   string   `json:"router,omitempty"` // subscribe/unsubscribe: the client's home router
-	SubID    uint64   `json:"sub_id,omitempty"`
-	SubIDs   []uint64 `json:"sub_ids,omitempty"` // deliver: which subscriptions matched
-	Epoch    uint64   `json:"epoch,omitempty"`
+	Type     MsgType `json:"type"`
+	ClientID string  `json:"client_id,omitempty"`
+	Router   string  `json:"router,omitempty"` // subscribe/unsubscribe: the client's home router
+	// Scheme tags provisioning, registration, publication, and listen
+	// frames with the matching-scheme ID their blobs are encoded under
+	// (internal/scheme). Routers reject frames tagged with a scheme
+	// other than their own with ErrSchemeMismatch; the empty tag means
+	// the default sgx-plain scheme, so pre-scheme peers interoperate
+	// with default-scheme routers unchanged.
+	Scheme string   `json:"scheme,omitempty"`
+	SubID  uint64   `json:"sub_id,omitempty"`
+	SubIDs []uint64 `json:"sub_ids,omitempty"` // deliver: which subscriptions matched
+	Epoch  uint64   `json:"epoch,omitempty"`
 	// Cursor is the per-client delivery sequence: stamped on every
 	// deliver frame, presented by a resuming listen (last seen), and
 	// echoed on listen-ok (the router's current position).

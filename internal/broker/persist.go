@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 
-	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
 	"scbr/internal/streamhub"
@@ -46,11 +46,18 @@ type logEntry struct {
 
 // routerState is the sealed snapshot.
 type routerState struct {
-	SK        []byte     `json:"sk"`
-	VerifyKey []byte     `json:"verify_key"`
-	NextRef   uint32     `json:"next_ref"`
-	RefNames  []string   `json:"ref_names"`
-	Log       []logEntry `json:"log"`
+	SK        []byte `json:"sk"`
+	VerifyKey []byte `json:"verify_key"`
+	// Scheme is the matching scheme the logged registrations are
+	// encoded under, with its provisioned public parameters. Restore
+	// fails fast with ErrSchemeMismatch when the restoring router runs
+	// a different scheme — replaying the log would misinterpret every
+	// stored encoding.
+	Scheme       string     `json:"scheme,omitempty"`
+	SchemeParams []byte     `json:"scheme_params,omitempty"`
+	NextRef      uint32     `json:"next_ref"`
+	RefNames     []string   `json:"ref_names"`
+	Log          []logEntry `json:"log"`
 	// Cursors are the per-client delivery cursors at seal time, so a
 	// restored router keeps stamping where the old one stopped and a
 	// client's resume cursor stays meaningful across the restart. The
@@ -65,7 +72,7 @@ type routerState struct {
 // untrusted disk; only the latest blob will restore.
 func (r *Router) SealState() ([]byte, error) {
 	r.keyMu.RLock()
-	sk, verifyKey := r.sk, r.verifyKey
+	sk, verifyKey, schemeParams := r.sk, r.verifyKey, r.schemeParams
 	r.keyMu.RUnlock()
 	if sk == nil {
 		return nil, fmt.Errorf("%w: nothing to seal", ErrNotProvisioned)
@@ -80,12 +87,14 @@ func (r *Router) SealState() ([]byte, error) {
 	r.stateMu.Lock()
 	r.ctlMu.RLock()
 	state := routerState{
-		SK:        sk.Bytes(),
-		VerifyKey: verifyDER,
-		NextRef:   uint32(len(r.refName)),
-		RefNames:  append([]string(nil), r.refName...),
-		Log:       append(make([]logEntry, 0, len(r.regLog)), r.regLog...),
-		Cursors:   r.delivery.cursors(),
+		SK:           sk.Bytes(),
+		VerifyKey:    verifyDER,
+		Scheme:       r.backend.Name,
+		SchemeParams: append([]byte(nil), schemeParams...),
+		NextRef:      uint32(len(r.refName)),
+		RefNames:     append([]string(nil), r.refName...),
+		Log:          append(make([]logEntry, 0, len(r.regLog)), r.regLog...),
+		Cursors:      r.delivery.cursors(),
 	}
 	r.ctlMu.RUnlock()
 	r.stateMu.Unlock()
@@ -145,6 +154,13 @@ func (r *Router) RestoreState(blob []byte) error {
 	if err := json.Unmarshal(raw, &state); err != nil {
 		return fmt.Errorf("broker: decoding state: %w", err)
 	}
+	// Fail fast on a scheme disagreement before touching any slice:
+	// the sealed log's encodings are only meaningful to the scheme
+	// that produced them (an empty sealed ID is a pre-scheme snapshot,
+	// i.e. the default scheme).
+	if got := scheme.Canonical(state.Scheme); got != r.backend.Name {
+		return fmt.Errorf("%w: sealed state is encoded under %q, router runs %q", ErrSchemeMismatch, got, r.backend.Name)
+	}
 	sk, err := scrypto.SymmetricKeyFromBytes(state.SK)
 	if err != nil {
 		return fmt.Errorf("broker: decoding sealed SK: %w", err)
@@ -153,9 +169,13 @@ func (r *Router) RestoreState(blob []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := r.configureSlices(state.SchemeParams); err != nil {
+		return fmt.Errorf("broker: restoring scheme parameters: %w", err)
+	}
 	r.keyMu.Lock()
 	r.sk = sk
 	r.verifyKey = verifyKey
+	r.schemeParams = append([]byte(nil), state.SchemeParams...)
 	r.keyMu.Unlock()
 	r.ctlMu.Lock()
 	for i, name := range state.RefNames {
@@ -174,36 +194,15 @@ func (r *Router) RestoreState(blob []byte) error {
 }
 
 // replayRegistration re-validates and re-indexes one logged
-// registration under its original ID, on the partition that ID names.
+// registration under its original ID, on the partition that ID names,
+// through the same scheme-dispatched ingest path live registrations
+// take.
 func (r *Router) replayRegistration(ent logEntry) error {
 	target := streamhub.PartitionOf(ent.SubID)
 	if target >= len(r.parts) {
 		return fmt.Errorf("subscription names partition %d, but the router has %d (restore with the sealing partition count)", target, len(r.parts))
 	}
-	sk, verifyKey := r.keys()
-	ref := r.refFor(ent.ClientID)
-	p := r.parts[target]
-	var spec pubsub.SubscriptionSpec // retained for the federation digest
-	p.mu.Lock()
-	err := p.enclave.Ecall(func() error {
-		if err := scrypto.Verify(verifyKey, signedRegistration(ent.Blob, ent.ClientID), ent.Sig); err != nil {
-			return fmt.Errorf("registration signature invalid: %w", err)
-		}
-		plain, err := scrypto.Open(sk, ent.Blob)
-		if err != nil {
-			return fmt.Errorf("decrypting subscription: %w", err)
-		}
-		spec, err = pubsub.DecodeSubscriptionSpec(plain)
-		if err != nil {
-			return fmt.Errorf("decoding subscription: %w", err)
-		}
-		sub, err := pubsub.Normalize(r.hub.Schema(), spec)
-		if err != nil {
-			return err
-		}
-		return r.hub.RegisterAssignedIn(sub, ref, ent.SubID)
-	})
-	p.mu.Unlock()
+	_, spec, haveSpec, err := r.ingestRegistration(target, ent.ClientID, ent.Blob, ent.Sig, ent.SubID)
 	if err != nil {
 		return err
 	}
@@ -212,7 +211,9 @@ func (r *Router) replayRegistration(ent logEntry) error {
 	r.regPos[ent.SubID] = len(r.regLog)
 	r.regLog = append(r.regLog, ent)
 	r.ctlMu.Unlock()
-	r.fedAddLocal(ent.SubID, spec)
+	if haveSpec {
+		r.fedAddLocal(ent.SubID, spec)
+	}
 	return nil
 }
 

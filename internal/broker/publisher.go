@@ -12,13 +12,15 @@ import (
 
 	"scbr/internal/attest"
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
 )
 
 // Publisher is the service provider's data source: it owns the
 // public/private pair PK/PK⁻¹ clients encrypt subscriptions under, the
 // symmetric key SK it shares with the enclave, the payload group key,
-// and the client admission registry.
+// the matching-scheme codec that encodes subscriptions and headers for
+// the router's stores, and the client admission registry.
 type Publisher struct {
 	keys     *scrypto.KeyPair
 	sk       *scrypto.SymmetricKey
@@ -26,6 +28,7 @@ type Publisher struct {
 	registry *ClientRegistry
 	ias      *attest.Service
 	routerID attest.Identity
+	codec    scheme.Codec
 
 	mu         sync.Mutex
 	routerConn net.Conn            // default route (ConnectRouter / SetDefaultRouter)
@@ -40,8 +43,26 @@ func subKey(router string, id uint64) string {
 }
 
 // NewPublisher creates a publisher that will only provision SK into
-// enclaves matching routerID, as vouched for by ias.
+// enclaves matching routerID, as vouched for by ias. It encodes under
+// the default sgx-plain matching scheme; use NewPublisherWithCodec for
+// another scheme.
 func NewPublisher(ias *attest.Service, routerID attest.Identity) (*Publisher, error) {
+	return NewPublisherWithCodec(ias, routerID, nil)
+}
+
+// NewPublisherWithCodec creates a publisher encoding under the given
+// matching-scheme codec (nil means the default sgx-plain codec). The
+// codec's scheme ID is announced during attested provisioning and
+// stamped on every registration and publication frame; routers running
+// a different scheme reject them with ErrSchemeMismatch.
+func NewPublisherWithCodec(ias *attest.Service, routerID attest.Identity, codec scheme.Codec) (*Publisher, error) {
+	if codec == nil {
+		var err error
+		codec, err = scheme.NewCodec(scheme.Plain)
+		if err != nil {
+			return nil, fmt.Errorf("broker: building default scheme codec: %w", err)
+		}
+	}
 	keys, err := scrypto.NewKeyPair(nil)
 	if err != nil {
 		return nil, fmt.Errorf("broker: generating publisher keys: %w", err)
@@ -61,10 +82,14 @@ func NewPublisher(ias *attest.Service, routerID attest.Identity) (*Publisher, er
 		registry: NewClientRegistry(),
 		ias:      ias,
 		routerID: routerID,
+		codec:    codec,
 		routers:  make(map[string]net.Conn),
 		subOwner: make(map[string]string),
 	}, nil
 }
+
+// Scheme returns the canonical ID of the publisher's matching scheme.
+func (p *Publisher) Scheme() string { return scheme.Canonical(p.codec.Name()) }
 
 // PublicKey is PK, distributed to clients out of band (e.g. with the
 // service contract).
@@ -133,7 +158,7 @@ func (p *Publisher) provisionRouter(ctx context.Context, conn net.Conn) error {
 	}
 	release := ctxGuard(ctx, conn)
 	defer release()
-	if err := Send(conn, &Message{Type: TypeProvision}); err != nil {
+	if err := Send(conn, &Message{Type: TypeProvision, Scheme: p.Scheme()}); err != nil {
 		return ctxErr(ctx, err)
 	}
 	req, err := Recv(conn)
@@ -147,7 +172,16 @@ func (p *Publisher) provisionRouter(ctx context.Context, conn net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("broker: encoding verify key: %w", err)
 	}
-	bundle, err := json.Marshal(provisionPayload{SK: p.sk.Bytes(), VerifyKey: verifyDER})
+	schemeParams, err := p.codec.Params()
+	if err != nil {
+		return fmt.Errorf("broker: encoding scheme parameters: %w", err)
+	}
+	bundle, err := json.Marshal(provisionPayload{
+		SK:        p.sk.Bytes(),
+		VerifyKey: verifyDER,
+		Scheme:    p.Scheme(),
+		Params:    schemeParams,
+	})
 	if err != nil {
 		return fmt.Errorf("broker: encoding provision bundle: %w", err)
 	}
@@ -196,7 +230,8 @@ func (p *Publisher) ServeClient(ctx context.Context, conn net.Conn) {
 }
 
 // handleSubscribe implements steps ① and ②: decrypt {s}PK, run
-// admission control, validate the subscription, re-encrypt under SK,
+// admission control, encode the subscription under the matching
+// scheme (validating it), seal under SK for sealed-exchange schemes,
 // sign, and forward to the router.
 func (p *Publisher) handleSubscribe(conn net.Conn, m *Message) error {
 	rec, err := p.admit(m)
@@ -207,27 +242,31 @@ func (p *Publisher) handleSubscribe(conn net.Conn, m *Message) error {
 	if err != nil {
 		return fmt.Errorf("decrypting subscription: %w", err)
 	}
-	// Validate before forwarding: the publisher must not relay junk to
-	// the enclave.
 	spec, err := pubsub.DecodeSubscriptionSpec(plain)
 	if err != nil {
 		return fmt.Errorf("invalid subscription: %w", err)
 	}
-	if _, err := pubsub.Normalize(pubsub.NewSchema(), spec); err != nil {
+	// The codec validates before encoding: the publisher must not
+	// relay junk to the router (and for encrypting schemes this is
+	// where plaintext stops — the router only ever sees the scheme
+	// ciphertext produced here).
+	enc, err := p.codec.EncodeSubscription(spec)
+	if err != nil {
 		return fmt.Errorf("invalid subscription: %w", err)
 	}
-	encSK, err := scrypto.Seal(p.sk, plain)
-	if err != nil {
-		return fmt.Errorf("re-encrypting subscription: %w", err)
+	if p.codec.Capabilities().SealedExchange {
+		if enc, err = scrypto.Seal(p.sk, enc); err != nil {
+			return fmt.Errorf("re-encrypting subscription: %w", err)
+		}
 	}
-	sig, err := scrypto.Sign(p.keys, signedRegistration(encSK, m.ClientID))
+	sig, err := scrypto.Sign(p.keys, signedRegistration(enc, m.ClientID))
 	if err != nil {
 		return fmt.Errorf("signing registration: %w", err)
 	}
 	// Register on the client's home router (m.Router; the default
 	// route when unset), so in a federated overlay the subscription
 	// lives where the client listens.
-	reply, err := p.routerRequest(m.Router, &Message{Type: TypeRegister, ClientID: m.ClientID, Blob: encSK, Sig: sig})
+	reply, err := p.routerRequest(m.Router, &Message{Type: TypeRegister, ClientID: m.ClientID, Scheme: p.Scheme(), Blob: enc, Sig: sig})
 	if err != nil {
 		return err
 	}
@@ -237,12 +276,13 @@ func (p *Publisher) handleSubscribe(conn net.Conn, m *Message) error {
 	p.mu.Lock()
 	p.subOwner[subKey(m.Router, reply.SubID)] = m.ClientID
 	p.mu.Unlock()
-	// Hand the client the payload group key alongside the ack.
+	// Hand the client the payload group key alongside the ack, plus
+	// the deployment's scheme ID so the client can tag its listens.
 	keyBlob, epoch, err := p.groupKeyFor(rec)
 	if err != nil {
 		return err
 	}
-	return Send(conn, &Message{Type: TypeSubscribeOK, SubID: reply.SubID, Blob: keyBlob, Epoch: epoch})
+	return Send(conn, &Message{Type: TypeSubscribeOK, SubID: reply.SubID, Scheme: p.Scheme(), Blob: keyBlob, Epoch: epoch})
 }
 
 // handleGroupKey re-issues the current payload key to an active
@@ -332,22 +372,19 @@ type Event struct {
 	Payload []byte
 }
 
-// Publish is step ④: encrypt the header under SK, the payload under
-// the group key, and send both to the router. Cancellation is checked
-// before the send and a ctx deadline bounds a stalled send; an
-// already-started frame is never abandoned (it would corrupt the
-// stream), so a bare cancel takes effect on the next call.
+// Publish is step ④: encode the header under the matching scheme
+// (sealing it under SK for sealed-exchange schemes), encrypt the
+// payload under the group key, and send both to the router.
+// Cancellation is checked before the send and a ctx deadline bounds a
+// stalled send; an already-started frame is never abandoned (it would
+// corrupt the stream), so a bare cancel takes effect on the next call.
 func (p *Publisher) Publish(ctx context.Context, header pubsub.EventSpec, payload []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	raw, err := pubsub.EncodeEventSpec(header)
+	encHeader, err := p.encodeHeader(header)
 	if err != nil {
 		return err
-	}
-	encHeader, err := scrypto.Seal(p.sk, raw)
-	if err != nil {
-		return fmt.Errorf("broker: encrypting header: %w", err)
 	}
 	groupKey, epoch := p.group.Key()
 	encPayload, err := scrypto.Seal(groupKey, payload)
@@ -361,7 +398,24 @@ func (p *Publisher) Publish(ctx context.Context, header pubsub.EventSpec, payloa
 	}
 	release := deadlineGuard(ctx, p.routerConn)
 	defer release()
-	return ctxErr(ctx, Send(p.routerConn, &Message{Type: TypePublish, Blob: encHeader, Payload: encPayload, Epoch: epoch}))
+	return ctxErr(ctx, Send(p.routerConn, &Message{Type: TypePublish, Scheme: p.Scheme(), Blob: encHeader, Payload: encPayload, Epoch: epoch}))
+}
+
+// encodeHeader produces the routable header blob: the scheme encoding,
+// SK-sealed when the scheme exchanges sealed plaintext.
+func (p *Publisher) encodeHeader(header pubsub.EventSpec) ([]byte, error) {
+	raw, err := p.codec.EncodeEvent(header)
+	if err != nil {
+		return nil, err
+	}
+	if !p.codec.Capabilities().SealedExchange {
+		return raw, nil
+	}
+	enc, err := scrypto.Seal(p.sk, raw)
+	if err != nil {
+		return nil, fmt.Errorf("broker: encrypting header: %w", err)
+	}
+	return enc, nil
 }
 
 // batchFrameBudget bounds the pre-encoding size of one publish-batch
@@ -391,13 +445,9 @@ func (p *Publisher) PublishBatch(ctx context.Context, events []Event) error {
 	groupKey, epoch := p.group.Key()
 	items := make([]BatchItem, len(events))
 	for i := range events {
-		raw, err := pubsub.EncodeEventSpec(events[i].Header)
+		encHeader, err := p.encodeHeader(events[i].Header)
 		if err != nil {
 			return fmt.Errorf("broker: batch event %d: %w", i, err)
-		}
-		encHeader, err := scrypto.Seal(p.sk, raw)
-		if err != nil {
-			return fmt.Errorf("broker: encrypting batch header %d: %w", i, err)
 		}
 		encPayload, err := scrypto.Seal(groupKey, events[i].Payload)
 		if err != nil {
@@ -421,7 +471,7 @@ func (p *Publisher) PublishBatch(ctx context.Context, events []Event) error {
 			}
 			end++
 		}
-		if err := ctxErr(ctx, Send(p.routerConn, &Message{Type: TypePublishBatch, Items: items[start:end], Epoch: epoch})); err != nil {
+		if err := ctxErr(ctx, Send(p.routerConn, &Message{Type: TypePublishBatch, Scheme: p.Scheme(), Items: items[start:end], Epoch: epoch})); err != nil {
 			return err
 		}
 		start = end

@@ -15,6 +15,7 @@ import (
 	"scbr/internal/core"
 	"scbr/internal/federation"
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
 	"scbr/internal/simmem"
@@ -22,11 +23,18 @@ import (
 )
 
 // provisionPayload is the secret bundle the publisher provisions into
-// the enclave after attestation: the symmetric key SK plus the
-// publisher's signature-verification key.
+// the enclave after attestation: the symmetric key SK, the publisher's
+// signature-verification key, and the matching scheme the publisher
+// encodes under — its ID plus whatever public parameters the router's
+// slices need. Carrying the scheme inside the attested bundle makes
+// the negotiation tamper-evident: the untrusted infrastructure cannot
+// downgrade a deployment to a different scheme without failing the
+// provisioning MAC.
 type provisionPayload struct {
 	SK        []byte `json:"sk"`
 	VerifyKey []byte `json:"verify_key"` // PKIX RSA
+	Scheme    string `json:"scheme,omitempty"`
+	Params    []byte `json:"scheme_params,omitempty"`
 }
 
 // RouterConfig configures a Router.
@@ -36,6 +44,12 @@ type RouterConfig struct {
 	EnclaveImage []byte
 	// EnclaveSigner signs the image (MRSIGNER).
 	EnclaveSigner *rsa.PublicKey
+	// Scheme names the matching scheme this router's slices store and
+	// match under (internal/scheme; empty = the default "sgx-plain").
+	// Provisioning, registration, publication, and scheme-aware listen
+	// frames announcing a different scheme are rejected with
+	// ErrSchemeMismatch.
+	Scheme string
 	// EPCBytes bounds the total enclave page cache across all matcher
 	// slices (default: the paper's ~93 MB usable EPC). With k
 	// partitions each slice's enclave gets a 1/k share, so a database
@@ -123,16 +137,18 @@ type RouterConfig struct {
 //   - one lock per partition: that slice's enclave entries and meter,
 //   - the delivery table's own lock: per-client outbound queues.
 type Router struct {
-	dev    *sgx.Device
-	quoter *attest.Quoter
-	cfg    RouterConfig
+	dev     *sgx.Device
+	quoter  *attest.Quoter
+	cfg     RouterConfig
+	backend *scheme.Backend // the resolved matching scheme
 
 	hub   *streamhub.Hub
 	parts []*partition
 
-	keyMu     sync.RWMutex
-	sk        *scrypto.SymmetricKey
-	verifyKey *rsa.PublicKey
+	keyMu        sync.RWMutex
+	sk           *scrypto.SymmetricKey
+	verifyKey    *rsa.PublicKey
+	schemeParams []byte // provisioned public scheme parameters
 
 	ctlMu     sync.RWMutex
 	clientRef map[string]uint32
@@ -171,12 +187,24 @@ type Router struct {
 }
 
 // NewRouter launches the router's enclave slices on the given device
-// and builds one engine per slice over enclave memory. On any failure
-// after launch every launched enclave is terminated before the error
-// returns, so a failed construction never leaks EPC pages.
+// and builds one scheme store per slice over enclave memory (the
+// containment engine for sgx-plain, the ciphertext-vector store for
+// aspe). On any failure after launch every launched enclave is
+// terminated before the error returns, so a failed construction never
+// leaks EPC pages.
 func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Router, error) {
 	if len(cfg.EnclaveImage) == 0 {
 		return nil, errors.New("broker: router needs an enclave image")
+	}
+	backend, err := scheme.Lookup(cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	if (cfg.RouterID != "" || len(cfg.Peers) > 0) && !backend.Caps.FederationDigests {
+		// The explicit capability gate: federation needs §3.2 containment
+		// digests over subscription plaintext, which this scheme never
+		// reveals to the router.
+		return nil, fmt.Errorf("broker: scheme %q cannot join a federation overlay (no federation-digest support)", backend.Name)
 	}
 	if cfg.Partitions == 0 {
 		cfg.Partitions = 1
@@ -197,6 +225,7 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		dev:       dev,
 		quoter:    quoter,
 		cfg:       cfg,
+		backend:   backend,
 		clientRef: make(map[string]uint32),
 		subOwner:  make(map[uint64]string),
 		regPos:    make(map[uint64]int),
@@ -204,46 +233,51 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		delivery:  newDeliveryTable(cfg.DeliveryQueueLen, cfg.ReplayRingLen, cfg.OverflowPolicy, cfg.ResumeWindow),
 		closing:   make(chan struct{}),
 	}
-	hub, err := streamhub.New(cfg.Partitions, pubsub.NewSchema(),
-		func(i int, schema *pubsub.Schema) (*core.Engine, error) {
-			enclave, launchErr := dev.Launch(cfg.EnclaveImage, cfg.EnclaveSigner,
-				sgx.EnclaveConfig{EPCBytes: epcPer})
-			if launchErr != nil {
-				return nil, fmt.Errorf("launching slice enclave: %w", launchErr)
+	ok := false
+	defer func() {
+		if !ok {
+			for _, p := range r.parts {
+				p.enclave.Terminate()
 			}
-			p := &partition{idx: i, enclave: enclave}
-			r.parts = append(r.parts, p)
-			engine, engErr := core.NewEngine(enclave.Memory(), schema, core.Options{PadRecordTo: cfg.PadRecordTo})
-			if engErr != nil {
-				return nil, fmt.Errorf("building slice engine: %w", engErr)
-			}
-			p.engine = engine
-			return engine, nil
-		}, nil)
-	if err != nil {
-		for _, p := range r.parts {
-			p.enclave.Terminate()
 		}
+	}()
+	schema := pubsub.NewSchema()
+	slices := make([]scheme.Slice, 0, cfg.Partitions)
+	for i := 0; i < cfg.Partitions; i++ {
+		enclave, launchErr := dev.Launch(cfg.EnclaveImage, cfg.EnclaveSigner,
+			sgx.EnclaveConfig{EPCBytes: epcPer})
+		if launchErr != nil {
+			return nil, fmt.Errorf("broker: launching slice enclave: %w", launchErr)
+		}
+		p := &partition{idx: i, enclave: enclave}
+		r.parts = append(r.parts, p)
+		slice, sliceErr := backend.NewSlice(enclave.Memory(), schema, core.Options{PadRecordTo: cfg.PadRecordTo})
+		if sliceErr != nil {
+			return nil, fmt.Errorf("broker: building slice store: %w", sliceErr)
+		}
+		p.slice = slice
+		if ps, isPlain := slice.(*scheme.PlainSlice); isPlain {
+			p.engine = ps.Engine()
+		}
+		slices = append(slices, slice)
+	}
+	hub, err := streamhub.NewFromSlices(schema, slices)
+	if err != nil {
 		return nil, fmt.Errorf("broker: %w", err)
 	}
 	r.hub = hub
 	if cfg.Switchless {
 		if err := r.startSwitchless(); err != nil {
-			for _, p := range r.parts {
-				p.enclave.Terminate()
-			}
 			return nil, err
 		}
 	}
 	if cfg.RouterID != "" || len(cfg.Peers) > 0 {
 		if err := r.startFederation(); err != nil {
 			r.stopSwitchless()
-			for _, p := range r.parts {
-				p.enclave.Terminate()
-			}
 			return nil, err
 		}
 	}
+	ok = true
 	return r, nil
 }
 
@@ -255,8 +289,25 @@ func (r *Router) Enclave() *sgx.Enclave { return r.parts[0].enclave }
 
 // Engine exposes partition 0's routing engine (experiments read its
 // stats; with the default single partition it is the whole index). Use
-// DataPlaneStats for the aggregate of a partitioned router.
+// DataPlaneStats for the aggregate of a partitioned router. Nil when
+// the router's matching scheme is not engine-based (e.g. aspe).
 func (r *Router) Engine() *core.Engine { return r.parts[0].engine }
+
+// Scheme returns the canonical ID of the router's matching scheme.
+func (r *Router) Scheme() string { return r.backend.Name }
+
+// SchemeCapabilities returns the matching scheme's capability flags.
+func (r *Router) SchemeCapabilities() scheme.Capabilities { return r.backend.Caps }
+
+// checkScheme validates a frame's scheme tag against the router's
+// scheme (the empty tag means the default scheme, so pre-scheme peers
+// keep working against default routers).
+func (r *Router) checkScheme(tag string) error {
+	if got := scheme.Canonical(tag); got != r.backend.Name {
+		return fmt.Errorf("%w: frame encoded under %q, router runs %q", ErrSchemeMismatch, got, r.backend.Name)
+	}
+	return nil
+}
 
 // Partitions returns the number of enclave matcher slices.
 func (r *Router) Partitions() int { return len(r.parts) }
@@ -305,7 +356,7 @@ func (r *Router) SliceMeterSnapshots() []simmem.Counters {
 	out := make([]simmem.Counters, len(r.parts))
 	for i, p := range r.parts {
 		p.mu.Lock()
-		out[i] = p.engine.Accessor().Meter().C
+		out[i] = p.slice.Accessor().Meter().C
 		p.mu.Unlock()
 	}
 	return out
@@ -460,7 +511,7 @@ func (r *Router) handleConn(conn net.Conn) {
 		}
 		switch m.Type {
 		case TypeProvision:
-			err = r.handleProvision(conn)
+			err = r.handleProvision(conn, m)
 		case TypeRegister:
 			err = r.handleRegister(conn, m)
 		case TypeRemove:
@@ -508,8 +559,14 @@ func (r *Router) handleConn(conn net.Conn) {
 // request, then install the secrets the publisher returns. The paper's
 // §3.4 partitioning note applies to the keys — "the key management
 // [...] could be simply replicated" — so one provisioning run arms
-// every slice.
-func (r *Router) handleProvision(conn net.Conn) error {
+// every slice. The publisher's matching scheme is checked twice: the
+// plaintext tag on the provision frame rejects mismatched publishers
+// before the attestation round trips, and the scheme ID inside the
+// attested bundle is the authoritative, tamper-evident check.
+func (r *Router) handleProvision(conn net.Conn, m *Message) error {
+	if err := r.checkScheme(m.Scheme); err != nil {
+		return err
+	}
 	p0 := r.parts[0]
 	p0.mu.Lock()
 	req, ephemeral, err := attest.NewProvisioningRequest(p0.enclave, r.quoter)
@@ -549,58 +606,51 @@ func (r *Router) handleProvision(conn net.Conn) error {
 	if !ok {
 		return fmt.Errorf("verify key is %T, want RSA", parsed)
 	}
+	if err := r.checkScheme(payload.Scheme); err != nil {
+		return err
+	}
+	if err := r.configureSlices(payload.Params); err != nil {
+		return err
+	}
 	r.keyMu.Lock()
 	r.sk = sk
 	r.verifyKey = verifyKey
+	r.schemeParams = append([]byte(nil), payload.Params...)
 	r.keyMu.Unlock()
-	return Send(conn, &Message{Type: TypeProvisionOK})
+	return Send(conn, &Message{Type: TypeProvisionOK, Scheme: r.backend.Name})
+}
+
+// configureSlices applies the scheme's wire-negotiated public
+// parameters to every slice store, inside each slice's enclave.
+func (r *Router) configureSlices(params []byte) error {
+	for _, p := range r.parts {
+		p.mu.Lock()
+		err := p.enclave.Ecall(func() error { return p.slice.Configure(params) })
+		p.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("configuring scheme parameters on slice %d: %w", p.idx, err)
+		}
+	}
+	return nil
 }
 
 // handleRegister is step ③: hash the registration to a slice, then
-// validate the publisher's signature and decrypt and index the
-// subscription inside that slice's enclave. Only the target partition
-// serialises — registrations on other slices, and all matching not on
-// this slice, proceed concurrently.
+// validate the publisher's signature and ingest the subscription
+// inside that slice's enclave — opening the SK envelope first for
+// sealed-exchange schemes, storing the scheme ciphertext as-is
+// otherwise. Only the target partition serialises — registrations on
+// other slices, and all matching not on this slice, proceed
+// concurrently.
 func (r *Router) handleRegister(conn net.Conn, m *Message) error {
-	sk, verifyKey := r.keys()
-	if sk == nil {
-		return ErrNotProvisioned
-	}
 	if m.ClientID == "" {
 		return errors.New("registration without client identity")
 	}
-	target := r.hub.PlaceKey([]byte(m.ClientID), m.Blob)
-	p := r.parts[target]
-	var subID uint64
-	var spec pubsub.SubscriptionSpec // retained for the federation digest
-	r.stateMu.RLock()
-	p.mu.Lock()
-	err := p.enclave.Ecall(func() error {
-		// The signature covers the encrypted subscription and the
-		// client binding, so the infrastructure cannot re-route
-		// subscriptions between clients.
-		if err := scrypto.Verify(verifyKey, signedRegistration(m.Blob, m.ClientID), m.Sig); err != nil {
-			return fmt.Errorf("registration signature invalid: %w", err)
-		}
-		plain, err := scrypto.Open(sk, m.Blob)
-		if err != nil {
-			return fmt.Errorf("decrypting subscription: %w", err)
-		}
-		p.engine.Accessor().Meter().ChargeAES(len(m.Blob))
-		spec, err = pubsub.DecodeSubscriptionSpec(plain)
-		if err != nil {
-			return fmt.Errorf("decoding subscription: %w", err)
-		}
-		sub, err := pubsub.Normalize(r.hub.Schema(), spec)
-		if err != nil {
-			return err
-		}
-		// Intern the client identity only now that the registration
-		// authenticated: rejected traffic must leave no state behind.
-		subID, err = r.hub.RegisterNormalizedIn(target, sub, r.refFor(m.ClientID))
+	if err := r.checkScheme(m.Scheme); err != nil {
 		return err
-	})
-	p.mu.Unlock()
+	}
+	target := r.hub.PlaceKey([]byte(m.ClientID), m.Blob)
+	r.stateMu.RLock()
+	subID, spec, haveSpec, err := r.ingestRegistration(target, m.ClientID, m.Blob, m.Sig, 0)
 	if err != nil {
 		r.stateMu.RUnlock()
 		return err
@@ -616,8 +666,67 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	})
 	r.ctlMu.Unlock()
 	r.stateMu.RUnlock()
-	r.fedAddLocal(subID, spec)
+	if haveSpec {
+		r.fedAddLocal(subID, spec)
+	}
 	return Send(conn, &Message{Type: TypeRegisterOK, SubID: subID})
+}
+
+// ingestRegistration validates one signed registration and indexes it
+// in the slice's enclave: on partition target under a fresh ID, or —
+// when assignID is non-zero (the state-restore path) — under that ID
+// on the partition it names. For digest-capable schemes with
+// federation enabled it also returns the decoded subscription spec for
+// the overlay. Callers on the live path hold stateMu shared.
+func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byte, assignID uint64) (uint64, pubsub.SubscriptionSpec, bool, error) {
+	sk, verifyKey := r.keys()
+	if sk == nil {
+		return 0, pubsub.SubscriptionSpec{}, false, ErrNotProvisioned
+	}
+	p := r.parts[target]
+	var subID uint64
+	var spec pubsub.SubscriptionSpec
+	haveSpec := false
+	p.mu.Lock()
+	err := p.enclave.Ecall(func() error {
+		// The signature covers the encoded subscription and the
+		// client binding, so the infrastructure cannot re-route
+		// subscriptions between clients.
+		if err := scrypto.Verify(verifyKey, signedRegistration(blob, clientID), sig); err != nil {
+			return fmt.Errorf("registration signature invalid: %w", err)
+		}
+		enc := blob
+		if r.backend.Caps.SealedExchange {
+			plain, err := scrypto.Open(sk, blob)
+			if err != nil {
+				return fmt.Errorf("decrypting subscription: %w", err)
+			}
+			p.slice.Accessor().Meter().ChargeAES(len(blob))
+			enc = plain
+		}
+		if r.fed != nil && r.backend.Caps.FederationDigests {
+			s, err := pubsub.DecodeSubscriptionSpec(enc)
+			if err != nil {
+				return fmt.Errorf("decoding subscription: %w", err)
+			}
+			spec, haveSpec = s, true
+		}
+		// Intern the client identity only now that the registration
+		// authenticated: rejected traffic must leave no state behind.
+		ref := r.refFor(clientID)
+		if assignID != 0 {
+			subID = assignID
+			return r.hub.RegisterEncodedAssigned(enc, ref, assignID)
+		}
+		var err error
+		subID, err = r.hub.RegisterEncodedIn(target, enc, ref)
+		return err
+	})
+	p.mu.Unlock()
+	if err != nil {
+		return 0, pubsub.SubscriptionSpec{}, false, err
+	}
+	return subID, spec, haveSpec, nil
 }
 
 // handleRemove unregisters a subscription on the owner's behalf. The
@@ -673,6 +782,17 @@ func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 func (r *Router) handleListen(conn net.Conn, m *Message) error {
 	if m.ClientID == "" {
 		return errors.New("listen without client identity")
+	}
+	// Clients learn their deployment's scheme from the subscribe ack
+	// and tag subsequent listens; a tagged mismatch is rejected so a
+	// client homed on the wrong-scheme router fails loudly instead of
+	// waiting for deliveries that can never match. Untagged listens
+	// (a client that has not subscribed yet) pass — deliveries carry
+	// only group-key-sealed payloads, nothing scheme-encoded.
+	if m.Scheme != "" {
+		if err := r.checkScheme(m.Scheme); err != nil {
+			return err
+		}
 	}
 	return r.delivery.attach(m.ClientID, conn, &Message{Type: TypeListenOK}, m.Cursor, m.Resume)
 }

@@ -18,6 +18,7 @@ import (
 	"scbr/internal/attest"
 	"scbr/internal/broker"
 	"scbr/internal/federation"
+	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
 	"scbr/internal/simmem"
@@ -41,10 +42,20 @@ type TopologySpec struct {
 	// overlay — RouterID, Peers, PeerVerifier — are set after Mutate
 	// and cannot be overridden.
 	Mutate func(i int, cfg *broker.RouterConfig)
+	// Scheme selects the matching scheme every router runs (empty =
+	// the default sgx-plain). Schemes without federation-digest
+	// support only stand up single-router, link-free topologies: the
+	// routers are launched without overlay state, and a spec with
+	// Links is rejected.
+	Scheme string
+	// SchemeOptions parameterise the publishers NewPublisher builds
+	// (e.g. the ASPE attribute universe).
+	SchemeOptions []scheme.Option
 }
 
 // Topology is a running overlay.
 type Topology struct {
+	spec TopologySpec
 	// Service vouches for every router platform (register publishers'
 	// verification against it).
 	Service *attest.Service
@@ -69,6 +80,14 @@ func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
 			return nil, fmt.Errorf("deploy: link %v names no router pair of %d", l, spec.Routers)
 		}
 	}
+	backend, err := scheme.Lookup(spec.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	federated := backend.Caps.FederationDigests
+	if !federated && len(spec.Links) > 0 {
+		return nil, fmt.Errorf("deploy: scheme %q cannot form overlay links (no federation-digest support)", backend.Name)
+	}
 	image := spec.Image
 	if len(image) == 0 {
 		image = []byte("scbr federated router image v1")
@@ -77,7 +96,7 @@ func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
 	if err != nil {
 		return nil, fmt.Errorf("deploy: generating fleet signer: %w", err)
 	}
-	t := &Topology{Service: attest.NewService()}
+	t := &Topology{spec: spec, Service: attest.NewService()}
 	ok := false
 	defer func() {
 		if !ok {
@@ -116,13 +135,18 @@ func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
 		}
 		cfg.EnclaveImage = image
 		cfg.EnclaveSigner = signer.Public()
-		cfg.RouterID = t.IDs[i]
-		cfg.PeerVerifier = t.Service
-		cfg.PeerIdentities = nil // pin the fleet's own identity
-		for _, l := range spec.Links {
-			if l[0] == i {
-				cfg.Peers = append(cfg.Peers, t.Addrs[l[1]])
+		cfg.Scheme = spec.Scheme
+		if federated {
+			cfg.RouterID = t.IDs[i]
+			cfg.PeerVerifier = t.Service
+			cfg.PeerIdentities = nil // pin the fleet's own identity
+			for _, l := range spec.Links {
+				if l[0] == i {
+					cfg.Peers = append(cfg.Peers, t.Addrs[l[1]])
+				}
 			}
+		} else {
+			cfg.RouterID, cfg.Peers, cfg.PeerVerifier, cfg.PeerIdentities = "", nil, nil, nil
 		}
 		router, err := broker.NewRouter(dev, quoter, cfg)
 		if err != nil {
@@ -143,7 +167,11 @@ func (t *Topology) NewPublisher(ctx context.Context, home int) (*broker.Publishe
 	if home < 0 || home >= len(t.Routers) {
 		return nil, fmt.Errorf("deploy: home router %d of %d", home, len(t.Routers))
 	}
-	pub, err := broker.NewPublisher(t.Service, t.Identity)
+	codec, err := scheme.NewCodec(t.spec.Scheme, t.spec.SchemeOptions...)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := broker.NewPublisherWithCodec(t.Service, t.Identity, codec)
 	if err != nil {
 		return nil, err
 	}

@@ -3,8 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"scbr/internal/aspe"
+	"scbr/internal/core"
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/simmem"
 	"scbr/internal/workload"
 )
@@ -241,80 +242,65 @@ func Figure7All(cfg Config) (map[string][]Fig7Row, error) {
 	return out, nil
 }
 
-// aspeRun wraps the ASPE baseline for the harness.
+// aspeRun drives the ASPE baseline through the pluggable scheme API —
+// the publisher-side codec encodes, the router-side slice stores and
+// matches, exactly the two halves the live broker deploys.
 type aspeRun struct {
-	schema  *pubsub.Schema
-	matcher *aspe.Matcher
+	codec scheme.Codec
+	slice scheme.Slice
+
+	scratch []core.MatchResult
 }
 
-// buildASPE constructs the scheme over the union of attribute names
-// the workload can produce and pre-encrypts the publication batch.
-func buildASPE(cfg Config, spec workload.Spec, rt *runtime, pubs []pubsub.EventSpec) (*aspeRun, []*pubsub.Event, error) {
-	schema := pubsub.NewSchema()
-	// Collect the attribute universe from a generous sample plus the
-	// publication batch itself.
-	seen := make(map[pubsub.AttrID]bool)
-	var ids []pubsub.AttrID
-	addNames := func(names []string) error {
-		for _, n := range names {
-			id, err := schema.Intern(n)
-			if err != nil {
-				return err
-			}
-			if !seen[id] {
-				seen[id] = true
-				ids = append(ids, id)
-			}
-		}
-		return nil
-	}
-	base := []string{"symbol", "open", "high", "low", "close", "volume", "day", "month", "year", "adjclose", "change"}
-	if spec.AttrFactor == 1 {
-		if err := addNames(base); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		for i := 1; i <= spec.AttrFactor; i++ {
-			withSuffix := make([]string, len(base))
-			for j, b := range base {
-				withSuffix[j] = fmt.Sprintf("%s_%d", b, i)
-			}
-			if err := addNames(withSuffix); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	scheme, err := aspe.NewScheme(schema, ids, cfg.Seed+500)
-	if err != nil {
-		return nil, nil, err
-	}
-	events := make([]*pubsub.Event, 0, len(pubs))
-	for _, p := range pubs {
-		ev, err := p.Intern(schema)
-		if err != nil {
-			return nil, nil, err
-		}
-		events = append(events, ev)
-	}
-	sample := events
+// buildASPE builds the scheme backend over the union of attribute
+// names the workload can produce and pre-encrypts the publication
+// batch into its wire blobs.
+func buildASPE(cfg Config, spec workload.Spec, rt *runtime, pubs []pubsub.EventSpec) (*aspeRun, [][]byte, error) {
+	names := workload.QuoteAttrs(spec.AttrFactor)
+	sample := pubs
 	if len(sample) > 200 {
 		sample = sample[:200]
 	}
-	if err := scheme.CalibrateScales(sample); err != nil {
+	codec, err := scheme.NewCodec(scheme.ASPE,
+		scheme.WithAttrs(names...),
+		scheme.WithSeed(cfg.Seed+500),
+		scheme.WithCalibration(sample...))
+	if err != nil {
 		return nil, nil, err
 	}
-	acc := simmem.NewPlainAccessor(cfg.Cost)
-	matcher := aspe.NewMatcher(scheme, acc, aspe.Options{Prefilter: true})
-	return &aspeRun{schema: schema, matcher: matcher}, events, nil
+	backend, err := scheme.Lookup(scheme.ASPE)
+	if err != nil {
+		return nil, nil, err
+	}
+	slice, err := backend.NewSlice(simmem.NewPlainAccessor(cfg.Cost), pubsub.NewSchema(), core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	params, err := codec.Params()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := slice.Configure(params); err != nil {
+		return nil, nil, err
+	}
+	blobs := make([][]byte, 0, len(pubs))
+	for _, p := range pubs {
+		blob, encErr := codec.EncodeEvent(p)
+		if encErr != nil {
+			return nil, nil, encErr
+		}
+		blobs = append(blobs, blob)
+	}
+	return &aspeRun{codec: codec, slice: slice}, blobs, nil
 }
 
 func (a *aspeRun) register(specs []pubsub.SubscriptionSpec) error {
 	for _, s := range specs {
-		sub, err := pubsub.Normalize(a.schema, s)
+		enc, err := a.codec.EncodeSubscription(s)
 		if err != nil {
 			return err
 		}
-		if _, err := a.matcher.Register(sub); err != nil {
+		if _, err := a.slice.RegisterEncoded(enc, 0); err != nil {
 			return err
 		}
 	}
@@ -324,30 +310,19 @@ func (a *aspeRun) register(specs []pubsub.SubscriptionSpec) error {
 // matchBatch measures only the matching step (points pre-encrypted,
 // as in the paper: "we measured only the matching step, and not the
 // encryption or decryption of ASPE messages").
-func (a *aspeRun) matchBatch(cfg Config, size int, events []*pubsub.Event) (float64, error) {
+func (a *aspeRun) matchBatch(cfg Config, size int, blobs [][]byte) (float64, error) {
 	nPubs := cfg.PubBatch
 	if budget := cfg.ASPEPubBudget / max(size, 1); budget < nPubs {
 		nPubs = max(5, budget)
 	}
-	if nPubs > len(events) {
-		nPubs = len(events)
+	if nPubs > len(blobs) {
+		nPubs = len(blobs)
 	}
-	type encPub struct {
-		point  []float64
-		filter *aspe.Bloom
-	}
-	encs := make([]encPub, 0, nPubs)
-	for _, ev := range events[:nPubs] {
-		point, filter, err := a.matcher.EncryptPublication(ev)
-		if err != nil {
-			return 0, err
-		}
-		encs = append(encs, encPub{point: point, filter: filter})
-	}
-	meter := a.matcher.Meter()
+	meter := a.slice.Accessor().Meter()
 	before := meter.C
-	for _, e := range encs {
-		if _, err := a.matcher.MatchEncrypted(e.point, e.filter); err != nil {
+	for _, blob := range blobs[:nPubs] {
+		var err error
+		if a.scratch, err = a.slice.MatchEncoded(blob, a.scratch[:0]); err != nil {
 			return 0, err
 		}
 	}

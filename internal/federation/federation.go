@@ -28,6 +28,14 @@
 //     the first time it sees an (origin, seq) pair, and only toward
 //     peers whose digest matches the decrypted header, so cyclic peer
 //     graphs neither duplicate nor loop traffic.
+//
+// Digests presuppose a matching scheme that reveals subscription
+// plaintext to the router's enclave for the §3.2 containment
+// compaction (scheme.Capabilities.FederationDigests). Schemes that
+// withhold plaintext from routers entirely — aspe, whose encrypted
+// sign-test vectors support no containment test the router could run —
+// cannot feed this overlay; the broker rejects such configurations at
+// router construction rather than forwarding blindly.
 package federation
 
 import "errors"

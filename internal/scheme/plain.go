@@ -1,0 +1,129 @@
+package scheme
+
+import (
+	"fmt"
+
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+// The sgx-plain scheme: today's SCBR path. Subscriptions and headers
+// travel as the compact plaintext encodings of internal/pubsub, sealed
+// under SK by the broker (SealedExchange); the router opens them
+// inside the enclave and matches with the containment engine.
+
+func init() {
+	Register(&Backend{
+		Name: Plain,
+		Caps: Capabilities{
+			SealedExchange:    true,
+			FederationDigests: true,
+			PrefixConstraints: true,
+		},
+		NewCodec: func(Options) (Codec, error) { return plainCodec{}, nil },
+		NewSlice: func(acc simmem.Accessor, schema *pubsub.Schema, opts core.Options) (Slice, error) {
+			engine, err := core.NewEngine(acc, schema, opts)
+			if err != nil {
+				return nil, err
+			}
+			return NewPlainSlice(engine, schema), nil
+		},
+	})
+}
+
+// plainCodec validates and encodes with the pubsub wire codecs; the
+// broker layers SK sealing on top (the scheme's SealedExchange flag).
+type plainCodec struct{}
+
+func (plainCodec) Name() string { return Plain }
+
+func (plainCodec) Capabilities() Capabilities {
+	return Capabilities{SealedExchange: true, FederationDigests: true, PrefixConstraints: true}
+}
+
+func (plainCodec) Params() ([]byte, error) { return nil, nil }
+
+func (plainCodec) EncodeSubscription(spec pubsub.SubscriptionSpec) ([]byte, error) {
+	// Validate before encoding: the publisher must not relay junk to
+	// the enclave. Normalisation against a throwaway schema exercises
+	// the full predicate validation path.
+	if _, err := pubsub.Normalize(pubsub.NewSchema(), spec); err != nil {
+		return nil, err
+	}
+	return pubsub.EncodeSubscriptionSpec(spec)
+}
+
+func (plainCodec) EncodeEvent(spec pubsub.EventSpec) ([]byte, error) {
+	return pubsub.EncodeEventSpec(spec)
+}
+
+// PlainSlice adapts one containment engine to the Slice interface —
+// the sgx-plain backend's store, and the adapter any engine-backed hub
+// uses for the scheme-agnostic surface.
+type PlainSlice struct {
+	engine *core.Engine
+	schema *pubsub.Schema
+}
+
+// NewPlainSlice wraps an existing engine (sharing the hub schema).
+func NewPlainSlice(engine *core.Engine, schema *pubsub.Schema) *PlainSlice {
+	return &PlainSlice{engine: engine, schema: schema}
+}
+
+// Engine exposes the wrapped containment engine (observability and the
+// experiment harness read its stats and shape).
+func (s *PlainSlice) Engine() *core.Engine { return s.engine }
+
+// Configure accepts only the plain scheme's empty parameter blob.
+func (s *PlainSlice) Configure(params []byte) error {
+	if len(params) != 0 {
+		return fmt.Errorf("scheme: %s expects no parameters, got %d bytes", Plain, len(params))
+	}
+	return nil
+}
+
+func (s *PlainSlice) decode(enc []byte) (*pubsub.Subscription, error) {
+	spec, err := pubsub.DecodeSubscriptionSpec(enc)
+	if err != nil {
+		return nil, fmt.Errorf("decoding subscription: %w", err)
+	}
+	return pubsub.Normalize(s.schema, spec)
+}
+
+func (s *PlainSlice) RegisterEncoded(enc []byte, clientRef uint32) (uint64, error) {
+	sub, err := s.decode(enc)
+	if err != nil {
+		return 0, err
+	}
+	return s.engine.RegisterNormalized(sub, clientRef)
+}
+
+func (s *PlainSlice) RegisterEncodedAssigned(enc []byte, clientRef uint32, id uint64) error {
+	sub, err := s.decode(enc)
+	if err != nil {
+		return err
+	}
+	return s.engine.RegisterAssigned(sub, clientRef, id)
+}
+
+func (s *PlainSlice) Unregister(id uint64) error { return s.engine.Unregister(id) }
+
+func (s *PlainSlice) MatchEncoded(enc []byte, out []core.MatchResult) ([]core.MatchResult, error) {
+	spec, err := pubsub.DecodeEventSpec(enc)
+	if err != nil {
+		return nil, fmt.Errorf("decoding header: %w", err)
+	}
+	ev, err := spec.Intern(s.schema)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.MatchAppend(ev, out)
+}
+
+func (s *PlainSlice) Stats() SliceStats {
+	st := s.engine.Stats()
+	return SliceStats{Subscriptions: st.Subscriptions, Bytes: st.Bytes}
+}
+
+func (s *PlainSlice) Accessor() simmem.Accessor { return s.engine.Accessor() }

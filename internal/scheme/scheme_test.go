@@ -1,0 +1,236 @@
+package scheme
+
+import (
+	"errors"
+	"testing"
+
+	"scbr/internal/core"
+	"scbr/internal/pubsub"
+	"scbr/internal/simmem"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	want := map[string]bool{Plain: false, ASPE: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("builtin scheme %q not registered (have %v)", n, names)
+		}
+	}
+	if _, err := Lookup("no-such-scheme"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown lookup err = %v", err)
+	}
+	// The empty name canonicalises to the default.
+	b, err := Lookup("")
+	if err != nil || b.Name != Plain {
+		t.Fatalf("Lookup(\"\") = %v, %v", b, err)
+	}
+	if Canonical("") != Plain || Canonical(ASPE) != ASPE {
+		t.Fatal("Canonical misbehaves")
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	plain, err := Lookup(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Caps.SealedExchange || !plain.Caps.FederationDigests || !plain.Caps.PrefixConstraints {
+		t.Fatalf("plain caps = %+v", plain.Caps)
+	}
+	aspe, err := Lookup(ASPE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aspe.Caps.SealedExchange || aspe.Caps.FederationDigests || aspe.Caps.PrefixConstraints {
+		t.Fatalf("aspe caps = %+v", aspe.Caps)
+	}
+}
+
+func subSpec(limit float64) pubsub.SubscriptionSpec {
+	return pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: "symbol", Op: pubsub.OpEq, Value: pubsub.Str("HAL")},
+		{Attr: "price", Op: pubsub.OpLt, Value: pubsub.Float(limit)},
+	}}
+}
+
+func event(price float64) pubsub.EventSpec {
+	return pubsub.EventSpec{Attrs: []pubsub.NamedValue{
+		{Name: "symbol", Value: pubsub.Str("HAL")},
+		{Name: "price", Value: pubsub.Float(price)},
+	}}
+}
+
+// roundTrip drives one codec/slice pair through register → match →
+// unregister, asserting the match outcomes.
+func roundTrip(t *testing.T, name string, opts ...Option) {
+	t.Helper()
+	backend, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := backend.NewCodec(Resolve(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec.Name() != backend.Name {
+		t.Fatalf("codec name %q, backend %q", codec.Name(), backend.Name)
+	}
+	slice, err := backend.NewSlice(simmem.NewPlainAccessor(simmem.DefaultCost()), pubsub.NewSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := codec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slice.Configure(params); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := codec.EncodeSubscription(subSpec(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := slice.RegisterEncoded(enc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := slice.Stats(); st.Subscriptions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	match := func(price float64) []core.MatchResult {
+		blob, err := codec.EncodeEvent(event(price))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := slice.MatchEncoded(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := match(42); len(got) != 1 || got[0].SubID != id || got[0].ClientRef != 7 {
+		t.Fatalf("matching event → %v, want [{%d 7}]", got, id)
+	}
+	if got := match(60); len(got) != 0 {
+		t.Fatalf("non-matching event → %v", got)
+	}
+	if err := slice.Unregister(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := match(42); len(got) != 0 {
+		t.Fatalf("match after unregister → %v", got)
+	}
+	// Restore path: the same encoding replays under its original ID.
+	if err := slice.RegisterEncodedAssigned(enc, 7, id); err != nil {
+		t.Fatal(err)
+	}
+	if got := match(42); len(got) != 1 || got[0].SubID != id {
+		t.Fatalf("match after assigned re-register → %v", got)
+	}
+}
+
+func TestPlainRoundTrip(t *testing.T) { roundTrip(t, Plain) }
+
+func TestASPERoundTrip(t *testing.T) {
+	roundTrip(t, ASPE, WithAttrs("symbol", "price"), WithSeed(3), WithScale("price", 100))
+}
+
+func TestASPECodecRequiresUniverse(t *testing.T) {
+	if _, err := NewCodec(ASPE); err == nil {
+		t.Fatal("aspe codec constructed without an attribute universe")
+	}
+	if _, err := NewCodec(ASPE, WithAttrs("a", "a")); err == nil {
+		t.Fatal("aspe codec accepted a duplicate universe")
+	}
+}
+
+func TestASPEExpressivenessGaps(t *testing.T) {
+	codec, err := NewCodec(ASPE, WithAttrs("symbol", "price"), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix constraints are not expressible (the capability flag's
+	// enforcement at encode time).
+	_, err = codec.EncodeSubscription(pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: "symbol", Op: pubsub.OpPrefix, Value: pubsub.Str("HA")},
+	}})
+	if err == nil {
+		t.Fatal("aspe encoded a prefix constraint")
+	}
+	// Attributes outside the fixed universe are rejected.
+	_, err = codec.EncodeSubscription(pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: "volume", Op: pubsub.OpGt, Value: pubsub.Int(10)},
+	}})
+	if err == nil {
+		t.Fatal("aspe encoded an out-of-universe attribute")
+	}
+}
+
+func TestASPESliceReconfigure(t *testing.T) {
+	backend, err := Lookup(ASPE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := backend.NewSlice(simmem.NewPlainAccessor(simmem.DefaultCost()), nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewCodec(ASPE, WithAttrs("symbol", "price"), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := codec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconfigured slices reject traffic.
+	enc, err := codec.EncodeSubscription(subSpec(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slice.RegisterEncoded(enc, 1); err == nil {
+		t.Fatal("unconfigured slice accepted a registration")
+	}
+	if err := slice.Configure(params); err != nil {
+		t.Fatal(err)
+	}
+	if err := slice.Configure(params); err != nil {
+		t.Fatalf("idempotent re-configure failed: %v", err)
+	}
+	if _, err := slice.RegisterEncoded(enc, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dimensioning a populated store must fail: its stored vectors
+	// would be garbage under the new universe.
+	other, err := NewCodec(ASPE, WithAttrs("a", "b", "c"), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherParams, err := other.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slice.Configure(otherParams); err == nil {
+		t.Fatal("populated slice accepted a different dimensionality")
+	}
+	// Re-keying at the *same* dimensionality must fail too: a publisher
+	// restart with fresh matrices would turn every stored vector into
+	// noise while the dimension check alone stays silent.
+	rekeyed, err := NewCodec(ASPE, WithAttrs("symbol", "price"), WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rekeyedParams, err := rekeyed.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slice.Configure(rekeyedParams); err == nil {
+		t.Fatal("populated slice accepted re-provisioning under different matrices")
+	}
+}

@@ -19,10 +19,28 @@ import (
 
 	"scbr/internal/core"
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/simmem"
 )
 
-// Hub fans registrations and matches across partitioned engines.
+// Hub fans registrations and matches across partitioned slices. Two
+// constructions exist:
+//
+//   - engine-backed (New/NewPlain): every partition is a containment
+//     engine; the typed surface (Register, Match, Engine) operates on
+//     normalised subscriptions and interned events directly.
+//
+//   - scheme-backed (NewFromSlices): every partition is a
+//     scheme-provided Slice storing whatever the scheme's wire
+//     encoding carries — the broker's data plane, where the matching
+//     scheme (sgx-plain, aspe, ...) owns storage and matching and the
+//     hub owns ID packing, placement, and load accounting. Only the
+//     encoded surface (RegisterEncodedIn, MatchEncodedIn, ...) is
+//     available.
+//
+// Engine-backed partitions also expose the encoded surface (they wrap
+// their engine in the plain scheme's slice adapter), so callers can be
+// written against the scheme-agnostic API alone.
 type Hub struct {
 	mu     sync.Mutex
 	schema *pubsub.Schema
@@ -49,7 +67,8 @@ func composeID(part int, engineID uint64) uint64 {
 func PartitionOf(hubID uint64) int { return int(hubID >> idShift) }
 
 type partition struct {
-	engine *core.Engine
+	engine *core.Engine // nil for scheme-backed partitions
+	slice  scheme.Slice // always non-nil
 	subs   int
 	enter  func(func() error) error // enclave call gate, or nil
 }
@@ -73,12 +92,34 @@ func New(k int, schema *pubsub.Schema,
 		if err != nil {
 			return nil, fmt.Errorf("streamhub: building partition %d: %w", i, err)
 		}
-		p := &partition{engine: engine}
+		p := &partition{engine: engine, slice: scheme.NewPlainSlice(engine, schema)}
 		if enter != nil {
 			idx := i
 			p.enter = func(fn func() error) error { return enter(idx, fn) }
 		}
 		h.parts = append(h.parts, p)
+	}
+	return h, nil
+}
+
+// NewFromSlices builds a hub over pre-built scheme slices — the
+// broker's partitioned data plane, where the matching scheme owns
+// per-slice storage and the broker runs its own fan-out and enclave
+// transitions. Only the encoded surface applies; the typed
+// normalised-subscription methods return errors.
+func NewFromSlices(schema *pubsub.Schema, slices []scheme.Slice) (*Hub, error) {
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("streamhub: need at least one slice")
+	}
+	if len(slices) > MaxPartitions {
+		return nil, fmt.Errorf("streamhub: %d slices exceed the ID space (max %d)", len(slices), MaxPartitions)
+	}
+	h := &Hub{schema: schema, owner: make(map[uint64]int)}
+	for _, s := range slices {
+		if s == nil {
+			return nil, fmt.Errorf("streamhub: nil slice")
+		}
+		h.parts = append(h.parts, &partition{slice: s})
 	}
 	return h, nil
 }
@@ -154,7 +195,7 @@ func (h *Hub) Unregister(hubID uint64) error {
 		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
 	}
 	p := h.parts[target]
-	remove := func() error { return p.engine.Unregister(hubID & idMask) }
+	remove := func() error { return p.slice.Unregister(hubID & idMask) }
 	if p.enter != nil {
 		return p.enter(remove)
 	}
@@ -169,8 +210,66 @@ func (h *Hub) Unregister(hubID uint64) error {
 // (ID packing, load accounting) matches the gated methods.
 
 // Engine returns partition i's engine (experiments and the broker's
-// per-slice meters read it).
+// per-slice meters read it). Nil for scheme-backed partitions whose
+// scheme is not engine-based.
 func (h *Hub) Engine(i int) *core.Engine { return h.parts[i].engine }
+
+// Slice returns partition i's scheme store — the broker configures
+// scheme parameters through it under its own partition locks.
+func (h *Hub) Slice(i int) scheme.Slice { return h.parts[i].slice }
+
+// RegisterEncodedIn ingests one wire-encoded subscription into
+// partition target directly, with no call gate, returning its hub ID.
+func (h *Hub) RegisterEncodedIn(target int, enc []byte, clientRef uint32) (uint64, error) {
+	if target < 0 || target >= len(h.parts) {
+		return 0, fmt.Errorf("streamhub: partition %d of %d", target, len(h.parts))
+	}
+	p := h.parts[target]
+	id, err := p.slice.RegisterEncoded(enc, clientRef)
+	if err != nil {
+		return 0, err
+	}
+	hubID := composeID(target, id)
+	h.mu.Lock()
+	p.subs++
+	h.owner[hubID] = target
+	h.mu.Unlock()
+	return hubID, nil
+}
+
+// RegisterEncodedAssigned re-ingests a wire-encoded subscription under
+// a previously issued hub ID — the state-restore path; the target
+// partition is the one packed into the ID.
+func (h *Hub) RegisterEncodedAssigned(enc []byte, clientRef uint32, hubID uint64) error {
+	target := PartitionOf(hubID)
+	if target >= len(h.parts) {
+		return fmt.Errorf("streamhub: hub ID %d names partition %d, but the hub has %d", hubID, target, len(h.parts))
+	}
+	p := h.parts[target]
+	if err := p.slice.RegisterEncodedAssigned(enc, clientRef, hubID&idMask); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	p.subs++
+	h.owner[hubID] = target
+	h.mu.Unlock()
+	return nil
+}
+
+// MatchEncodedIn matches one wire-encoded publication header against
+// partition i only, appending to out with slice-local IDs rewritten
+// into hub IDs.
+func (h *Hub) MatchEncodedIn(i int, enc []byte, out []core.MatchResult) ([]core.MatchResult, error) {
+	n := len(out)
+	out, err := h.parts[i].slice.MatchEncoded(enc, out)
+	if err != nil {
+		return nil, err
+	}
+	for j := n; j < len(out); j++ {
+		out[j].SubID = composeID(i, out[j].SubID)
+	}
+	return out, nil
+}
 
 // PlaceKey deterministically places a registration key on a slice
 // (FNV-1a over the key parts, 0xff-separated so part boundaries are
@@ -236,7 +335,7 @@ func (h *Hub) UnregisterIn(hubID uint64) error {
 	if !ok {
 		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
 	}
-	return h.parts[target].engine.Unregister(hubID & idMask)
+	return h.parts[target].slice.Unregister(hubID & idMask)
 }
 
 // MatchSlice matches ev against one slice only, appending to out with
@@ -335,7 +434,7 @@ func (h *Hub) Stats() Stats {
 	defer h.mu.Unlock()
 	st := Stats{Partitions: len(h.parts)}
 	for _, p := range h.parts {
-		es := p.engine.Stats()
+		es := p.slice.Stats()
 		st.Subscriptions += es.Subscriptions
 		st.PerPartition = append(st.PerPartition, es.Subscriptions)
 		st.Bytes += es.Bytes

@@ -35,6 +35,29 @@ type QuoteSet struct {
 	bySymbol map[string][]int
 }
 
+// baseQuoteAttrs is every attribute name a corpus entry can carry, in
+// the stable attribute order.
+var baseQuoteAttrs = []string{"symbol", "open", "high", "low", "close", "volume", "day", "month", "year", "adjclose", "change"}
+
+// QuoteAttrs returns the full attribute universe the generator can
+// emit at the given attribute factor: the base quote attributes for
+// factor ≤ 1, and their "_<component>" suffixed forms (as the merged
+// multi-entry events and subscriptions name them) otherwise. Fixed-
+// universe matching schemes (ASPE) and the experiment harness build
+// their attribute spaces from this.
+func QuoteAttrs(factor int) []string {
+	if factor <= 1 {
+		return append([]string(nil), baseQuoteAttrs...)
+	}
+	out := make([]string, 0, factor*len(baseQuoteAttrs))
+	for i := 1; i <= factor; i++ {
+		for _, b := range baseQuoteAttrs {
+			out = append(out, fmt.Sprintf("%s_%d", b, i))
+		}
+	}
+	return out
+}
+
 // NewQuoteSet generates a deterministic corpus: numSymbols tickers
 // with log-uniform price levels between $2 and $800, each followed
 // through perSymbol daily random-walk quotes spread over five years.

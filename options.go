@@ -7,6 +7,7 @@ import (
 	"scbr/internal/attest"
 	"scbr/internal/broker"
 	"scbr/internal/core"
+	"scbr/internal/scheme"
 	"scbr/internal/sgx"
 )
 
@@ -41,6 +42,9 @@ type settings struct {
 	peerVerifier   *attest.Service
 	peerIdentities []attest.Identity
 	federationTTL  int
+
+	scheme     string
+	schemeOpts []scheme.Option
 }
 
 func resolve(opts []Option) settings {
@@ -56,6 +60,7 @@ func (s settings) routerConfig(image []byte, signer *rsa.PublicKey) broker.Route
 	return broker.RouterConfig{
 		EnclaveImage:     image,
 		EnclaveSigner:    signer,
+		Scheme:           s.scheme,
 		EPCBytes:         s.epcBytes,
 		PadRecordTo:      s.padRecordTo,
 		Partitions:       s.partitions,
@@ -206,6 +211,55 @@ func WithPeerVerifier(svc *AttestationService, ids ...Identity) Option {
 // converged state; the TTL bounds the blast radius while digests are
 // propagating.
 func WithFederationTTL(n int) Option { return func(s *settings) { s.federationTTL = n } }
+
+// WithScheme selects the matching scheme a Router stores and matches
+// under, or a Publisher encodes under (default SchemePlain, the
+// paper's plaintext-in-enclave path). The scheme ID travels in the
+// wire handshake: provisioning, registration, and publication frames
+// are tagged with it, and a router rejects frames from a
+// different-scheme peer with ErrSchemeMismatch.
+//
+// Scheme options parameterise the publisher-side codec; routers ignore
+// them (their stores are configured from the public parameters the
+// publisher announces during attested provisioning):
+//
+//	pub, err := scbr.NewPublisher(svc, id,
+//	    scbr.WithScheme(scbr.SchemeASPE,
+//	        scbr.WithSchemeAttrs("symbol", "price"),
+//	        scbr.WithSchemeSeed(7)))
+func WithScheme(name string, opts ...SchemeOption) Option {
+	return func(s *settings) {
+		s.scheme = name
+		s.schemeOpts = append(s.schemeOpts, opts...)
+	}
+}
+
+// SchemeOption parameterises a matching scheme's publisher-side codec
+// (see WithScheme).
+type SchemeOption = scheme.Option
+
+// WithSchemeAttrs fixes the scheme's attribute universe. Required by
+// SchemeASPE: its vector space has one dimension pair per attribute,
+// and subscriptions/publications may only reference these attributes.
+func WithSchemeAttrs(names ...string) SchemeOption { return scheme.WithAttrs(names...) }
+
+// WithSchemeSeed seeds the scheme's secret material (ASPE: the
+// invertible matrices) deterministically; 0 (the default) draws fresh
+// randomness.
+func WithSchemeSeed(seed int64) SchemeOption { return scheme.WithSeed(seed) }
+
+// WithSchemeScale fixes one attribute's public normalisation divisor
+// (ASPE: balances the sign-test tolerance across attribute
+// magnitudes).
+func WithSchemeScale(name string, scale float64) SchemeOption {
+	return scheme.WithScale(name, scale)
+}
+
+// WithSchemeCalibration calibrates per-attribute scales from sample
+// events (largest observed magnitude per numeric attribute).
+func WithSchemeCalibration(sample ...EventSpec) SchemeOption {
+	return scheme.WithCalibration(sample...)
+}
 
 // WithISV sets the enclave's product ID and security version, both
 // part of the measured identity checked at provisioning.

@@ -79,11 +79,49 @@ import (
 	"scbr/internal/core"
 	"scbr/internal/federation"
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
 	"scbr/internal/sgx"
 	"scbr/internal/simmem"
 	"scbr/internal/workload"
 )
+
+// Matching schemes. The paper's central claim is a comparison of
+// privacy-preserving matching approaches; both are first-class,
+// wire-negotiated backends of the data plane, selected with
+// WithScheme on the Router and the Publisher (which must agree — the
+// handshake rejects mismatches with ErrSchemeMismatch).
+const (
+	// SchemePlain (default): plaintext matching inside the enclave;
+	// subscriptions and headers travel SK-sealed and are opened only
+	// inside the router's enclaves. Full predicate expressiveness and
+	// federation-digest support.
+	SchemePlain = scheme.Plain
+	// SchemeASPE: asymmetric scalar-product-preserving encryption (the
+	// paper's software-only baseline). The publisher encrypts, the
+	// router matches ciphertext it can never open — no enclave trust
+	// needed, at orders-of-magnitude matching cost. No prefix
+	// predicates, closed bounds only, no federation digests.
+	SchemeASPE = scheme.ASPE
+)
+
+// SchemeCapabilities describes what a matching scheme's encodings can
+// express and where they may be evaluated (Router.SchemeCapabilities,
+// LookupScheme).
+type SchemeCapabilities = scheme.Capabilities
+
+// Schemes lists the registered matching-scheme IDs.
+func Schemes() []string { return scheme.Names() }
+
+// LookupScheme reports a scheme's capability flags ("" names the
+// default scheme).
+func LookupScheme(name string) (SchemeCapabilities, error) {
+	b, err := scheme.Lookup(name)
+	if err != nil {
+		return SchemeCapabilities{}, err
+	}
+	return b.Caps, nil
+}
 
 // Data model.
 type (
@@ -241,9 +279,17 @@ func NewRouterFromConfig(dev *Device, quoter *Quoter, cfg RouterConfig) (*Router
 }
 
 // NewPublisher creates a publisher that provisions secrets only into
-// enclaves matching id, as vouched for by svc.
-func NewPublisher(svc *AttestationService, id Identity) (*Publisher, error) {
-	return broker.NewPublisher(svc, id)
+// enclaves matching id, as vouched for by svc. WithScheme selects the
+// matching scheme the publisher encodes under (default SchemePlain);
+// other options are ignored, so option sets can be shared with
+// NewRouter.
+func NewPublisher(svc *AttestationService, id Identity, opts ...Option) (*Publisher, error) {
+	s := resolve(opts)
+	codec, err := scheme.NewCodec(s.scheme, s.schemeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return broker.NewPublisherWithCodec(svc, id, codec)
 }
 
 // NewClient creates a consumer with a fresh response key pair.
@@ -406,6 +452,11 @@ func WorkloadByName(name string) (Workload, error) { return workload.SpecByName(
 func NewQuoteSet(seed int64, numSymbols, perSymbol int) (*QuoteSet, error) {
 	return workload.NewQuoteSet(seed, numSymbols, perSymbol)
 }
+
+// QuoteAttrs returns the quote corpus attribute universe at the given
+// workload attribute factor — what a fixed-universe scheme
+// (WithSchemeAttrs) needs to cover a Table 1 feed.
+func QuoteAttrs(factor int) []string { return workload.QuoteAttrs(factor) }
 
 // NewWorkloadGenerator builds a generator for a workload over a corpus.
 func NewWorkloadGenerator(spec Workload, qs *QuoteSet, seed int64) (*WorkloadGenerator, error) {

@@ -1,0 +1,213 @@
+package scbr_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"testing"
+
+	"scbr"
+)
+
+// schemeHarness is one full public-API deployment under a selected
+// matching scheme: router served over loopback TCP, publisher attested
+// and provisioned, client admission loop running.
+type schemeHarness struct {
+	router    *scbr.Router
+	publisher *scbr.Publisher
+	routerLn  net.Listener
+	pubLn     net.Listener
+}
+
+func schemeOpts(schemeName string) []scbr.Option {
+	opts := []scbr.Option{scbr.WithScheme(schemeName,
+		scbr.WithSchemeAttrs("symbol", "price", "volume"),
+		scbr.WithSchemeSeed(11),
+		scbr.WithSchemeScale("price", 100))}
+	return opts
+}
+
+func newSchemeHarness(t *testing.T, ctx context.Context, schemeName string) *schemeHarness {
+	t.Helper()
+	dev, err := scbr.NewDevice([]byte("scheme-e2e-" + schemeName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoter, err := scbr.NewQuoter(dev, "scheme-e2e-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias := scbr.NewAttestationService()
+	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &schemeHarness{}
+	h.router, err = scbr.NewRouter(dev, quoter, []byte("scheme e2e image"), signer.Public(),
+		append(schemeOpts(schemeName), scbr.WithPartitions(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.routerLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = h.router.Serve(ctx, h.routerLn) }()
+	t.Cleanup(h.router.Close)
+
+	h.publisher, err = scbr.NewPublisher(ias, h.router.Identity(), schemeOpts(schemeName)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := net.Dial("tcp", h.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.publisher.ConnectRouter(ctx, rc); err != nil {
+		t.Fatalf("attest+provision under %s: %v", schemeName, err)
+	}
+	h.pubLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.pubLn.Close() })
+	go func() {
+		for {
+			conn, err := h.pubLn.Accept()
+			if err != nil {
+				return
+			}
+			go h.publisher.ServeClient(ctx, conn)
+		}
+	}()
+	return h
+}
+
+func (h *schemeHarness) client(t *testing.T, ctx context.Context, id string) *scbr.Client {
+	t.Helper()
+	c, err := scbr.NewClient(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.Dial("tcp", h.pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ConnectPublisher(pc, h.publisher.PublicKey())
+	rc, err := net.Dial("tcp", h.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(ctx, rc); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestSchemeEndToEnd runs the same publish/subscribe flow once per
+// registered matching scheme through the public v1 surface — the
+// paper's two approaches on the identical data plane. SCBR_SCHEME
+// restricts the matrix to one scheme (CI sets it per job).
+func TestSchemeEndToEnd(t *testing.T) {
+	for _, schemeName := range scbr.Schemes() {
+		if only := os.Getenv("SCBR_SCHEME"); only != "" && only != schemeName {
+			continue
+		}
+		t.Run(schemeName, func(t *testing.T) {
+			ctx := context.Background()
+			h := newSchemeHarness(t, ctx, schemeName)
+			if got := h.router.Scheme(); got != schemeName {
+				t.Fatalf("router.Scheme() = %q, want %q", got, schemeName)
+			}
+			c := h.client(t, ctx, "alice")
+			spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := c.Subscribe(ctx, spec)
+			if err != nil {
+				t.Fatalf("subscribe under %s: %v", schemeName, err)
+			}
+			miss := scbr.EventSpec{Attrs: []scbr.NamedValue{
+				{Name: "symbol", Value: scbr.Str("IBM")},
+				{Name: "price", Value: scbr.Float(42)},
+			}}
+			hit := scbr.EventSpec{Attrs: []scbr.NamedValue{
+				{Name: "symbol", Value: scbr.Str("HAL")},
+				{Name: "price", Value: scbr.Float(42)},
+			}}
+			if err := h.publisher.Publish(ctx, miss, []byte("wrong symbol")); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.publisher.PublishBatch(ctx, []scbr.Event{
+				{Header: miss, Payload: []byte("still wrong")},
+				{Header: hit, Payload: []byte("matched")},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			d, err := sub.Next(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(d.Payload) != "matched" {
+				t.Fatalf("payload = %q under %s", d.Payload, schemeName)
+			}
+		})
+	}
+}
+
+// TestSchemeMismatchE2E is the cross-scheme rejection satellite at the
+// public surface: a plain-scheme stack against an aspe router fails
+// with the typed sentinel, matchable across the wire.
+func TestSchemeMismatchE2E(t *testing.T) {
+	ctx := context.Background()
+	h := newSchemeHarness(t, ctx, scbr.SchemeASPE)
+
+	// A default-scheme publisher cannot provision the aspe router.
+	ias := scbr.NewAttestationService()
+	plainPub, err := scbr.NewPublisher(ias, h.router.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", h.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = plainPub.ConnectRouter(ctx, conn)
+	if !errors.Is(err, scbr.ErrSchemeMismatch) {
+		t.Fatalf("plain publisher vs aspe router: err = %v, want scbr.ErrSchemeMismatch", err)
+	}
+
+	// A client that learned sgx-plain from a plain deployment cannot
+	// bind its delivery channel to the aspe router.
+	plainH := newSchemeHarness(t, ctx, scbr.SchemePlain)
+	c, err := scbr.NewClient("drifter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	pc, err := net.Dial("tcp", plainH.pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ConnectPublisher(pc, plainH.publisher.PublicKey())
+	spec, err := scbr.ParseSpec(`symbol = "HAL"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	wrongRouter, err := net.Dial("tcp", h.routerLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Attach(ctx, wrongRouter)
+	if !errors.Is(err, scbr.ErrSchemeMismatch) {
+		t.Fatalf("plain client vs aspe router: err = %v, want scbr.ErrSchemeMismatch", err)
+	}
+}
