@@ -745,6 +745,7 @@ func benchEndToEndPublish(b *testing.B, partitions int, schemeName string) {
 	}}
 
 	before := router.SliceMeterSnapshots()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := publisher.Publish(ctx, events[i%len(events)], []byte("load")); err != nil {
@@ -847,6 +848,7 @@ func benchFederatedPublish(b *testing.B) {
 	for i, r := range topo.Routers {
 		before[i] = r.SliceMeterSnapshots()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := publisher.Publish(ctx, events[i%len(events)], []byte("load")); err != nil {

@@ -101,7 +101,12 @@ func TestCLIFederation(t *testing.T) {
 		if err == nil {
 			var snapshot struct {
 				DeliveryQueues map[string]int `json:"delivery_queues"`
-				Federation     struct {
+				Latency        *struct {
+					Total struct {
+						Count uint64 `json:"count"`
+					} `json:"total"`
+				} `json:"latency"`
+				Federation struct {
 					Peers int `json:"peers"`
 				} `json:"federation"`
 			}
@@ -110,6 +115,9 @@ func TestCLIFederation(t *testing.T) {
 			if err == nil && snapshot.Federation.Peers >= 1 {
 				if snapshot.DeliveryQueues == nil {
 					t.Fatal("metrics endpoint omitted delivery queue depths")
+				}
+				if snapshot.Latency == nil {
+					t.Fatal("metrics endpoint omitted delivery latency percentiles")
 				}
 				return // attested link up, metrics readable
 			}

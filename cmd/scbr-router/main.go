@@ -21,8 +21,10 @@
 // enclave identity.
 //
 // Observability: -metrics-addr serves the enclave meter aggregate,
-// per-slice meters, delivery-queue depths, and federation counters as
-// JSON on /metrics (expvar-style, poll with curl).
+// per-slice meters, delivery-queue depths, delivery counters,
+// enqueue→write delivery-latency percentiles (p50/p95/p99, total and
+// per client), and federation counters as JSON on /metrics
+// (expvar-style, poll with curl).
 package main
 
 import (
@@ -272,6 +274,7 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 			DataPlane      scbr.DataPlaneStats     `json:"data_plane"`
 			DeliveryQueues map[string]int          `json:"delivery_queues"`
 			Delivery       scbr.DeliveryCounters   `json:"delivery"`
+			Latency        scbr.DeliveryLatency    `json:"latency"`
 			Federation     scbr.FederationCounters `json:"federation"`
 		}{
 			Meter:          router.MeterSnapshot(),
@@ -279,6 +282,7 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 			DataPlane:      router.DataPlaneStats(),
 			DeliveryQueues: router.DeliveryQueueDepths(),
 			Delivery:       router.DeliverySnapshot(),
+			Latency:        router.DeliveryLatencySnapshot(),
 			Federation:     router.FederationSnapshot(),
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"scbr/internal/core"
+	"scbr/internal/hdrhist"
 )
 
 // DefaultDeliveryQueueLen is the per-client outbound queue bound used
@@ -150,6 +151,10 @@ type deliveryTable struct {
 	replayed    atomic.Uint64
 	pauseStalls atomic.Uint64
 	gapTotal    atomic.Uint64
+
+	// latency aggregates the enqueue→write latency of every delivered
+	// frame across all clients; each clientState keeps its own.
+	latency *hdrhist.Hist
 }
 
 // clientState is one client's durable delivery state. It outlives any
@@ -172,6 +177,10 @@ type clientState struct {
 	head       int          // index of the oldest retained frame
 	q          *clientQueue // live connection, nil while detached
 	detachedAt time.Time    // when q last became nil (resume-window clock)
+
+	// lat records this client's enqueue→write latencies (live frames
+	// only; replays are not re-recorded).
+	lat *hdrhist.Hist
 }
 
 // ringPushLocked retains m in the replay ring, evicting the oldest
@@ -263,6 +272,7 @@ func newDeliveryTable(queueLen, ringLen int, policy OverflowPolicy, resumeWindow
 		clients:      make(map[string]*clientState),
 		sweepQuit:    make(chan struct{}),
 		sweepDone:    make(chan struct{}),
+		latency:      hdrhist.New(),
 	}
 	if resumeWindow > 0 {
 		go t.sweeper()
@@ -329,7 +339,7 @@ func (t *deliveryTable) attach(name string, conn net.Conn, hello *Message, lastS
 	}
 	st := t.clients[name]
 	if st == nil {
-		st = &clientState{name: name}
+		st = &clientState{name: name, lat: hdrhist.New()}
 		t.clients[name] = st
 	}
 	q := &clientQueue{
@@ -376,6 +386,7 @@ func (t *deliveryTable) enqueue(name string, m *Message) {
 	}
 	st.sendMu.Lock()
 	defer st.sendMu.Unlock()
+	m.enqueuedAt = time.Now()
 	st.mu.Lock()
 	st.cursor++
 	m.Cursor = st.cursor
@@ -475,6 +486,7 @@ func (t *deliveryTable) writer(q *clientQueue) {
 				t.detach(q)
 				return
 			}
+			t.recordLatency(q.st, m)
 		case <-q.drain:
 			// Shutdown: flush what is already buffered, then close the
 			// connection. Producers are gone, so this terminates.
@@ -487,6 +499,7 @@ func (t *deliveryTable) writer(q *clientQueue) {
 						t.detach(q)
 						return
 					}
+					t.recordLatency(q.st, m)
 				default:
 					q.stop()
 					return
@@ -494,6 +507,69 @@ func (t *deliveryTable) writer(q *clientQueue) {
 			}
 		}
 	}
+}
+
+// recordLatency records one delivered frame's enqueue→write span into
+// the client's and the table's histograms. Replayed frames travel via
+// q.pending, not the live queue, so they never reach here — their
+// stamp describes the enqueue of a previous connection's life.
+func (t *deliveryTable) recordLatency(st *clientState, m *Message) {
+	if m.enqueuedAt.IsZero() {
+		return
+	}
+	d := time.Since(m.enqueuedAt)
+	st.lat.RecordDuration(d)
+	t.latency.RecordDuration(d)
+}
+
+// LatencyQuantiles summarises one delivery-latency histogram as fixed
+// percentiles, in nanoseconds.
+type LatencyQuantiles struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50_ns"`
+	P95   int64  `json:"p95_ns"`
+	P99   int64  `json:"p99_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// quantilesOf extracts the fixed reporting percentiles.
+func quantilesOf(s *hdrhist.Snapshot) LatencyQuantiles {
+	return LatencyQuantiles{
+		Count: s.N,
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max,
+	}
+}
+
+// DeliveryLatency is the enqueue→write latency surface the router
+// exposes: how long delivered frames waited between the matcher's
+// enqueue and the moment the per-client writer put them on the wire.
+type DeliveryLatency struct {
+	Total     LatencyQuantiles            `json:"total"`
+	PerClient map[string]LatencyQuantiles `json:"per_client,omitempty"`
+}
+
+// latencySnapshot summarises the per-client and aggregate histograms.
+func (t *deliveryTable) latencySnapshot() DeliveryLatency {
+	out := DeliveryLatency{Total: quantilesOf(t.latency.Snapshot())}
+	t.mu.Lock()
+	states := make([]*clientState, 0, len(t.clients))
+	for _, st := range t.clients {
+		states = append(states, st)
+	}
+	t.mu.Unlock()
+	for _, st := range states {
+		if st.lat.Count() == 0 {
+			continue
+		}
+		if out.PerClient == nil {
+			out.PerClient = make(map[string]LatencyQuantiles)
+		}
+		out.PerClient[st.name] = quantilesOf(st.lat.Snapshot())
+	}
+	return out
 }
 
 // depths reports each attached client's buffered delivery count (the
@@ -542,7 +618,7 @@ func (t *deliveryTable) seed(cursors map[string]uint64) {
 			// Restored clients start the resume-window clock now: if
 			// none returns within it, the cursor is released like any
 			// other detached state.
-			t.clients[name] = &clientState{name: name, cursor: c, detachedAt: time.Now()}
+			t.clients[name] = &clientState{name: name, cursor: c, detachedAt: time.Now(), lat: hdrhist.New()}
 			continue
 		}
 		st.mu.Lock()

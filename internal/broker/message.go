@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"scbr/internal/attest"
 	"scbr/internal/wire"
@@ -44,10 +45,20 @@ const (
 	TypeProvisionOK  MsgType = "provision-ok"
 	TypeRegister     MsgType = "register"
 	TypeRegisterOK   MsgType = "register-ok"
-	TypeRemove       MsgType = "remove"
-	TypeRemoveOK     MsgType = "remove-ok"
-	TypePublish      MsgType = "publish"
-	TypePublishBatch MsgType = "publish-batch"
+	// TypeRegisterBatch carries many registrations for one client in a
+	// single frame, authenticated by one publisher signature over a
+	// digest of the whole batch (see signedRegistrationBatch) instead of
+	// one RSA signature per subscription — the bulk-load path that makes
+	// million-subscription populations affordable. Items carry the
+	// scheme-encoded (and, for sealed-exchange schemes, SK-sealed)
+	// subscription blobs; Payload stays empty. The ack echoes the
+	// assigned IDs in item order.
+	TypeRegisterBatch   MsgType = "register-batch"
+	TypeRegisterBatchOK MsgType = "register-batch-ok"
+	TypeRemove          MsgType = "remove"
+	TypeRemoveOK        MsgType = "remove-ok"
+	TypePublish         MsgType = "publish"
+	TypePublishBatch    MsgType = "publish-batch"
 
 	// Client ↔ router.
 	TypeListen   MsgType = "listen"
@@ -115,6 +126,13 @@ type Message struct {
 	// to the partition rings instead of re-encoding the just-decoded
 	// message. Unexported: it never serialises.
 	raw []byte
+
+	// enqueuedAt stamps a deliver frame when the delivery layer accepts
+	// it, so the writer can record the enqueue→write latency when the
+	// frame leaves on the wire. Unexported: it never serialises, and
+	// replayed frames (whose stamp describes a previous life) are not
+	// re-recorded.
+	enqueuedAt time.Time
 }
 
 // Send marshals and frames one message.

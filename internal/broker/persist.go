@@ -41,7 +41,14 @@ type logEntry struct {
 	SubID    uint64 `json:"sub_id"`
 	ClientID string `json:"client_id"`
 	Blob     []byte `json:"blob"` // {s}SK
-	Sig      []byte `json:"sig"`
+	Sig      []byte `json:"sig,omitempty"`
+	// Batch marks an entry accepted through a register-batch frame: it
+	// carries no per-item signature — the batch signature verified at
+	// ingest covered it. Replay skips the per-item check for these;
+	// the sealed state blob is AEAD-authenticated under the enclave
+	// seal key, so the untrusted host cannot alter or inject entries
+	// without failing the unseal.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // routerState is the sealed snapshot.
@@ -202,7 +209,7 @@ func (r *Router) replayRegistration(ent logEntry) error {
 	if target >= len(r.parts) {
 		return fmt.Errorf("subscription names partition %d, but the router has %d (restore with the sealing partition count)", target, len(r.parts))
 	}
-	_, spec, haveSpec, err := r.ingestRegistration(target, ent.ClientID, ent.Blob, ent.Sig, ent.SubID)
+	_, spec, haveSpec, err := r.ingestRegistration(target, ent.ClientID, ent.Blob, ent.Sig, ent.SubID, ent.Batch)
 	if err != nil {
 		return err
 	}

@@ -479,6 +479,77 @@ func (p *Publisher) PublishBatch(ctx context.Context, events []Event) error {
 	return nil
 }
 
+// RegisterBulk is the service provider's bulk-load path: it encodes,
+// seals, and registers a whole subscription population on behalf of an
+// admitted client with one RSA signature per wire frame instead of one
+// per subscription — what makes ⑥-figure populations affordable (the
+// per-subscription Subscribe path costs a PK decrypt plus an RSA sign,
+// ≈2 ms each). Each frame carries up to batchFrameBudget bytes of
+// sealed blobs and is signed over a digest binding every blob to the
+// client identity (signedRegistrationBatch); the router verifies the
+// one signature inside its enclave and ingests the items. Returns the
+// assigned subscription IDs in spec order. router names the federated
+// home router ("" = the default route). The client must already be
+// admitted (Registry().Admit or a prior Subscribe).
+func (p *Publisher) RegisterBulk(ctx context.Context, clientID, router string, specs []pubsub.SubscriptionSpec) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := p.registry.Authorize(clientID); err != nil {
+		return nil, err
+	}
+	sealed := p.codec.Capabilities().SealedExchange
+	items := make([]BatchItem, len(specs))
+	for i := range specs {
+		enc, err := p.codec.EncodeSubscription(specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("broker: bulk subscription %d invalid: %w", i, err)
+		}
+		if sealed {
+			if enc, err = scrypto.Seal(p.sk, enc); err != nil {
+				return nil, fmt.Errorf("broker: re-encrypting bulk subscription %d: %w", i, err)
+			}
+		}
+		items[i] = BatchItem{Blob: enc}
+	}
+	ids := make([]uint64, 0, len(specs))
+	for start := 0; start < len(items); {
+		end, size := start, 0
+		for end < len(items) {
+			size += len(items[end].Blob)
+			if end > start && size > batchFrameBudget {
+				break
+			}
+			end++
+		}
+		frame := items[start:end]
+		sig, err := scrypto.Sign(p.keys, signedRegistrationBatch(frame, clientID))
+		if err != nil {
+			return nil, fmt.Errorf("broker: signing registration batch: %w", err)
+		}
+		reply, err := p.routerRequest(router, &Message{
+			Type: TypeRegisterBatch, ClientID: clientID, Scheme: p.Scheme(), Items: frame, Sig: sig,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := expect(reply, TypeRegisterBatchOK); err != nil {
+			return nil, err
+		}
+		if len(reply.SubIDs) != len(frame) {
+			return nil, fmt.Errorf("broker: batch ack names %d subscriptions, sent %d", len(reply.SubIDs), len(frame))
+		}
+		ids = append(ids, reply.SubIDs...)
+		start = end
+	}
+	p.mu.Lock()
+	for _, id := range ids {
+		p.subOwner[subKey(router, id)] = clientID
+	}
+	p.mu.Unlock()
+	return ids, nil
+}
+
 // Revoke excludes a client: admission is withdrawn and the payload
 // group key rotates so the client cannot read future publications.
 func (p *Publisher) Revoke(clientID string) error {

@@ -3,7 +3,9 @@ package broker
 import (
 	"context"
 	"crypto/rsa"
+	"crypto/sha256"
 	"crypto/x509"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -378,6 +380,15 @@ func (r *Router) DeliverySnapshot() DeliveryCounters {
 	return r.delivery.snapshot()
 }
 
+// DeliveryLatencySnapshot reports the enqueue→write latency of
+// delivered frames — p50/p95/p99 per client and in aggregate — the
+// router-side half of the latency the load harness measures end to
+// end. Recording is per delivered frame on the live path; replayed
+// frames are excluded (their stamps describe a previous connection).
+func (r *Router) DeliveryLatencySnapshot() DeliveryLatency {
+	return r.delivery.latencySnapshot()
+}
+
 // keys returns the provisioned secrets (nil SK before provisioning).
 func (r *Router) keys() (*scrypto.SymmetricKey, *rsa.PublicKey) {
 	r.keyMu.RLock()
@@ -514,6 +525,8 @@ func (r *Router) handleConn(conn net.Conn) {
 			err = r.handleProvision(conn, m)
 		case TypeRegister:
 			err = r.handleRegister(conn, m)
+		case TypeRegisterBatch:
+			err = r.handleRegisterBatch(conn, m)
 		case TypeRemove:
 			err = r.handleRemove(conn, m)
 		case TypePublish, TypePublishBatch:
@@ -650,7 +663,7 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	}
 	target := r.hub.PlaceKey([]byte(m.ClientID), m.Blob)
 	r.stateMu.RLock()
-	subID, spec, haveSpec, err := r.ingestRegistration(target, m.ClientID, m.Blob, m.Sig, 0)
+	subID, spec, haveSpec, err := r.ingestRegistration(target, m.ClientID, m.Blob, m.Sig, 0, false)
 	if err != nil {
 		r.stateMu.RUnlock()
 		return err
@@ -672,13 +685,94 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	return Send(conn, &Message{Type: TypeRegisterOK, SubID: subID})
 }
 
+// handleRegisterBatch is step ③ for a whole batch: one signature —
+// over a digest binding every blob to the client identity — is
+// verified inside the attestation slice's enclave, then each item is
+// ingested on its hash-placed partition with the per-item signature
+// check skipped (the batch signature already authenticated the exact
+// bytes being ingested). Items are logged with Batch set so restore
+// replays them the same way; the sealed state blob is AEAD-
+// authenticated by the enclave seal, so skipping per-item signatures
+// at replay gives the untrusted host no forgery window. A bad item
+// aborts the frame with an error; items ingested before it remain
+// registered (the publisher encodes every blob itself, so a mid-batch
+// failure indicates publisher-side corruption, not client input).
+func (r *Router) handleRegisterBatch(conn net.Conn, m *Message) error {
+	if m.ClientID == "" {
+		return errors.New("batch registration without client identity")
+	}
+	if err := r.checkScheme(m.Scheme); err != nil {
+		return err
+	}
+	if len(m.Items) == 0 {
+		return Send(conn, &Message{Type: TypeRegisterBatchOK})
+	}
+	_, verifyKey := r.keys()
+	if verifyKey == nil {
+		return ErrNotProvisioned
+	}
+	p0 := r.parts[0]
+	p0.mu.Lock()
+	err := p0.enclave.Ecall(func() error {
+		if err := scrypto.Verify(verifyKey, signedRegistrationBatch(m.Items, m.ClientID), m.Sig); err != nil {
+			return fmt.Errorf("batch registration signature invalid: %w", err)
+		}
+		return nil
+	})
+	p0.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	subIDs := make([]uint64, 0, len(m.Items))
+	specs := make([]pubsub.SubscriptionSpec, 0, len(m.Items))
+	specIDs := make([]uint64, 0, len(m.Items))
+	entries := make([]logEntry, 0, len(m.Items))
+	r.stateMu.RLock()
+	for i, it := range m.Items {
+		target := r.hub.PlaceKey([]byte(m.ClientID), it.Blob)
+		subID, spec, haveSpec, err := r.ingestRegistration(target, m.ClientID, it.Blob, nil, 0, true)
+		if err != nil {
+			r.stateMu.RUnlock()
+			return fmt.Errorf("batch item %d: %w", i, err)
+		}
+		subIDs = append(subIDs, subID)
+		entries = append(entries, logEntry{
+			SubID:    subID,
+			ClientID: m.ClientID,
+			Blob:     append([]byte(nil), it.Blob...),
+			Batch:    true,
+		})
+		if haveSpec {
+			specs = append(specs, spec)
+			specIDs = append(specIDs, subID)
+		}
+	}
+	r.ctlMu.Lock()
+	for i := range entries {
+		r.subOwner[entries[i].SubID] = m.ClientID
+		r.regPos[entries[i].SubID] = len(r.regLog)
+		r.regLog = append(r.regLog, entries[i])
+	}
+	r.ctlMu.Unlock()
+	r.stateMu.RUnlock()
+	for i := range specs {
+		r.fedAddLocal(specIDs[i], specs[i])
+	}
+	return Send(conn, &Message{Type: TypeRegisterBatchOK, SubIDs: subIDs})
+}
+
 // ingestRegistration validates one signed registration and indexes it
 // in the slice's enclave: on partition target under a fresh ID, or —
 // when assignID is non-zero (the state-restore path) — under that ID
 // on the partition it names. For digest-capable schemes with
 // federation enabled it also returns the decoded subscription spec for
 // the overlay. Callers on the live path hold stateMu shared.
-func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byte, assignID uint64) (uint64, pubsub.SubscriptionSpec, bool, error) {
+//
+// preVerified skips the per-item signature check for blobs whose
+// authenticity is already established by an enclosing proof: a batch
+// signature verified over the whole frame (handleRegisterBatch), or
+// the AEAD seal of a restored state blob for batch-logged entries.
+func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byte, assignID uint64, preVerified bool) (uint64, pubsub.SubscriptionSpec, bool, error) {
 	sk, verifyKey := r.keys()
 	if sk == nil {
 		return 0, pubsub.SubscriptionSpec{}, false, ErrNotProvisioned
@@ -692,8 +786,10 @@ func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byt
 		// The signature covers the encoded subscription and the
 		// client binding, so the infrastructure cannot re-route
 		// subscriptions between clients.
-		if err := scrypto.Verify(verifyKey, signedRegistration(blob, clientID), sig); err != nil {
-			return fmt.Errorf("registration signature invalid: %w", err)
+		if !preVerified {
+			if err := scrypto.Verify(verifyKey, signedRegistration(blob, clientID), sig); err != nil {
+				return fmt.Errorf("registration signature invalid: %w", err)
+			}
 		}
 		enc := blob
 		if r.backend.Caps.SealedExchange {
@@ -824,6 +920,26 @@ func signedRegistration(blob []byte, clientID string) []byte {
 	out = append(out, blob...)
 	out = append(out, 0)
 	return append(out, clientID...)
+}
+
+// signedRegistrationBatch is the byte string one batch signature
+// covers: a domain-separated digest over the client identity and
+// every item blob, length-prefixed so blob boundaries are unambiguous.
+// Signing the digest instead of the concatenation keeps the RSA input
+// small however large the batch is, and binding the client identity
+// preserves the step-② property that the infrastructure cannot
+// re-route subscriptions between clients.
+func signedRegistrationBatch(items []BatchItem, clientID string) []byte {
+	h := sha256.New()
+	h.Write([]byte("scbr-register-batch\x00"))
+	h.Write([]byte(clientID))
+	var n [8]byte
+	for _, it := range items {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(it.Blob)))
+		h.Write(n[:])
+		h.Write(it.Blob)
+	}
+	return h.Sum(nil)
 }
 
 // marshalVerifyKey and unmarshalVerifyKey move the publisher's

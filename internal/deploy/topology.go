@@ -209,6 +209,35 @@ func (t *Topology) ConnectClient(ctx context.Context, pub *broker.Publisher, c *
 	return c.Attach(ctx, conn)
 }
 
+// BindClient wires c to the publisher (over an in-process pipe) and
+// homes it on router home — everything ConnectClient does except the
+// delivery attach. Callers that manage their own delivery connections
+// (e.g. resumable listeners that DialRouter and c.Resume, reconnecting
+// on churn) use this so the client's pump semantics stay theirs.
+func (t *Topology) BindClient(ctx context.Context, pub *broker.Publisher, c *broker.Client, home int) error {
+	if home < 0 || home >= len(t.Routers) {
+		return fmt.Errorf("deploy: home router %d of %d", home, len(t.Routers))
+	}
+	clientSide, pubSide := net.Pipe()
+	go pub.ServeClient(ctx, pubSide)
+	c.ConnectPublisher(clientSide, pub.PublicKey())
+	c.UseRouter(t.IDs[home])
+	return nil
+}
+
+// DialRouter opens a raw connection to router i — the delivery
+// connection a resumable client hands to Resume.
+func (t *Topology) DialRouter(i int) (net.Conn, error) {
+	if i < 0 || i >= len(t.Addrs) {
+		return nil, fmt.Errorf("deploy: router %d of %d", i, len(t.Addrs))
+	}
+	conn, err := net.Dial("tcp", t.Addrs[i])
+	if err != nil {
+		return nil, fmt.Errorf("deploy: dialing router %d: %w", i, err)
+	}
+	return conn, nil
+}
+
 // WaitFederation polls router i's federation counters until cond
 // holds or the timeout elapses — the barrier tests use around
 // asynchronous digest propagation.

@@ -1,0 +1,196 @@
+// Package hdrhist is a fixed-footprint log-linear histogram for
+// latency measurements, in the spirit of HdrHistogram: values are
+// bucketed by a power-of-two octave subdivided into linear
+// sub-buckets, so relative error is bounded (≈3% at 32 sub-buckets
+// per octave) across the full nanosecond-to-hours range while the
+// whole histogram stays a couple of kilobytes of atomics. Recording
+// is lock-free and safe from any number of goroutines; reading takes
+// a consistent-enough snapshot for percentile extraction (quantiles
+// over concurrently recorded data are inherently approximate).
+//
+// Both the broker's delivery layer (enqueue→write per client) and
+// the load harness (publish→delivery end to end) record into this
+// package, so the percentiles they report are directly comparable.
+package hdrhist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// subBucketBits fixes the linear resolution inside each power-of-two
+// octave: 1<<subBucketBits sub-buckets, so bucket width is value/32 —
+// ≈3% worst-case relative error, plenty for p50/p95/p99 reporting.
+const subBucketBits = 5
+
+const subBucketCount = 1 << subBucketBits
+
+// maxOctaves covers the full int64 nanosecond range (≈292 years).
+const maxOctaves = 64 - subBucketBits
+
+const numBuckets = (maxOctaves + 1) * subBucketCount
+
+// Hist is a concurrent histogram over non-negative int64 values
+// (by convention, nanoseconds). The zero value is NOT ready; use New.
+type Hist struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored negated so zero means "unset"
+}
+
+// New returns an empty histogram.
+func New() *Hist { return &Hist{} }
+
+// bucketIndex maps a value onto its log-linear bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBucketCount {
+		return int(v)
+	}
+	// Shift so the mantissa lands in [subBucketCount/2, subBucketCount).
+	e := bits.Len64(uint64(v)) - subBucketBits
+	return e*subBucketCount + int(v>>uint(e))
+}
+
+// bucketMid returns a representative value (the bucket midpoint) for
+// quantile reconstruction.
+func bucketMid(idx int) int64 {
+	e := idx / subBucketCount
+	m := int64(idx % subBucketCount)
+	if e == 0 {
+		return m
+	}
+	lo := m << uint(e)
+	hi := (m+1)<<uint(e) - 1
+	return lo + (hi-lo)/2
+}
+
+// Record adds one value. Negative values clamp to zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && -cur <= v) || h.min.CompareAndSwap(cur, -v-1) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds one duration in nanoseconds.
+func (h *Hist) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Snapshot is a point-in-time copy of a histogram, safe to read and
+// merge without synchronisation.
+type Snapshot struct {
+	Counts []uint64 // sparse-ish dense copy, indexed like the live buckets
+	N      uint64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Snapshot copies the histogram's current contents.
+func (h *Hist) Snapshot() *Snapshot {
+	s := &Snapshot{Counts: make([]uint64, numBuckets)}
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			s.Counts[i] = c
+			s.N += c
+			s.Sum += int64(c) * bucketMid(i)
+		}
+	}
+	if s.N > 0 {
+		s.Min = h.Min()
+		s.Max = h.max.Load()
+	}
+	return s
+}
+
+// Min returns the smallest recorded value, or 0 if empty.
+func (h *Hist) Min() int64 {
+	m := h.min.Load()
+	if m == 0 {
+		return 0
+	}
+	return -m - 1
+}
+
+// Merge adds other's counts into s.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	if len(s.Counts) == 0 {
+		s.Counts = make([]uint64, numBuckets)
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	if s.N == 0 || other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	s.N += other.N
+	s.Sum += other.Sum
+}
+
+// Quantile returns the value at quantile q ∈ [0, 1] (0.5 = median),
+// reconstructed from bucket midpoints. Returns 0 for an empty
+// snapshot; q outside [0,1] clamps.
+func (s *Snapshot) Quantile(q float64) int64 {
+	if s.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := uint64(q*float64(s.N-1)) + 1
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < s.Min {
+				v = s.Min
+			}
+			if s.Max > 0 && v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the approximate mean of recorded values.
+func (s *Snapshot) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}

@@ -1,0 +1,120 @@
+package hdrhist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Bucketing must be monotone and bounded-error: a value's bucket
+// midpoint is within ~3% of the value itself.
+func TestBucketResolution(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 100, 1_000, 12_345, 1_000_000, 3_141_592_653, 1 << 40} {
+		idx := bucketIndex(v)
+		mid := bucketMid(idx)
+		diff := mid - v
+		if diff < 0 {
+			diff = -diff
+		}
+		// Bucket width at v is at most v/16 (half-octave linear steps),
+		// so midpoint error is bounded by v/16 + 1.
+		if bound := v/16 + 1; diff > bound {
+			t.Errorf("value %d: bucket mid %d off by %d (> %d)", v, mid, diff, bound)
+		}
+	}
+	prev := -1
+	for v := int64(0); v < 10_000; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	h := New()
+	for i := int64(1); i <= 10_000; i++ {
+		h.Record(i)
+	}
+	s := h.Snapshot()
+	if s.N != 10_000 {
+		t.Fatalf("count = %d, want 10000", s.N)
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.5, 5_000}, {0.95, 9_500}, {0.99, 9_900}, {0, 1}, {1, 10_000}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		diff := got - c.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if bound := c.want/16 + 1; diff > bound {
+			t.Errorf("q%.2f = %d, want %d ± %d", c.q, got, c.want, bound)
+		}
+	}
+	if s.Min != 1 || s.Max != 10_000 {
+		t.Errorf("min/max = %d/%d, want 1/10000", s.Min, s.Max)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	rng := rand.New(rand.NewSource(7))
+	all := New()
+	for i := 0; i < 20_000; i++ {
+		v := int64(rng.Intn(1_000_000))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := all.Snapshot()
+	if merged.N != want.N || merged.Min != want.Min || merged.Max != want.Max {
+		t.Fatalf("merged N/min/max = %d/%d/%d, want %d/%d/%d",
+			merged.N, merged.Min, merged.Max, want.N, want.Min, want.Max)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%.2f: merged %d != combined %d", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	const per = 10_000
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1_000_000)) + 1)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.N != 4*per {
+		t.Fatalf("count = %d, want %d", s.N, 4*per)
+	}
+	if s.Min < 1 || s.Max >= 1_000_001+1_000_001/16 {
+		t.Fatalf("min/max out of range: %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := New().Snapshot()
+	if s.N != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	s.Merge(nil) // must not panic
+}

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
+	"scbr/internal/workload"
+)
+
+// The harness's attribute universe. It is fixed up front because ASPE
+// encodes every vector over the full declared universe — a dimension
+// added later would change every ciphertext.
+const (
+	// attrMarker is the constant-valued marker every generated event
+	// carries; the measured listeners subscribe to a closed interval
+	// around it, which both schemes can express (ASPE has no
+	// match-anything form, and `lg between 0 and 2` costs one
+	// dimension).
+	attrMarker = "lg"
+	attrSymbol = "symbol"
+	attrPrice  = "price"
+	attrVolume = "volume"
+)
+
+// Value domains the generators draw from (and ASPE scales by).
+const (
+	priceDomain  = 100.0
+	volumeDomain = 1_000_000
+)
+
+// SchemeOptions parameterises the codec for the harness's universe —
+// required by ASPE (fixed attribute set, numeric scales), ignored by
+// schemes that don't need pre-declared dimensions.
+func (s *Scenario) SchemeOptions() []scheme.Option {
+	return []scheme.Option{
+		scheme.WithAttrs(attrMarker, attrSymbol, attrPrice, attrVolume),
+		scheme.WithSeed(s.Seed),
+		scheme.WithScale(attrMarker, 4),
+		scheme.WithScale(attrPrice, priceDomain),
+		scheme.WithScale(attrVolume, volumeDomain),
+	}
+}
+
+// MatchAllSpec is the measured listeners' subscription: it matches
+// every generated event (all carry lg = 1) in every scheme.
+func MatchAllSpec() pubsub.SubscriptionSpec {
+	return pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: attrMarker, Op: pubsub.OpBetween, Value: pubsub.Int(0), Hi: pubsub.Int(2)},
+	}}
+}
+
+func symbolName(rank int) string {
+	return fmt.Sprintf("S%d", rank)
+}
+
+// Population derives the deterministic zipf filler population: count
+// subscriptions whose symbol interest follows rank ∝ 1/(rank+1)^s —
+// the paper's skewed-subscription model, where a few hot symbols
+// attract most subscribers. Three rotating shapes (symbol equality,
+// price band, symbol + volume band) keep the matcher exercising both
+// equality and interval paths; every shape is expressible under ASPE
+// (equality and closed intervals only). The same (seed, s, symbols,
+// count) always produces the same population.
+func Population(s *Scenario, count int) ([]pubsub.SubscriptionSpec, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	z, err := workload.NewZipf(rng, s.ZipfS, s.Symbols)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: population: %w", err)
+	}
+	specs := make([]pubsub.SubscriptionSpec, count)
+	for i := range specs {
+		sym := symbolName(z.Draw())
+		switch i % 3 {
+		case 0:
+			specs[i] = pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+				{Attr: attrSymbol, Op: pubsub.OpEq, Value: pubsub.Str(sym)},
+			}}
+		case 1:
+			lo := rng.Float64() * (priceDomain - 10)
+			specs[i] = pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+				{Attr: attrPrice, Op: pubsub.OpBetween, Value: pubsub.Float(lo), Hi: pubsub.Float(lo + 10)},
+			}}
+		default:
+			lo := int64(rng.Intn(volumeDomain / 2))
+			specs[i] = pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+				{Attr: attrSymbol, Op: pubsub.OpEq, Value: pubsub.Str(sym)},
+				{Attr: attrVolume, Op: pubsub.OpBetween, Value: pubsub.Int(lo), Hi: pubsub.Int(volumeDomain)},
+			}}
+		}
+	}
+	return specs, nil
+}
+
+// EventStream deterministically generates publication headers whose
+// symbol popularity follows the same zipf law as the population. Not
+// safe for concurrent use — the driver pre-draws each phase's headers
+// and shards them across publisher goroutines.
+type EventStream struct {
+	rng *rand.Rand
+	z   *workload.Zipf
+}
+
+// NewEventStream builds the scenario's header generator. The stream
+// seeds off Seed+1 so events and population are decorrelated but both
+// reproducible.
+func NewEventStream(s *Scenario) (*EventStream, error) {
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	z, err := workload.NewZipf(rng, s.ZipfS, s.Symbols)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: event stream: %w", err)
+	}
+	return &EventStream{rng: rng, z: z}, nil
+}
+
+// Next draws one header.
+func (es *EventStream) Next() pubsub.EventSpec {
+	return pubsub.EventSpec{Attrs: []pubsub.NamedValue{
+		{Name: attrMarker, Value: pubsub.Int(1)},
+		{Name: attrSymbol, Value: pubsub.Str(symbolName(es.z.Draw()))},
+		{Name: attrPrice, Value: pubsub.Float(es.rng.Float64() * priceDomain)},
+		{Name: attrVolume, Value: pubsub.Int(int64(es.rng.Intn(volumeDomain)))},
+	}}
+}
+
+// payloadLen is the fixed measured-event payload: sequence number plus
+// publish timestamp, enough for uniqueness accounting and end-to-end
+// latency without bulk.
+const payloadLen = 16
+
+// EncodePayload packs an event's global sequence number and its
+// publish stamp (UnixNano).
+func EncodePayload(seq uint64, stamp int64) []byte {
+	b := make([]byte, payloadLen)
+	binary.LittleEndian.PutUint64(b[0:8], seq)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(stamp))
+	return b
+}
+
+// DecodePayload unpacks EncodePayload's form.
+func DecodePayload(b []byte) (seq uint64, stamp int64, err error) {
+	if len(b) != payloadLen {
+		return 0, 0, fmt.Errorf("loadgen: payload is %d bytes, want %d", len(b), payloadLen)
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), int64(binary.LittleEndian.Uint64(b[8:16])), nil
+}

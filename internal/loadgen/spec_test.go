@@ -1,0 +1,262 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scbr/internal/scheme"
+)
+
+// The population generator is deterministic: one (seed, skew,
+// universe) always produces the same specs, and the event stream the
+// same headers.
+func TestPopulationDeterministic(t *testing.T) {
+	s, err := Builtin("ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Population(s, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Population(s, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different populations")
+	}
+	ea, err := NewEventStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEventStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if ha, hb := ea.Next(), eb.Next(); !reflect.DeepEqual(ha, hb) {
+			t.Fatalf("event %d diverged: %v vs %v", i, ha, hb)
+		}
+	}
+	// A different seed must actually change the draw.
+	s2 := *s
+	s2.Seed++
+	c, err := Population(&s2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+// The zipf law shows: the rank-0 symbol attracts more subscriptions
+// than a tail rank.
+func TestPopulationZipfSkew(t *testing.T) {
+	s, err := Builtin("ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := Population(s, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(sym string) int {
+		n := 0
+		for _, sp := range specs {
+			for _, p := range sp.Predicates {
+				if p.Attr == attrSymbol && p.Value.S == sym {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	hot, cold := count(symbolName(0)), count(symbolName(s.Symbols-1))
+	if hot <= cold*2 {
+		t.Fatalf("no zipf skew: rank 0 drew %d, rank %d drew %d", hot, s.Symbols-1, cold)
+	}
+}
+
+// The golden scenario file round-trips byte-identically through
+// parse → re-encode, so the on-disk spec format is stable.
+func TestGoldenScenarioRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "scenario.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseScenario(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(buf.Bytes()), bytes.TrimSpace(raw)) {
+		t.Fatalf("golden scenario did not round-trip:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), raw)
+	}
+	// And the parsed scenario is runnable as specified.
+	if s.Name != "golden" || len(s.Cells()) == 0 {
+		t.Fatalf("unexpected golden scenario: %+v", s)
+	}
+}
+
+// Malformed scenarios are rejected with a descriptive error, never
+// silently defaulted.
+func TestParseScenarioRejectsMalformed(t *testing.T) {
+	base := func() map[string]any {
+		return map[string]any{
+			"name": "m", "seed": 1, "subscribers": 10, "measured": 1,
+			"zipf_s": 1.0, "symbols": 10, "events": 10, "publishers": 1,
+			"batch_size": 5, "partitions": []int{1}, "schemes": []string{scheme.Plain},
+			"routers": []int{1},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(m map[string]any)
+		want   string
+	}{
+		{"unknown field", func(m map[string]any) { m["subscriberz"] = 10 }, "unknown field"},
+		{"missing name", func(m map[string]any) { delete(m, "name") }, "name"},
+		{"zero subscribers", func(m map[string]any) { m["subscribers"] = 0 }, "subscribers"},
+		{"negative events", func(m map[string]any) { m["events"] = -1 }, "events"},
+		{"zero zipf", func(m map[string]any) { m["zipf_s"] = 0.0 }, "zipf_s"},
+		{"empty partitions", func(m map[string]any) { m["partitions"] = []int{} }, "partitions"},
+		{"partitions out of range", func(m map[string]any) { m["partitions"] = []int{0} }, "partitions"},
+		{"empty schemes", func(m map[string]any) { m["schemes"] = []string{} }, "schemes"},
+		{"unknown scheme", func(m map[string]any) { m["schemes"] = []string{"rot13"} }, "unknown matching scheme"},
+		{"zero routers", func(m map[string]any) { m["routers"] = []int{0} }, "routers"},
+		{"bad overflow", func(m map[string]any) { m["overflow"] = "yolo" }, "overflow"},
+		{"scale over one", func(m map[string]any) { m["scheme_scale"] = map[string]float64{scheme.ASPE: 1.5} }, "scheme_scale"},
+		{"scale unknown scheme", func(m map[string]any) { m["scheme_scale"] = map[string]float64{"rot13": 0.5} }, "unknown matching scheme"},
+		{"not json", func(m map[string]any) {}, "decoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var raw []byte
+			if tc.name == "not json" {
+				raw = []byte("{nope")
+			} else {
+				m := base()
+				tc.mutate(m)
+				var err error
+				raw, err = json.Marshal(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := ParseScenario(bytes.NewReader(raw))
+			if err == nil {
+				t.Fatalf("malformed scenario accepted: %s", raw)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The base map itself must be valid — otherwise the sweep tests
+	// nothing.
+	raw, err := json.Marshal(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseScenario(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("base scenario rejected: %v", err)
+	}
+}
+
+// Cell expansion applies scheme and federation scales and marks
+// aspe × federated combinations as skipped rather than dropping them.
+func TestCells(t *testing.T) {
+	s, err := Builtin("ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Cells()
+	want := len(s.Schemes) * len(s.Partitions) * len(s.Routers)
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	var skipped, run int
+	for _, c := range cells {
+		if c.Scheme == scheme.ASPE && c.Routers > 1 {
+			if c.Skip == "" {
+				t.Fatalf("aspe federated cell not skipped: %+v", c)
+			}
+			skipped++
+			continue
+		}
+		if c.Skip != "" {
+			t.Fatalf("unexpected skip: %+v", c)
+		}
+		run++
+		wantScale := 1.0
+		if f, ok := s.SchemeScale[c.Scheme]; ok {
+			wantScale *= f
+		}
+		if c.Routers > 1 {
+			wantScale *= s.FederationScale
+		}
+		if c.Scale != wantScale {
+			t.Fatalf("cell %+v: scale %v, want %v", c, c.Scale, wantScale)
+		}
+		if c.Subscribers != scaled(s.Subscribers, wantScale) || c.Events != scaled(s.Events, wantScale) {
+			t.Fatalf("cell %+v: population not scaled by %v", c, wantScale)
+		}
+	}
+	if skipped != len(s.Partitions) || run != want-skipped {
+		t.Fatalf("skipped %d run %d of %d", skipped, run, want)
+	}
+}
+
+// Every builtin validates and expands.
+func TestBuiltinsValid(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		s, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("builtin %q invalid: %v", name, err)
+		}
+		if len(s.Cells()) == 0 {
+			t.Fatalf("builtin %q expands to no cells", name)
+		}
+	}
+	// The acceptance sweep must actually reach the target population.
+	smoke, err := Builtin("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, c := range smoke.Cells() {
+		if c.Subscribers > max {
+			max = c.Subscribers
+		}
+	}
+	if max < 100_000 {
+		t.Fatalf("smoke's largest cell registers %d subscriptions, want ≥100000", max)
+	}
+}
+
+// Payloads round-trip and reject foreign sizes.
+func TestPayloadRoundTrip(t *testing.T) {
+	b := EncodePayload(42, 1_700_000_000_000_000_000)
+	seq, stamp, err := DecodePayload(b)
+	if err != nil || seq != 42 || stamp != 1_700_000_000_000_000_000 {
+		t.Fatalf("round trip: %d %d %v", seq, stamp, err)
+	}
+	if _, _, err := DecodePayload(b[:8]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}

@@ -239,6 +239,13 @@ type (
 	// recovery activity (Router.DeliverySnapshot): overflow drops,
 	// slow-consumer disconnects, cursor replays, and resume gaps.
 	DeliveryCounters = broker.DeliveryCounters
+	// DeliveryLatency is a router's enqueue→write delivery-latency
+	// percentile snapshot, total and per client
+	// (Router.DeliveryLatencySnapshot).
+	DeliveryLatency = broker.DeliveryLatency
+	// LatencyQuantiles is one latency distribution reduced to
+	// p50/p95/p99/max, in nanoseconds.
+	LatencyQuantiles = broker.LatencyQuantiles
 )
 
 // Slow-consumer overflow policies (see WithOverflowPolicy).
