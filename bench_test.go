@@ -596,7 +596,7 @@ func BenchmarkCodecs(b *testing.B) {
 func BenchmarkEndToEndPublish(b *testing.B) {
 	for _, k := range []int{1, 4} {
 		b.Run(fmt.Sprintf("partitions=%d", k), func(b *testing.B) {
-			benchEndToEndPublish(b, k, scbr.SchemePlain)
+			benchEndToEndPublish(b, k, scbr.SchemePlain, 0)
 		})
 	}
 	// ASPE variant: the identical single-partition deployment with the
@@ -605,7 +605,7 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 	// headline plain-vs-ASPE matching gap (Figure 7) on the live
 	// pipeline rather than the offline harness.
 	b.Run("scheme=aspe", func(b *testing.B) {
-		benchEndToEndPublish(b, 1, scbr.SchemeASPE)
+		benchEndToEndPublish(b, 1, scbr.SchemeASPE, 0)
 	})
 	// Federated variant: the same probe round trip, but the publisher
 	// and the probe subscriber sit on different routers of a 2-router
@@ -614,6 +614,24 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 	// partitions=1 single-router baseline above to read the federation
 	// overhead.
 	b.Run("federated=2", benchFederatedPublish)
+	// Batch variants: each iteration ships one PublishBatch of N load
+	// events — one wire frame, one ring pass, one store pass per slice
+	// — followed by the awaited probe publish. ns/op and simµs/op are
+	// per *iteration* (N+1 events); ns/event divides by N+1. Per-event
+	// cost and allocations should fall and simµs/op should grow
+	// sub-linearly as N rises — the batch amortisation at work.
+	for _, k := range []int{1, 4} {
+		for _, n := range []int{1, 16, 256} {
+			b.Run(fmt.Sprintf("partitions=%d/batch=%d", k, n), func(b *testing.B) {
+				benchEndToEndPublish(b, k, scbr.SchemePlain, n)
+			})
+		}
+	}
+	for _, n := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("scheme=aspe/batch=%d", n), func(b *testing.B) {
+			benchEndToEndPublish(b, 1, scbr.SchemeASPE, n)
+		})
+	}
 }
 
 // benchSchemeOptions parameterises the deployment's matching scheme:
@@ -628,7 +646,12 @@ func benchSchemeOptions(schemeName string) scbr.Option {
 		scbr.WithSchemeScale("year", 3_000))
 }
 
-func benchEndToEndPublish(b *testing.B, partitions int, schemeName string) {
+// benchEndToEndPublish runs the probe round trip at the given
+// partition count and scheme. batch == 0 publishes per event (two
+// Publish calls per iteration: load then probe); batch == N ≥ 1 ships
+// one PublishBatch of N events per iteration with the probe as the
+// batch's last event.
+func benchEndToEndPublish(b *testing.B, partitions int, schemeName string, batch int) {
 	ctx := context.Background()
 	dev := mustDevice(b)
 	quoter, err := scbr.NewQuoter(dev, "bench-platform")
@@ -688,13 +711,16 @@ func benchEndToEndPublish(b *testing.B, partitions int, schemeName string) {
 
 	// Filler database: workload subscriptions owned by a client that
 	// never listens, so they load the matchers without producing
-	// deliveries.
-	filler, err := scbr.NewClient("filler")
+	// deliveries. Bulk-registered — the population's content is the
+	// same as per-subscription Subscribe calls, without paying an RSA
+	// round trip per subscription in benchmark setup.
+	fillerKeys, err := scbr.NewKeyPair(nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(filler.Close)
-	filler.ConnectPublisher(dialPub(), publisher.PublicKey())
+	if err := publisher.Registry().Admit("filler", fillerKeys.Public()); err != nil {
+		b.Fatal(err)
+	}
 	qs, err := scbr.NewQuoteSet(1, 100, 250)
 	if err != nil {
 		b.Fatal(err)
@@ -707,10 +733,8 @@ func benchEndToEndPublish(b *testing.B, partitions int, schemeName string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, s := range gen.Subscriptions(2000) {
-		if _, err := filler.Subscribe(ctx, s); err != nil {
-			b.Fatal(err)
-		}
+	if _, err := publisher.RegisterBulk(ctx, "filler", "", gen.Subscriptions(2000)); err != nil {
+		b.Fatal(err)
 	}
 	events := gen.Publications(256)
 
@@ -747,18 +771,43 @@ func benchEndToEndPublish(b *testing.B, partitions int, schemeName string) {
 	before := router.SliceMeterSnapshots()
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := publisher.Publish(ctx, events[i%len(events)], []byte("load")); err != nil {
-			b.Fatal(err)
+	if batch > 0 {
+		// One batch of N load events, then the awaited probe on the
+		// same connection — the event mixture per iteration (N loads +
+		// 1 probe) is constant across N, so per-event metrics compare
+		// cleanly between batch sizes and against the unbatched
+		// variants above.
+		evs := make([]scbr.Event, batch)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				evs[j] = scbr.Event{Header: events[(i*batch+j)%len(events)], Payload: []byte("load")}
+			}
+			if err := publisher.PublishBatch(ctx, evs); err != nil {
+				b.Fatal(err)
+			}
+			if err := publisher.Publish(ctx, header, []byte("probe")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sub.Next(ctx); err != nil {
+				b.Fatal(err)
+			}
 		}
-		if err := publisher.Publish(ctx, header, []byte("probe")); err != nil {
-			b.Fatal(err)
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*(batch+1)), "ns/event")
+	} else {
+		for i := 0; i < b.N; i++ {
+			if err := publisher.Publish(ctx, events[i%len(events)], []byte("load")); err != nil {
+				b.Fatal(err)
+			}
+			if err := publisher.Publish(ctx, header, []byte("probe")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sub.Next(ctx); err != nil {
+				b.Fatal(err)
+			}
 		}
-		if _, err := sub.Next(ctx); err != nil {
-			b.Fatal(err)
-		}
+		b.StopTimer()
 	}
-	b.StopTimer()
 	after := router.SliceMeterSnapshots()
 	var makespan uint64
 	for i := range after {

@@ -1,0 +1,245 @@
+// Command scbr-benchdiff compares two benchmark artifacts from this
+// repository's CI and reports per-variant metric deltas, with an
+// optional regression gate driving the exit code.
+//
+// Two artifact shapes are understood, and either side may be either:
+//
+//   - microbenchmark wraps ("lines": raw `go test -bench` output, as in
+//     BENCH_pr5.json / BENCH_pr7.json) — variants are the benchmark
+//     sub-names, metrics are the reported units (ns/op, simµs/op,
+//     allocs/op, B/op, ns/event, ...);
+//   - loadgen reports ("cells", as in BENCH_pr6.json and the
+//     scbr-loadgen output) — variants name the cell (scenario,
+//     partitions, scheme, routers, scale), metrics are throughput and
+//     latency percentiles.
+//
+// Only metrics present under the same variant name in both artifacts
+// are compared; artifacts with no overlap (a loadgen report against a
+// microbenchmark wrap) report that and exit 0, so a stacked CI can diff
+// against every prior artifact without caring which harness produced
+// it.
+//
+// Exit status: 0 = compared (or nothing comparable) within thresholds;
+// 1 = at least one gated regression; 2 = usage or artifact error.
+//
+// Usage:
+//
+//	scbr-benchdiff [-threshold pct] [-allocs-threshold pct] old.json new.json
+//
+// -threshold gates every lower-is-better metric except allocs/op;
+// -allocs-threshold gates allocs/op alone (the allocation-regression
+// gate the CI bench job uses). A zero or negative threshold disables
+// that gate; both default to off, making the tool report-only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// artifact is the superset of the two artifact shapes; exactly one of
+// Lines and Cells is populated in practice.
+type artifact struct {
+	Commit string `json:"commit"`
+	Lines  []string
+	Cells  []json.RawMessage
+}
+
+// metrics maps variant name → metric name → value.
+type metrics map[string]map[string]float64
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "max allowed regression percent on lower-is-better metrics other than allocs/op (<=0 disables)")
+	allocsThreshold := flag.Float64("allocs-threshold", 0, "max allowed regression percent on allocs/op (<=0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: scbr-benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldM, oldName, err := loadMetrics(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scbr-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newM, newName, err := loadMetrics(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scbr-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	regressions := diff(os.Stdout, oldM, newM, oldName, newName, *threshold, *allocsThreshold)
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d gated regression(s)\n", regressions)
+		os.Exit(1)
+	}
+}
+
+// loadMetrics reads one artifact and flattens it to variant → metric →
+// value. The second return is a short label for the report header.
+func loadMetrics(path string) (metrics, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var a artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	label := path
+	if a.Commit != "" {
+		label = fmt.Sprintf("%s (%s)", path, a.Commit)
+	}
+	m := metrics{}
+	for _, line := range a.Lines {
+		name, vals, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		m[name] = vals
+	}
+	for _, cell := range a.Cells {
+		name, vals, err := parseCell(cell)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", path, err)
+		}
+		m[name] = vals
+	}
+	if len(m) == 0 {
+		return nil, "", fmt.Errorf("%s: no benchmark lines or loadgen cells found", path)
+	}
+	return m, label, nil
+}
+
+// parseBenchLine extracts the variant name and (unit → value) metrics
+// from one `go test -bench` output line; ok is false for non-benchmark
+// lines (goos:, PASS, ok, ...).
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Split(line, "\t")
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := strings.TrimSpace(fields[0])
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[i+1:] // drop the top-level benchmark function name
+	}
+	vals := make(map[string]float64, len(fields)-2)
+	for _, f := range fields[2:] { // fields[1] is the iteration count
+		parts := strings.Fields(f)
+		if len(parts) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			continue
+		}
+		vals[parts[1]] = v
+	}
+	if len(vals) == 0 {
+		return "", nil, false
+	}
+	return name, vals, true
+}
+
+// loadgenCell is the slice of a loadgen cell record this tool compares.
+type loadgenCell struct {
+	Scenario   string  `json:"scenario"` // absent in today's reports; keyed blank
+	Partitions int     `json:"partitions"`
+	Scheme     string  `json:"scheme"`
+	Routers    int     `json:"routers"`
+	Scale      float64 `json:"scale"`
+	RegPerSec  float64 `json:"register_per_sec"`
+	EvtsPerSec float64 `json:"events_per_sec"`
+	EndToEnd   struct {
+		P50  float64 `json:"p50_ns"`
+		P95  float64 `json:"p95_ns"`
+		P99  float64 `json:"p99_ns"`
+		Mean float64 `json:"mean_ns"`
+	} `json:"end_to_end"`
+	EnqueueWrite struct {
+		P50 float64 `json:"p50_ns"`
+		P95 float64 `json:"p95_ns"`
+	} `json:"enqueue_write"`
+}
+
+func parseCell(raw json.RawMessage) (string, map[string]float64, error) {
+	var c loadgenCell
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return "", nil, fmt.Errorf("decoding loadgen cell: %w", err)
+	}
+	name := fmt.Sprintf("partitions=%d/scheme=%s/routers=%d/scale=%g", c.Partitions, c.Scheme, c.Routers, c.Scale)
+	if c.Scenario != "" {
+		name = c.Scenario + "/" + name
+	}
+	return name, map[string]float64{
+		"register/sec":     c.RegPerSec,
+		"events/sec":       c.EvtsPerSec,
+		"e2e-p50-ns":       c.EndToEnd.P50,
+		"e2e-p95-ns":       c.EndToEnd.P95,
+		"e2e-p99-ns":       c.EndToEnd.P99,
+		"enq-write-p50-ns": c.EnqueueWrite.P50,
+	}, nil
+}
+
+// lowerIsBetter classifies a metric's direction; metrics that are
+// neither (fwd/op, a count) are reported but never gated.
+func lowerIsBetter(metric string) bool {
+	switch metric {
+	case "register/sec", "events/sec", "fwd/op":
+		return false
+	}
+	return true
+}
+
+// diff prints the per-variant comparison and returns the number of
+// gated regressions.
+func diff(w *os.File, oldM, newM metrics, oldName, newName string, threshold, allocsThreshold float64) int {
+	fmt.Fprintf(w, "old: %s\nnew: %s\n", oldName, newName)
+	variants := make([]string, 0, len(newM))
+	for v := range newM {
+		if _, ok := oldM[v]; ok {
+			variants = append(variants, v)
+		}
+	}
+	if len(variants) == 0 {
+		fmt.Fprintln(w, "no overlapping variants (different harnesses or scenarios); nothing to compare")
+		return 0
+	}
+	sort.Strings(variants)
+	regressions := 0
+	for _, v := range variants {
+		fmt.Fprintf(w, "%s\n", v)
+		names := make([]string, 0, len(newM[v]))
+		for metric := range newM[v] {
+			if _, ok := oldM[v][metric]; ok {
+				names = append(names, metric)
+			}
+		}
+		sort.Strings(names)
+		for _, metric := range names {
+			oldV, newV := oldM[v][metric], newM[v][metric]
+			var pct float64
+			if oldV != 0 {
+				pct = (newV - oldV) / oldV * 100
+			}
+			gate := threshold
+			if metric == "allocs/op" {
+				gate = allocsThreshold
+			}
+			flagStr := ""
+			if lowerIsBetter(metric) && gate > 0 && pct > gate {
+				flagStr = fmt.Sprintf("  REGRESSION (> %+.1f%%)", gate)
+				regressions++
+			}
+			fmt.Fprintf(w, "  %-16s %14.2f -> %14.2f  %+7.2f%%%s\n", metric, oldV, newV, pct, flagStr)
+		}
+	}
+	return regressions
+}

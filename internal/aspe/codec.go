@@ -157,32 +157,46 @@ func AppendPublication(buf []byte, ep *EncodedPublication) ([]byte, error) {
 
 // DecodePublication parses AppendPublication output.
 func DecodePublication(raw []byte) (*EncodedPublication, error) {
+	var ep EncodedPublication
+	if err := DecodePublicationInto(raw, &ep); err != nil {
+		return nil, err
+	}
+	return &ep, nil
+}
+
+// DecodePublicationInto is DecodePublication reusing ep's point
+// storage — the batch matching path decodes whole publish-batches per
+// scan and would otherwise allocate a point per item per slice.
+func DecodePublicationInto(raw []byte, ep *EncodedPublication) error {
 	hdr := 2 + 2 + 8*bloomWords
 	if len(raw) < hdr {
-		return nil, fmt.Errorf("%w: publication blob of %d bytes", ErrCodec, len(raw))
+		return fmt.Errorf("%w: publication blob of %d bytes", ErrCodec, len(raw))
 	}
 	if raw[0] != pubMagic || raw[1] != codecVer {
-		return nil, fmt.Errorf("%w: bad publication magic/version %x.%x", ErrCodec, raw[0], raw[1])
+		return fmt.Errorf("%w: bad publication magic/version %x.%x", ErrCodec, raw[0], raw[1])
 	}
 	dim := int(binary.LittleEndian.Uint16(raw[2:]))
 	if dim == 0 || dim > MaxDim {
-		return nil, fmt.Errorf("%w: dim %d", ErrCodec, dim)
+		return fmt.Errorf("%w: dim %d", ErrCodec, dim)
 	}
-	ep := &EncodedPublication{Dim: dim}
+	ep.Dim = dim
 	pos := 4
 	for i := range ep.Filter {
 		ep.Filter[i] = binary.LittleEndian.Uint64(raw[pos:])
 		pos += 8
 	}
 	if want := pos + dim*8; len(raw) != want {
-		return nil, fmt.Errorf("%w: publication blob is %d bytes, want %d", ErrCodec, len(raw), want)
+		return fmt.Errorf("%w: publication blob is %d bytes, want %d", ErrCodec, len(raw), want)
 	}
-	ep.Point = make([]float64, dim)
+	if cap(ep.Point) < dim {
+		ep.Point = make([]float64, dim)
+	}
+	ep.Point = ep.Point[:dim]
 	for i := range ep.Point {
 		ep.Point[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:]))
 		pos += 8
 	}
-	return ep, nil
+	return nil
 }
 
 func appendU16(buf []byte, v uint16) []byte {

@@ -44,6 +44,10 @@ type Store struct {
 
 	// vec is the decode scratch for one ciphertext vector.
 	vec []float64
+	// pNorms and alive are MatchEncodedBatch scratch: per-item point
+	// norms and per-item liveness during the shared database walk.
+	pNorms []float64
+	alive  []bool
 }
 
 // NewStore builds an unconfigured store over the accessor.
@@ -199,6 +203,94 @@ func (s *Store) MatchEncoded(ep *EncodedPublication, out []Match) ([]Match, erro
 		}
 	}
 	return out, nil
+}
+
+// MatchEncodedBatch scans the database once for a whole batch of
+// encoded publications, appending each item's matches to its out slot.
+// eps and out are parallel; nil items are skipped (their slots stay
+// untouched), as are items whose dimensionality the store rejects —
+// the same items the per-item path would have dropped with an error.
+//
+// The batch walk inverts the per-item loop: every subscription entry
+// is visited once, its ciphertext vectors are read and decoded from
+// the metered arena once, and each vector is sign-tested against all
+// still-alive items. The arena reads — the dominant metered cost of a
+// scan — are amortised across the batch, which is why simulated cost
+// grows sub-linearly in batch size; the per-item sign-test and
+// prefilter charges are unchanged, so the matched sets are exactly the
+// per-item MatchEncoded results.
+func (s *Store) MatchEncodedBatch(eps []*EncodedPublication, out [][]Match) error {
+	if s.dim == 0 {
+		return fmt.Errorf("aspe: store not configured (no scheme parameters provisioned)")
+	}
+	if len(out) < len(eps) {
+		return fmt.Errorf("aspe: batch result slots %d < publications %d", len(out), len(eps))
+	}
+	cost := s.acc.Meter().Cost
+	if cap(s.vec) < s.dim {
+		s.vec = make([]float64, s.dim)
+	}
+	if cap(s.pNorms) < len(eps) {
+		s.pNorms = make([]float64, len(eps))
+		s.alive = make([]bool, len(eps))
+	}
+	pNorms, alive := s.pNorms[:len(eps)], s.alive[:len(eps)]
+	for i, ep := range eps {
+		if ep == nil || ep.Dim != s.dim {
+			eps[i] = nil // dimension mismatch: dropped, like the per-item error
+			continue
+		}
+		pNorms[i] = PointNorm(ep.Point)
+	}
+	for si := range s.subs {
+		ent := &s.subs[si]
+		live := 0
+		for i, ep := range eps {
+			if ep == nil {
+				alive[i] = false
+				continue
+			}
+			ok := true
+			if s.opts.Prefilter && ent.hasEq {
+				// Bloom subset test: a handful of word ops, per item.
+				s.acc.Charge(uint64(bloomWords) * 2)
+				ok = ent.filter.subsetOf(&ep.Filter)
+			}
+			alive[i] = ok
+			if ok {
+				live++
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		for _, off := range ent.vecOffs {
+			raw := s.acc.Read(off, s.vecBytes())
+			vec := s.vec[:s.dim]
+			for i := range vec {
+				vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+			for i, ep := range eps {
+				if !alive[i] {
+					continue
+				}
+				s.acc.Charge(uint64(float64(len(vec)) * cost.MulAddCycles))
+				if Dot(ep.Point, vec) < -toleranceFor(s.dim, pNorms[i], ent.qNorm) {
+					alive[i] = false
+					live--
+				}
+			}
+			if live == 0 {
+				break
+			}
+		}
+		for i := range eps {
+			if alive[i] {
+				out[i] = append(out[i], Match{SubID: ent.id, ClientRef: ent.ref})
+			}
+		}
+	}
+	return nil
 }
 
 // toleranceFor is the sign-test threshold for a (point, query) pair at

@@ -6,11 +6,18 @@
 // own enclave, so matching parallelises and the per-enclave working
 // set shrinks by k (the Fig. 8 paging-cliff remedy).
 //
+// The layer is batch-first: a publish-batch travels as ONE unit — one
+// enclave entry per slice on the synchronous path, one ring push and
+// one matchJob per slice on the switchless path — and the schemes
+// match it through their MatchEncodedBatch surface, so per-item work
+// (enclave crossings, database walks, allocations) is amortised across
+// the batch. A single publish is just a batch of one.
+//
 // Two publication paths share this layer:
 //
 //   - synchronous: the publishing connection enters each slice's
-//     enclave (one ecall per slice per wire message, a batch still
-//     crossing once per slice) and merges inline;
+//     enclave (one ecall per slice per wire message, however many
+//     items it carries) and merges inline;
 //   - switchless: each slice owns an untrusted-memory ring drained by
 //     a resident enclave worker. The raw wire frame is pushed to every
 //     ring, the workers match concurrently, and a single merger
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"scbr/internal/core"
 	"scbr/internal/scheme"
@@ -45,6 +53,13 @@ type partition struct {
 
 	mu sync.Mutex // serialises this slice's enclave entries and meter
 
+	// Sealed-exchange scratch, guarded by mu: the per-key envelope
+	// opener (AES schedule + HMAC pads built once per provisioned key)
+	// and the per-item plaintext-header buffers reused across batches.
+	opener    *scrypto.Opener
+	openerKey *scrypto.SymmetricKey
+	enc       [][]byte
+
 	// Switchless plumbing (nil when disabled). jobs carries the decoded
 	// counterpart of every frame pushed onto ring, in ring order.
 	ring       *sgx.Ring
@@ -52,43 +67,116 @@ type partition struct {
 	workerDone chan struct{}
 }
 
-// matchJob is one wire message in flight through the switchless
-// pipeline: the expanded publication items plus the merge state the
-// slices fill in. done closes when the last slice has contributed.
+// matchJob is one wire message — a whole publish-batch — in flight
+// through the matching layer: the per-item header/payload views plus
+// the merge state the slices fill in. perPart[p][i] is slice p's
+// matches for item i: every slot is preallocated by the dispatcher and
+// written only by its own slice, so contribution is lock-free — no
+// merge mutex, no append-growth under a lock. Jobs are pooled and
+// recycled once the merger (or the synchronous caller) has delivered.
 type matchJob struct {
-	items   []*Message
-	mu      sync.Mutex
-	merged  [][]core.MatchResult // per item, across slices
-	pending int
+	blobs    [][]byte // per-item encrypted/encoded headers
+	payloads [][]byte // per-item group-key payloads
+	epoch    uint64
+
+	perPart [][][]core.MatchResult // [slice][item] result slots
+	merged  []core.MatchResult     // per-item cross-slice merge scratch
+
+	// Switchless completion (unused on the synchronous path): done
+	// closes when the last slice has contributed.
+	pending atomic.Int32
 	done    chan struct{}
 }
 
-// contribute merges one slice's per-item results and signals the
-// merger when every slice has reported.
-func (j *matchJob) contribute(results [][]core.MatchResult) {
-	j.mu.Lock()
-	for i := range results {
-		j.merged[i] = append(j.merged[i], results[i]...)
+// forEachPublication visits the publication items a publish or
+// publish-batch message carries, without materialising an item slice.
+func forEachPublication(m *Message, fn func(blob, payload []byte)) {
+	if m.Type == TypePublishBatch {
+		for i := range m.Items {
+			fn(m.Items[i].Blob, m.Items[i].Payload)
+		}
+		return
 	}
-	j.pending--
-	last := j.pending == 0
-	j.mu.Unlock()
-	if last {
+	fn(m.Blob, m.Payload)
+}
+
+// contribute signals that one slice has filled its perPart slot.
+func (j *matchJob) contribute() {
+	if j.pending.Add(-1) == 0 {
 		close(j.done)
 	}
 }
 
-// expandPublication flattens a publish or publish-batch message into
-// its publication items.
-func expandPublication(m *Message) []*Message {
-	if m.Type != TypePublishBatch {
-		return []*Message{m}
+// acquireJob pulls a recycled job from the pool and loads it with m's
+// publication items, resizing the per-slice merge slots while keeping
+// every previously grown buffer.
+func (r *Router) acquireJob(m *Message) *matchJob {
+	job, _ := r.jobPool.Get().(*matchJob)
+	if job == nil {
+		job = &matchJob{}
 	}
-	items := make([]*Message, len(m.Items))
-	for i := range m.Items {
-		items[i] = &Message{Type: TypePublish, Blob: m.Items[i].Blob, Payload: m.Items[i].Payload, Epoch: m.Epoch}
+	job.epoch = m.Epoch
+	job.blobs = job.blobs[:0]
+	job.payloads = job.payloads[:0]
+	if m.Type == TypePublishBatch {
+		for i := range m.Items {
+			job.blobs = append(job.blobs, m.Items[i].Blob)
+			job.payloads = append(job.payloads, m.Items[i].Payload)
+		}
+	} else {
+		job.blobs = append(job.blobs, m.Blob)
+		job.payloads = append(job.payloads, m.Payload)
 	}
-	return items
+	k, n := len(r.parts), len(job.blobs)
+	if cap(job.perPart) < k {
+		grown := make([][][]core.MatchResult, k)
+		copy(grown, job.perPart[:cap(job.perPart)])
+		job.perPart = grown
+	}
+	job.perPart = job.perPart[:k]
+	for p := 0; p < k; p++ {
+		rows := job.perPart[p]
+		if cap(rows) < n {
+			grown := make([][]core.MatchResult, n)
+			copy(grown, rows[:cap(rows)])
+			rows = grown
+		}
+		rows = rows[:n]
+		for i := range rows {
+			rows[i] = rows[i][:0]
+		}
+		job.perPart[p] = rows
+	}
+	return job
+}
+
+// releaseJob clears the job's references to message bytes (so the pool
+// never pins a frame) and recycles it. The match-result slots keep
+// their capacity — that is the point of pooling them.
+func (r *Router) releaseJob(job *matchJob) {
+	for i := range job.blobs {
+		job.blobs[i] = nil
+	}
+	for i := range job.payloads {
+		job.payloads[i] = nil
+	}
+	job.blobs = job.blobs[:0]
+	job.payloads = job.payloads[:0]
+	job.merged = job.merged[:0]
+	job.done = nil
+	r.jobPool.Put(job)
+}
+
+// deliverJob merges each item's per-slice results in slice order and
+// hands it to the delivery layer, reusing the job's merge scratch.
+func (r *Router) deliverJob(job *matchJob) {
+	for i := range job.blobs {
+		job.merged = job.merged[:0]
+		for _, rows := range job.perPart {
+			job.merged = append(job.merged, rows[i]...)
+		}
+		r.deliver(job.merged, job.payloads[i], job.epoch)
+	}
 }
 
 // startSwitchless brings up the per-partition rings, resident workers,
@@ -171,34 +259,26 @@ func (r *Router) routeLocal(m *Message) error {
 	if sk == nil {
 		return ErrNotProvisioned
 	}
-	items := expandPublication(m)
-	merged := r.matchFanout(items, sk)
-	for i, item := range items {
-		r.deliver(merged[i], item)
-	}
+	job := r.acquireJob(m)
+	r.matchFanout(job, sk)
+	r.deliverJob(job)
+	r.releaseJob(job)
 	return nil
 }
 
 // matchFanout runs trusted step ⑤ on every slice in parallel: one
-// ecall per slice covering the whole item list, each contributing its
-// share of the matches. A per-item failure (tampered ciphertext,
+// ecall per slice covering the whole batch, each slice filling its own
+// preallocated merge slot. A per-item failure (tampered ciphertext,
 // malformed header) drops that item's contribution, matching the
 // wire's fire-and-forget semantics.
-func (r *Router) matchFanout(items []*Message, sk *scrypto.SymmetricKey) [][]core.MatchResult {
-	perPart := make([][][]core.MatchResult, len(r.parts))
+func (r *Router) matchFanout(job *matchJob, sk *scrypto.SymmetricKey) {
 	run := func(p *partition) {
-		out := make([][]core.MatchResult, len(items))
 		p.mu.Lock()
 		_ = p.enclave.Ecall(func() error {
-			for i, item := range items {
-				if res, err := r.matchSlice(p, item, sk); err == nil {
-					out[i] = res
-				}
-			}
+			r.matchSliceBatch(p, job, sk)
 			return nil
 		})
 		p.mu.Unlock()
-		perPart[p.idx] = out
 	}
 	if len(r.parts) == 1 || runtime.GOMAXPROCS(0) == 1 {
 		// One slice, or one P: fan-out would only add scheduling
@@ -206,56 +286,72 @@ func (r *Router) matchFanout(items []*Message, sk *scrypto.SymmetricKey) [][]cor
 		for _, p := range r.parts {
 			run(p)
 		}
-	} else {
-		var wg sync.WaitGroup
-		for _, p := range r.parts[1:] {
-			wg.Add(1)
-			go func(p *partition) {
-				defer wg.Done()
-				run(p)
-			}(p)
-		}
-		run(r.parts[0]) // slice 0 rides the caller, saving one handoff
-		wg.Wait()
+		return
 	}
-	merged := make([][]core.MatchResult, len(items))
-	for i := range items {
-		for _, out := range perPart {
-			merged[i] = append(merged[i], out[i]...)
-		}
+	var wg sync.WaitGroup
+	for _, p := range r.parts[1:] {
+		wg.Add(1)
+		go func(p *partition) {
+			defer wg.Done()
+			run(p)
+		}(p)
 	}
-	return merged
+	run(r.parts[0]) // slice 0 rides the caller, saving one handoff
+	wg.Wait()
 }
 
-// matchSlice is trusted step ⑤ on one slice: authenticate the header
-// and match it against the slice's share of the index in the scheme's
-// encoding. Sealed-exchange schemes (sgx-plain) open the SK envelope
-// first — every slice decrypts independently, the replicated key
-// management of the paper's partitioning note — while ciphertext
-// schemes (aspe) hand the blob to the store as-is. The caller holds
-// p.mu and has accounted the enclave entry (an ecall on the
-// synchronous path, the resident worker on the switchless path).
-func (r *Router) matchSlice(p *partition, m *Message, sk *scrypto.SymmetricKey) ([]core.MatchResult, error) {
-	enc := m.Blob
+// matchSliceBatch is trusted step ⑤ on one slice for a whole batch:
+// authenticate each header and match the batch against the slice's
+// share of the index in one store pass. Sealed-exchange schemes
+// (sgx-plain) open every SK envelope first — each slice decrypts
+// independently, the replicated key management of the paper's
+// partitioning note — into per-item buffers the slice reuses across
+// batches; ciphertext schemes (aspe) hand the blobs to the store
+// as-is. An item whose envelope fails authentication is blanked, so
+// the scheme's decoder drops it exactly as the per-item path did. The
+// caller holds p.mu and has accounted the enclave entry (an ecall on
+// the synchronous path, the resident worker on the switchless path).
+// Results land in job.perPart[p.idx] — this slice's own slot.
+func (r *Router) matchSliceBatch(p *partition, job *matchJob, sk *scrypto.SymmetricKey) {
+	encs := job.blobs
 	if r.backend.Caps.SealedExchange {
-		plain, err := scrypto.Open(sk, m.Blob)
-		if err != nil {
-			return nil, fmt.Errorf("decrypting header: %w", err)
+		if p.openerKey != sk {
+			opener, err := scrypto.NewOpener(sk)
+			if err != nil {
+				return
+			}
+			p.opener, p.openerKey = opener, sk
 		}
-		p.slice.Accessor().Meter().ChargeAES(len(m.Blob))
-		enc = plain
+		meter := p.slice.Accessor().Meter()
+		for cap(p.enc) < len(job.blobs) {
+			p.enc = append(p.enc[:cap(p.enc)], nil)
+		}
+		p.enc = p.enc[:len(job.blobs)]
+		for i, blob := range job.blobs {
+			plain, err := p.opener.OpenAppend(blob, p.enc[i][:0])
+			if err != nil {
+				p.enc[i] = p.enc[i][:0] // authentication failure: the decoder drops the empty item
+				continue
+			}
+			meter.ChargeAES(len(blob))
+			p.enc[i] = plain
+		}
+		encs = p.enc
 	}
-	return r.hub.MatchEncodedIn(p.idx, enc, nil)
+	// A store-level error (an unconfigured store) contributes nothing
+	// for any item, exactly as every per-item call would have failed.
+	_ = r.hub.MatchEncodedBatchIn(p.idx, encs, job.perPart[p.idx])
 }
 
 // pushPublication hands one wire message to the switchless pipeline:
-// the job is dispatched to every slice's worker, the raw frame — the
-// publisher's exact bytes, no re-encode — is pushed onto every slice's
-// ring, and the job joins the merge queue. pushMu keeps the three in
-// the same order across partitions, which is what makes ring position
-// and job position line up and the merger's output order match
-// publication order. Ring backpressure (a full ring blocks Push)
-// propagates to the producer exactly as the single-ring design did.
+// the job — carrying the whole batch — is dispatched to every slice's
+// worker, the raw frame (the publisher's exact bytes, no re-encode) is
+// pushed onto every slice's ring, and the job joins the merge queue.
+// pushMu keeps the three in the same order across partitions, which is
+// what makes ring position and job position line up and the merger's
+// output order match publication order. Ring backpressure (a full ring
+// blocks Push) propagates to the producer exactly as the single-ring
+// design did.
 func (r *Router) pushPublication(m *Message) error {
 	raw := m.raw
 	if raw == nil {
@@ -267,13 +363,9 @@ func (r *Router) pushPublication(m *Message) error {
 			return fmt.Errorf("encoding publication for the ring: %w", err)
 		}
 	}
-	items := expandPublication(m)
-	job := &matchJob{
-		items:   items,
-		merged:  make([][]core.MatchResult, len(items)),
-		pending: len(r.parts),
-		done:    make(chan struct{}),
-	}
+	job := r.acquireJob(m)
+	job.pending.Store(int32(len(r.parts)))
+	job.done = make(chan struct{})
 	r.pushMu.Lock()
 	defer r.pushMu.Unlock()
 	for _, p := range r.parts {
@@ -290,10 +382,11 @@ func (r *Router) pushPublication(m *Message) error {
 
 // publicationWorker is one slice's resident enclave thread in the
 // switchless configuration: it enters the enclave once and matches
-// publications straight off the slice's untrusted ring. Per-message
-// failures (tampered ciphertext, malformed headers, unprovisioned
-// router) drop the slice's contribution, exactly as the per-ecall path
-// does for fire-and-forget publish messages.
+// publication batches straight off the slice's untrusted ring — one
+// ring pop and one store pass per batch. Per-item failures (tampered
+// ciphertext, malformed headers) and an unprovisioned router drop the
+// slice's contribution, exactly as the per-ecall path does for
+// fire-and-forget publish messages.
 //
 // The worker does not use Enclave.ServeRing: that helper charges the
 // enclave meter outside any lock, while here registration ecalls on
@@ -305,12 +398,11 @@ func (r *Router) publicationWorker(p *partition) {
 	entered := false
 	var buf []byte
 	for job := range p.jobs {
-		out := make([][]core.MatchResult, len(job.items))
 		raw, ok := p.ring.Pop(buf)
 		if !ok {
 			// Ring severed mid-job (teardown): report empty so the
 			// merger never wedges on this job.
-			job.contribute(out)
+			job.contribute()
 			continue
 		}
 		buf = raw
@@ -323,30 +415,25 @@ func (r *Router) publicationWorker(p *partition) {
 		}
 		meter.Charge(meter.Cost.SwitchlessPollCycles)
 		if sk != nil {
-			for i, item := range job.items {
-				if res, err := r.matchSlice(p, item, sk); err == nil {
-					out[i] = res
-				}
-			}
+			r.matchSliceBatch(p, job, sk)
 		}
 		p.mu.Unlock()
-		job.contribute(out)
+		job.contribute()
 	}
 }
 
 // deliveryMerger joins the per-slice match results in publication
-// order and hands each item to the delivery layer. It is the only
-// goroutine that forwards switchless matches, so per-client delivery
-// order equals publication order even though the slices match out of
-// lockstep; it never blocks on a client (the delivery queues are
-// bounded and slow consumers are cut loose), so one merger keeps up
-// with k matchers.
+// order and hands each item to the delivery layer, recycling the job
+// once delivered. It is the only goroutine that forwards switchless
+// matches, so per-client delivery order equals publication order even
+// though the slices match out of lockstep; it never blocks on a client
+// (the delivery queues are bounded and slow consumers are cut loose),
+// so one merger keeps up with k matchers.
 func (r *Router) deliveryMerger() {
 	defer close(r.mergerDone)
 	for job := range r.merge {
 		<-job.done
-		for i, item := range job.items {
-			r.deliver(job.merged[i], item)
-		}
+		r.deliverJob(job)
+		r.releaseJob(job)
 	}
 }

@@ -693,8 +693,37 @@ func (t *deliveryTable) close(drainTimeout time.Duration) {
 // delivery cursor by enqueue. Forwarded publications arriving over
 // federation links take this same path, so cross-router deliveries
 // ride local cursors like any other.
-func (r *Router) deliver(matches []core.MatchResult, m *Message) {
+func (r *Router) deliver(matches []core.MatchResult, payload []byte, epoch uint64) {
 	if len(matches) == 0 {
+		return
+	}
+	// Deliver frames and their SubIDs are always freshly allocated:
+	// the replay ring retains them indefinitely, so nothing here may
+	// alias pooled or per-publication scratch.
+	single := true
+	for _, match := range matches[1:] {
+		if match.ClientRef != matches[0].ClientRef {
+			single = false
+			break
+		}
+	}
+	if single {
+		// Every match names the same client — the common case under
+		// selective subscriptions — so skip the dedup map entirely.
+		ref := matches[0].ClientRef
+		subIDs := make([]uint64, len(matches))
+		for i, match := range matches {
+			subIDs[i] = match.SubID
+		}
+		r.ctlMu.RLock()
+		name := r.refName[ref]
+		r.ctlMu.RUnlock()
+		r.delivery.enqueue(name, &Message{
+			Type:    TypeDeliver,
+			Payload: payload,
+			Epoch:   epoch,
+			SubIDs:  subIDs,
+		})
 		return
 	}
 	// Deduplicate client targets: one delivery per client however many
@@ -716,8 +745,8 @@ func (r *Router) deliver(matches []core.MatchResult, m *Message) {
 	for i, ref := range order {
 		r.delivery.enqueue(names[i], &Message{
 			Type:    TypeDeliver,
-			Payload: m.Payload,
-			Epoch:   m.Epoch,
+			Payload: payload,
+			Epoch:   epoch,
 			SubIDs:  perClient[ref],
 		})
 	}

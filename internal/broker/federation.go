@@ -302,21 +302,20 @@ func (r *Router) forwardPublication(m *Message) {
 	if sk == nil {
 		return
 	}
-	items := expandPublication(m)
 	p0 := r.parts[0]
 	var outs []federation.Outbound
 	p0.mu.Lock()
 	_ = p0.enclave.Ecall(func() error {
-		for _, item := range items {
-			ev, err := r.openHeaderLocked(p0, item.Blob, sk)
+		forEachPublication(m, func(blob, payload []byte) {
+			ev, err := r.openHeaderLocked(p0, blob, sk)
 			if err != nil {
-				continue // tampered item: the local path drops it too
+				return // tampered item: the local path drops it too
 			}
-			o, err := r.fed.ForwardLocal(item.Blob, item.Payload, item.Epoch, ev)
+			o, err := r.fed.ForwardLocal(blob, payload, m.Epoch, ev)
 			if err == nil {
 				outs = append(outs, o...)
 			}
-		}
+		})
 		return nil
 	})
 	p0.mu.Unlock()

@@ -16,9 +16,11 @@
 package broker
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"scbr/internal/attest"
@@ -135,27 +137,66 @@ type Message struct {
 	enqueuedAt time.Time
 }
 
-// Send marshals and frames one message.
+// sendBuffer is one pooled encode buffer: frames are marshalled into
+// it, written to the socket, and the buffer is recycled, so the wire's
+// hottest producers (delivery writers, publishers) stop allocating a
+// fresh JSON encoding per frame.
+type sendBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// sendBufMax caps the capacity a recycled buffer may retain; a
+// one-off jumbo batch frame must not pin megabytes in the pool.
+const sendBufMax = 1 << 20
+
+var sendBufPool = sync.Pool{New: func() any {
+	b := &sendBuffer{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// Send marshals and frames one message through a pooled buffer.
 func Send(w io.Writer, m *Message) error {
-	raw, err := json.Marshal(m)
-	if err != nil {
+	b := sendBufPool.Get().(*sendBuffer)
+	b.buf.Reset()
+	if err := b.enc.Encode(m); err != nil {
+		sendBufPool.Put(b)
 		return fmt.Errorf("broker: encoding %s: %w", m.Type, err)
 	}
-	return wire.WriteFrame(w, raw)
+	raw := b.buf.Bytes()
+	raw = raw[:len(raw)-1] // drop the Encoder's trailing newline: frames stay byte-identical to json.Marshal
+	err := wire.WriteFrame(w, raw)
+	if b.buf.Cap() <= sendBufMax {
+		sendBufPool.Put(b)
+	}
+	return err
 }
 
 // Recv reads and unmarshals one message.
 func Recv(r io.Reader) (*Message, error) {
-	raw, err := wire.ReadFrame(r)
+	m, _, err := recvAppend(r, nil)
+	return m, err
+}
+
+// recvAppend is Recv reading the frame into buf's capacity. It returns
+// the (possibly grown) buffer for the caller's next call; the returned
+// message's raw frame aliases it, so the message must be fully
+// consumed before the buffer is reused — the router's connection loop
+// finishes each handler before reading the next frame, and every path
+// that keeps publication bytes past the handler (the partition rings)
+// copies them.
+func recvAppend(r io.Reader, buf []byte) (*Message, []byte, error) {
+	raw, err := wire.ReadFrameAppend(r, buf)
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	var m Message
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("broker: decoding message: %w", err)
+		return nil, raw, fmt.Errorf("broker: decoding message: %w", err)
 	}
 	m.raw = raw
-	return &m, nil
+	return &m, raw, nil
 }
 
 // sendErr reports a protocol error to the peer (best effort),

@@ -181,6 +181,10 @@ type Router struct {
 	merge      chan *matchJob
 	mergerDone chan struct{}
 
+	// jobPool recycles matchJobs — batch carriers plus their per-slice
+	// merge slots — across publications on both publication paths.
+	jobPool sync.Pool
+
 	// Federation overlay (nil when disabled): digest state plus the
 	// live attested peer links.
 	fed      *federation.Overlay
@@ -513,10 +517,19 @@ func (r *Router) Close() {
 	})
 }
 
-// handleConn dispatches messages from one peer connection.
+// handleConn dispatches messages from one peer connection. Frames are
+// read into one per-connection buffer reused across messages: every
+// handler finishes before the next read, and the []byte fields that
+// outlive a handler (blobs, payloads, registration records) are fresh
+// Base64 decodings, never views of the frame — only m.raw aliases it,
+// and the one consumer that keeps raw bytes (the partition rings)
+// copies them before the handler returns.
 func (r *Router) handleConn(conn net.Conn) {
+	var buf []byte
 	for {
-		m, err := Recv(conn)
+		var m *Message
+		var err error
+		m, buf, err = recvAppend(conn, buf)
 		if err != nil {
 			return // connection closed or corrupt framing
 		}

@@ -327,6 +327,38 @@ func (e *Engine) Match(ev *pubsub.Event) ([]MatchResult, error) {
 func (e *Engine) MatchAppend(ev *pubsub.Event, out []MatchResult) ([]MatchResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.matchAppendLocked(ev, out)
+}
+
+// MatchAppendBatch matches a batch of events under a single lock
+// acquisition — the engine-side half of the batch-first publication
+// path, where one enclave crossing covers a whole publish-batch. evs
+// and out are parallel; nil events are skipped (a dropped item keeps
+// its slot so callers can merge by index), and an event that fails
+// mid-walk contributes nothing to its slot, exactly as the per-item
+// MatchAppend would have returned nothing.
+func (e *Engine) MatchAppendBatch(evs []*pubsub.Event, out [][]MatchResult) error {
+	if len(out) < len(evs) {
+		return fmt.Errorf("core: batch result slots %d < events %d", len(out), len(evs))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, ev := range evs {
+		if ev == nil {
+			continue
+		}
+		base := len(out[i])
+		res, err := e.matchAppendLocked(ev, out[i])
+		if err != nil {
+			out[i] = out[i][:base]
+			continue
+		}
+		out[i] = res
+	}
+	return nil
+}
+
+func (e *Engine) matchAppendLocked(ev *pubsub.Event, out []MatchResult) ([]MatchResult, error) {
 
 	out, err := e.matchForest(e.general, ev, out)
 	if err != nil {

@@ -267,6 +267,26 @@ var builtins = map[string]*Scenario{
 		SchemeScale:     map[string]float64{scheme.ASPE: 0.25},
 		FederationScale: 0.5,
 	},
+	"ci-batch": {
+		Name:        "ci-batch",
+		Description: "batch-heavy per-PR smoke: few jumbo PublishBatch frames drive the batch-first hot path",
+		Seed:        73,
+		Subscribers: 2_000,
+		Measured:    2,
+		ZipfS:       1,
+		Symbols:     100,
+		Events:      1_200,
+		Publishers:  2,
+		// The point of the cell: publication traffic arrives as a
+		// handful of 400-event batches per publisher, so one ring
+		// pass / store pass carries hundreds of events and the
+		// per-event amortisation dominates the throughput number.
+		BatchSize:   400,
+		FlashEvents: 400,
+		Partitions:  []int{1, 4},
+		Schemes:     []string{scheme.Plain},
+		Routers:     []int{1},
+	},
 	"smoke": {
 		Name:            "smoke",
 		Description:     "full acceptance sweep: 100k-subscriber cells, flash crowd, reconnect churn",

@@ -157,11 +157,18 @@ func (c *aspeCodec) EncodeEvent(spec pubsub.EventSpec) ([]byte, error) {
 
 // aspeSlice adapts the router-side ASPE store to the Slice interface.
 // The broker serialises all entries per partition, so the scratch
-// buffer and keyID need no locking.
+// buffers and keyID need no locking.
 type aspeSlice struct {
 	store   *aspe.Store
 	keyID   string
 	scratch []aspe.Match
+
+	// Batch scratch, reused across MatchEncodedBatch calls: decoded
+	// publications (their point storage is recycled), the nil-able view
+	// handed to the store, and per-item match slots.
+	eps      []*aspe.EncodedPublication
+	epView   []*aspe.EncodedPublication
+	batchOut [][]aspe.Match
 }
 
 func (s *aspeSlice) Configure(params []byte) error {
@@ -215,6 +222,48 @@ func (s *aspeSlice) MatchEncoded(enc []byte, out []core.MatchResult) ([]core.Mat
 		out = append(out, core.MatchResult{SubID: r.SubID, ClientRef: r.ClientRef})
 	}
 	return out, nil
+}
+
+// MatchEncodedBatch decodes the whole batch into reused scratch and
+// hands it to the store's single-walk batch scan, which amortises
+// point norms, prefilter setup, and ciphertext-vector reads across
+// the items.
+func (s *aspeSlice) MatchEncodedBatch(encs [][]byte, out [][]core.MatchResult) error {
+	if len(out) < len(encs) {
+		return fmt.Errorf("scheme: %s batch result slots %d < items %d", ASPE, len(out), len(encs))
+	}
+	for len(s.eps) < len(encs) {
+		s.eps = append(s.eps, new(aspe.EncodedPublication))
+	}
+	if cap(s.epView) < len(encs) {
+		s.epView = make([]*aspe.EncodedPublication, len(encs))
+	}
+	view := s.epView[:len(encs)]
+	for i, enc := range encs {
+		if err := aspe.DecodePublicationInto(enc, s.eps[i]); err != nil {
+			view[i] = nil // dropped, like the per-item decode error
+			continue
+		}
+		view[i] = s.eps[i]
+	}
+	if cap(s.batchOut) < len(encs) {
+		grown := make([][]aspe.Match, len(encs))
+		copy(grown, s.batchOut[:cap(s.batchOut)])
+		s.batchOut = grown
+	}
+	slots := s.batchOut[:len(encs)]
+	for i := range slots {
+		slots[i] = slots[i][:0]
+	}
+	if err := s.store.MatchEncodedBatch(view, slots); err != nil {
+		return err
+	}
+	for i := range slots {
+		for _, r := range slots[i] {
+			out[i] = append(out[i], core.MatchResult{SubID: r.SubID, ClientRef: r.ClientRef})
+		}
+	}
+	return nil
 }
 
 func (s *aspeSlice) Stats() SliceStats {

@@ -64,6 +64,9 @@ func (plainCodec) EncodeEvent(spec pubsub.EventSpec) ([]byte, error) {
 type PlainSlice struct {
 	engine *core.Engine
 	schema *pubsub.Schema
+	// evs is MatchEncodedBatch's decode scratch (the broker serialises
+	// slice entries per partition, like aspeSlice's scratch).
+	evs []*pubsub.Event
 }
 
 // NewPlainSlice wraps an existing engine (sharing the hub schema).
@@ -119,6 +122,27 @@ func (s *PlainSlice) MatchEncoded(enc []byte, out []core.MatchResult) ([]core.Ma
 		return nil, err
 	}
 	return s.engine.MatchAppend(ev, out)
+}
+
+// MatchEncodedBatch decodes and interns the whole batch, then crosses
+// into the engine once: one lock acquisition covers every item, the
+// sgx-plain counterpart of the ASPE store's single database walk.
+func (s *PlainSlice) MatchEncodedBatch(encs [][]byte, out [][]core.MatchResult) error {
+	s.evs = s.evs[:0]
+	for _, enc := range encs {
+		spec, err := pubsub.DecodeEventSpec(enc)
+		if err != nil {
+			s.evs = append(s.evs, nil) // dropped, like the per-item error
+			continue
+		}
+		ev, err := spec.Intern(s.schema)
+		if err != nil {
+			s.evs = append(s.evs, nil)
+			continue
+		}
+		s.evs = append(s.evs, ev)
+	}
+	return s.engine.MatchAppendBatch(s.evs, out)
 }
 
 func (s *PlainSlice) Stats() SliceStats {

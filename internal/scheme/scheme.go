@@ -105,6 +105,19 @@ type Slice interface {
 	// MatchEncoded matches one publication header in the scheme's
 	// encoding, appending to out.
 	MatchEncoded(enc []byte, out []core.MatchResult) ([]core.MatchResult, error)
+	// MatchEncodedBatch matches a batch of publication headers in one
+	// store pass, appending encs[i]'s matches to out[i] (len(out) must
+	// be at least len(encs)). An item that fails to decode or validate
+	// contributes nothing to its slot — the same items the per-item
+	// path drops with an error under the wire's fire-and-forget publish
+	// semantics — so the appended results are exactly the per-item
+	// MatchEncoded results, in the same per-item order. The error
+	// return is reserved for whole-store failures (an unconfigured
+	// store), where every per-item call would have failed identically.
+	// Schemes whose scan has batch-amortisable setup (ASPE: point
+	// norms, tolerance, prefilter, ciphertext reads) walk the database
+	// once per batch rather than once per item.
+	MatchEncodedBatch(encs [][]byte, out [][]core.MatchResult) error
 	// Stats summarises the store.
 	Stats() SliceStats
 	// Accessor exposes the slice's metered memory (experiment and

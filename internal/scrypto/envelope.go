@@ -7,6 +7,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 )
 
@@ -46,22 +47,58 @@ func sealWithRand(k *SymmetricKey, plaintext []byte, src io.Reader) ([]byte, err
 
 // Open authenticates and decrypts an envelope produced by Seal.
 func Open(k *SymmetricKey, envelope []byte) ([]byte, error) {
-	if len(envelope) < envelopeMinSize {
-		return nil, ErrMalformed
+	o, err := NewOpener(k)
+	if err != nil {
+		return nil, err
 	}
-	body, tag := envelope[:len(envelope)-tagSize], envelope[len(envelope)-tagSize:]
-	mac := hmac.New(sha256.New, k.MAC[:])
-	mac.Write(body)
-	if !hmac.Equal(mac.Sum(nil), tag) {
-		return nil, ErrAuthentication
-	}
+	return o.OpenAppend(envelope, nil)
+}
+
+// Opener authenticates and decrypts Seal envelopes under one key with
+// the per-key setup — the AES key schedule and the HMAC pad blocks —
+// paid once instead of per envelope. The router's batch matching path
+// opens every header of a publish-batch on every slice, so the setup
+// would otherwise dominate small-header traffic. Not safe for
+// concurrent use; callers keep one per serialised context (the broker:
+// one per partition, under the partition lock).
+type Opener struct {
+	block cipher.Block
+	mac   hash.Hash
+	sum   []byte
+}
+
+// NewOpener builds an Opener for k.
+func NewOpener(k *SymmetricKey) (*Opener, error) {
 	block, err := aes.NewCipher(k.Enc[:])
 	if err != nil {
 		return nil, fmt.Errorf("scrypto: creating cipher: %w", err)
 	}
-	plaintext := make([]byte, len(body)-nonceSize)
-	cipher.NewCTR(block, body[:nonceSize]).XORKeyStream(plaintext, body[nonceSize:])
-	return plaintext, nil
+	return &Opener{block: block, mac: hmac.New(sha256.New, k.MAC[:])}, nil
+}
+
+// OpenAppend authenticates envelope and appends its plaintext to buf,
+// reusing buf's capacity — Open with caller-owned storage.
+func (o *Opener) OpenAppend(envelope, buf []byte) ([]byte, error) {
+	if len(envelope) < envelopeMinSize {
+		return nil, ErrMalformed
+	}
+	body, tag := envelope[:len(envelope)-tagSize], envelope[len(envelope)-tagSize:]
+	o.mac.Reset()
+	o.mac.Write(body)
+	o.sum = o.mac.Sum(o.sum[:0])
+	if !hmac.Equal(o.sum, tag) {
+		return nil, ErrAuthentication
+	}
+	n := len(body) - nonceSize
+	start := len(buf)
+	if cap(buf)-start < n {
+		grown := make([]byte, start, start+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:start+n]
+	cipher.NewCTR(o.block, body[:nonceSize]).XORKeyStream(buf[start:], body[nonceSize:])
+	return buf, nil
 }
 
 // SealGCM encrypts-and-authenticates data under a raw 16- or 32-byte key

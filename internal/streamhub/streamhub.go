@@ -271,6 +271,42 @@ func (h *Hub) MatchEncodedIn(i int, enc []byte, out []core.MatchResult) ([]core.
 	return out, nil
 }
 
+// MatchEncodedBatchIn matches a batch of wire-encoded publication
+// headers against partition i in one store pass, appending encs[j]'s
+// matches to out[j] with slice-local IDs rewritten into hub IDs. The
+// per-item append semantics are the slice's MatchEncodedBatch: items
+// that fail to decode contribute nothing, and the error return is
+// reserved for whole-store failures. Safe to call concurrently for
+// different partitions (the broker's parallel fan-out does).
+func (h *Hub) MatchEncodedBatchIn(i int, encs [][]byte, out [][]core.MatchResult) error {
+	// The broker's hot path hands in freshly truncated rows; only
+	// remember pre-call lengths when a caller appends onto prior
+	// results, so the common case allocates nothing.
+	var ns []int
+	for j := range encs {
+		if len(out[j]) > 0 {
+			ns = make([]int, len(encs))
+			for k := range encs {
+				ns[k] = len(out[k])
+			}
+			break
+		}
+	}
+	if err := h.parts[i].slice.MatchEncodedBatch(encs, out); err != nil {
+		return err
+	}
+	for j := range encs {
+		start := 0
+		if ns != nil {
+			start = ns[j]
+		}
+		for k := start; k < len(out[j]); k++ {
+			out[j][k].SubID = composeID(i, out[j][k].SubID)
+		}
+	}
+	return nil
+}
+
 // PlaceKey deterministically places a registration key on a slice
 // (FNV-1a over the key parts, 0xff-separated so part boundaries are
 // significant). Hash placement needs no coordination between

@@ -38,17 +38,29 @@ func WriteFrame(w io.Writer, payload []byte) error {
 
 // ReadFrame reads one length-prefixed frame.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameAppend(r, nil)
+}
+
+// ReadFrameAppend reads one length-prefixed frame into buf's capacity
+// (growing it as needed) and returns the frame. Callers that own a
+// connection's read loop pass the previous return value back in, so a
+// long-lived connection stops allocating a fresh buffer per frame; the
+// returned frame is only valid until the next call with the same buf.
+func ReadFrameAppend(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("wire: reading frame body: %w", err)
 	}
-	return payload, nil
+	return buf, nil
 }
