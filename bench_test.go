@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"testing"
 	"time"
 
@@ -932,4 +933,164 @@ func mustDevice(b *testing.B) *scbr.Device {
 		b.Fatal(err)
 	}
 	return dev
+}
+
+// BenchmarkRepartitionPublish measures the data plane across online
+// resizes. Each iteration is one Repartition cycle (2→4 slices, then
+// back on the next iteration) with probe round trips flowing the whole
+// time, so ns/op is resize wall time under load. The custom metrics
+// are the availability story: p99-publish-ns is the 99th-percentile
+// publish→delivery latency of the probes that ran while shards moved
+// (the latency a live subscriber saw across the resize), and pause-ns
+// the placement map's recorded flush-barrier hold — the window in
+// which publications were actually fenced.
+func BenchmarkRepartitionPublish(b *testing.B) {
+	ctx := context.Background()
+	dev := mustDevice(b)
+	quoter, err := scbr.NewQuoter(dev, "bench-repartition-platform")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ias := scbr.NewAttestationService()
+	ias.RegisterPlatform(quoter.PlatformID(), quoter.AttestationKey())
+	signer, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := scbr.NewRouter(dev, quoter, []byte("bench router image"), signer.Public(),
+		scbr.WithPartitions(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = router.Serve(ctx, routerLn) }()
+	b.Cleanup(router.Close)
+
+	publisher, err := scbr.NewPublisher(ias, router.Identity())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := publisher.ConnectRouter(ctx, rc); err != nil {
+		b.Fatal(err)
+	}
+	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = pubLn.Close() })
+	go func() {
+		for {
+			conn, err := pubLn.Accept()
+			if err != nil {
+				return
+			}
+			go publisher.ServeClient(ctx, conn)
+		}
+	}()
+
+	// Filler population: enough subscriptions that the moves carry
+	// real freight, owned by a client that never listens.
+	fillerKeys, err := scbr.NewKeyPair(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := publisher.Registry().Admit("filler", fillerKeys.Public()); err != nil {
+		b.Fatal(err)
+	}
+	qs, err := scbr.NewQuoteSet(1, 100, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wspec, err := scbr.WorkloadByName("e80a1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := scbr.NewWorkloadGenerator(wspec, qs, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := publisher.RegisterBulk(ctx, "filler", "", gen.Subscriptions(1000)); err != nil {
+		b.Fatal(err)
+	}
+
+	probe, err := scbr.NewClient("probe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(probe.Close)
+	pubConn, err := net.Dial("tcp", pubLn.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe.ConnectPublisher(pubConn, publisher.PublicKey())
+	routerConn, err := net.Dial("tcp", routerLn.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := probe.Attach(ctx, routerConn); err != nil {
+		b.Fatal(err)
+	}
+	spec, err := scbr.ParseSpec(`symbol = "HAL", price < 50`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := probe.Subscribe(ctx, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	header := pubsub.EventSpec{Attrs: []pubsub.NamedValue{
+		{Name: "symbol", Value: pubsub.Str("HAL")},
+		{Name: "price", Value: pubsub.Float(42)},
+	}}
+
+	var lat []int64
+	var maxPause int64
+	targets := [2]int{4, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan error, 1)
+		go func(k int) {
+			_, err := router.Repartition(ctx, k)
+			done <- err
+		}(targets[i%2])
+		for resizing := true; resizing; {
+			select {
+			case err := <-done:
+				if err != nil {
+					b.Fatal(err)
+				}
+				resizing = false
+			default:
+			}
+			start := time.Now()
+			if err := publisher.Publish(ctx, header, []byte("probe")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sub.Next(ctx); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(start).Nanoseconds())
+		}
+		if p := router.PlacementSnapshot().LastPauseNanos; p > maxPause {
+			maxPause = p
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		idx := len(lat) * 99 / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		b.ReportMetric(float64(lat[idx]), "p99-publish-ns")
+	}
+	b.ReportMetric(float64(maxPause), "pause-ns")
 }

@@ -23,8 +23,17 @@
 // Observability: -metrics-addr serves the enclave meter aggregate,
 // per-slice meters, delivery-queue depths, delivery counters,
 // enqueue→write delivery-latency percentiles (p50/p95/p99, total and
-// per client), and federation counters as JSON on /metrics
-// (expvar-style, poll with curl).
+// per client), federation counters, and the shard→slice placement
+// snapshot as JSON on GET /metrics (expvar-style, poll with curl).
+//
+// Elasticity: the same address serves the control plane —
+//
+//	curl -X POST 'http://host:7079/control/repartition?partitions=4'
+//
+// live-migrates the subscription database onto 4 matcher slices
+// (growing or shrinking the enclave fleet online) and returns the new
+// placement snapshot. -placement-shards/-placement-seed tune the
+// placement map.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -75,6 +85,8 @@ func run() error {
 		pad         = flag.Int("pad", 0, "engine record padding in bytes")
 		schemeName  = flag.String("scheme", scbr.SchemePlain, "matching scheme the slices store and match under (sgx-plain or aspe; must match the publisher's -scheme)")
 		partitions  = flag.Int("partitions", 1, "enclave matcher slices to shard the subscription database across")
+		placeShards = flag.Int("placement-shards", 0, "virtual shards registrations hash onto, the migration grain for /control/repartition (0 = default 64, max 256)")
+		placeSeed   = flag.Int64("placement-seed", 0, "seed for the rendezvous shard→slice hash (0 = fixed built-in seed)")
 		switchless  = flag.Bool("switchless", false, "route publications through per-partition untrusted-memory rings")
 		queueLen    = flag.Int("delivery-queue", 0, "per-client delivery queue bound (0 = default 256)")
 		overflow    = flag.String("overflow", "drop-oldest", "slow-consumer policy when a delivery queue fills: drop-oldest, disconnect, or pause")
@@ -129,6 +141,8 @@ func run() error {
 		scbr.WithEPC(*epcMB << 20),
 		scbr.WithPadding(*pad),
 		scbr.WithPartitions(*partitions),
+		scbr.WithPlacementShards(*placeShards),
+		scbr.WithPlacementSeed(*placeSeed),
 		scbr.WithDeliveryQueue(*queueLen),
 		scbr.WithOverflowPolicy(policy),
 		scbr.WithReplayRing(*replayRing),
@@ -260,18 +274,29 @@ func awaitTrustBundle(ctx context.Context, path string) (*deploy.TrustBundle, er
 }
 
 // serveMetrics exposes the router's observability surface as JSON on
-// /metrics.
+// GET /metrics and the elasticity control plane on POST
+// /control/repartition. Unknown paths 404, wrong methods 405 with an
+// Allow header, and every body — errors included — is JSON.
 func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no such path %q", r.URL.Path))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			httpError(w, http.StatusMethodNotAllowed, "metrics are read-only: use GET")
+			return
+		}
 		snapshot := struct {
 			Meter          scbr.MemoryCounters     `json:"meter"`
 			Slices         []scbr.MemoryCounters   `json:"slices"`
 			DataPlane      scbr.DataPlaneStats     `json:"data_plane"`
+			Placement      scbr.PlacementSnapshot  `json:"placement"`
 			DeliveryQueues map[string]int          `json:"delivery_queues"`
 			Delivery       scbr.DeliveryCounters   `json:"delivery"`
 			Latency        scbr.DeliveryLatency    `json:"latency"`
@@ -280,18 +305,48 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 			Meter:          router.MeterSnapshot(),
 			Slices:         router.SliceMeterSnapshots(),
 			DataPlane:      router.DataPlaneStats(),
+			Placement:      router.PlacementSnapshot(),
 			DeliveryQueues: router.DeliveryQueueDepths(),
 			Delivery:       router.DeliverySnapshot(),
 			Latency:        router.DeliveryLatencySnapshot(),
 			Federation:     router.FederationSnapshot(),
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(&snapshot)
+		writeJSON(w, http.StatusOK, &snapshot)
+	})
+	mux.HandleFunc("/control/repartition", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			httpError(w, http.StatusMethodNotAllowed, "repartition mutates the fleet: use POST")
+			return
+		}
+		k, err := strconv.Atoi(r.URL.Query().Get("partitions"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "partitions must be an integer slice count")
+			return
+		}
+		snap, err := router.Repartition(r.Context(), k)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		log.Printf("repartitioned to %d slices (epoch %d, %d shards moved, pause %s)",
+			snap.Slices, snap.Epoch, snap.ShardsMoved, time.Duration(snap.LastPauseNanos))
+		writeJSON(w, http.StatusOK, &snap)
 	})
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	log.Printf("metrics on http://%s/metrics", ln.Addr())
+	log.Printf("metrics on http://%s/metrics, control on /control/repartition", ln.Addr())
 	return srv, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
 }

@@ -86,6 +86,12 @@ type matchJob struct {
 	// closes when the last slice has contributed.
 	pending atomic.Int32
 	done    chan struct{}
+
+	// flush marks a barrier sentinel from the migration engine: the
+	// merger closes it and moves on without touching the (empty) job.
+	// Every real job dispatched before the sentinel has been merged and
+	// delivered by the time it closes.
+	flush chan struct{}
 }
 
 // forEachPublication visits the publication items a publish or
@@ -164,41 +170,79 @@ func (r *Router) releaseJob(job *matchJob) {
 	job.payloads = job.payloads[:0]
 	job.merged = job.merged[:0]
 	job.done = nil
+	job.flush = nil
 	r.jobPool.Put(job)
 }
 
 // deliverJob merges each item's per-slice results in slice order and
 // hands it to the delivery layer, reusing the job's merge scratch.
+// While a migration's two-copy window is open (dedupActive) a
+// subscription can exist on both its source and destination slice and
+// match twice in one item; the merge collapses those to one delivery.
+// The flag is a single atomic load, so the steady-state path pays
+// nothing for the capability.
 func (r *Router) deliverJob(job *matchJob) {
+	dedup := r.dedupActive.Load()
 	for i := range job.blobs {
 		job.merged = job.merged[:0]
 		for _, rows := range job.perPart {
 			job.merged = append(job.merged, rows[i]...)
 		}
+		if dedup && len(job.merged) > 1 {
+			job.merged = dedupMatches(job.merged)
+		}
 		r.deliver(job.merged, job.payloads[i], job.epoch)
 	}
 }
 
-// startSwitchless brings up the per-partition rings, resident workers,
-// and the merger. Called once from NewRouter.
-func (r *Router) startSwitchless() error {
-	capacity := r.cfg.RingCapacity
-	if capacity <= 0 {
-		capacity = 128
-	}
-	for _, p := range r.parts {
-		ring, err := sgx.NewRing(capacity)
-		if err != nil {
-			return fmt.Errorf("broker: building publication ring: %w", err)
+// dedupMatches drops repeated SubIDs in place, keeping first sight.
+func dedupMatches(merged []core.MatchResult) []core.MatchResult {
+	seen := make(map[uint64]struct{}, len(merged))
+	out := merged[:0]
+	for _, m := range merged {
+		if _, dup := seen[m.SubID]; dup {
+			continue
 		}
-		p.ring = ring
-		// Jobs outstanding between dispatch and the worker's receive
-		// never exceed the in-ring frame count plus the one the worker
-		// already popped, so this capacity keeps dispatch non-blocking.
-		p.jobs = make(chan *matchJob, ring.Capacity()+1)
-		p.workerDone = make(chan struct{})
+		seen[m.SubID] = struct{}{}
+		out = append(out, m)
 	}
-	r.merge = make(chan *matchJob, capacity)
+	return out
+}
+
+// ringCapacity resolves the configured switchless ring size.
+func (r *Router) ringCapacity() int {
+	if r.cfg.RingCapacity > 0 {
+		return r.cfg.RingCapacity
+	}
+	return 128
+}
+
+// equipSwitchless attaches a publication ring and job channel to one
+// partition (its resident worker is launched separately).
+func (r *Router) equipSwitchless(p *partition) error {
+	ring, err := sgx.NewRing(r.ringCapacity())
+	if err != nil {
+		return fmt.Errorf("broker: building publication ring: %w", err)
+	}
+	p.ring = ring
+	// Jobs outstanding between dispatch and the worker's receive
+	// never exceed the in-ring frame count plus the one the worker
+	// already popped, so this capacity keeps dispatch non-blocking.
+	p.jobs = make(chan *matchJob, ring.Capacity()+1)
+	p.workerDone = make(chan struct{})
+	return nil
+}
+
+// startSwitchless brings up the per-partition rings, resident workers,
+// and the merger. Called once from NewRouter; slices added later by
+// Repartition are equipped individually.
+func (r *Router) startSwitchless() error {
+	for _, p := range r.parts {
+		if err := r.equipSwitchless(p); err != nil {
+			return err
+		}
+	}
+	r.merge = make(chan *matchJob, r.ringCapacity())
 	r.mergerDone = make(chan struct{})
 	for _, p := range r.parts {
 		go r.publicationWorker(p)
@@ -259,6 +303,11 @@ func (r *Router) routeLocal(m *Message) error {
 	if sk == nil {
 		return ErrNotProvisioned
 	}
+	// The shared plane lock spans dispatch through delivery, so the
+	// slice set (and the job's per-slice slot layout) cannot change
+	// under this publication; a resize waits for it to finish.
+	r.planeMu.RLock()
+	defer r.planeMu.RUnlock()
 	job := r.acquireJob(m)
 	r.matchFanout(job, sk)
 	r.deliverJob(job)
@@ -363,6 +412,12 @@ func (r *Router) pushPublication(m *Message) error {
 			return fmt.Errorf("encoding publication for the ring: %w", err)
 		}
 	}
+	// The shared plane lock keeps the slice set stable from slot
+	// sizing through the dispatch/push/merge handoff, so every ring
+	// this job was dispatched to exists until the job is in the merge
+	// queue; a resize waits behind in-flight pushes.
+	r.planeMu.RLock()
+	defer r.planeMu.RUnlock()
 	job := r.acquireJob(m)
 	job.pending.Store(int32(len(r.parts)))
 	job.done = make(chan struct{})
@@ -432,6 +487,12 @@ func (r *Router) publicationWorker(p *partition) {
 func (r *Router) deliveryMerger() {
 	defer close(r.mergerDone)
 	for job := range r.merge {
+		if job.flush != nil {
+			// Migration barrier sentinel: everything queued before it
+			// has been delivered; signal and move on.
+			close(job.flush)
+			continue
+		}
 		<-job.done
 		r.deliverJob(job)
 		r.releaseJob(job)

@@ -24,10 +24,19 @@ import (
 	"scbr/internal/scrypto"
 )
 
-// peerQueueLen bounds a peer link's outbound queue. A peer that stops
-// draining its connection is severed, exactly like a slow client; on
-// redial the digest full-sync restores consistency.
-const peerQueueLen = 256
+// peerQueueLen bounds a peer link's outbound queue. It is sized to
+// absorb a whole publish storm's worth of per-event forwards even
+// when the link's writer goroutine is starved of CPU for the storm's
+// duration (forwards fan out per publication, so a few thousand
+// frames can arrive in one scheduler slice on a loaded box). What
+// happens on overflow depends on the frame: losing a digest delta
+// would leave the peer's view divergent forever, so digest overflow
+// severs the link and lets the redial full-sync restore consistency;
+// forwarded publications are fire-and-forget, so forward overflow
+// drops that one frame (counted as ForwardsDropped) and keeps the
+// link — severing would throw away everything else queued and lose
+// every publication until the redial completes.
+const peerQueueLen = 4096
 
 // peerDialTimeout bounds one dial attempt so Close never waits long on
 // an unreachable peer.
@@ -51,13 +60,16 @@ func (l *peerLink) stop() {
 	})
 }
 
-// enqueue offers one frame without blocking; overflow severs the link
-// (the peer redials and resynchronises).
-func (l *peerLink) enqueue(m *Message) {
+// offer hands one frame to the writer without blocking, reporting
+// whether it was accepted. The caller decides what an overflow means
+// (see peerQueueLen): the frame types on a link have different loss
+// semantics.
+func (l *peerLink) offer(m *Message) bool {
 	select {
 	case l.out <- m:
+		return true
 	default:
-		l.stop()
+		return false
 	}
 }
 
@@ -90,7 +102,12 @@ func (r *Router) startFederation() error {
 	r.fed = federation.NewOverlay(cfg.RouterID, cfg.FederationTTL, r.hub.Schema(),
 		func(p *federation.Peer, frame []byte) {
 			if link, ok := p.Tag.(*peerLink); ok {
-				link.enqueue(&Message{Type: TypeSubDigest, Blob: frame})
+				if !link.offer(&Message{Type: TypeSubDigest, Blob: frame}) {
+					// A dropped digest delta would never be re-sent and
+					// the peer's learned set would diverge silently.
+					// Sever; the redial full-sync restores consistency.
+					link.stop()
+				}
 			}
 		})
 	for _, addr := range cfg.Peers {
@@ -151,7 +168,7 @@ func (r *Router) dialPeer(addr string) {
 func (r *Router) dialHandshake(conn net.Conn) (name string, key *scrypto.SymmetricKey, err error) {
 	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
 	defer func() { _ = conn.SetDeadline(time.Time{}) }()
-	p0 := r.parts[0]
+	p0 := r.p0
 	p0.mu.Lock()
 	hello, ephemeral, err := federation.NewHello(r.cfg.RouterID, p0.enclave, r.quoter)
 	p0.mu.Unlock()
@@ -196,7 +213,7 @@ func (r *Router) handlePeerHello(conn net.Conn, m *Message) error {
 	if err := json.Unmarshal(m.Blob, &hello); err != nil {
 		return fmt.Errorf("decoding peer hello: %w", err)
 	}
-	p0 := r.parts[0]
+	p0 := r.p0
 	p0.mu.Lock()
 	welcome, key, err := federation.AcceptHello(&hello, r.cfg.PeerVerifier, r.peerIdentities(),
 		r.cfg.RouterID, p0.enclave, r.quoter)
@@ -250,7 +267,7 @@ func (r *Router) runPeer(conn net.Conn, name string, key *scrypto.SymmetricKey) 
 		}
 		switch m.Type {
 		case TypeSubDigest:
-			p0 := r.parts[0]
+			p0 := r.p0
 			p0.mu.Lock()
 			err := p0.enclave.Ecall(func() error { return r.fed.HandleDigest(link.fp, m.Blob) })
 			p0.mu.Unlock()
@@ -302,7 +319,7 @@ func (r *Router) forwardPublication(m *Message) {
 	if sk == nil {
 		return
 	}
-	p0 := r.parts[0]
+	p0 := r.p0
 	var outs []federation.Outbound
 	p0.mu.Lock()
 	_ = p0.enclave.Ecall(func() error {
@@ -329,7 +346,7 @@ func (r *Router) forwardPublication(m *Message) {
 // through the ordinary per-client queues.
 func (r *Router) handleFwdPub(link *peerLink, m *Message) {
 	sk, _ := r.keys()
-	p0 := r.parts[0]
+	p0 := r.p0
 	var (
 		fwd  *federation.ForwardedPublication
 		outs []federation.Outbound
@@ -355,11 +372,16 @@ func (r *Router) handleFwdPub(link *peerLink, m *Message) {
 	}
 }
 
-// fedSend enqueues sealed frames onto their links.
+// fedSend enqueues sealed forward frames onto their links. A link
+// whose queue is full loses this one frame (forwards are
+// fire-and-forget) — the link itself stays up, so everything already
+// queued and everything after still flows.
 func (r *Router) fedSend(outs []federation.Outbound) {
 	for _, ob := range outs {
 		if link, ok := ob.Peer.Tag.(*peerLink); ok {
-			link.enqueue(&Message{Type: TypeFwdPub, Blob: ob.Frame})
+			if !link.offer(&Message{Type: TypeFwdPub, Blob: ob.Frame}) {
+				r.fed.NoteForwardDropped()
+			}
 		}
 	}
 }
@@ -371,7 +393,7 @@ func (r *Router) fedAddLocal(subID uint64, spec pubsub.SubscriptionSpec) {
 	if r.fed == nil {
 		return
 	}
-	p0 := r.parts[0]
+	p0 := r.p0
 	p0.mu.Lock()
 	_ = p0.enclave.Ecall(func() error { return r.fed.AddLocal(subID, spec) })
 	p0.mu.Unlock()
@@ -382,7 +404,7 @@ func (r *Router) fedRemoveLocal(subID uint64) {
 	if r.fed == nil {
 		return
 	}
-	p0 := r.parts[0]
+	p0 := r.p0
 	p0.mu.Lock()
 	_ = p0.enclave.Ecall(func() error { r.fed.RemoveLocal(subID); return nil })
 	p0.mu.Unlock()

@@ -1,0 +1,44 @@
+package broker
+
+import (
+	"net"
+	"testing"
+)
+
+// TestPeerLinkOverflowPolicy pins the per-frame overflow semantics of
+// a peer link's bounded outbound queue. A full queue must reject the
+// offered frame without severing the link: forwarded publications are
+// fire-and-forget, so the caller (fedSend) drops just that frame and
+// counts it, keeping everything already queued — and every later
+// publication — flowing. Severing on forward overflow is the failure
+// mode this guards against: it discarded the whole queue and lost
+// every forward until the redial completed (a storm's worth of
+// silent loss whenever the writer goroutine was briefly starved).
+// Only the digest path, whose deltas cannot be re-sent, severs.
+func TestPeerLinkOverflowPolicy(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	link := &peerLink{
+		conn: c1,
+		out:  make(chan *Message, 1),
+		quit: make(chan struct{}),
+	}
+	if !link.offer(&Message{Type: TypeFwdPub}) {
+		t.Fatal("offer to an empty queue should be accepted")
+	}
+	if link.offer(&Message{Type: TypeFwdPub}) {
+		t.Fatal("offer to a full queue should be rejected")
+	}
+	select {
+	case <-link.quit:
+		t.Fatal("a rejected offer must not sever the link")
+	default:
+	}
+	// The queued frame is still there: draining one slot makes the
+	// next offer land again.
+	<-link.out
+	if !link.offer(&Message{Type: TypeFwdPub}) {
+		t.Fatal("offer after drain should be accepted again")
+	}
+}

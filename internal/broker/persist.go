@@ -65,6 +65,17 @@ type routerState struct {
 	NextRef      uint32     `json:"next_ref"`
 	RefNames     []string   `json:"ref_names"`
 	Log          []logEntry `json:"log"`
+	// Shards/Slices/Placement snapshot the movable placement map (the
+	// committed shard→slice table) at seal time, so a restored router
+	// replays each subscription onto the slice its shard lived on —
+	// including placements produced by online repartitioning. Absent
+	// in pre-placement blobs; those replay into the restoring router's
+	// own placement (shard indices were partition indices then, and
+	// every lookup goes through the ownership index, so clients' held
+	// IDs stay valid either way).
+	Shards    int   `json:"shards,omitempty"`
+	Slices    int   `json:"slices,omitempty"`
+	Placement []int `json:"placement,omitempty"`
 	// Cursors are the per-client delivery cursors at seal time, so a
 	// restored router keeps stamping where the old one stopped and a
 	// client's resume cursor stays meaningful across the restart. The
@@ -93,6 +104,7 @@ func (r *Router) SealState() ([]byte, error) {
 	// below runs outside it, off the mutators' path.
 	r.stateMu.Lock()
 	r.ctlMu.RLock()
+	pmSnap := r.pm.Snapshot()
 	state := routerState{
 		SK:           sk.Bytes(),
 		VerifyKey:    verifyDER,
@@ -102,6 +114,9 @@ func (r *Router) SealState() ([]byte, error) {
 		RefNames:     append([]string(nil), r.refName...),
 		Log:          append(make([]logEntry, 0, len(r.regLog)), r.regLog...),
 		Cursors:      r.delivery.cursors(),
+		Shards:       pmSnap.Shards,
+		Slices:       pmSnap.Slices,
+		Placement:    pmSnap.Table,
 	}
 	r.ctlMu.RUnlock()
 	r.stateMu.Unlock()
@@ -110,7 +125,7 @@ func (r *Router) SealState() ([]byte, error) {
 		return nil, fmt.Errorf("broker: encoding state: %w", err)
 	}
 	counter := r.dev.IncrementCounter(stateCounter)
-	p0 := r.parts[0]
+	p0 := r.p0
 	var blob []byte
 	p0.mu.Lock()
 	err = p0.enclave.Ecall(func() error {
@@ -131,7 +146,10 @@ func (r *Router) SealState() ([]byte, error) {
 // full signature verification and decryption onto the partitions the
 // logged IDs name. The router must be freshly constructed (no
 // provisioning, no registrations) and must have been built with the
-// partition count that sealed the snapshot.
+// partition count that sealed the snapshot — and with the same
+// per-slice EPC share, since the share enters the measured identity
+// the blob is sealed to (restoring a fleet resized by Repartition
+// means scaling EPCBytes with the partition count).
 func (r *Router) RestoreState(blob []byte) error {
 	r.keyMu.RLock()
 	provisioned := r.sk != nil
@@ -143,7 +161,7 @@ func (r *Router) RestoreState(blob []byte) error {
 		return errors.New("broker: restore requires a fresh router")
 	}
 	counter := r.dev.ReadCounter(stateCounter)
-	p0 := r.parts[0]
+	p0 := r.p0
 	var raw []byte
 	p0.mu.Lock()
 	err := p0.enclave.Ecall(func() error {
@@ -179,6 +197,20 @@ func (r *Router) RestoreState(blob []byte) error {
 	if err := r.configureSlices(state.SchemeParams); err != nil {
 		return fmt.Errorf("broker: restoring scheme parameters: %w", err)
 	}
+	if state.Shards != 0 {
+		// Reinstate the sealed shard→slice table before replaying, so
+		// every subscription lands on the slice its shard occupied at
+		// seal time — including placements shaped by online resizes.
+		if state.Shards != r.pm.Shards() {
+			return fmt.Errorf("broker: sealed state uses %d placement shards, router has %d (restore with the sealing shard count)", state.Shards, r.pm.Shards())
+		}
+		if state.Slices != len(r.parts) {
+			return fmt.Errorf("broker: sealed placement covers %d slices, router has %d (restore with the sealing partition count)", state.Slices, len(r.parts))
+		}
+		if err := r.pm.Install(state.Placement, state.Slices); err != nil {
+			return fmt.Errorf("broker: %w", err)
+		}
+	}
 	r.keyMu.Lock()
 	r.sk = sk
 	r.verifyKey = verifyKey
@@ -201,15 +233,19 @@ func (r *Router) RestoreState(blob []byte) error {
 }
 
 // replayRegistration re-validates and re-indexes one logged
-// registration under its original ID, on the partition that ID names,
-// through the same scheme-dispatched ingest path live registrations
-// take.
+// registration under its original ID, on the slice the placement map
+// assigns its shard, through the same scheme-dispatched ingest path
+// live registrations take.
 func (r *Router) replayRegistration(ent logEntry) error {
-	target := streamhub.PartitionOf(ent.SubID)
-	if target >= len(r.parts) {
-		return fmt.Errorf("subscription names partition %d, but the router has %d (restore with the sealing partition count)", target, len(r.parts))
+	shard := streamhub.ShardOf(ent.SubID)
+	if shard >= r.pm.Shards() {
+		return fmt.Errorf("subscription names shard %d, but the placement map has %d (restore with the sealing shard count)", shard, r.pm.Shards())
 	}
-	_, spec, haveSpec, err := r.ingestRegistration(target, ent.ClientID, ent.Blob, ent.Sig, ent.SubID, ent.Batch)
+	target := r.hub.SliceForShard(shard)
+	if target >= len(r.parts) {
+		return fmt.Errorf("shard %d places on slice %d, but the router has %d (restore with the sealing partition count)", shard, target, len(r.parts))
+	}
+	_, spec, haveSpec, err := r.ingestRegistration(shard, target, ent.ClientID, ent.Blob, ent.Sig, ent.SubID, ent.Batch)
 	if err != nil {
 		return err
 	}

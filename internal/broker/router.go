@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scbr/internal/attest"
 	"scbr/internal/core"
 	"scbr/internal/federation"
+	"scbr/internal/placement"
 	"scbr/internal/pubsub"
 	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
@@ -62,9 +64,21 @@ type RouterConfig struct {
 	PadRecordTo int
 	// Partitions splits the subscription database across this many
 	// enclave matcher slices (default 1, max 256). Registrations hash
-	// to a slice; publications are matched by every slice in parallel
-	// and the result sets merged.
+	// to a virtual shard whose slice the placement map names;
+	// publications are matched by every slice in parallel and the
+	// result sets merged. Repartition resizes the slice count online.
 	Partitions int
+	// PlacementShards fixes the virtual shard count of the movable
+	// placement map — the granularity of online migration (default
+	// placement.DefaultShards, max placement.MaxShards). Raised to
+	// Partitions when smaller, since every slice must own at least one
+	// shard. The shard count cannot change after construction: it is
+	// packed into every issued subscription ID.
+	PlacementShards int
+	// PlacementSeed seeds the rendezvous election assigning shards to
+	// slices (0 = a fixed default). Deployments only need to vary it to
+	// de-correlate placement across routers.
+	PlacementSeed int64
 	// Switchless routes publications to the matchers through
 	// untrusted-memory rings consumed by resident enclave workers (one
 	// ring and one worker per partition) instead of one ecall per
@@ -144,8 +158,19 @@ type Router struct {
 	cfg     RouterConfig
 	backend *scheme.Backend // the resolved matching scheme
 
-	hub   *streamhub.Hub
-	parts []*partition
+	hub    *streamhub.Hub
+	schema *pubsub.Schema
+	pm     *placement.Map
+	parts  []*partition
+	// p0 is partition 0 — the attestation slice. It is never migrated
+	// away or removed by a resize (shrink drops the highest indices,
+	// and the minimum slice count is 1), so federation, provisioning,
+	// and sealing reference it through this stable field instead of
+	// reading r.parts under the data-plane lock.
+	p0 *partition
+	// epcPer is the per-slice EPC share computed at construction;
+	// slices added by Repartition launch with the same share.
+	epcPer uint64
 
 	keyMu        sync.RWMutex
 	sk           *scrypto.SymmetricKey
@@ -163,8 +188,35 @@ type Router struct {
 	// then log mutation) atomic with respect to SealState: mutators
 	// hold it shared for the span of both steps, the sealer exclusively
 	// while snapshotting, so a sealed blob never captures an engine/log
-	// divergence a client was already acknowledged across.
+	// divergence a client was already acknowledged across. The
+	// migration engine reuses the same fence: placement diverts flip
+	// and shard snapshots are taken under the exclusive lock, so a
+	// registration resolves its shard's slice and lands there under one
+	// shared hold — it either precedes the divert (and is in the
+	// migrated snapshot) or follows it (and registers on the
+	// destination directly).
 	stateMu sync.RWMutex
+
+	// planeMu fences the data plane for slice-set changes: every
+	// publication path holds it shared end to end (dispatch through
+	// delivery on the sync path, dispatch through ring push on the
+	// switchless path), and Repartition holds it exclusively while
+	// appending or removing slices, so r.parts and the per-job slot
+	// layout are stable within any single publication.
+	planeMu sync.RWMutex
+
+	// Migration engine state (migrate.go): migMu admits one Repartition
+	// at a time; migShards (guarded by stateMu) names the shards of the
+	// in-flight move group; migEntryMu serialises per-entry imports
+	// against removals on moving shards; migRemoved (guarded by
+	// migEntryMu) records removals that must not be resurrected by a
+	// later import; dedupActive arms per-item delivery dedup during the
+	// two-copy migration window.
+	migMu       sync.Mutex
+	migShards   map[int]bool
+	migEntryMu  sync.Mutex
+	migRemoved  map[uint64]bool
+	dedupActive atomic.Bool
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]bool
@@ -218,6 +270,19 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 	if cfg.Partitions < 0 || cfg.Partitions > streamhub.MaxPartitions {
 		return nil, fmt.Errorf("broker: partition count %d out of range [1,%d]", cfg.Partitions, streamhub.MaxPartitions)
 	}
+	if cfg.PlacementShards == 0 {
+		cfg.PlacementShards = placement.DefaultShards
+	}
+	if cfg.PlacementShards < 0 || cfg.PlacementShards > placement.MaxShards {
+		return nil, fmt.Errorf("broker: placement shard count %d out of range [1,%d]", cfg.PlacementShards, placement.MaxShards)
+	}
+	if cfg.PlacementShards < cfg.Partitions {
+		cfg.PlacementShards = cfg.Partitions
+	}
+	pm, err := placement.New(cfg.PlacementShards, cfg.Partitions, cfg.PlacementSeed)
+	if err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
 	epcTotal := cfg.EPCBytes
 	if epcTotal == 0 {
 		epcTotal = sgx.DefaultEPCBytes
@@ -228,16 +293,20 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 	}
 
 	r := &Router{
-		dev:       dev,
-		quoter:    quoter,
-		cfg:       cfg,
-		backend:   backend,
-		clientRef: make(map[string]uint32),
-		subOwner:  make(map[uint64]string),
-		regPos:    make(map[uint64]int),
-		conns:     make(map[net.Conn]bool),
-		delivery:  newDeliveryTable(cfg.DeliveryQueueLen, cfg.ReplayRingLen, cfg.OverflowPolicy, cfg.ResumeWindow),
-		closing:   make(chan struct{}),
+		dev:        dev,
+		quoter:     quoter,
+		cfg:        cfg,
+		backend:    backend,
+		pm:         pm,
+		epcPer:     epcPer,
+		clientRef:  make(map[string]uint32),
+		subOwner:   make(map[uint64]string),
+		regPos:     make(map[uint64]int),
+		migShards:  make(map[int]bool),
+		migRemoved: make(map[uint64]bool),
+		conns:      make(map[net.Conn]bool),
+		delivery:   newDeliveryTable(cfg.DeliveryQueueLen, cfg.ReplayRingLen, cfg.OverflowPolicy, cfg.ResumeWindow),
+		closing:    make(chan struct{}),
 	}
 	ok := false
 	defer func() {
@@ -248,6 +317,7 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		}
 	}()
 	schema := pubsub.NewSchema()
+	r.schema = schema
 	slices := make([]scheme.Slice, 0, cfg.Partitions)
 	for i := 0; i < cfg.Partitions; i++ {
 		enclave, launchErr := dev.Launch(cfg.EnclaveImage, cfg.EnclaveSigner,
@@ -267,7 +337,8 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		}
 		slices = append(slices, slice)
 	}
-	hub, err := streamhub.NewFromSlices(schema, slices)
+	r.p0 = r.parts[0]
+	hub, err := streamhub.NewFromSlicesPlaced(schema, slices, pm)
 	if err != nil {
 		return nil, fmt.Errorf("broker: %w", err)
 	}
@@ -291,13 +362,13 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 // slice whose quote publishers verify. All slices launch from the same
 // image with the same per-slice EPC share, so they carry the same
 // measured identity.
-func (r *Router) Enclave() *sgx.Enclave { return r.parts[0].enclave }
+func (r *Router) Enclave() *sgx.Enclave { return r.p0.enclave }
 
 // Engine exposes partition 0's routing engine (experiments read its
 // stats; with the default single partition it is the whole index). Use
 // DataPlaneStats for the aggregate of a partitioned router. Nil when
 // the router's matching scheme is not engine-based (e.g. aspe).
-func (r *Router) Engine() *core.Engine { return r.parts[0].engine }
+func (r *Router) Engine() *core.Engine { return r.p0.engine }
 
 // Scheme returns the canonical ID of the router's matching scheme.
 func (r *Router) Scheme() string { return r.backend.Name }
@@ -316,7 +387,11 @@ func (r *Router) checkScheme(tag string) error {
 }
 
 // Partitions returns the number of enclave matcher slices.
-func (r *Router) Partitions() int { return len(r.parts) }
+func (r *Router) Partitions() int {
+	r.planeMu.RLock()
+	defer r.planeMu.RUnlock()
+	return len(r.parts)
+}
 
 // DataPlaneStats summarises the partitioned index.
 type DataPlaneStats struct {
@@ -332,7 +407,9 @@ type DataPlaneStats struct {
 
 // DataPlaneStats aggregates the partition engines.
 func (r *Router) DataPlaneStats() DataPlaneStats {
+	r.planeMu.RLock()
 	st := r.hub.Stats()
+	r.planeMu.RUnlock()
 	return DataPlaneStats{
 		Partitions:    st.Partitions,
 		Subscriptions: st.Subscriptions,
@@ -359,6 +436,8 @@ func (r *Router) MeterSnapshot() simmem.Counters {
 // quantify the partition speed-up (slices run in parallel, so the
 // makespan is the max, not the total).
 func (r *Router) SliceMeterSnapshots() []simmem.Counters {
+	r.planeMu.RLock()
+	defer r.planeMu.RUnlock()
 	out := make([]simmem.Counters, len(r.parts))
 	for i, p := range r.parts {
 		p.mu.Lock()
@@ -593,7 +672,7 @@ func (r *Router) handleProvision(conn net.Conn, m *Message) error {
 	if err := r.checkScheme(m.Scheme); err != nil {
 		return err
 	}
-	p0 := r.parts[0]
+	p0 := r.p0
 	p0.mu.Lock()
 	req, ephemeral, err := attest.NewProvisioningRequest(p0.enclave, r.quoter)
 	p0.mu.Unlock()
@@ -649,6 +728,8 @@ func (r *Router) handleProvision(conn net.Conn, m *Message) error {
 // configureSlices applies the scheme's wire-negotiated public
 // parameters to every slice store, inside each slice's enclave.
 func (r *Router) configureSlices(params []byte) error {
+	r.planeMu.RLock()
+	defer r.planeMu.RUnlock()
 	for _, p := range r.parts {
 		p.mu.Lock()
 		err := p.enclave.Ecall(func() error { return p.slice.Configure(params) })
@@ -660,13 +741,16 @@ func (r *Router) configureSlices(params []byte) error {
 	return nil
 }
 
-// handleRegister is step ③: hash the registration to a slice, then
-// validate the publisher's signature and ingest the subscription
-// inside that slice's enclave — opening the SK envelope first for
-// sealed-exchange schemes, storing the scheme ciphertext as-is
-// otherwise. Only the target partition serialises — registrations on
-// other slices, and all matching not on this slice, proceed
-// concurrently.
+// handleRegister is step ③: hash the registration to a virtual shard,
+// resolve the shard's slice through the placement map, then validate
+// the publisher's signature and ingest the subscription inside that
+// slice's enclave — opening the SK envelope first for sealed-exchange
+// schemes, storing the scheme ciphertext as-is otherwise. Only the
+// target partition serialises — registrations on other slices, and all
+// matching not on this slice, proceed concurrently. Resolution happens
+// under the shared state lock, so the registration either precedes a
+// migration divert (and is captured in the migrated snapshot) or
+// follows it (and lands on the destination slice directly).
 func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	if m.ClientID == "" {
 		return errors.New("registration without client identity")
@@ -674,9 +758,10 @@ func (r *Router) handleRegister(conn net.Conn, m *Message) error {
 	if err := r.checkScheme(m.Scheme); err != nil {
 		return err
 	}
-	target := r.hub.PlaceKey([]byte(m.ClientID), m.Blob)
 	r.stateMu.RLock()
-	subID, spec, haveSpec, err := r.ingestRegistration(target, m.ClientID, m.Blob, m.Sig, 0, false)
+	shard := r.hub.ShardForKey([]byte(m.ClientID), m.Blob)
+	target := r.hub.SliceForShard(shard)
+	subID, spec, haveSpec, err := r.ingestRegistration(shard, target, m.ClientID, m.Blob, m.Sig, 0, false)
 	if err != nil {
 		r.stateMu.RUnlock()
 		return err
@@ -724,7 +809,7 @@ func (r *Router) handleRegisterBatch(conn net.Conn, m *Message) error {
 	if verifyKey == nil {
 		return ErrNotProvisioned
 	}
-	p0 := r.parts[0]
+	p0 := r.p0
 	p0.mu.Lock()
 	err := p0.enclave.Ecall(func() error {
 		if err := scrypto.Verify(verifyKey, signedRegistrationBatch(m.Items, m.ClientID), m.Sig); err != nil {
@@ -742,8 +827,9 @@ func (r *Router) handleRegisterBatch(conn net.Conn, m *Message) error {
 	entries := make([]logEntry, 0, len(m.Items))
 	r.stateMu.RLock()
 	for i, it := range m.Items {
-		target := r.hub.PlaceKey([]byte(m.ClientID), it.Blob)
-		subID, spec, haveSpec, err := r.ingestRegistration(target, m.ClientID, it.Blob, nil, 0, true)
+		shard := r.hub.ShardForKey([]byte(m.ClientID), it.Blob)
+		target := r.hub.SliceForShard(shard)
+		subID, spec, haveSpec, err := r.ingestRegistration(shard, target, m.ClientID, it.Blob, nil, 0, true)
 		if err != nil {
 			r.stateMu.RUnlock()
 			return fmt.Errorf("batch item %d: %w", i, err)
@@ -775,17 +861,19 @@ func (r *Router) handleRegisterBatch(conn net.Conn, m *Message) error {
 }
 
 // ingestRegistration validates one signed registration and indexes it
-// in the slice's enclave: on partition target under a fresh ID, or —
-// when assignID is non-zero (the state-restore path) — under that ID
-// on the partition it names. For digest-capable schemes with
-// federation enabled it also returns the decoded subscription spec for
-// the overlay. Callers on the live path hold stateMu shared.
+// in the slice's enclave: on partition target (shard's current slice)
+// under a fresh shard-packed ID, or — when assignID is non-zero (the
+// state-restore path) — under that ID on its shard's current slice.
+// For digest-capable schemes with federation enabled it also returns
+// the decoded subscription spec for the overlay. Callers hold stateMu
+// (shared on the live path), which keeps the shard→slice resolution
+// they did stable across the insert.
 //
 // preVerified skips the per-item signature check for blobs whose
 // authenticity is already established by an enclosing proof: a batch
 // signature verified over the whole frame (handleRegisterBatch), or
 // the AEAD seal of a restored state blob for batch-logged entries.
-func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byte, assignID uint64, preVerified bool) (uint64, pubsub.SubscriptionSpec, bool, error) {
+func (r *Router) ingestRegistration(shard, target int, clientID string, blob, sig []byte, assignID uint64, preVerified bool) (uint64, pubsub.SubscriptionSpec, bool, error) {
 	sk, verifyKey := r.keys()
 	if sk == nil {
 		return 0, pubsub.SubscriptionSpec{}, false, ErrNotProvisioned
@@ -828,7 +916,7 @@ func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byt
 			return r.hub.RegisterEncodedAssigned(enc, ref, assignID)
 		}
 		var err error
-		subID, err = r.hub.RegisterEncodedIn(target, enc, ref)
+		subID, err = r.hub.RegisterEncodedAt(shard, target, enc, ref)
 		return err
 	})
 	p.mu.Unlock()
@@ -841,7 +929,12 @@ func (r *Router) ingestRegistration(target int, clientID string, blob, sig []byt
 // handleRemove unregisters a subscription on the owner's behalf. The
 // registration log is indexed by SubID, so removal under churn is
 // constant-time (the vacated slot is back-filled with the last entry;
-// restore replays by assigned ID, so log order is immaterial).
+// restore replays by assigned ID, so log order is immaterial). The
+// slice holding the subscription comes from the hub's ownership index,
+// not the ID — a migrated subscription keeps its ID but lives
+// elsewhere. When the subscription's shard is mid-migration the
+// removal serialises with the copy engine (migEntryMu) and records
+// itself, so a later import cannot resurrect what a client removed.
 func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 	r.ctlMu.RLock()
 	owner, ok := r.subOwner[m.SubID]
@@ -852,15 +945,27 @@ func (r *Router) handleRemove(conn net.Conn, m *Message) error {
 	if owner != m.ClientID {
 		return fmt.Errorf("%w: subscription %d, client %s", ErrNotOwner, m.SubID, m.ClientID)
 	}
-	target := streamhub.PartitionOf(m.SubID)
-	if target >= len(r.parts) {
-		return fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
-	}
-	p := r.parts[target]
 	r.stateMu.RLock()
-	p.mu.Lock()
-	err := p.enclave.Ecall(func() error { return r.hub.UnregisterIn(m.SubID) })
-	p.mu.Unlock()
+	moving := r.migShards[streamhub.ShardOf(m.SubID)]
+	if moving {
+		r.migEntryMu.Lock()
+	}
+	target, live := r.hub.OwnerSlice(m.SubID)
+	var err error
+	if !live {
+		err = fmt.Errorf("%w: %d", ErrUnknownSubscription, m.SubID)
+	} else {
+		p := r.parts[target]
+		p.mu.Lock()
+		err = p.enclave.Ecall(func() error { return r.hub.UnregisterIn(m.SubID) })
+		p.mu.Unlock()
+	}
+	if moving {
+		if err == nil {
+			r.migRemoved[m.SubID] = true
+		}
+		r.migEntryMu.Unlock()
+	}
 	if err != nil {
 		r.stateMu.RUnlock()
 		return err

@@ -42,6 +42,14 @@ type TopologySpec struct {
 	// overlay — RouterID, Peers, PeerVerifier — are set after Mutate
 	// and cannot be overridden.
 	Mutate func(i int, cfg *broker.RouterConfig)
+	// PlacementShards sets every router's virtual-shard count — the
+	// migration grain for Router.Repartition (0 = the broker default).
+	// Applied after Mutate, like the overlay fields.
+	PlacementShards int
+	// PlacementSeed seeds every router's rendezvous shard→slice hash
+	// (0 = the fixed built-in seed), so a topology's routers agree on
+	// placement byte-for-byte.
+	PlacementSeed int64
 	// Scheme selects the matching scheme every router runs (empty =
 	// the default sgx-plain). Schemes without federation-digest
 	// support only stand up single-router, link-free topologies: the
@@ -136,6 +144,12 @@ func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
 		cfg.EnclaveImage = image
 		cfg.EnclaveSigner = signer.Public()
 		cfg.Scheme = spec.Scheme
+		if spec.PlacementShards != 0 {
+			cfg.PlacementShards = spec.PlacementShards
+		}
+		if spec.PlacementSeed != 0 {
+			cfg.PlacementSeed = spec.PlacementSeed
+		}
 		if federated {
 			cfg.RouterID = t.IDs[i]
 			cfg.PeerVerifier = t.Service

@@ -379,3 +379,77 @@ func TestFederationBatchCrossHop(t *testing.T) {
 		t.Fatalf("router B received %d forwards, want 2", got)
 	}
 }
+
+// TestFederationRepartitionDelivery proves the elastic data plane
+// composes with the overlay: resizing both routers of a 2-router link
+// — the subscriber's home while its interest is already exported, the
+// publisher's home while forwarding — disturbs neither the digest
+// handoff nor cross-hop delivery. Digest state is router-level (folded
+// on register/remove), so shard migration between a router's own
+// slices must leave the overlay's view of it untouched.
+func TestFederationRepartitionDelivery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	topo, err := NewTopology(ctx, TopologySpec{
+		Routers: 2,
+		Links:   [][2]int{{0, 1}},
+		Mutate:  func(i int, cfg *broker.RouterConfig) { cfg.Partitions = 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	pub, err := topo.NewPublisher(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol, err := broker.NewClient("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer carol.Close()
+	if err := topo.ConnectClient(ctx, pub, carol, 1); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := carol.Subscribe(ctx, halSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.WaitRemoteEntries(0, 1, fedWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(ctx, halHeader("HAL"), []byte("before resize")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, sub, "before resize")
+
+	// Resize the subscriber's home: carol's subscription migrates
+	// between enclave slices while her interest stays exported.
+	if _, err := topo.Routers[1].Repartition(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(ctx, halHeader("HAL"), []byte("after remote resize")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, sub, "after remote resize")
+
+	// Resize the forwarding router too, then shrink the subscriber's
+	// home back down — the full grow/shrink cycle across the overlay.
+	if _, err := topo.Routers[0].Repartition(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Routers[1].Repartition(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(ctx, halHeader("HAL"), []byte("after both resized")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, sub, "after both resized")
+
+	// The digest state never wavered: no withheld matching frames, and
+	// the remote entry is still the one carol registered.
+	if got := topo.Routers[0].FederationSnapshot().RemoteEntries; got != 1 {
+		t.Fatalf("router 0 sees %d remote entries after the resizes, want 1", got)
+	}
+}

@@ -84,6 +84,11 @@ type Counters struct {
 	// Withheld counts peer links skipped because the peer's digest had
 	// no subscription matching the publication.
 	Withheld uint64 `json:"withheld"`
+	// ForwardsDropped counts forwarded publications lost because a
+	// peer link's outbound queue was full when the transport tried to
+	// hand the frame over. Forwarding is fire-and-forget, so the
+	// frame is not retried — the counter makes the loss observable.
+	ForwardsDropped uint64 `json:"forwards_dropped"`
 	// ReceivedForwards counts forwarded publications accepted for
 	// local delivery (first sighting of their origin+seq).
 	ReceivedForwards uint64 `json:"received_forwards"`

@@ -69,6 +69,7 @@ type Overlay struct {
 
 	digestSent, digestRecv       uint64
 	forwarded, withheld          uint64
+	forwardsDropped              uint64
 	receivedForwards             uint64
 	suppressedDup, suppressedTTL uint64
 
@@ -336,6 +337,16 @@ func (o *Overlay) fanOutLocked(fp forwardPub, ev *pubsub.Event, from *Peer) ([]O
 	return outs, nil
 }
 
+// NoteForwardDropped records a forwarded publication the transport
+// could not hand to a peer link (outbound queue full). The overlay's
+// forwarding is fire-and-forget, so the frame is simply lost; the
+// counter keeps the loss visible instead of silent.
+func (o *Overlay) NoteForwardDropped() {
+	o.mu.Lock()
+	o.forwardsDropped++
+	o.mu.Unlock()
+}
+
 // Snapshot returns the overlay's counters.
 func (o *Overlay) Snapshot() Counters {
 	o.mu.Lock()
@@ -347,6 +358,7 @@ func (o *Overlay) Snapshot() Counters {
 		DigestUpdatesReceived: o.digestRecv,
 		Forwarded:             o.forwarded,
 		Withheld:              o.withheld,
+		ForwardsDropped:       o.forwardsDropped,
 		ReceivedForwards:      o.receivedForwards,
 		SuppressedDuplicates:  o.suppressedDup,
 		SuppressedTTL:         o.suppressedTTL,

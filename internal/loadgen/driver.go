@@ -212,7 +212,11 @@ func runCell(ctx context.Context, s *Scenario, c Cell, logf Logf) (CellResult, e
 	if s.ChurnCycles > 0 {
 		churnPer = scaled(s.churnEvents(), c.Scale)
 	}
-	d.total = c.Events + flash + s.ChurnCycles*churnPer
+	repPer := 0
+	if s.RepartitionCycles > 0 {
+		repPer = scaled(s.repartitionEvents(), c.Scale)
+	}
+	d.total = c.Events + flash + s.ChurnCycles*churnPer + s.RepartitionCycles*repPer
 	cr.Events = d.total
 	cr.Expected = uint64(d.total) * uint64(s.Measured)
 
@@ -243,6 +247,45 @@ func runCell(ctx context.Context, s *Scenario, c Cell, logf Logf) (CellResult, e
 		if err := d.publishEvents(cctx, flash, 5*s.BatchSize); err != nil {
 			return cr, err
 		}
+	}
+	// Phase 5b — repartition churn: resize every router's matcher-slice
+	// fleet online while a storm publishes into the live migration. The
+	// delivery invariant (delivered + gaps == expected) holds across the
+	// move or the cell reports unaccounted loss.
+	for cycle := 0; cycle < s.RepartitionCycles; cycle++ {
+		target := s.RepartitionTo[cycle%len(s.RepartitionTo)]
+		pauses := make([]int64, len(topo.Routers))
+		errc := make(chan error, len(topo.Routers))
+		var rwg sync.WaitGroup
+		for ri := range topo.Routers {
+			rwg.Add(1)
+			go func(ri int) {
+				defer rwg.Done()
+				snap, err := topo.Routers[ri].Repartition(cctx, target)
+				if err != nil {
+					errc <- fmt.Errorf("repartition cycle %d: router %d → %d slices: %w", cycle, ri, target, err)
+					return
+				}
+				pauses[ri] = snap.LastPauseNanos
+			}(ri)
+		}
+		pubErr := d.publishEvents(cctx, repPer, s.BatchSize)
+		rwg.Wait()
+		if pubErr != nil {
+			return cr, pubErr
+		}
+		select {
+		case err := <-errc:
+			return cr, err
+		default:
+		}
+		cr.Repartitions++
+		for _, p := range pauses {
+			if p > cr.MigrationPauseNanos {
+				cr.MigrationPauseNanos = p
+			}
+		}
+		logf("  repartitioned to %d slices (cycle %d, max pause %s)", target, cycle, time.Duration(maxInt64(pauses)))
 	}
 	// Phase 6 — reconnect churn: sever every listener, publish into
 	// their absence, resume, and require the cursor protocol to account
@@ -527,6 +570,17 @@ func (d *cellDriver) drain(ctx context.Context) {
 			return
 		}
 	}
+}
+
+// maxInt64 returns the largest element (0 for an empty slice).
+func maxInt64(v []int64) int64 {
+	var m int64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // sleepCtx sleeps d or until ctx is done, reporting whether the full

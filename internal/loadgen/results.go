@@ -93,6 +93,13 @@ type CellResult struct {
 	Unaccounted uint64 `json:"unaccounted"`
 	Resumes     int    `json:"resumes,omitempty"`
 
+	// Repartitions counts completed online resizes of the cell's
+	// matcher-slice fleets; MigrationPauseNanos is the worst data-plane
+	// flush pause any router observed across them (the time publishes
+	// were fenced behind a placement flip).
+	Repartitions        int   `json:"repartitions,omitempty"`
+	MigrationPauseNanos int64 `json:"migration_pause_nanos,omitempty"`
+
 	// EndToEnd is publish-stamp → client-receipt latency (from payload
 	// timestamps); EnqueueWrite is the router-side delivery-queue
 	// latency surface added with this harness.

@@ -68,6 +68,19 @@ type Scenario struct {
 	// ChurnEvents is how many events each churn cycle publishes while
 	// the listeners are detached (default: BatchSize).
 	ChurnEvents int `json:"churn_events,omitempty"`
+	// RepartitionCycles, when non-zero, adds a repartition-churn phase:
+	// each cycle resizes every router's matcher-slice fleet online
+	// (Router.Repartition) while RepartitionEvents are published into
+	// the live migration, asserting delivered + gaps == expected across
+	// the move — the elastic-data-plane story.
+	RepartitionCycles int `json:"repartition_cycles,omitempty"`
+	// RepartitionTo lists the slice counts the cycles rotate through
+	// (cycle i resizes to RepartitionTo[i mod len]); required when
+	// RepartitionCycles > 0, each in [1,256].
+	RepartitionTo []int `json:"repartition_to,omitempty"`
+	// RepartitionEvents is how many events each repartition cycle
+	// publishes concurrently with the resize (default: BatchSize).
+	RepartitionEvents int `json:"repartition_events,omitempty"`
 
 	// Partitions, Schemes, and Routers span the deployment matrix.
 	// Routers: 1 = single router, n > 1 = a federated chain of n.
@@ -129,8 +142,16 @@ func (s *Scenario) Validate() error {
 	if s.BatchSize <= 0 {
 		return fmt.Errorf("loadgen: scenario %q: batch_size must be positive, got %d", s.Name, s.BatchSize)
 	}
-	if s.FlashEvents < 0 || s.ChurnCycles < 0 || s.ChurnEvents < 0 {
+	if s.FlashEvents < 0 || s.ChurnCycles < 0 || s.ChurnEvents < 0 || s.RepartitionCycles < 0 || s.RepartitionEvents < 0 {
 		return fmt.Errorf("loadgen: scenario %q: phase counts must not be negative", s.Name)
+	}
+	if s.RepartitionCycles > 0 && len(s.RepartitionTo) == 0 {
+		return fmt.Errorf("loadgen: scenario %q: repartition_cycles needs repartition_to targets", s.Name)
+	}
+	for _, k := range s.RepartitionTo {
+		if k < 1 || k > 256 {
+			return fmt.Errorf("loadgen: scenario %q: repartition_to %d out of range [1,256]", s.Name, k)
+		}
 	}
 	if len(s.Partitions) == 0 {
 		return fmt.Errorf("loadgen: scenario %q: partitions sweep is empty", s.Name)
@@ -225,6 +246,14 @@ func (s *Scenario) churnEvents() int {
 	return s.BatchSize
 }
 
+// repartitionEvents resolves the per-cycle mid-migration event count.
+func (s *Scenario) repartitionEvents() int {
+	if s.RepartitionEvents > 0 {
+		return s.RepartitionEvents
+	}
+	return s.BatchSize
+}
+
 // ParseScenario decodes and validates one scenario from JSON. Unknown
 // fields are rejected — a typoed knob must fail loudly, not silently
 // run the defaults.
@@ -248,24 +277,27 @@ func ParseScenario(r io.Reader) (*Scenario, error) {
 // aspe} × {1,2-router} matrix, flash and churn phases).
 var builtins = map[string]*Scenario{
 	"ci": {
-		Name:            "ci",
-		Description:     "scaled-down per-PR smoke: thousands of subs, seconds of traffic",
-		Seed:            61,
-		Subscribers:     2_000,
-		Measured:        2,
-		ZipfS:           1,
-		Symbols:         100,
-		Events:          600,
-		Publishers:      2,
-		BatchSize:       50,
-		FlashEvents:     200,
-		ChurnCycles:     2,
-		ChurnEvents:     100,
-		Partitions:      []int{1, 4},
-		Schemes:         []string{scheme.Plain, scheme.ASPE},
-		Routers:         []int{1, 2},
-		SchemeScale:     map[string]float64{scheme.ASPE: 0.25},
-		FederationScale: 0.5,
+		Name:              "ci",
+		Description:       "scaled-down per-PR smoke: thousands of subs, seconds of traffic",
+		Seed:              61,
+		Subscribers:       2_000,
+		Measured:          2,
+		ZipfS:             1,
+		Symbols:           100,
+		Events:            600,
+		Publishers:        2,
+		BatchSize:         50,
+		FlashEvents:       200,
+		ChurnCycles:       2,
+		ChurnEvents:       100,
+		RepartitionCycles: 2,
+		RepartitionTo:     []int{2, 4},
+		RepartitionEvents: 100,
+		Partitions:        []int{1, 4},
+		Schemes:           []string{scheme.Plain, scheme.ASPE},
+		Routers:           []int{1, 2},
+		SchemeScale:       map[string]float64{scheme.ASPE: 0.25},
+		FederationScale:   0.5,
 	},
 	"ci-batch": {
 		Name:        "ci-batch",
@@ -288,24 +320,27 @@ var builtins = map[string]*Scenario{
 		Routers:     []int{1},
 	},
 	"smoke": {
-		Name:            "smoke",
-		Description:     "full acceptance sweep: 100k-subscriber cells, flash crowd, reconnect churn",
-		Seed:            67,
-		Subscribers:     100_000,
-		Measured:        3,
-		ZipfS:           1,
-		Symbols:         1_000,
-		Events:          2_000,
-		Publishers:      2,
-		BatchSize:       100,
-		FlashEvents:     500,
-		ChurnCycles:     3,
-		ChurnEvents:     200,
-		Partitions:      []int{1, 4},
-		Schemes:         []string{scheme.Plain, scheme.ASPE},
-		Routers:         []int{1, 2},
-		SchemeScale:     map[string]float64{scheme.ASPE: 0.02},
-		FederationScale: 0.1,
+		Name:              "smoke",
+		Description:       "full acceptance sweep: 100k-subscriber cells, flash crowd, reconnect churn",
+		Seed:              67,
+		Subscribers:       100_000,
+		Measured:          3,
+		ZipfS:             1,
+		Symbols:           1_000,
+		Events:            2_000,
+		Publishers:        2,
+		BatchSize:         100,
+		FlashEvents:       500,
+		ChurnCycles:       3,
+		ChurnEvents:       200,
+		RepartitionCycles: 3,
+		RepartitionTo:     []int{2, 8, 4},
+		RepartitionEvents: 200,
+		Partitions:        []int{1, 4},
+		Schemes:           []string{scheme.Plain, scheme.ASPE},
+		Routers:           []int{1, 2},
+		SchemeScale:       map[string]float64{scheme.ASPE: 0.02},
+		FederationScale:   0.1,
 	},
 }
 

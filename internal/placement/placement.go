@@ -1,0 +1,326 @@
+// Package placement is the router's movable placement map — the
+// control-plane layer that turns the static hash-to-slice assignment
+// of the partitioned data plane into something that can be resized
+// online. The subscription key space is divided into a fixed number of
+// virtual shards (the unit of migration); rendezvous hashing
+// (highest-random-weight) assigns every shard to one enclave matcher
+// slice. Growing or shrinking the slice set re-runs the rendezvous
+// election, and the minimality property of HRW means only the shards
+// whose winner changed move: growing k→k′ relocates ~(k′−k)/k′ of the
+// shards, shrinking relocates exactly the evicted slices' shards.
+//
+// The map itself is passive bookkeeping; the broker's migration engine
+// drives it through the Plan → Begin → Commit protocol:
+//
+//   - Plan(k′) diffs the committed table against the rendezvous
+//     election over k′ slices and returns the moves;
+//   - Begin(moves) diverts the moving shards — new registrations
+//     resolve to the destination slice while the existing entries are
+//     still being copied over;
+//   - Commit(moves) flips the committed table and bumps the epoch.
+//
+// Lookups (SliceOf) observe the divert first, so a shard's placement
+// changes exactly once per move, atomically, at Begin. Everything is
+// internally locked; reads take the shared lock only.
+package placement
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MaxShards bounds the virtual shard count: the shard index is packed
+// into the top byte of a hub subscription ID.
+const MaxShards = 256
+
+// DefaultShards is the shard count a router uses unless configured.
+// 64 shards over at most 64 slices keeps per-shard granularity at
+// ≥1/64 of the key space while leaving the top-byte ID packing of the
+// pre-placement hub intact.
+const DefaultShards = 64
+
+// defaultSeed seeds the rendezvous election when the caller passes 0,
+// so unconfigured deployments still place deterministically.
+const defaultSeed = 0x5cb2a9e1d4f30b77
+
+// Move relocates one shard between slices.
+type Move struct {
+	Shard int
+	From  int
+	To    int
+}
+
+// Snapshot is the observable placement state — the shard→slice table,
+// the epoch, and the migration counters — exposed on the router's
+// /metrics endpoint and returned by Repartition.
+type Snapshot struct {
+	// Epoch counts committed placement changes; it bumps once per
+	// committed move group and once per completed resize.
+	Epoch uint64 `json:"epoch"`
+	// Shards is the fixed virtual shard count.
+	Shards int `json:"shards"`
+	// Slices is the current slice count shards are assigned across.
+	Slices int `json:"slices"`
+	// Table maps shard → slice (the committed assignment).
+	Table []int `json:"table"`
+	// Moving counts shards currently diverted mid-migration.
+	Moving int `json:"moving,omitempty"`
+	// Migrations counts completed Repartition runs.
+	Migrations uint64 `json:"migrations"`
+	// ShardsMoved and SubsMoved total the shards and subscriptions
+	// relocated across all migrations.
+	ShardsMoved uint64 `json:"shards_moved"`
+	SubsMoved   uint64 `json:"subs_moved"`
+	// LastPauseNanos is the cumulative data-plane pause (flush-barrier
+	// hold time) of the most recent migration — the availability cost
+	// of the resize, as opposed to its wall-clock duration.
+	LastPauseNanos int64 `json:"last_pause_nanos"`
+}
+
+// Map is a movable shard→slice placement map.
+type Map struct {
+	mu     sync.RWMutex
+	shards int
+	seed   uint64
+	slices int
+	table  []int
+	divert map[int]int // shard → destination, set between Begin and Commit
+
+	epoch          uint64
+	migrations     uint64
+	shardsMoved    uint64
+	subsMoved      uint64
+	lastPauseNanos int64
+}
+
+// New builds a map of the given shard count placed across slices by
+// the seeded rendezvous election. A zero seed selects the fixed
+// default, so placement is deterministic unless explicitly varied.
+func New(shards, slices int, seed int64) (*Map, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("placement: shard count %d out of range [1,%d]", shards, MaxShards)
+	}
+	if slices < 1 || slices > shards {
+		return nil, fmt.Errorf("placement: slice count %d out of range [1,%d shards]", slices, shards)
+	}
+	m := &Map{
+		shards: shards,
+		seed:   mixSeed(seed),
+		slices: slices,
+		table:  make([]int, shards),
+		divert: make(map[int]int),
+	}
+	for s := 0; s < shards; s++ {
+		m.table[s] = m.owner(s, slices)
+	}
+	return m, nil
+}
+
+func mixSeed(seed int64) uint64 {
+	if seed == 0 {
+		return defaultSeed
+	}
+	return splitmix(uint64(seed))
+}
+
+// splitmix is the splitmix64 finalizer — enough avalanche for an
+// election weight; this is placement, not cryptography.
+func splitmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// weight is shard's election weight for one slice.
+func (m *Map) weight(shard, slice int) uint64 {
+	return splitmix(m.seed ^ uint64(shard)*0x9e3779b97f4a7c15 ^ uint64(slice)*0xd6e8feb86659fd93)
+}
+
+// owner runs the rendezvous election for one shard over the first
+// `slices` slices: the highest weight wins, lowest index breaking ties.
+func (m *Map) owner(shard, slices int) int {
+	best, bestW := 0, m.weight(shard, 0)
+	for s := 1; s < slices; s++ {
+		if w := m.weight(shard, s); w > bestW {
+			best, bestW = s, w
+		}
+	}
+	return best
+}
+
+// Shards returns the fixed virtual shard count.
+func (m *Map) Shards() int { return m.shards }
+
+// Slices returns the current slice count.
+func (m *Map) Slices() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.slices
+}
+
+// Epoch returns the committed placement epoch.
+func (m *Map) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// SliceOf resolves one shard's current slice: the migration divert if
+// the shard is mid-move (registrations land on the destination while
+// existing entries are copied), the committed table otherwise.
+func (m *Map) SliceOf(shard int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if to, moving := m.divert[shard]; moving {
+		return to
+	}
+	return m.table[shard]
+}
+
+// Plan diffs the committed table against the rendezvous election over
+// newSlices and returns the moves a resize to newSlices requires, in
+// deterministic (From, To, Shard) order. HRW minimality keeps the set
+// small: only shards whose elected winner changes appear.
+func (m *Map) Plan(newSlices int) ([]Move, error) {
+	if newSlices < 1 || newSlices > m.shards {
+		return nil, fmt.Errorf("placement: slice count %d out of range [1,%d shards]", newSlices, m.shards)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var moves []Move
+	for shard := 0; shard < m.shards; shard++ {
+		want := m.owner(shard, newSlices)
+		if cur := m.table[shard]; cur != want {
+			moves = append(moves, Move{Shard: shard, From: cur, To: want})
+		}
+	}
+	sortMoves(moves)
+	return moves, nil
+}
+
+func sortMoves(moves []Move) {
+	// Insertion sort: move sets are small (≤ MaxShards) and this keeps
+	// the package dependency-free.
+	for i := 1; i < len(moves); i++ {
+		for j := i; j > 0 && lessMove(moves[j], moves[j-1]); j-- {
+			moves[j], moves[j-1] = moves[j-1], moves[j]
+		}
+	}
+}
+
+func lessMove(a, b Move) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.Shard < b.Shard
+}
+
+// Begin diverts the moving shards to their destinations: from here on,
+// SliceOf resolves them to Move.To while the committed table still
+// names Move.From (the two-copy migration window).
+func (m *Map) Begin(moves []Move) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mv := range moves {
+		m.divert[mv.Shard] = mv.To
+	}
+}
+
+// Commit flips the committed table for the moved shards, clears their
+// diverts, and bumps the epoch.
+func (m *Map) Commit(moves []Move) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mv := range moves {
+		m.table[mv.Shard] = mv.To
+		delete(m.divert, mv.Shard)
+	}
+	m.shardsMoved += uint64(len(moves))
+	m.epoch++
+}
+
+// Abort clears the diverts of moves that will not be committed (a
+// resize cancelled before a group's copy started). Only safe before
+// any entry has been imported under the divert.
+func (m *Map) Abort(moves []Move) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mv := range moves {
+		delete(m.divert, mv.Shard)
+	}
+}
+
+// SetSlices records the new slice count after a resize's slices have
+// been added (grow) or are about to be removed (shrink, once every
+// shard has moved off them) and bumps the epoch.
+func (m *Map) SetSlices(n int) error {
+	if n < 1 || n > m.shards {
+		return fmt.Errorf("placement: slice count %d out of range [1,%d shards]", n, m.shards)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for shard, slice := range m.table {
+		if slice >= n {
+			return fmt.Errorf("placement: shard %d still assigned to slice %d, cannot shrink to %d", shard, slice, n)
+		}
+	}
+	m.slices = n
+	m.epoch++
+	return nil
+}
+
+// FinishMigration records one completed Repartition run: the
+// subscriptions relocated and the cumulative data-plane pause.
+func (m *Map) FinishMigration(subsMoved uint64, pauseNanos int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migrations++
+	m.subsMoved += subsMoved
+	m.lastPauseNanos = pauseNanos
+}
+
+// Install replaces the committed table — the seal/restore path. The
+// table length must equal the shard count and every entry must name a
+// slice below slices.
+func (m *Map) Install(table []int, slices int) error {
+	if len(table) != m.shards {
+		return fmt.Errorf("placement: sealed table covers %d shards, map has %d", len(table), m.shards)
+	}
+	if slices < 1 || slices > m.shards {
+		return fmt.Errorf("placement: slice count %d out of range [1,%d shards]", slices, m.shards)
+	}
+	for shard, slice := range table {
+		if slice < 0 || slice >= slices {
+			return fmt.Errorf("placement: sealed table assigns shard %d to slice %d of %d", shard, slice, slices)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(m.table, table)
+	m.slices = slices
+	m.epoch++
+	return nil
+}
+
+// Snapshot returns the observable placement state.
+func (m *Map) Snapshot() Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Snapshot{
+		Epoch:          m.epoch,
+		Shards:         m.shards,
+		Slices:         m.slices,
+		Table:          append([]int(nil), m.table...),
+		Moving:         len(m.divert),
+		Migrations:     m.migrations,
+		ShardsMoved:    m.shardsMoved,
+		SubsMoved:      m.subsMoved,
+		LastPauseNanos: m.lastPauseNanos,
+	}
+}

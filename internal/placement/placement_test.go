@@ -1,0 +1,252 @@
+package placement
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		shards, slices int
+		ok             bool
+	}{
+		{0, 1, false},
+		{1, 1, true},
+		{MaxShards, 1, true},
+		{MaxShards + 1, 1, false},
+		{8, 0, false},
+		{8, 8, true},
+		{8, 9, false},
+		{64, 4, true},
+	}
+	for _, c := range cases {
+		_, err := New(c.shards, c.slices, 0)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d, %d): err=%v, want ok=%v", c.shards, c.slices, err, c.ok)
+		}
+	}
+}
+
+func TestDeterministicAndCovering(t *testing.T) {
+	a, err := New(64, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(64, 4, 7)
+	seen := make(map[int]int)
+	for s := 0; s < a.Shards(); s++ {
+		if a.SliceOf(s) != b.SliceOf(s) {
+			t.Fatalf("shard %d: same seed placed differently", s)
+		}
+		if sl := a.SliceOf(s); sl < 0 || sl >= 4 {
+			t.Fatalf("shard %d assigned out-of-range slice %d", s, sl)
+		}
+		seen[a.SliceOf(s)]++
+	}
+	// Rendezvous over 64 shards should touch every one of 4 slices.
+	for sl := 0; sl < 4; sl++ {
+		if seen[sl] == 0 {
+			t.Errorf("slice %d received no shards: distribution %v", sl, seen)
+		}
+	}
+	c, _ := New(64, 4, 8)
+	diff := 0
+	for s := 0; s < 64; s++ {
+		if a.SliceOf(s) != c.SliceOf(s) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical placement")
+	}
+}
+
+// TestPlanMinimality checks the HRW property the migration engine
+// relies on: growing only moves shards onto the new slices, shrinking
+// only moves shards off the removed ones.
+func TestPlanMinimality(t *testing.T) {
+	m, err := New(128, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow, err := m.Plan(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grow) == 0 {
+		t.Fatal("grow plan moved nothing")
+	}
+	for _, mv := range grow {
+		if mv.To < 3 || mv.To >= 5 {
+			t.Errorf("grow move %+v targets an old slice", mv)
+		}
+		if mv.From < 0 || mv.From >= 3 {
+			t.Errorf("grow move %+v sourced from out-of-range slice", mv)
+		}
+	}
+	m.Begin(grow)
+	m.Commit(grow)
+	if err := m.SetSlices(5); err != nil {
+		t.Fatal(err)
+	}
+
+	shrink, err := m.Plan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range shrink {
+		if mv.From < 2 {
+			t.Errorf("shrink move %+v sourced from a surviving slice", mv)
+		}
+		if mv.To >= 2 {
+			t.Errorf("shrink move %+v targets a removed slice", mv)
+		}
+	}
+	// Every shard on slices 2..4 must be planned off them.
+	planned := make(map[int]bool)
+	for _, mv := range shrink {
+		planned[mv.Shard] = true
+	}
+	for s := 0; s < 128; s++ {
+		if m.SliceOf(s) >= 2 && !planned[s] {
+			t.Errorf("shard %d on slice %d not planned off for shrink to 2", s, m.SliceOf(s))
+		}
+	}
+	m.Begin(shrink)
+	m.Commit(shrink)
+	if err := m.SetSlices(2); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking back to the original 2-of-N election must equal a fresh
+	// map: placement is history-free.
+	fresh, _ := New(128, 2, 0)
+	for s := 0; s < 128; s++ {
+		if m.SliceOf(s) != fresh.SliceOf(s) {
+			t.Fatalf("shard %d: post-shrink slice %d != fresh slice %d", s, m.SliceOf(s), fresh.SliceOf(s))
+		}
+	}
+}
+
+func TestPlanIdentityIsEmpty(t *testing.T) {
+	m, _ := New(64, 4, 0)
+	moves, err := m.Plan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("plan to the current slice count produced %d moves", len(moves))
+	}
+}
+
+func TestBeginDivertsCommitFlips(t *testing.T) {
+	m, _ := New(16, 2, 0)
+	moves, err := m.Plan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	epoch0 := m.Epoch()
+	m.Begin(moves)
+	for _, mv := range moves {
+		if got := m.SliceOf(mv.Shard); got != mv.To {
+			t.Errorf("shard %d after Begin: SliceOf=%d, want divert target %d", mv.Shard, got, mv.To)
+		}
+	}
+	if snap := m.Snapshot(); snap.Moving != len(moves) {
+		t.Errorf("Moving=%d, want %d", snap.Moving, len(moves))
+	}
+	// The committed table must still name the source until Commit.
+	if snap := m.Snapshot(); snap.Table[moves[0].Shard] != moves[0].From {
+		t.Errorf("table flipped before Commit")
+	}
+	m.Commit(moves)
+	snap := m.Snapshot()
+	if snap.Moving != 0 {
+		t.Errorf("Moving=%d after Commit, want 0", snap.Moving)
+	}
+	if snap.Table[moves[0].Shard] != moves[0].To {
+		t.Errorf("table not flipped by Commit")
+	}
+	if snap.Epoch <= epoch0 {
+		t.Errorf("epoch did not advance across Commit")
+	}
+	if snap.ShardsMoved != uint64(len(moves)) {
+		t.Errorf("ShardsMoved=%d, want %d", snap.ShardsMoved, len(moves))
+	}
+}
+
+func TestAbortClearsDivert(t *testing.T) {
+	m, _ := New(16, 2, 0)
+	moves, _ := m.Plan(3)
+	m.Begin(moves)
+	m.Abort(moves)
+	for _, mv := range moves {
+		if got := m.SliceOf(mv.Shard); got != mv.From {
+			t.Errorf("shard %d after Abort: SliceOf=%d, want %d", mv.Shard, got, mv.From)
+		}
+	}
+}
+
+func TestSetSlicesRejectsOccupied(t *testing.T) {
+	m, _ := New(64, 4, 0)
+	if err := m.SetSlices(2); err == nil {
+		t.Fatal("SetSlices(2) succeeded with shards still on slices 2..3")
+	}
+	if err := m.SetSlices(6); err != nil {
+		t.Fatalf("grow SetSlices(6): %v", err)
+	}
+	if m.Slices() != 6 {
+		t.Fatalf("Slices()=%d, want 6", m.Slices())
+	}
+}
+
+func TestInstall(t *testing.T) {
+	m, _ := New(8, 2, 0)
+	table := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	if err := m.Install(table, 3); err != nil {
+		t.Fatal(err)
+	}
+	for s, want := range table {
+		if got := m.SliceOf(s); got != want {
+			t.Errorf("shard %d: SliceOf=%d, want %d", s, got, want)
+		}
+	}
+	if err := m.Install([]int{0}, 1); err == nil {
+		t.Error("short table accepted")
+	}
+	if err := m.Install(table, 2); err == nil {
+		t.Error("table referencing slice 2 accepted with slices=2")
+	}
+	if err := m.Install([]int{0, 0, 0, 0, 0, 0, 0, -1}, 2); err == nil {
+		t.Error("negative slice accepted")
+	}
+}
+
+func TestSnapshotJSONAndCounters(t *testing.T) {
+	m, _ := New(8, 2, 0)
+	m.FinishMigration(42, 1234)
+	raw, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"epoch", "shards", "slices", "table", "migrations", "shards_moved", "subs_moved", "last_pause_nanos"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("snapshot JSON missing %q: %s", key, raw)
+		}
+	}
+	snap := m.Snapshot()
+	if snap.Migrations != 1 || snap.SubsMoved != 42 || snap.LastPauseNanos != 1234 {
+		t.Errorf("counters not recorded: %+v", snap)
+	}
+	// Snapshot table must be a copy, not an alias.
+	snap.Table[0] = 99
+	if m.SliceOf(0) == 99 {
+		t.Error("snapshot table aliases internal state")
+	}
+}

@@ -10,6 +10,13 @@
 // Partitioning also attacks the paper's EPC-exhaustion problem
 // (Fig. 8): each slice only holds 1/k of the database, so a database
 // that would page on one enclave fits k enclaves' EPCs.
+//
+// Placement is elastic: registration keys hash onto fixed virtual
+// shards (the top byte of every hub subscription ID), and a movable
+// placement.Map assigns shards to slices. Slices can be added and
+// removed at runtime (AddSlice, RemoveSlicesFrom) and whole shards
+// relocated between them (ImportAssigned, DropCopy) while matching
+// continues — the broker's migration engine drives those moves.
 package streamhub
 
 import (
@@ -18,6 +25,7 @@ import (
 	"sync"
 
 	"scbr/internal/core"
+	"scbr/internal/placement"
 	"scbr/internal/pubsub"
 	"scbr/internal/scheme"
 	"scbr/internal/simmem"
@@ -30,47 +38,78 @@ import (
 //     engine; the typed surface (Register, Match, Engine) operates on
 //     normalised subscriptions and interned events directly.
 //
-//   - scheme-backed (NewFromSlices): every partition is a
-//     scheme-provided Slice storing whatever the scheme's wire
-//     encoding carries — the broker's data plane, where the matching
-//     scheme (sgx-plain, aspe, ...) owns storage and matching and the
-//     hub owns ID packing, placement, and load accounting. Only the
-//     encoded surface (RegisterEncodedIn, MatchEncodedIn, ...) is
-//     available.
+//   - scheme-backed (NewFromSlices/NewFromSlicesPlaced): every
+//     partition is a scheme-provided Slice storing whatever the
+//     scheme's wire encoding carries — the broker's data plane, where
+//     the matching scheme (sgx-plain, aspe, ...) owns storage and
+//     matching and the hub owns ID packing, placement, and load
+//     accounting. Only the encoded surface (RegisterEncodedAt,
+//     MatchEncodedIn, ...) is available.
 //
 // Engine-backed partitions also expose the encoded surface (they wrap
 // their engine in the plain scheme's slice adapter), so callers can be
 // written against the scheme-agnostic API alone.
+//
+// The hub assigns every subscription a full 64-bit ID up front —
+// shard index in the top byte, a per-shard sequence below — and hands
+// that ID to the slice store, so stored IDs ARE hub IDs: match
+// results need no rewriting, and a subscription keeps its ID when its
+// shard migrates to another slice.
+//
+// Locking: h.mu guards the owner/sequence/load bookkeeping. The
+// partition list itself is only mutated by AddSlice and
+// RemoveSlicesFrom; callers that resize concurrently with matching
+// must externally fence those calls against in-flight match fan-outs
+// (the broker holds its data-plane write lock across them).
 type Hub struct {
 	mu     sync.Mutex
 	schema *pubsub.Schema
 	parts  []*partition
-	owner  map[uint64]int // subscription ID → partition index
+	pm     *placement.Map
+	owner  map[uint64]int // subscription ID → slice index holding it
+	// shardSeq is the per-shard ID sequence (next = shardSeq+1);
+	// shardSubs counts live subscriptions per shard for load-aware
+	// shard selection in the typed Register.
+	shardSeq  []uint64
+	shardSubs []int
 }
 
-// Engine IDs are per-partition; the hub exposes hub-wide IDs by
-// packing the partition index into the top byte.
+// Hub subscription IDs pack the virtual shard index into the top byte
+// and a per-shard sequence below it.
 const (
 	idShift = 56
 	idMask  = (uint64(1) << idShift) - 1
 )
 
-// MaxPartitions bounds a hub's slice count: the partition index must
-// fit the top byte of a hub subscription ID.
-const MaxPartitions = 256
+// MaxPartitions bounds a hub's slice count: a slice must be able to
+// own at least one whole shard, and shard indices fit the top byte of
+// a hub subscription ID.
+const MaxPartitions = placement.MaxShards
 
-func composeID(part int, engineID uint64) uint64 {
-	return uint64(part)<<idShift | engineID
+func composeID(shard int, seq uint64) uint64 {
+	return uint64(shard)<<idShift | seq
 }
 
-// PartitionOf returns the partition index packed into a hub ID.
-func PartitionOf(hubID uint64) int { return int(hubID >> idShift) }
+// ShardOf returns the virtual shard index packed into a hub ID.
+func ShardOf(hubID uint64) int { return int(hubID >> idShift) }
 
 type partition struct {
-	engine *core.Engine // nil for scheme-backed partitions
-	slice  scheme.Slice // always non-nil
-	subs   int
+	engine *core.Engine             // nil for scheme-backed partitions
+	slice  scheme.Slice             // always non-nil
 	enter  func(func() error) error // enclave call gate, or nil
+}
+
+func newPlacementFor(k int) (*placement.Map, error) {
+	shards := placement.DefaultShards
+	if k > shards {
+		shards = k
+	}
+	return placement.New(shards, k, 0)
+}
+
+func (h *Hub) initShards() {
+	h.shardSeq = make([]uint64, h.pm.Shards())
+	h.shardSubs = make([]int, h.pm.Shards())
 }
 
 // New builds a hub with k partitions whose engines are produced by
@@ -86,7 +125,12 @@ func New(k int, schema *pubsub.Schema,
 	if k > MaxPartitions {
 		return nil, fmt.Errorf("streamhub: %d partitions exceed the ID space (max %d)", k, MaxPartitions)
 	}
-	h := &Hub{schema: schema, owner: make(map[uint64]int)}
+	pm, err := newPlacementFor(k)
+	if err != nil {
+		return nil, fmt.Errorf("streamhub: %w", err)
+	}
+	h := &Hub{schema: schema, pm: pm, owner: make(map[uint64]int)}
+	h.initShards()
 	for i := 0; i < k; i++ {
 		engine, err := newEngine(i, schema)
 		if err != nil {
@@ -102,19 +146,35 @@ func New(k int, schema *pubsub.Schema,
 	return h, nil
 }
 
-// NewFromSlices builds a hub over pre-built scheme slices — the
-// broker's partitioned data plane, where the matching scheme owns
-// per-slice storage and the broker runs its own fan-out and enclave
-// transitions. Only the encoded surface applies; the typed
-// normalised-subscription methods return errors.
+// NewFromSlices builds a hub over pre-built scheme slices with a
+// default placement map (placement.DefaultShards virtual shards,
+// default seed).
 func NewFromSlices(schema *pubsub.Schema, slices []scheme.Slice) (*Hub, error) {
+	pm, err := newPlacementFor(len(slices))
+	if err != nil {
+		return nil, fmt.Errorf("streamhub: %w", err)
+	}
+	return NewFromSlicesPlaced(schema, slices, pm)
+}
+
+// NewFromSlicesPlaced builds a hub over pre-built scheme slices with a
+// caller-owned placement map — the broker's partitioned data plane,
+// where the matching scheme owns per-slice storage, the broker runs
+// its own fan-out and enclave transitions, and the placement map is
+// shared with the broker's migration engine. Only the encoded surface
+// applies; the typed normalised-subscription methods return errors.
+func NewFromSlicesPlaced(schema *pubsub.Schema, slices []scheme.Slice, pm *placement.Map) (*Hub, error) {
 	if len(slices) == 0 {
 		return nil, fmt.Errorf("streamhub: need at least one slice")
 	}
-	if len(slices) > MaxPartitions {
-		return nil, fmt.Errorf("streamhub: %d slices exceed the ID space (max %d)", len(slices), MaxPartitions)
+	if pm == nil {
+		return nil, fmt.Errorf("streamhub: nil placement map")
 	}
-	h := &Hub{schema: schema, owner: make(map[uint64]int)}
+	if pm.Slices() != len(slices) {
+		return nil, fmt.Errorf("streamhub: placement map covers %d slices, hub has %d", pm.Slices(), len(slices))
+	}
+	h := &Hub{schema: schema, pm: pm, owner: make(map[uint64]int)}
+	h.initShards()
 	for _, s := range slices {
 		if s == nil {
 			return nil, fmt.Errorf("streamhub: nil slice")
@@ -137,77 +197,126 @@ func NewPlain(k int, opts core.Options) (*Hub, error) {
 // Partitions returns the number of slices.
 func (h *Hub) Partitions() int { return len(h.parts) }
 
+// Placement returns the hub's placement map (shared with the broker's
+// migration engine when constructed via NewFromSlicesPlaced).
+func (h *Hub) Placement() *placement.Map { return h.pm }
+
 // Schema returns the shared attribute intern table; events matched
 // against the hub must be interned through it.
 func (h *Hub) Schema() *pubsub.Schema { return h.schema }
 
-// Register inserts the subscription into the least-loaded slice.
+// ShardForKey deterministically places a registration key on a virtual
+// shard (FNV-1a over the key parts, 0xff-separated so part boundaries
+// are significant). Hash placement needs no coordination between
+// registering connections and is stable across restarts and resizes —
+// only the shard→slice assignment moves.
+func (h *Hub) ShardForKey(parts ...[]byte) int {
+	hash := fnv.New64a()
+	for _, part := range parts {
+		_, _ = hash.Write(part)
+		_, _ = hash.Write([]byte{0xff})
+	}
+	return int(hash.Sum64() % uint64(h.pm.Shards()))
+}
+
+// SliceForShard resolves a shard's current slice through the placement
+// map (observing any in-progress migration divert).
+func (h *Hub) SliceForShard(shard int) int { return h.pm.SliceOf(shard) }
+
+// reserveID allocates the next hub ID for a shard. Failed inserts
+// leave sequence gaps, which is fine — IDs only need uniqueness.
+func (h *Hub) reserveID(shard int) uint64 {
+	h.mu.Lock()
+	h.shardSeq[shard]++
+	id := composeID(shard, h.shardSeq[shard])
+	h.mu.Unlock()
+	return id
+}
+
+// adopt records a successfully stored subscription.
+func (h *Hub) adopt(id uint64, slice int, countShard bool) {
+	h.mu.Lock()
+	h.owner[id] = slice
+	if countShard {
+		h.shardSubs[ShardOf(id)]++
+	}
+	h.mu.Unlock()
+}
+
+// bumpSeq raises a shard's sequence past a restored ID so future
+// reservations never collide with re-ingested subscriptions.
+func (h *Hub) bumpSeq(id uint64) {
+	shard, seq := ShardOf(id), id&idMask
+	h.mu.Lock()
+	if h.shardSeq[shard] < seq {
+		h.shardSeq[shard] = seq
+	}
+	h.mu.Unlock()
+}
+
+// Register normalises the subscription and inserts it on the
+// least-loaded shard's slice (engine-backed hubs only).
 func (h *Hub) Register(spec pubsub.SubscriptionSpec, clientRef uint32) (uint64, error) {
 	sub, err := pubsub.Normalize(h.schema, spec)
 	if err != nil {
 		return 0, err
 	}
 	h.mu.Lock()
-	target := 0
-	for i, p := range h.parts {
-		if p.subs < h.parts[target].subs {
-			target = i
+	shard := 0
+	for s := 1; s < len(h.shardSubs); s++ {
+		if h.shardSubs[s] < h.shardSubs[shard] {
+			shard = s
 		}
 	}
-	p := h.parts[target]
-	p.subs++
 	h.mu.Unlock()
 
-	var id uint64
-	register := func() error {
-		var err error
-		id, err = p.engine.RegisterNormalized(sub, clientRef)
-		return err
-	}
+	target := h.pm.SliceOf(shard)
+	p := h.parts[target]
+	id := h.reserveID(shard)
+	register := func() error { return p.engine.RegisterAssigned(sub, clientRef, id) }
 	if p.enter != nil {
 		err = p.enter(register)
 	} else {
 		err = register()
 	}
 	if err != nil {
-		h.mu.Lock()
-		p.subs--
-		h.mu.Unlock()
 		return 0, err
 	}
-	hubID := composeID(target, id)
-	h.mu.Lock()
-	h.owner[hubID] = target
-	h.mu.Unlock()
-	return hubID, nil
+	h.adopt(id, target, true)
+	return id, nil
 }
 
 // Unregister removes a hub subscription.
 func (h *Hub) Unregister(hubID uint64) error {
-	h.mu.Lock()
-	target, ok := h.owner[hubID]
-	if ok {
-		delete(h.owner, hubID)
-		h.parts[target].subs--
-	}
-	h.mu.Unlock()
+	target, ok := h.dropOwner(hubID)
 	if !ok {
 		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
 	}
 	p := h.parts[target]
-	remove := func() error { return p.slice.Unregister(hubID & idMask) }
+	remove := func() error { return p.slice.Unregister(hubID) }
 	if p.enter != nil {
 		return p.enter(remove)
 	}
 	return remove()
 }
 
-// The "In" methods below are the direct per-slice surface for callers
-// that run their own fan-out and enclave transitions — the broker's
-// partitioned router, whose per-partition resident workers and
-// registration ecalls are already inside the slice's enclave when the
-// hub is consulted. They skip the optional enter gate; everything else
-// (ID packing, load accounting) matches the gated methods.
+func (h *Hub) dropOwner(hubID uint64) (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	target, ok := h.owner[hubID]
+	if ok {
+		delete(h.owner, hubID)
+		h.shardSubs[ShardOf(hubID)]--
+	}
+	return target, ok
+}
+
+// The "In"/"At" methods below are the direct per-slice surface for
+// callers that run their own fan-out and enclave transitions — the
+// broker's partitioned router, whose per-partition resident workers
+// and registration ecalls are already inside the slice's enclave when
+// the hub is consulted. They skip the optional enter gate; everything
+// else (ID assignment, load accounting) matches the gated methods.
 
 // Engine returns partition i's engine (experiments and the broker's
 // per-slice meters read it). Nil for scheme-backed partitions whose
@@ -218,175 +327,189 @@ func (h *Hub) Engine(i int) *core.Engine { return h.parts[i].engine }
 // scheme parameters through it under its own partition locks.
 func (h *Hub) Slice(i int) scheme.Slice { return h.parts[i].slice }
 
-// RegisterEncodedIn ingests one wire-encoded subscription into
-// partition target directly, with no call gate, returning its hub ID.
-func (h *Hub) RegisterEncodedIn(target int, enc []byte, clientRef uint32) (uint64, error) {
+// OwnerSlice reports which slice currently holds a subscription.
+func (h *Hub) OwnerSlice(hubID uint64) (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	target, ok := h.owner[hubID]
+	return target, ok
+}
+
+// RegisterEncodedAt ingests one wire-encoded subscription for shard
+// into slice target directly, with no call gate, returning its hub ID.
+// The caller resolves target = SliceForShard(shard) under whatever
+// fence keeps placement stable across the resolution and the insert.
+func (h *Hub) RegisterEncodedAt(shard, target int, enc []byte, clientRef uint32) (uint64, error) {
+	if shard < 0 || shard >= h.pm.Shards() {
+		return 0, fmt.Errorf("streamhub: shard %d of %d", shard, h.pm.Shards())
+	}
 	if target < 0 || target >= len(h.parts) {
 		return 0, fmt.Errorf("streamhub: partition %d of %d", target, len(h.parts))
 	}
 	p := h.parts[target]
-	id, err := p.slice.RegisterEncoded(enc, clientRef)
-	if err != nil {
+	id := h.reserveID(shard)
+	if err := p.slice.RegisterEncodedAssigned(enc, clientRef, id); err != nil {
 		return 0, err
 	}
-	hubID := composeID(target, id)
-	h.mu.Lock()
-	p.subs++
-	h.owner[hubID] = target
-	h.mu.Unlock()
-	return hubID, nil
+	h.adopt(id, target, true)
+	return id, nil
 }
 
 // RegisterEncodedAssigned re-ingests a wire-encoded subscription under
 // a previously issued hub ID — the state-restore path; the target
-// partition is the one packed into the ID.
+// slice is resolved through the placement map from the shard packed
+// into the ID.
 func (h *Hub) RegisterEncodedAssigned(enc []byte, clientRef uint32, hubID uint64) error {
-	target := PartitionOf(hubID)
-	if target >= len(h.parts) {
-		return fmt.Errorf("streamhub: hub ID %d names partition %d, but the hub has %d", hubID, target, len(h.parts))
+	shard := ShardOf(hubID)
+	if shard >= h.pm.Shards() {
+		return fmt.Errorf("streamhub: hub ID %d names shard %d, but the hub has %d", hubID, shard, h.pm.Shards())
 	}
-	p := h.parts[target]
-	if err := p.slice.RegisterEncodedAssigned(enc, clientRef, hubID&idMask); err != nil {
+	target := h.pm.SliceOf(shard)
+	if err := h.parts[target].slice.RegisterEncodedAssigned(enc, clientRef, hubID); err != nil {
 		return err
 	}
-	h.mu.Lock()
-	p.subs++
-	h.owner[hubID] = target
-	h.mu.Unlock()
+	h.bumpSeq(hubID)
+	h.adopt(hubID, target, true)
 	return nil
 }
 
+// ImportAssigned inserts a wire-encoded subscription under its
+// existing hub ID into an explicit slice and flips ownership to it —
+// the migration copy path. The shard's live-subscription count is
+// unchanged: the subscription already exists on the source slice.
+func (h *Hub) ImportAssigned(target int, enc []byte, clientRef uint32, hubID uint64) error {
+	if target < 0 || target >= len(h.parts) {
+		return fmt.Errorf("streamhub: partition %d of %d", target, len(h.parts))
+	}
+	if err := h.parts[target].slice.RegisterEncodedAssigned(enc, clientRef, hubID); err != nil {
+		return err
+	}
+	h.bumpSeq(hubID)
+	h.adopt(hubID, target, false)
+	return nil
+}
+
+// DropCopy removes the stale physical copy of a migrated subscription
+// from a slice without touching ownership. A no-op when the slice is
+// the current owner (the migration was superseded) or the copy is
+// already gone.
+func (h *Hub) DropCopy(slice int, hubID uint64) {
+	h.mu.Lock()
+	owner, ok := h.owner[hubID]
+	h.mu.Unlock()
+	if ok && owner == slice {
+		return
+	}
+	_ = h.parts[slice].slice.Unregister(hubID)
+}
+
 // MatchEncodedIn matches one wire-encoded publication header against
-// partition i only, appending to out with slice-local IDs rewritten
-// into hub IDs.
+// partition i only, appending to out. Stored IDs are hub IDs, so the
+// results need no rewriting.
 func (h *Hub) MatchEncodedIn(i int, enc []byte, out []core.MatchResult) ([]core.MatchResult, error) {
-	n := len(out)
-	out, err := h.parts[i].slice.MatchEncoded(enc, out)
-	if err != nil {
-		return nil, err
-	}
-	for j := n; j < len(out); j++ {
-		out[j].SubID = composeID(i, out[j].SubID)
-	}
-	return out, nil
+	return h.parts[i].slice.MatchEncoded(enc, out)
 }
 
 // MatchEncodedBatchIn matches a batch of wire-encoded publication
 // headers against partition i in one store pass, appending encs[j]'s
-// matches to out[j] with slice-local IDs rewritten into hub IDs. The
-// per-item append semantics are the slice's MatchEncodedBatch: items
-// that fail to decode contribute nothing, and the error return is
-// reserved for whole-store failures. Safe to call concurrently for
-// different partitions (the broker's parallel fan-out does).
+// matches to out[j]. The per-item append semantics are the slice's
+// MatchEncodedBatch: items that fail to decode contribute nothing, and
+// the error return is reserved for whole-store failures. Safe to call
+// concurrently for different partitions (the broker's parallel fan-out
+// does).
 func (h *Hub) MatchEncodedBatchIn(i int, encs [][]byte, out [][]core.MatchResult) error {
-	// The broker's hot path hands in freshly truncated rows; only
-	// remember pre-call lengths when a caller appends onto prior
-	// results, so the common case allocates nothing.
-	var ns []int
-	for j := range encs {
-		if len(out[j]) > 0 {
-			ns = make([]int, len(encs))
-			for k := range encs {
-				ns[k] = len(out[k])
-			}
-			break
-		}
+	return h.parts[i].slice.MatchEncodedBatch(encs, out)
+}
+
+// AddSlice appends a new scheme slice to the hub (the grow half of a
+// resize). The caller must fence the call against concurrent match
+// fan-outs and update the placement map separately.
+func (h *Hub) AddSlice(s scheme.Slice) error {
+	if s == nil {
+		return fmt.Errorf("streamhub: nil slice")
 	}
-	if err := h.parts[i].slice.MatchEncodedBatch(encs, out); err != nil {
-		return err
+	if len(h.parts)+1 > h.pm.Shards() {
+		return fmt.Errorf("streamhub: %d slices exceed the %d-shard placement map", len(h.parts)+1, h.pm.Shards())
 	}
-	for j := range encs {
-		start := 0
-		if ns != nil {
-			start = ns[j]
-		}
-		for k := start; k < len(out[j]); k++ {
-			out[j][k].SubID = composeID(i, out[j][k].SubID)
-		}
-	}
+	h.parts = append(h.parts, &partition{slice: s})
 	return nil
 }
 
-// PlaceKey deterministically places a registration key on a slice
-// (FNV-1a over the key parts, 0xff-separated so part boundaries are
-// significant). Hash placement needs no coordination between
-// registering connections and is stable across restarts.
-func (h *Hub) PlaceKey(parts ...[]byte) int {
-	hash := fnv.New64a()
-	for _, part := range parts {
-		_, _ = hash.Write(part)
-		_, _ = hash.Write([]byte{0xff})
+// RemoveSlicesFrom drops every slice at index ≥ k (the shrink half of
+// a resize). It fails if any subscription still lives on a removed
+// slice — the migration engine must have moved them all off first.
+// The caller must fence the call against concurrent match fan-outs.
+func (h *Hub) RemoveSlicesFrom(k int) error {
+	if k < 1 || k > len(h.parts) {
+		return fmt.Errorf("streamhub: cannot truncate %d slices to %d", len(h.parts), k)
 	}
-	return int(hash.Sum64() % uint64(len(h.parts)))
+	h.mu.Lock()
+	for id, slice := range h.owner {
+		if slice >= k {
+			h.mu.Unlock()
+			return fmt.Errorf("streamhub: subscription %d still owned by removed slice %d", id, slice)
+		}
+	}
+	h.mu.Unlock()
+	for i := k; i < len(h.parts); i++ {
+		h.parts[i] = nil
+	}
+	h.parts = h.parts[:k]
+	return nil
 }
 
-// RegisterNormalizedIn inserts an already-normalised subscription into
-// partition target directly, with no call gate.
-func (h *Hub) RegisterNormalizedIn(target int, sub *pubsub.Subscription, clientRef uint32) (uint64, error) {
+// RegisterNormalizedAt inserts an already-normalised subscription for
+// shard into slice target directly, with no call gate (engine-backed
+// hubs only).
+func (h *Hub) RegisterNormalizedAt(shard, target int, sub *pubsub.Subscription, clientRef uint32) (uint64, error) {
+	if shard < 0 || shard >= h.pm.Shards() {
+		return 0, fmt.Errorf("streamhub: shard %d of %d", shard, h.pm.Shards())
+	}
 	if target < 0 || target >= len(h.parts) {
 		return 0, fmt.Errorf("streamhub: partition %d of %d", target, len(h.parts))
 	}
 	p := h.parts[target]
-	id, err := p.engine.RegisterNormalized(sub, clientRef)
-	if err != nil {
+	id := h.reserveID(shard)
+	if err := p.engine.RegisterAssigned(sub, clientRef, id); err != nil {
 		return 0, err
 	}
-	hubID := composeID(target, id)
-	h.mu.Lock()
-	p.subs++
-	h.owner[hubID] = target
-	h.mu.Unlock()
-	return hubID, nil
+	h.adopt(id, target, true)
+	return id, nil
 }
 
 // RegisterAssignedIn re-inserts a subscription under a previously
-// issued hub ID — the state-restore path. The target partition is the
-// one packed into the ID, so a restored database lands exactly where
-// the sealed log says it lived.
+// issued hub ID — the state-restore path. The target slice is resolved
+// through the placement map from the shard packed into the ID, so a
+// restored database lands where the current placement says its shard
+// lives.
 func (h *Hub) RegisterAssignedIn(sub *pubsub.Subscription, clientRef uint32, hubID uint64) error {
-	target := PartitionOf(hubID)
-	if target >= len(h.parts) {
-		return fmt.Errorf("streamhub: hub ID %d names partition %d, but the hub has %d", hubID, target, len(h.parts))
+	shard := ShardOf(hubID)
+	if shard >= h.pm.Shards() {
+		return fmt.Errorf("streamhub: hub ID %d names shard %d, but the hub has %d", hubID, shard, h.pm.Shards())
 	}
-	p := h.parts[target]
-	if err := p.engine.RegisterAssigned(sub, clientRef, hubID&idMask); err != nil {
+	target := h.pm.SliceOf(shard)
+	if err := h.parts[target].engine.RegisterAssigned(sub, clientRef, hubID); err != nil {
 		return err
 	}
-	h.mu.Lock()
-	p.subs++
-	h.owner[hubID] = target
-	h.mu.Unlock()
+	h.bumpSeq(hubID)
+	h.adopt(hubID, target, true)
 	return nil
 }
 
 // UnregisterIn removes a hub subscription directly, with no call gate.
 func (h *Hub) UnregisterIn(hubID uint64) error {
-	h.mu.Lock()
-	target, ok := h.owner[hubID]
-	if ok {
-		delete(h.owner, hubID)
-		h.parts[target].subs--
-	}
-	h.mu.Unlock()
+	target, ok := h.dropOwner(hubID)
 	if !ok {
 		return fmt.Errorf("streamhub: %w: %d", core.ErrUnknownSubscription, hubID)
 	}
-	return h.parts[target].slice.Unregister(hubID & idMask)
+	return h.parts[target].slice.Unregister(hubID)
 }
 
-// MatchSlice matches ev against one slice only, appending to out with
-// engine IDs rewritten into hub IDs — the per-partition half of Match
-// for callers running their own fan-out.
+// MatchSlice matches ev against one slice only, appending to out —
+// the per-partition half of Match for callers running their own
+// fan-out. Stored IDs are hub IDs, so the results need no rewriting.
 func (h *Hub) MatchSlice(i int, ev *pubsub.Event, out []core.MatchResult) ([]core.MatchResult, error) {
-	n := len(out)
-	out, err := h.parts[i].engine.MatchAppend(ev, out)
-	if err != nil {
-		return nil, err
-	}
-	for j := n; j < len(out); j++ {
-		out[j].SubID = composeID(i, out[j].SubID)
-	}
-	return out, nil
+	return h.parts[i].engine.MatchAppend(ev, out)
 }
 
 // MatchStats reports the simulated cost of one fan-out match.
@@ -399,7 +522,7 @@ type MatchStats struct {
 }
 
 // Match fans the event out to every slice in parallel and merges the
-// results, rewriting engine IDs into hub IDs.
+// results.
 func (h *Hub) Match(ev *pubsub.Event) ([]core.MatchResult, MatchStats, error) {
 	type sliceResult struct {
 		idx     int
@@ -442,10 +565,7 @@ func (h *Hub) Match(ev *pubsub.Event) ([]core.MatchResult, MatchStats, error) {
 		if r.err != nil {
 			return nil, stats, fmt.Errorf("streamhub: partition %d: %w", r.idx, r.err)
 		}
-		for _, m := range r.matches {
-			m.SubID = composeID(r.idx, m.SubID)
-			out = append(out, m)
-		}
+		out = append(out, r.matches...)
 		stats.TotalCycles += r.cycles
 		if r.cycles > stats.MakespanCycles {
 			stats.MakespanCycles = r.cycles
@@ -466,8 +586,6 @@ type Stats struct {
 
 // Stats returns hub statistics.
 func (h *Hub) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	st := Stats{Partitions: len(h.parts)}
 	for _, p := range h.parts {
 		es := p.slice.Stats()

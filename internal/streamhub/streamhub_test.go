@@ -7,6 +7,7 @@ import (
 
 	"scbr/internal/core"
 	"scbr/internal/pubsub"
+	"scbr/internal/scheme"
 	"scbr/internal/simmem"
 )
 
@@ -114,9 +115,28 @@ func TestHubBalancesPartitions(t *testing.T) {
 	if st.Subscriptions != 1000 || st.Partitions != 4 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// Register fills the least-loaded shard each time, so shard loads
+	// stay within one of each other; each slice then holds exactly the
+	// sum of its shards' loads under the placement map.
+	pm := hub.Placement()
+	perShard := make([]int, pm.Shards())
+	want := make([]int, hub.Partitions())
+	for i := 0; i < 1000; i++ {
+		s := 0
+		for j := 1; j < len(perShard); j++ {
+			if perShard[j] < perShard[s] {
+				s = j
+			}
+		}
+		perShard[s]++
+		want[pm.SliceOf(s)]++
+	}
 	for i, n := range st.PerPartition {
-		if n != 250 {
-			t.Fatalf("partition %d holds %d subscriptions, want 250 (%v)", i, n, st.PerPartition)
+		if n != want[i] {
+			t.Fatalf("partition %d holds %d subscriptions, want %d (%v)", i, n, want[i], st.PerPartition)
+		}
+		if n == 0 {
+			t.Fatalf("partition %d owns no shards (%v)", i, st.PerPartition)
 		}
 	}
 }
@@ -207,9 +227,10 @@ func TestHubValidation(t *testing.T) {
 }
 
 func TestHubDirectSliceAPI(t *testing.T) {
-	// The In methods are the gate-less surface the broker's partitioned
-	// router drives: hash placement, direct register/unregister, single
-	// slice matching, and ID-addressed re-registration for restore.
+	// The At/In methods are the gate-less surface the broker's
+	// partitioned router drives: hash placement onto virtual shards,
+	// shard→slice resolution, direct register/unregister, single slice
+	// matching, and ID-addressed re-registration for restore.
 	hub, err := NewPlain(4, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -221,22 +242,29 @@ func TestHubDirectSliceAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	target := hub.PlaceKey([]byte("alice"), []byte("blob-1"))
-	if again := hub.PlaceKey([]byte("alice"), []byte("blob-1")); again != target {
-		t.Fatalf("placement not deterministic: %d then %d", target, again)
+	shard := hub.ShardForKey([]byte("alice"), []byte("blob-1"))
+	if again := hub.ShardForKey([]byte("alice"), []byte("blob-1")); again != shard {
+		t.Fatalf("placement not deterministic: %d then %d", shard, again)
 	}
-	if a, b := hub.PlaceKey([]byte("ab"), []byte("c")), hub.PlaceKey([]byte("a"), []byte("bc")); a == b {
+	if a, b := hub.ShardForKey([]byte("ab"), []byte("c")), hub.ShardForKey([]byte("a"), []byte("bc")); a == b {
 		// Not a hard guarantee for every pair, but these two must not
 		// collide by mere concatenation; the separator keeps part
 		// boundaries significant.
-		t.Logf("note: (ab,c) and (a,bc) hashed to the same slice %d", a)
+		t.Logf("note: (ab,c) and (a,bc) hashed to the same shard %d", a)
 	}
-	id, err := hub.RegisterNormalizedIn(target, sub, 7)
+	target := hub.SliceForShard(shard)
+	if target < 0 || target >= hub.Partitions() {
+		t.Fatalf("shard %d placed on slice %d of %d", shard, target, hub.Partitions())
+	}
+	id, err := hub.RegisterNormalizedAt(shard, target, sub, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if PartitionOf(id) != target {
-		t.Fatalf("hub ID %d names partition %d, registered on %d", id, PartitionOf(id), target)
+	if ShardOf(id) != shard {
+		t.Fatalf("hub ID %d names shard %d, registered for %d", id, ShardOf(id), shard)
+	}
+	if owner, ok := hub.OwnerSlice(id); !ok || owner != target {
+		t.Fatalf("OwnerSlice(%d) = %d,%v, want %d", id, owner, ok, target)
 	}
 	ev, err := pubsub.NewEvent(hub.Schema(), map[string]pubsub.Value{"price": pubsub.Float(5)})
 	if err != nil {
@@ -263,7 +291,8 @@ func TestHubDirectSliceAPI(t *testing.T) {
 	if err := hub.UnregisterIn(id); err == nil {
 		t.Fatal("double UnregisterIn succeeded")
 	}
-	// Restore lands the subscription back on the slice its ID names.
+	// Restore lands the subscription back on the slice its shard
+	// occupies under the placement map.
 	if err := hub.RegisterAssignedIn(sub, 7, id); err != nil {
 		t.Fatal(err)
 	}
@@ -277,9 +306,102 @@ func TestHubDirectSliceAPI(t *testing.T) {
 	if st := hub.Stats(); st.Subscriptions != 1 || st.PerPartition[target] != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	bad := composeID(hub.Partitions(), 1)
+	bad := composeID(hub.Placement().Shards(), 1)
 	if err := hub.RegisterAssignedIn(sub, 7, bad); err == nil {
-		t.Fatal("RegisterAssignedIn accepted an out-of-range partition")
+		t.Fatal("RegisterAssignedIn accepted an out-of-range shard")
+	}
+	if _, err := hub.RegisterNormalizedAt(hub.Placement().Shards(), target, sub, 7); err == nil {
+		t.Fatal("RegisterNormalizedAt accepted an out-of-range shard")
+	}
+	if _, err := hub.RegisterNormalizedAt(shard, hub.Partitions(), sub, 7); err == nil {
+		t.Fatal("RegisterNormalizedAt accepted an out-of-range slice")
+	}
+}
+
+func TestHubElasticResize(t *testing.T) {
+	// The resize surface the broker's migration engine drives: AddSlice
+	// grows the hub, ImportAssigned relocates a subscription under its
+	// existing ID, DropCopy sweeps the stale copy, RemoveSlicesFrom
+	// refuses while a removed slice still owns subscriptions and
+	// succeeds after migration back.
+	hub, err := NewPlain(2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pubsub.SubscriptionSpec{Predicates: []pubsub.Predicate{
+		{Attr: "price", Op: pubsub.OpGt, Value: pubsub.Float(0)},
+	}}
+	enc, err := pubsub.EncodeSubscriptionSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := hub.ShardForKey([]byte("mover"))
+	src := hub.SliceForShard(shard)
+	id, err := hub.RegisterEncodedAt(shard, src, enc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow: a third slice joins the fan-out.
+	engine, err := core.NewEngine(simmem.NewPlainAccessor(simmem.DefaultCost()), hub.Schema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.AddSlice(scheme.NewPlainSlice(engine, hub.Schema())); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Partitions() != 3 {
+		t.Fatalf("partitions = %d after AddSlice, want 3", hub.Partitions())
+	}
+	// Migrate the subscription to the new slice under its existing ID.
+	if err := hub.ImportAssigned(2, enc, 9, id); err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := hub.OwnerSlice(id); !ok || owner != 2 {
+		t.Fatalf("OwnerSlice(%d) = %d,%v after import, want 2", id, owner, ok)
+	}
+	evEnc, err := pubsub.EncodeEventSpec(pubsub.EventSpec{Attrs: []pubsub.NamedValue{
+		{Name: "price", Value: pubsub.Float(5)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hub.MatchEncodedIn(2, evEnc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SubID != id || got[0].ClientRef != 9 {
+		t.Fatalf("new slice matched %v, want id %d for client 9", got, id)
+	}
+	// Both copies exist until the sweep; DropCopy on the owner is a
+	// refusal, on the source it removes the stale copy.
+	hub.DropCopy(2, id)
+	if got, err = hub.MatchEncodedIn(2, evEnc, nil); err != nil || len(got) != 1 {
+		t.Fatalf("DropCopy removed the owning copy: %v (err %v)", got, err)
+	}
+	hub.DropCopy(src, id)
+	if got, err = hub.MatchEncodedIn(src, evEnc, nil); err != nil || len(got) != 0 {
+		t.Fatalf("source still matches %v after DropCopy (err %v)", got, err)
+	}
+	// Shrink refuses while slice 2 owns the subscription.
+	if err := hub.RemoveSlicesFrom(2); err == nil {
+		t.Fatal("RemoveSlicesFrom dropped a populated slice")
+	}
+	// Migrate back, sweep, then shrink succeeds.
+	if err := hub.ImportAssigned(src, enc, 9, id); err != nil {
+		t.Fatal(err)
+	}
+	hub.DropCopy(2, id)
+	if err := hub.RemoveSlicesFrom(2); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Partitions() != 2 {
+		t.Fatalf("partitions = %d after shrink, want 2", hub.Partitions())
+	}
+	if got, err = hub.MatchEncodedIn(src, evEnc, nil); err != nil || len(got) != 1 || got[0].SubID != id {
+		t.Fatalf("after shrink, source matches %v (err %v), want id %d", got, err, id)
+	}
+	if err := hub.UnregisterIn(id); err != nil {
+		t.Fatal(err)
 	}
 }
 

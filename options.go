@@ -24,6 +24,8 @@ type settings struct {
 	epcBytes         uint64
 	padRecordTo      int
 	partitions       int
+	placementShards  int
+	placementSeed    int64
 	switchless       bool
 	ringCapacity     int
 	deliveryQueueLen int
@@ -64,6 +66,8 @@ func (s settings) routerConfig(image []byte, signer *rsa.PublicKey) broker.Route
 		EPCBytes:         s.epcBytes,
 		PadRecordTo:      s.padRecordTo,
 		Partitions:       s.partitions,
+		PlacementShards:  s.placementShards,
+		PlacementSeed:    s.placementSeed,
 		Switchless:       s.switchless,
 		RingCapacity:     s.ringCapacity,
 		DeliveryQueueLen: s.deliveryQueueLen,
@@ -115,6 +119,20 @@ func WithPadding(n int) Option { return func(s *settings) { s.padRecordTo = n } 
 // (the Fig. 8 paging-cliff remedy). The configured EPC budget is
 // divided across the slices. Default 1, max 256.
 func WithPartitions(k int) Option { return func(s *settings) { s.partitions = k } }
+
+// WithPlacementShards sets the number of fixed virtual shards
+// registration keys hash onto (default 64, max 256; raised to the
+// partition count when smaller). Shards are the unit of migration for
+// Router.Repartition: more shards move in finer grains at the cost of
+// a wider placement table. The shard count is immutable for a router's
+// lifetime — sealed state only restores under the same count.
+func WithPlacementShards(n int) Option { return func(s *settings) { s.placementShards = n } }
+
+// WithPlacementSeed seeds the rendezvous hash assigning shards to
+// slices (0, the default, selects a fixed built-in seed). Routers that
+// must agree on placement byte-for-byte — e.g. when replaying one
+// sealed state into a rebuilt fleet — share a seed.
+func WithPlacementSeed(seed int64) Option { return func(s *settings) { s.placementSeed = seed } }
 
 // WithSwitchless routes publications into the enclaves through
 // untrusted-memory rings consumed by resident enclave workers (one

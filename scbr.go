@@ -28,7 +28,11 @@
 //     enclave matcher slices (§3.4 StreamHub partitioning): matching
 //     parallelises, each enclave holds 1/k of the database, and every
 //     listening client is served by its own bounded delivery queue so
-//     a slow consumer never stalls the data plane,
+//     a slow consumer never stalls the data plane; the slice fleet is
+//     elastic — Router.Repartition(ctx, k) grows or shrinks it online,
+//     live-migrating subscriptions between enclaves without dropping
+//     matches (WithPlacementShards/WithPlacementSeed tune the placement
+//     map),
 //
 //   - WithRouterID/WithPeers/WithPeerVerifier federate routers into
 //     an overlay: peers dial each other over mutually attested links,
@@ -78,6 +82,7 @@ import (
 	"scbr/internal/broker"
 	"scbr/internal/core"
 	"scbr/internal/federation"
+	"scbr/internal/placement"
 	"scbr/internal/pubsub"
 	"scbr/internal/scheme"
 	"scbr/internal/scrypto"
@@ -223,6 +228,10 @@ type (
 	Client = broker.Client
 	// DataPlaneStats summarises a router's partitioned index.
 	DataPlaneStats = broker.DataPlaneStats
+	// PlacementSnapshot is a router's shard→slice placement table and
+	// migration counters (Router.PlacementSnapshot); Router.Repartition
+	// resizes the slice fleet online and returns the new snapshot.
+	PlacementSnapshot = placement.Snapshot
 	// FederationCounters snapshots a router's overlay activity: live
 	// peers, digest sizes, and forwarded/withheld/suppressed tallies
 	// (Router.FederationSnapshot).
