@@ -24,19 +24,32 @@
 //
 // Usage:
 //
-//	scbr-benchdiff [-threshold pct] [-allocs-threshold pct] old.json new.json
+//	scbr-benchdiff [-threshold pct] [-allocs-threshold pct] [-drift-threshold pct] old.json new.json
+//	scbr-benchdiff -history [artifact.json ...]
 //
 // -threshold gates every lower-is-better metric except allocs/op;
 // -allocs-threshold gates allocs/op alone (the allocation-regression
-// gate the CI bench job uses). A zero or negative threshold disables
-// that gate; both default to off, making the tool report-only.
+// gate the CI bench job uses); -drift-threshold gates the absolute
+// change of every metric in either direction — the gate for
+// deterministic artifacts (the paging-cliff sweep) where any delta
+// means behaviour changed, not that a runner was noisy. A zero or
+// negative threshold disables that gate; all default to off, making
+// the tool report-only.
+//
+// -history chains a whole artifact sequence instead of diffing a pair:
+// given artifact paths (default: ./BENCH_pr*.json, ordered by PR
+// number), it prints each variant's per-metric trajectory across every
+// artifact that carries it, with the step-to-step change. Always exits
+// 0 — trajectories are for reading, the pairwise gates are for CI.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,11 +69,20 @@ type metrics map[string]map[string]float64
 func main() {
 	threshold := flag.Float64("threshold", 0, "max allowed regression percent on lower-is-better metrics other than allocs/op (<=0 disables)")
 	allocsThreshold := flag.Float64("allocs-threshold", 0, "max allowed regression percent on allocs/op (<=0 disables)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "max allowed absolute change percent on every metric, either direction — for deterministic artifacts where any delta is a break (<=0 disables)")
+	history := flag.Bool("history", false, "print per-metric trajectories across a whole artifact chain instead of diffing a pair")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: scbr-benchdiff [flags] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *history {
+		if err := printHistory(os.Stdout, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "scbr-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -75,7 +97,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scbr-benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	regressions := diff(os.Stdout, oldM, newM, oldName, newName, *threshold, *allocsThreshold)
+	regressions := diff(os.Stdout, oldM, newM, oldName, newName, *threshold, *allocsThreshold, *driftThreshold)
 	if regressions > 0 {
 		fmt.Printf("FAIL: %d gated regression(s)\n", regressions)
 		os.Exit(1)
@@ -189,10 +211,13 @@ func parseCell(raw json.RawMessage) (string, map[string]float64, error) {
 }
 
 // lowerIsBetter classifies a metric's direction; metrics that are
-// neither (fwd/op, a count) are reported but never gated.
+// neither (fwd/op, a count) are reported but never gated. The cliff
+// metrics are higher-is-better: a later paging cliff means a denser
+// store under the same EPC budget.
 func lowerIsBetter(metric string) bool {
 	switch metric {
-	case "register/sec", "events/sec", "fwd/op":
+	case "register/sec", "events/sec", "fwd/op",
+		"cliff-subs", "cliff-db-mb", "cliff-shift":
 		return false
 	}
 	return true
@@ -200,7 +225,7 @@ func lowerIsBetter(metric string) bool {
 
 // diff prints the per-variant comparison and returns the number of
 // gated regressions.
-func diff(w *os.File, oldM, newM metrics, oldName, newName string, threshold, allocsThreshold float64) int {
+func diff(w io.Writer, oldM, newM metrics, oldName, newName string, threshold, allocsThreshold, driftThreshold float64) int {
 	fmt.Fprintf(w, "old: %s\nnew: %s\n", oldName, newName)
 	variants := make([]string, 0, len(newM))
 	for v := range newM {
@@ -234,12 +259,123 @@ func diff(w *os.File, oldM, newM metrics, oldName, newName string, threshold, al
 				gate = allocsThreshold
 			}
 			flagStr := ""
-			if lowerIsBetter(metric) && gate > 0 && pct > gate {
+			switch {
+			case lowerIsBetter(metric) && gate > 0 && pct > gate:
 				flagStr = fmt.Sprintf("  REGRESSION (> %+.1f%%)", gate)
+				regressions++
+			case driftThreshold > 0 && (pct > driftThreshold || pct < -driftThreshold):
+				flagStr = fmt.Sprintf("  DRIFT (|Δ| > %.1f%%)", driftThreshold)
 				regressions++
 			}
 			fmt.Fprintf(w, "  %-16s %14.2f -> %14.2f  %+7.2f%%%s\n", metric, oldV, newV, pct, flagStr)
 		}
 	}
 	return regressions
+}
+
+// printHistory loads a whole artifact chain and prints each variant's
+// per-metric trajectory across every artifact that carries it.
+func printHistory(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_pr*.json")
+		if err != nil {
+			return err
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-history: no artifacts given and no BENCH_pr*.json here")
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		ni, nj := artifactSeq(paths[i]), artifactSeq(paths[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return paths[i] < paths[j]
+	})
+	type entry struct {
+		label string
+		m     metrics
+	}
+	entries := make([]entry, 0, len(paths))
+	labels := make([]string, 0, len(paths))
+	variantSet := map[string]bool{}
+	for _, p := range paths {
+		m, _, err := loadMetrics(p)
+		if err != nil {
+			return err
+		}
+		label := strings.TrimSuffix(filepath.Base(p), ".json")
+		label = strings.TrimPrefix(label, "BENCH_")
+		entries = append(entries, entry{label: label, m: m})
+		labels = append(labels, label)
+		for v := range m {
+			variantSet[v] = true
+		}
+	}
+	fmt.Fprintf(w, "history across %d artifacts: %s\n", len(entries), strings.Join(labels, " -> "))
+
+	variants := make([]string, 0, len(variantSet))
+	for v := range variantSet {
+		variants = append(variants, v)
+	}
+	sort.Strings(variants)
+	for _, v := range variants {
+		metricSet := map[string]bool{}
+		for _, e := range entries {
+			for metric := range e.m[v] {
+				metricSet[metric] = true
+			}
+		}
+		names := make([]string, 0, len(metricSet))
+		for metric := range metricSet {
+			names = append(names, metric)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%s\n", v)
+		for _, metric := range names {
+			parts := make([]string, 0, len(entries))
+			prev, havePrev := 0.0, false
+			for _, e := range entries {
+				val, ok := e.m[v][metric]
+				if !ok {
+					continue
+				}
+				switch {
+				case !havePrev:
+					parts = append(parts, fmt.Sprintf("%s %.2f", e.label, val))
+				case prev != 0:
+					parts = append(parts, fmt.Sprintf("%s %.2f (%+.1f%%)", e.label, val, (val-prev)/prev*100))
+				default:
+					parts = append(parts, fmt.Sprintf("%s %.2f", e.label, val))
+				}
+				prev, havePrev = val, true
+			}
+			fmt.Fprintf(w, "  %-16s %s\n", metric, strings.Join(parts, " -> "))
+		}
+	}
+	return nil
+}
+
+// artifactSeq extracts the PR sequence number from an artifact
+// filename (BENCH_pr7.json -> 7); unnumbered names sort last.
+func artifactSeq(path string) int {
+	base := filepath.Base(path)
+	i := strings.Index(base, "pr")
+	if i < 0 {
+		return 1 << 30
+	}
+	n := 0
+	digits := false
+	for _, r := range base[i+2:] {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+		digits = true
+	}
+	if !digits {
+		return 1 << 30
+	}
+	return n
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestArtifactSeqOrdering(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"BENCH_pr5.json", 5},
+		{"some/dir/BENCH_pr12.json", 12},
+		{"BENCH_pr9.json", 9},
+		{"notes.json", 1 << 30},
+		{"BENCH_prX.json", 1 << 30},
+	} {
+		if got := artifactSeq(tc.path); got != tc.want {
+			t.Errorf("artifactSeq(%q) = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestDiffDriftGate(t *testing.T) {
+	oldM := metrics{"v": {"cliff-subs": 9000, "cliff-ratio": 3.0}}
+	same := metrics{"v": {"cliff-subs": 9000, "cliff-ratio": 3.0}}
+	// cliff-subs DROPPED: higher-is-better, so -threshold never fires,
+	// only the drift gate catches it.
+	moved := metrics{"v": {"cliff-subs": 8000, "cliff-ratio": 3.0}}
+
+	var out bytes.Buffer
+	if n := diff(&out, oldM, same, "a", "b", 0, 0, 0.5); n != 0 {
+		t.Errorf("identical artifacts gated %d regressions under drift", n)
+	}
+	if n := diff(&out, oldM, moved, "a", "b", 5, 0, 0); n != 0 {
+		t.Errorf("higher-is-better drop gated by -threshold (%d), should not be", n)
+	}
+	out.Reset()
+	if n := diff(&out, oldM, moved, "a", "b", 0, 0, 0.5); n != 1 {
+		t.Errorf("drift gate caught %d regressions, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "DRIFT") {
+		t.Errorf("no DRIFT marker in output:\n%s", out.String())
+	}
+}
+
+func TestHistoryChainsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// pr10 must sort after pr9 (numeric, not lexical) and the metric
+	// present in both must chain with a step delta.
+	p9 := write("BENCH_pr9.json", `{"commit":"c9","lines":["BenchmarkX/v\t1\t100 simµs/op"]}`)
+	p10 := write("BENCH_pr10.json", `{"commit":"c10","lines":["BenchmarkX/v\t1\t110 simµs/op"]}`)
+
+	var out bytes.Buffer
+	if err := printHistory(&out, []string{p10, p9}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "pr9 -> pr10") {
+		t.Errorf("chain order wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "pr9 100.00 -> pr10 110.00 (+10.0%)") {
+		t.Errorf("no trajectory with step delta:\n%s", got)
+	}
+}
+
+func TestHistoryNoArtifacts(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := printHistory(new(bytes.Buffer), nil); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Command scbr-plan sizes an SCBR deployment before anything launches:
+// it reads a topology spec (JSON), runs the EPC-aware deployment
+// planner — partition counts from the scheme's measured footprint
+// model, routers packed first-fit-decreasing onto heterogeneous hosts
+// — and prints the resulting plan as deterministic JSON (the same
+// spec always produces byte-identical output, so plans can be
+// committed and diffed).
+//
+// Usage:
+//
+//	scbr-plan -spec examples/plans/heterogeneous.json
+//	scbr-plan -spec spec.json -check
+//
+// -check validates feasibility without printing the plan: exit 0 when
+// the spec plans cleanly, exit 1 with the reason when it cannot
+// (working set over every per-slice EPC share, or a router no host
+// can hold).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scbr/internal/deploy"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "scbr-plan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scbr-plan", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a topology spec (JSON)")
+	check := fs.Bool("check", false, "validate feasibility only; print nothing on success")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	plan, err := PlanFile(*specPath)
+	if err != nil {
+		return err
+	}
+	if *check {
+		fmt.Fprintf(out, "plan ok: %d routers feasible\n", len(plan.Routers))
+		return nil
+	}
+	raw, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", raw)
+	return nil
+}
+
+// PlanFile loads a topology spec and runs the planner on it. Unknown
+// spec fields are rejected so typos fail loudly rather than silently
+// planning defaults.
+func PlanFile(path string) (*deploy.TopologyPlan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var spec deploy.TopologySpec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return deploy.Plan(spec)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPlanGolden pins the plan output for the committed example specs
+// byte-for-byte: the planner must be deterministic (same spec, same
+// JSON) so plans can be committed, diffed, and gated in CI. Regenerate
+// with:
+//
+//	go run ./cmd/scbr-plan -spec examples/plans/<name>.json > cmd/scbr-plan/testdata/<name>.golden
+func TestPlanGolden(t *testing.T) {
+	for _, name := range []string{"heterogeneous", "aspe-cell"} {
+		t.Run(name, func(t *testing.T) {
+			spec := filepath.Join("..", "..", "examples", "plans", name+".json")
+			golden := filepath.Join("testdata", name+".golden")
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two runs: both must match the golden exactly, which also
+			// proves run-to-run determinism.
+			for i := 0; i < 2; i++ {
+				var out bytes.Buffer
+				if err := run(&out, []string{"-spec", spec}); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(out.Bytes(), want) {
+					t.Fatalf("run %d: plan JSON diverges from %s (regenerate if the planner changed intentionally)", i, golden)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanCheckMode(t *testing.T) {
+	spec := filepath.Join("..", "..", "examples", "plans", "aspe-cell.json")
+	var out bytes.Buffer
+	if err := run(&out, []string{"-spec", spec, "-check"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan ok") {
+		t.Fatalf("check output: %q", out.String())
+	}
+}
+
+func TestPlanRejectsUnknownSpecFields(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"routers": 1, "subscrptions": 5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(new(bytes.Buffer), []string{"-spec", bad}); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("err = %v, want unknown-field rejection", err)
+	}
+}

@@ -23,7 +23,9 @@
 // Observability: -metrics-addr serves the enclave meter aggregate,
 // per-slice meters, delivery-queue depths, delivery counters,
 // enqueue→write delivery-latency percentiles (p50/p95/p99, total and
-// per client), federation counters, and the shard→slice placement
+// per client), federation counters, per-slice EPC footprints (store
+// bytes, budget, resident high-water mark) with the planner's
+// recommended partition count, and the shard→slice placement
 // snapshot as JSON on GET /metrics (expvar-style, poll with curl).
 //
 // Elasticity: the same address serves the control plane —
@@ -32,7 +34,8 @@
 //
 // live-migrates the subscription database onto 4 matcher slices
 // (growing or shrinking the enclave fleet online) and returns the new
-// placement snapshot. -placement-shards/-placement-seed tune the
+// placement snapshot; partitions=0 auto-sizes the fleet from the
+// measured EPC footprints. -placement-shards/-placement-seed tune the
 // placement map.
 package main
 
@@ -295,6 +298,8 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 		snapshot := struct {
 			Meter          scbr.MemoryCounters     `json:"meter"`
 			Slices         []scbr.MemoryCounters   `json:"slices"`
+			Footprints     []scbr.SliceFootprint   `json:"footprints"`
+			Recommended    int                     `json:"recommended_partitions"`
 			DataPlane      scbr.DataPlaneStats     `json:"data_plane"`
 			Placement      scbr.PlacementSnapshot  `json:"placement"`
 			DeliveryQueues map[string]int          `json:"delivery_queues"`
@@ -304,6 +309,8 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 		}{
 			Meter:          router.MeterSnapshot(),
 			Slices:         router.SliceMeterSnapshots(),
+			Footprints:     router.SliceFootprints(),
+			Recommended:    router.RecommendPartitions(),
 			DataPlane:      router.DataPlaneStats(),
 			Placement:      router.PlacementSnapshot(),
 			DeliveryQueues: router.DeliveryQueueDepths(),
@@ -321,7 +328,7 @@ func serveMetrics(addr string, router *scbr.Router) (*http.Server, error) {
 		}
 		k, err := strconv.Atoi(r.URL.Query().Get("partitions"))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "partitions must be an integer slice count")
+			httpError(w, http.StatusBadRequest, "partitions must be an integer slice count (0 = auto-size from the EPC footprint)")
 			return
 		}
 		snap, err := router.Repartition(r.Context(), k)

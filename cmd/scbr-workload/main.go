@@ -24,8 +24,10 @@ import (
 	"path/filepath"
 	"text/tabwriter"
 
+	"scbr/internal/core"
 	"scbr/internal/pubsub"
 	"scbr/internal/scheme"
+	"scbr/internal/simmem"
 	"scbr/internal/workload"
 )
 
@@ -103,19 +105,16 @@ func run() error {
 }
 
 // reportFootprint encodes the generated sets under the named matching
-// scheme and prints the average wire blob sizes.
+// scheme, prints the average wire blob sizes, and cross-checks the
+// scheme's store footprint model against a live slice populated with
+// the generated subscriptions.
 func reportFootprint(schemeName string, spec workload.Spec, subs []pubsub.SubscriptionSpec, events []pubsub.EventSpec) error {
+	universe := workload.QuoteAttrs(spec.AttrFactor)
 	codec, err := scheme.NewCodec(schemeName,
-		scheme.WithAttrs(workload.QuoteAttrs(spec.AttrFactor)...),
+		scheme.WithAttrs(universe...),
 		scheme.WithCalibration(events...))
 	if err != nil {
 		return err
-	}
-	avg := func(n, total int) float64 {
-		if n == 0 {
-			return 0
-		}
-		return float64(total) / float64(n)
 	}
 	subBytes := 0
 	for _, s := range subs {
@@ -135,7 +134,61 @@ func reportFootprint(schemeName string, spec workload.Spec, subs []pubsub.Subscr
 	}
 	fmt.Fprintf(os.Stderr, "scheme %s wire footprint: %.1f B/subscription (%d), %.1f B/publication header (%d)\n",
 		codec.Name(), avg(len(subs), subBytes), len(subs), avg(len(events), pubBytes), len(events))
+	if len(subs) > 0 {
+		if err := crossCheckStore(codec, schemeName, universe, subs); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// crossCheckStore registers the generated subscriptions into a freshly
+// built slice store and compares the measured store bytes against the
+// scheme's FootprintModel prediction — the ground truth behind
+// deploy.Plan's partition sizing.
+func crossCheckStore(codec scheme.Codec, schemeName string, universe []string, subs []pubsub.SubscriptionSpec) error {
+	b, err := scheme.Lookup(schemeName)
+	if err != nil {
+		return err
+	}
+	slice, err := b.NewSlice(simmem.NewPlainAccessor(simmem.DefaultCost()), pubsub.NewSchema(), core.Options{})
+	if err != nil {
+		return err
+	}
+	params, err := codec.Params()
+	if err != nil {
+		return err
+	}
+	if err := slice.Configure(params); err != nil {
+		return err
+	}
+	for i, s := range subs {
+		enc, err := codec.EncodeSubscription(s)
+		if err != nil {
+			return fmt.Errorf("encoding subscription under %s: %w", codec.Name(), err)
+		}
+		if _, err := slice.RegisterEncoded(enc, uint32(i)); err != nil {
+			return fmt.Errorf("registering subscription under %s: %w", codec.Name(), err)
+		}
+	}
+	stats := slice.Stats()
+	predicted := b.Footprint.Footprint(len(subs), len(universe))
+	delta := 0.0
+	if stats.Bytes > 0 {
+		delta = (float64(predicted) - float64(stats.Bytes)) / float64(stats.Bytes) * 100
+	}
+	fmt.Fprintf(os.Stderr,
+		"scheme %s store footprint: measured %d B for %d subscriptions (%.1f B/sub), model predicts %d B (%+.1f%%)\n",
+		codec.Name(), stats.Bytes, stats.Subscriptions,
+		avg(stats.Subscriptions, int(stats.Bytes)), predicted, delta)
+	return nil
+}
+
+func avg(n, total int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
 }
 
 func printStats() error {

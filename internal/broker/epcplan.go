@@ -1,0 +1,140 @@
+package broker
+
+// EPC budgeting for the partitioned data plane. The router divides its
+// configured EPC budget evenly across its matcher slices: EPCBytes is
+// hashed into the enclave measurement, so every slice MUST launch with
+// the same share or migration's seal-to-MRENCLAVE transport would
+// refuse to move state between them. The planner-facing surfaces here
+// report what each slice actually holds against that share and
+// recommend a partition count from the live store footprint.
+
+import (
+	"scbr/internal/sgx"
+	"scbr/internal/simmem"
+	"scbr/internal/streamhub"
+)
+
+// SliceEPCShare computes each matcher slice's EPC budget for a router
+// with totalBytes of EPC across k partitions. The share is identical
+// for every slice (EPCBytes is part of the measured enclave identity)
+// and remainder-aware: ceil(total/k) rounded up to a whole page, so no
+// EPC is silently lost to integer truncation — the fleet's k·share is
+// always ≥ total, never below it. totalBytes 0 means the default EPC
+// (sgx.DefaultEPCBytes); k below 1 is treated as 1.
+func SliceEPCShare(totalBytes uint64, k int) uint64 {
+	if totalBytes == 0 {
+		totalBytes = sgx.DefaultEPCBytes
+	}
+	if k < 1 {
+		k = 1
+	}
+	share := (totalBytes + uint64(k) - 1) / uint64(k)
+	if rem := share % simmem.PageSize; rem != 0 {
+		share += simmem.PageSize - rem
+	}
+	return share
+}
+
+// SliceFootprint reports one matcher slice's memory position: what its
+// store holds, what the hub's load accounting charged it, and how much
+// EPC it has actually needed (residency high-water mark) against its
+// budget — the actuals a deployment plan is validated against.
+type SliceFootprint struct {
+	// Partition is the slice index.
+	Partition int `json:"partition"`
+	// Subscriptions is the slice store's live subscription count.
+	Subscriptions int `json:"subscriptions"`
+	// StoreBytes is the slice store's arena footprint.
+	StoreBytes uint64 `json:"store_bytes"`
+	// AccountedBytes is the hub's estimated byte load for the slice
+	// (entry-cost charges over the shards it owns).
+	AccountedBytes uint64 `json:"accounted_bytes"`
+	// EPCBudget is the slice's launch-time EPC share.
+	EPCBudget uint64 `json:"epc_budget"`
+	// ResidentBytes and PeakResidentBytes are the enclave pager's
+	// current and high-water resident sets; zero with Tracked=false
+	// when the accessor does not track residency.
+	ResidentBytes     uint64 `json:"resident_bytes"`
+	PeakResidentBytes uint64 `json:"peak_resident_bytes"`
+	// ResidencyTracked reports whether the residency figures are real.
+	ResidencyTracked bool `json:"residency_tracked"`
+}
+
+// SliceFootprints returns each slice's memory position, indexed by
+// partition. Like SliceMeterSnapshots, each slice is read coherently
+// under its partition lock, one slice at a time.
+func (r *Router) SliceFootprints() []SliceFootprint {
+	r.planeMu.RLock()
+	defer r.planeMu.RUnlock()
+	accounted, budgets := r.hub.SliceLoads()
+	out := make([]SliceFootprint, len(r.parts))
+	for i, p := range r.parts {
+		p.mu.Lock()
+		st := p.slice.Stats()
+		resident, peak, tracked := p.slice.Accessor().Meter().Residency()
+		p.mu.Unlock()
+		out[i] = SliceFootprint{
+			Partition:         i,
+			Subscriptions:     st.Subscriptions,
+			StoreBytes:        st.Bytes,
+			AccountedBytes:    accounted[i],
+			EPCBudget:         r.epcPer,
+			ResidentBytes:     resident,
+			PeakResidentBytes: peak,
+			ResidencyTracked:  tracked,
+		}
+		if i < len(budgets) && budgets[i] != 0 {
+			out[i].EPCBudget = budgets[i]
+		}
+	}
+	return out
+}
+
+// setHubBudgets installs k copies of the fixed per-slice EPC share as
+// the hub's slice budgets — at construction and after every resize,
+// so the byte-weighted load accounting always normalises against the
+// current fleet.
+func (r *Router) setHubBudgets(k int) {
+	budgets := make([]uint64, k)
+	for i := range budgets {
+		budgets[i] = r.epcPer
+	}
+	r.hub.SetSliceBudgets(budgets)
+}
+
+// recommendHeadroomNum/Den keep each slice's working set at or below
+// 7/8 of its EPC share, leaving room for growth before the paging
+// cliff.
+const (
+	recommendHeadroomNum = 7
+	recommendHeadroomDen = 8
+)
+
+// RecommendPartitions sizes the partition count from the live store
+// footprint: the smallest k whose per-slice working set fits under the
+// fixed per-slice EPC share with headroom. The share itself cannot
+// change after construction (it is part of the measured identity), so
+// the recommendation divides the CURRENT total store bytes by the
+// usable fraction of one share, clamped to [1, min(MaxPartitions,
+// shards)]. Repartition(ctx, 0) resizes to this value.
+func (r *Router) RecommendPartitions() int {
+	r.planeMu.RLock()
+	st := r.hub.Stats()
+	r.planeMu.RUnlock()
+	usable := r.epcPer * recommendHeadroomNum / recommendHeadroomDen
+	if usable == 0 {
+		usable = 1
+	}
+	k := int((st.Bytes + usable - 1) / usable)
+	if k < 1 {
+		k = 1
+	}
+	max := streamhub.MaxPartitions
+	if shards := r.pm.Shards(); shards < max {
+		max = shards
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}

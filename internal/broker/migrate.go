@@ -77,7 +77,9 @@ func (r *Router) PlacementSnapshot() placement.Snapshot {
 // slices, migrating whole shards between slices while traffic flows.
 // Committed move groups survive an error or a cancelled context — the
 // router is always left in a consistent (if intermediate) placement.
-// Concurrent calls serialise; k must be in [1, PlacementShards].
+// Concurrent calls serialise; k must be in [1, PlacementShards], or 0
+// to resize to RecommendPartitions() — the footprint-sized count a
+// deployment plan (deploy.Plan) recommends.
 func (r *Router) Repartition(ctx context.Context, k int) (placement.Snapshot, error) {
 	// Register with the router's worker group under the same
 	// closing-check pattern as Serve's accept loop, so Close waits for
@@ -96,6 +98,9 @@ func (r *Router) Repartition(ctx context.Context, k int) (placement.Snapshot, er
 	r.migMu.Lock()
 	defer r.migMu.Unlock()
 
+	if k == 0 {
+		k = r.RecommendPartitions()
+	}
 	if k < 1 || k > r.pm.Shards() {
 		return r.pm.Snapshot(), fmt.Errorf("broker: repartition to %d slices out of range [1,%d shards]", k, r.pm.Shards())
 	}
@@ -162,6 +167,9 @@ func (r *Router) finishMigration(subsMoved uint64, pause int64) {
 		r.dedupActive.Store(false)
 	}
 	r.pm.FinishMigration(subsMoved, pause)
+	// Re-key the hub's per-slice budgets to the (possibly intermediate)
+	// slice count the resize left behind.
+	r.setHubBudgets(r.pm.Slices())
 }
 
 // moveGroup is one source→destination slice pair's worth of a plan.

@@ -414,8 +414,8 @@ func TestRepartitionSealRestorePlacement(t *testing.T) {
 func TestRepartitionValidation(t *testing.T) {
 	sys := newTestSystemCfg(t, func(cfg *RouterConfig) { cfg.Partitions = 2 })
 	snap := sys.router.PlacementSnapshot()
-	if _, err := sys.router.Repartition(bg, 0); err == nil {
-		t.Fatal("repartition to 0 accepted")
+	if _, err := sys.router.Repartition(bg, -1); err == nil {
+		t.Fatal("repartition to -1 accepted")
 	}
 	if _, err := sys.router.Repartition(bg, snap.Shards+1); err == nil {
 		t.Fatalf("repartition past the %d-shard map accepted", snap.Shards)
@@ -426,6 +426,19 @@ func TestRepartitionValidation(t *testing.T) {
 	}
 	if same.Epoch != snap.Epoch {
 		t.Fatalf("no-op repartition bumped the epoch: %d → %d", snap.Epoch, same.Epoch)
+	}
+	// k = 0 resizes to the footprint-sized recommendation: this
+	// near-empty store fits one slice.
+	want := sys.router.RecommendPartitions()
+	if want != 1 {
+		t.Fatalf("recommendation for a near-empty store = %d, want 1", want)
+	}
+	auto, err := sys.router.Repartition(bg, 0)
+	if err != nil {
+		t.Fatalf("auto repartition: %v", err)
+	}
+	if auto.Slices != want {
+		t.Fatalf("auto repartition left %d slices, recommendation was %d", auto.Slices, want)
 	}
 }
 

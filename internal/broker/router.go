@@ -56,9 +56,13 @@ type RouterConfig struct {
 	Scheme string
 	// EPCBytes bounds the total enclave page cache across all matcher
 	// slices (default: the paper's ~93 MB usable EPC). With k
-	// partitions each slice's enclave gets a 1/k share, so a database
-	// that would page on one enclave fits k enclaves' EPCs — the §3.4
-	// StreamHub answer to the Fig. 8 paging cliff.
+	// partitions each slice's enclave gets an identical page-aligned
+	// ceil(1/k) share (SliceEPCShare) — identical because EPCBytes is
+	// part of the measured enclave identity migration seals state to —
+	// so a database that would page on one enclave fits k enclaves'
+	// EPCs: the §3.4 StreamHub answer to the Fig. 8 paging cliff.
+	// deploy.Plan sizes k from the scheme's footprint model so each
+	// slice's working set stays under its share.
 	EPCBytes uint64
 	// PadRecordTo is forwarded to the engines (see core.Options).
 	PadRecordTo int
@@ -283,14 +287,7 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 	if err != nil {
 		return nil, fmt.Errorf("broker: %w", err)
 	}
-	epcTotal := cfg.EPCBytes
-	if epcTotal == 0 {
-		epcTotal = sgx.DefaultEPCBytes
-	}
-	epcPer := epcTotal / uint64(cfg.Partitions)
-	if epcPer < simmem.PageSize {
-		epcPer = simmem.PageSize
-	}
+	epcPer := SliceEPCShare(cfg.EPCBytes, cfg.Partitions)
 
 	r := &Router{
 		dev:        dev,
@@ -343,6 +340,15 @@ func NewRouter(dev *sgx.Device, quoter *attest.Quoter, cfg RouterConfig) (*Route
 		return nil, fmt.Errorf("broker: %w", err)
 	}
 	r.hub = hub
+	if fp := backend.Footprint; !fp.Zero() {
+		hub.SetEntryCost(func(encLen int) uint64 {
+			if encLen < 0 {
+				encLen = 0
+			}
+			return fp.EntryBytes(encLen)
+		})
+	}
+	r.setHubBudgets(cfg.Partitions)
 	if cfg.Switchless {
 		if err := r.startSwitchless(); err != nil {
 			return nil, err

@@ -1,0 +1,287 @@
+// Deployment planning: size a topology's data planes from the scheme's
+// measured footprint model and pack the routers onto heterogeneous
+// hosts before anything launches.
+//
+// Partition-count sizing follows the broker's EPC discipline: a
+// router's EPC budget is divided into identical page-aligned slice
+// shares (broker.SliceEPCShare — identical because the share is part
+// of the measured enclave identity), and a slice only performs while
+// its working set stays inside its share (the Fig. 8 paging cliff).
+// Feasibility is monotone: each extra slice pays the store's base cost
+// again, so if one slice cannot hold the database under its share,
+// more slices cannot either — the planner therefore scans k downward
+// from the cap and picks the LARGEST feasible count, buying the most
+// match parallelism the budget supports, and rejects the spec when
+// even k=1 does not fit.
+//
+// Packing is first-fit-decreasing: routers by committed EPC
+// descending onto hosts by capacity descending, so EPC-hungry routers
+// land on EPC-rich hosts first and the classic FFD bound applies.
+
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"scbr/internal/broker"
+	"scbr/internal/scheme"
+	"scbr/internal/streamhub"
+)
+
+// ErrInfeasible reports a spec no plan can satisfy: a router whose
+// working set cannot fit one slice's EPC share even at the partition
+// cap, or a router no host has room for. Callers match it with
+// errors.Is.
+var ErrInfeasible = errors.New("deploy: spec infeasible")
+
+// DefaultMaxPartitionsPerRouter caps planned per-router slice counts:
+// beyond this, per-slice base costs and fan-out merge overhead eat the
+// parallelism the extra slices buy.
+const DefaultMaxPartitionsPerRouter = 8
+
+// DefaultPlanAttrs is the assumed per-subscription attribute count
+// when the spec does not say: the stock-quote workload's base
+// universe.
+const DefaultPlanAttrs = 11
+
+// DefaultHeadroom is the fraction of each slice's EPC share the
+// planner keeps free for growth — matching the broker's online
+// recommendation discipline (7/8 usable).
+const DefaultHeadroom = 0.125
+
+// RouterSpec sizes one router's expected load for the planner.
+type RouterSpec struct {
+	// EPCBudget is the router's total EPC across all its matcher
+	// slices, in bytes. Must be positive: a plan with no memory is a
+	// spec error, not a default.
+	EPCBudget uint64 `json:"epc_budget"`
+	// Subscriptions is the subscription volume the router must hold.
+	Subscriptions int `json:"subscriptions"`
+}
+
+// HostSpec describes one machine routers can be packed onto — the
+// heterogeneous-fleet case where some hosts have large EPCs and some
+// small.
+type HostSpec struct {
+	Name string `json:"name"`
+	// EPCBytes is the host's usable EPC. Must be positive.
+	EPCBytes uint64 `json:"epc_bytes"`
+}
+
+// RouterPlan is one router's sized data plane.
+type RouterPlan struct {
+	Router        int    `json:"router"`
+	EPCBudget     uint64 `json:"epc_budget"`
+	Subscriptions int    `json:"subscriptions"`
+	// FootprintBytes is the model-predicted store footprint of the
+	// whole database on this router.
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	// Partitions is the planned slice count; SliceEPCBytes the
+	// identical per-slice EPC share; SliceFootprintBytes the predicted
+	// per-slice working set under an even spread.
+	Partitions          int    `json:"partitions"`
+	SliceEPCBytes       uint64 `json:"slice_epc_bytes"`
+	SliceFootprintBytes uint64 `json:"slice_footprint_bytes"`
+	// CommittedBytes is the EPC the router actually reserves:
+	// Partitions × SliceEPCBytes (≥ EPCBudget — shares are page-ceil).
+	CommittedBytes uint64 `json:"committed_bytes"`
+	// Host names the packed host ("" when the spec lists no hosts).
+	Host string `json:"host,omitempty"`
+	// Utilization is SliceFootprintBytes / SliceEPCBytes — how full
+	// each slice's share is at the expected volume.
+	Utilization float64 `json:"utilization"`
+}
+
+// HostPlan is one host's packing assignment.
+type HostPlan struct {
+	Host     string `json:"host"`
+	EPCBytes uint64 `json:"epc_bytes"`
+	// Routers lists packed router indices in packing order.
+	Routers []int `json:"routers"`
+	// CommittedBytes sums the packed routers' reserved EPC.
+	CommittedBytes uint64 `json:"committed_bytes"`
+}
+
+// TopologyPlan is the inspectable result of Plan: what NewTopology
+// will execute. All fields are value types with deterministic JSON
+// encodings — the same spec always marshals to the same bytes.
+type TopologyPlan struct {
+	Scheme   string       `json:"scheme"`
+	Attrs    int          `json:"attrs"`
+	Headroom float64      `json:"headroom"`
+	Routers  []RouterPlan `json:"routers"`
+	Hosts    []HostPlan   `json:"hosts,omitempty"`
+}
+
+// validateSpec checks the structural invariants shared by Plan and
+// NewTopology.
+func validateSpec(spec TopologySpec) error {
+	if spec.Routers < 1 {
+		return fmt.Errorf("deploy: topology needs at least one router, got %d", spec.Routers)
+	}
+	seen := make(map[[2]int]bool, len(spec.Links))
+	for _, l := range spec.Links {
+		if l[0] < 0 || l[0] >= spec.Routers || l[1] < 0 || l[1] >= spec.Routers || l[0] == l[1] {
+			return fmt.Errorf("deploy: link %v names no router pair of %d", l, spec.Routers)
+		}
+		if seen[l] {
+			return fmt.Errorf("deploy: duplicate link %v", l)
+		}
+		seen[l] = true
+	}
+	if spec.RouterSpecs != nil && len(spec.RouterSpecs) != spec.Routers {
+		return fmt.Errorf("deploy: %d router specs for %d routers", len(spec.RouterSpecs), spec.Routers)
+	}
+	for i, rs := range spec.RouterSpecs {
+		if rs.EPCBudget == 0 {
+			return fmt.Errorf("deploy: router %d has a zero EPC budget — plans need explicit budgets", i)
+		}
+		if rs.Subscriptions < 0 {
+			return fmt.Errorf("deploy: router %d expects %d subscriptions", i, rs.Subscriptions)
+		}
+	}
+	for i, h := range spec.Hosts {
+		if h.Name == "" {
+			return fmt.Errorf("deploy: host %d has no name", i)
+		}
+		if h.EPCBytes == 0 {
+			return fmt.Errorf("deploy: host %q has zero EPC", h.Name)
+		}
+	}
+	if spec.Headroom < 0 || spec.Headroom >= 1 {
+		return fmt.Errorf("deploy: headroom %v out of range [0,1)", spec.Headroom)
+	}
+	if spec.MaxPartitionsPerRouter < 0 || spec.MaxPartitionsPerRouter > streamhub.MaxPartitions {
+		return fmt.Errorf("deploy: partition cap %d out of range [1,%d]", spec.MaxPartitionsPerRouter, streamhub.MaxPartitions)
+	}
+	if spec.Attrs < 0 {
+		return fmt.Errorf("deploy: negative attribute count %d", spec.Attrs)
+	}
+	return nil
+}
+
+// Plan sizes every router's partition count from the scheme's measured
+// footprint model and packs the routers onto the spec's hosts. The
+// spec must carry RouterSpecs; the scheme must publish a footprint
+// model. Infeasible specs — a database that cannot fit one slice's
+// share even at the partition cap, or a router too big for every host
+// — return an error matching ErrInfeasible.
+func Plan(spec TopologySpec) (*TopologyPlan, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	if spec.RouterSpecs == nil {
+		return nil, fmt.Errorf("deploy: spec has no router specs to plan from")
+	}
+	backend, err := scheme.Lookup(spec.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	fp := backend.Footprint
+	if fp.Zero() {
+		return nil, fmt.Errorf("deploy: scheme %q publishes no footprint model", backend.Name)
+	}
+	attrs := spec.Attrs
+	if attrs == 0 {
+		attrs = DefaultPlanAttrs
+	}
+	headroom := spec.Headroom
+	if headroom == 0 {
+		headroom = DefaultHeadroom
+	}
+	maxK := spec.MaxPartitionsPerRouter
+	if maxK == 0 {
+		maxK = DefaultMaxPartitionsPerRouter
+	}
+
+	plan := &TopologyPlan{Scheme: backend.Name, Attrs: attrs, Headroom: headroom}
+	for i, rs := range spec.RouterSpecs {
+		rp, err := planRouter(i, rs, fp, attrs, headroom, maxK)
+		if err != nil {
+			return nil, err
+		}
+		plan.Routers = append(plan.Routers, rp)
+	}
+	if len(spec.Hosts) > 0 {
+		if err := packHosts(plan, spec.Hosts); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// planRouter picks router i's largest feasible partition count: every
+// k from the cap down is tried until the per-slice working set fits
+// under the usable fraction of its EPC share.
+func planRouter(i int, rs RouterSpec, fp scheme.FootprintModel, attrs int, headroom float64, maxK int) (RouterPlan, error) {
+	rp := RouterPlan{
+		Router:         i,
+		EPCBudget:      rs.EPCBudget,
+		Subscriptions:  rs.Subscriptions,
+		FootprintBytes: fp.Footprint(rs.Subscriptions, attrs),
+	}
+	for k := maxK; k >= 1; k-- {
+		share := broker.SliceEPCShare(rs.EPCBudget, k)
+		usable := uint64(float64(share) * (1 - headroom))
+		perSlice := fp.Footprint((rs.Subscriptions+k-1)/k, attrs)
+		if perSlice <= usable {
+			rp.Partitions = k
+			rp.SliceEPCBytes = share
+			rp.SliceFootprintBytes = perSlice
+			rp.CommittedBytes = uint64(k) * share
+			rp.Utilization = float64(perSlice) / float64(share)
+			return rp, nil
+		}
+	}
+	share := broker.SliceEPCShare(rs.EPCBudget, 1)
+	return rp, fmt.Errorf("%w: router %d needs %d bytes for %d subscriptions, over the %d usable of its %d-byte share at every k ≤ %d",
+		ErrInfeasible, i, rp.FootprintBytes, rs.Subscriptions,
+		uint64(float64(share)*(1-headroom)), share, maxK)
+}
+
+// packHosts assigns each planned router a host, first-fit-decreasing:
+// routers by committed EPC descending (ties by index), hosts by
+// capacity descending (ties by spec order). Deterministic by
+// construction.
+func packHosts(plan *TopologyPlan, hosts []HostSpec) error {
+	order := make([]int, len(plan.Routers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return plan.Routers[order[a]].CommittedBytes > plan.Routers[order[b]].CommittedBytes
+	})
+
+	hostPlans := make([]HostPlan, len(hosts))
+	hostOrder := make([]int, len(hosts))
+	for i, h := range hosts {
+		hostPlans[i] = HostPlan{Host: h.Name, EPCBytes: h.EPCBytes, Routers: []int{}}
+		hostOrder[i] = i
+	}
+	sort.SliceStable(hostOrder, func(a, b int) bool {
+		return hosts[hostOrder[a]].EPCBytes > hosts[hostOrder[b]].EPCBytes
+	})
+
+	for _, ri := range order {
+		r := &plan.Routers[ri]
+		placed := false
+		for _, hi := range hostOrder {
+			hp := &hostPlans[hi]
+			if hp.EPCBytes-hp.CommittedBytes >= r.CommittedBytes {
+				hp.Routers = append(hp.Routers, ri)
+				hp.CommittedBytes += r.CommittedBytes
+				r.Host = hp.Host
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("%w: router %d reserves %d EPC bytes, more than any host has free",
+				ErrInfeasible, ri, r.CommittedBytes)
+		}
+	}
+	plan.Hosts = hostPlans
+	return nil
+}

@@ -1,0 +1,205 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"scbr/internal/broker"
+	"scbr/internal/scheme"
+)
+
+func planSpec(mutate func(*TopologySpec)) TopologySpec {
+	spec := TopologySpec{
+		Routers: 2,
+		RouterSpecs: []RouterSpec{
+			{EPCBudget: 32 << 20, Subscriptions: 50_000},
+			{EPCBudget: 8 << 20, Subscriptions: 10_000},
+		},
+		Hosts: []HostSpec{
+			{Name: "epc-rich", EPCBytes: 96 << 20},
+			{Name: "epc-poor", EPCBytes: 16 << 20},
+		},
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return spec
+}
+
+func TestPlanSizesPartitionsFromFootprint(t *testing.T) {
+	plan, err := Plan(planSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Scheme != scheme.Plain || plan.Attrs != DefaultPlanAttrs {
+		t.Fatalf("plan defaults: %+v", plan)
+	}
+	fp := scheme.PlainFootprint
+	for _, rp := range plan.Routers {
+		if rp.Partitions < 1 || rp.Partitions > DefaultMaxPartitionsPerRouter {
+			t.Fatalf("router %d planned %d partitions", rp.Router, rp.Partitions)
+		}
+		if rp.FootprintBytes != fp.Footprint(rp.Subscriptions, plan.Attrs) {
+			t.Errorf("router %d footprint %d, model says %d", rp.Router, rp.FootprintBytes,
+				fp.Footprint(rp.Subscriptions, plan.Attrs))
+		}
+		// The planned slice working set must fit the usable share, and
+		// the share must match the broker's split for that k.
+		if rp.SliceEPCBytes != broker.SliceEPCShare(rp.EPCBudget, rp.Partitions) {
+			t.Errorf("router %d share %d diverges from the broker's split", rp.Router, rp.SliceEPCBytes)
+		}
+		usable := uint64(float64(rp.SliceEPCBytes) * (1 - plan.Headroom))
+		if rp.SliceFootprintBytes > usable {
+			t.Errorf("router %d slice working set %d over usable %d", rp.Router, rp.SliceFootprintBytes, usable)
+		}
+		if rp.Utilization <= 0 || rp.Utilization > 1 {
+			t.Errorf("router %d utilization %v", rp.Router, rp.Utilization)
+		}
+	}
+	// Largest feasible k: one more partition than planned must NOT fit
+	// — otherwise the planner left parallelism on the table — unless
+	// the cap was hit.
+	for _, rp := range plan.Routers {
+		if rp.Partitions == DefaultMaxPartitionsPerRouter {
+			continue
+		}
+		k := rp.Partitions + 1
+		share := broker.SliceEPCShare(rp.EPCBudget, k)
+		usable := uint64(float64(share) * (1 - plan.Headroom))
+		perSlice := fp.Footprint((rp.Subscriptions+k-1)/k, plan.Attrs)
+		if perSlice <= usable {
+			t.Errorf("router %d stopped at k=%d but k=%d also fits (%d ≤ %d)",
+				rp.Router, rp.Partitions, k, perSlice, usable)
+		}
+	}
+}
+
+func TestPlanPacksHeterogeneousHosts(t *testing.T) {
+	plan, err := Plan(planSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Hosts) != 2 {
+		t.Fatalf("host plans: %+v", plan.Hosts)
+	}
+	// The big router commits ≥ 32 MB — only the rich host holds it.
+	if plan.Routers[0].Host != "epc-rich" {
+		t.Errorf("router 0 packed on %q, want epc-rich", plan.Routers[0].Host)
+	}
+	for _, hp := range plan.Hosts {
+		if hp.CommittedBytes > hp.EPCBytes {
+			t.Errorf("host %q overcommitted: %d of %d", hp.Host, hp.CommittedBytes, hp.EPCBytes)
+		}
+		var sum uint64
+		for _, ri := range hp.Routers {
+			if plan.Routers[ri].Host != hp.Host {
+				t.Errorf("router %d host %q disagrees with host plan %q", ri, plan.Routers[ri].Host, hp.Host)
+			}
+			sum += plan.Routers[ri].CommittedBytes
+		}
+		if sum != hp.CommittedBytes {
+			t.Errorf("host %q committed %d, routers sum to %d", hp.Host, hp.CommittedBytes, sum)
+		}
+	}
+}
+
+func TestPlanRejectsInfeasibleSpecs(t *testing.T) {
+	t.Run("working set over every k", func(t *testing.T) {
+		// 5M plain subscriptions ≈ 665 MB against a 16 MB budget: even 8
+		// slices leave ~83 MB per slice against 2 MB shares.
+		_, err := Plan(planSpec(func(s *TopologySpec) {
+			s.RouterSpecs[0] = RouterSpec{EPCBudget: 16 << 20, Subscriptions: 5_000_000}
+		}))
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("err = %v, want ErrInfeasible", err)
+		}
+	})
+	t.Run("footprint exceeds every host", func(t *testing.T) {
+		_, err := Plan(planSpec(func(s *TopologySpec) {
+			s.Hosts = []HostSpec{{Name: "tiny", EPCBytes: 4 << 20}}
+		}))
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("err = %v, want ErrInfeasible", err)
+		}
+	})
+	t.Run("aspe cliff comes k-times earlier", func(t *testing.T) {
+		// The same budget and volume that plans fine under sgx-plain is
+		// infeasible under aspe's ~16x per-subscription footprint.
+		spec := planSpec(func(s *TopologySpec) { s.Scheme = scheme.ASPE })
+		if _, err := Plan(spec); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("err = %v, want ErrInfeasible (aspe footprint)", err)
+		}
+	})
+}
+
+func TestTopologySpecNegativePaths(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*TopologySpec)
+		want   string
+	}{
+		{"no routers", func(s *TopologySpec) { s.Routers = 0 }, "at least one router"},
+		{"link out of range", func(s *TopologySpec) { s.Links = [][2]int{{0, 2}} }, "no router pair"},
+		{"negative link", func(s *TopologySpec) { s.Links = [][2]int{{-1, 0}} }, "no router pair"},
+		{"self link", func(s *TopologySpec) { s.Links = [][2]int{{1, 1}} }, "no router pair"},
+		{"duplicate link", func(s *TopologySpec) { s.Links = [][2]int{{0, 1}, {0, 1}} }, "duplicate link"},
+		{"spec count mismatch", func(s *TopologySpec) { s.RouterSpecs = s.RouterSpecs[:1] }, "router specs"},
+		{"zero EPC budget", func(s *TopologySpec) { s.RouterSpecs[1].EPCBudget = 0 }, "zero EPC budget"},
+		{"negative subscriptions", func(s *TopologySpec) { s.RouterSpecs[0].Subscriptions = -1 }, "subscriptions"},
+		{"nameless host", func(s *TopologySpec) { s.Hosts[0].Name = "" }, "no name"},
+		{"zero EPC host", func(s *TopologySpec) { s.Hosts[1].EPCBytes = 0 }, "zero EPC"},
+		{"headroom out of range", func(s *TopologySpec) { s.Headroom = 1 }, "headroom"},
+		{"negative attrs", func(s *TopologySpec) { s.Attrs = -3 }, "attribute count"},
+		{"partition cap out of range", func(s *TopologySpec) { s.MaxPartitionsPerRouter = 10_000 }, "partition cap"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := planSpec(c.mutate)
+			_, planErr := Plan(spec)
+			if planErr == nil || !strings.Contains(planErr.Error(), c.want) {
+				t.Errorf("Plan err = %v, want %q", planErr, c.want)
+			}
+			// NewTopology validates the same invariants before launching
+			// anything.
+			if _, topoErr := NewTopology(context.Background(), spec); topoErr == nil ||
+				!strings.Contains(topoErr.Error(), c.want) {
+				t.Errorf("NewTopology err = %v, want %q", topoErr, c.want)
+			}
+		})
+	}
+}
+
+func TestNewTopologyExecutesPlan(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := planSpec(nil)
+	topo, err := NewTopology(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	if topo.Plan == nil {
+		t.Fatal("topology carries no plan")
+	}
+	for i, r := range topo.Routers {
+		want := topo.Plan.Routers[i]
+		if got := r.Partitions(); got != want.Partitions {
+			t.Errorf("router %d launched with %d partitions, plan says %d", i, got, want.Partitions)
+		}
+		fps := r.SliceFootprints()
+		for _, fp := range fps {
+			if fp.EPCBudget != want.SliceEPCBytes {
+				t.Errorf("router %d slice %d budget %d, plan share %d", i, fp.Partition, fp.EPCBudget, want.SliceEPCBytes)
+			}
+		}
+	}
+	// An infeasible spec must fail before any router launches.
+	bad := planSpec(func(s *TopologySpec) {
+		s.RouterSpecs[0] = RouterSpec{EPCBudget: 16 << 20, Subscriptions: 5_000_000}
+	})
+	if _, err := NewTopology(ctx, bad); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("NewTopology(infeasible) err = %v, want ErrInfeasible", err)
+	}
+}

@@ -28,37 +28,58 @@ import (
 type TopologySpec struct {
 	// Routers is the number of routers (≥ 1). Router i is named
 	// "router-i" in the overlay.
-	Routers int
+	Routers int `json:"routers"`
 	// Links lists directed dial edges {dialer, acceptor} by router
 	// index. Each link is one bidirectional attested connection; a
 	// chain of three routers is {{0,1},{1,2}}, a cycle adds {2,0}.
-	Links [][2]int
+	Links [][2]int `json:"links,omitempty"`
 	// Image is the measured enclave image every router launches
 	// (default: a fixed topology image). All routers must share it —
 	// peer attestation pins the fleet's single identity.
-	Image []byte
+	Image []byte `json:"image,omitempty"`
 	// Mutate optionally adjusts each router's config before launch
 	// (partitions, switchless, EPC, TTL, ...). Fields that define the
 	// overlay — RouterID, Peers, PeerVerifier — are set after Mutate
 	// and cannot be overridden.
-	Mutate func(i int, cfg *broker.RouterConfig)
+	Mutate func(i int, cfg *broker.RouterConfig) `json:"-"`
 	// PlacementShards sets every router's virtual-shard count — the
 	// migration grain for Router.Repartition (0 = the broker default).
 	// Applied after Mutate, like the overlay fields.
-	PlacementShards int
+	PlacementShards int `json:"placement_shards,omitempty"`
 	// PlacementSeed seeds every router's rendezvous shard→slice hash
 	// (0 = the fixed built-in seed), so a topology's routers agree on
 	// placement byte-for-byte.
-	PlacementSeed int64
+	PlacementSeed int64 `json:"placement_seed,omitempty"`
 	// Scheme selects the matching scheme every router runs (empty =
 	// the default sgx-plain). Schemes without federation-digest
 	// support only stand up single-router, link-free topologies: the
 	// routers are launched without overlay state, and a spec with
 	// Links is rejected.
-	Scheme string
+	Scheme string `json:"scheme,omitempty"`
 	// SchemeOptions parameterise the publishers NewPublisher builds
 	// (e.g. the ASPE attribute universe).
-	SchemeOptions []scheme.Option
+	SchemeOptions []scheme.Option `json:"-"`
+
+	// RouterSpecs optionally declares each router's expected load for
+	// the deployment planner (must list exactly Routers entries). When
+	// set, NewTopology runs Plan first and launches each router with
+	// the planned EPCBytes and Partitions — applied after Mutate, like
+	// the overlay fields — rejecting infeasible specs before any
+	// enclave launches.
+	RouterSpecs []RouterSpec `json:"router_specs,omitempty"`
+	// Hosts optionally describes the heterogeneous machines the
+	// planner packs routers onto. Packing is advisory in-process (all
+	// routers still run locally); the plan records the assignment.
+	Hosts []HostSpec `json:"hosts,omitempty"`
+	// Attrs is the expected per-subscription attribute count the
+	// footprint model is evaluated at (0 = DefaultPlanAttrs).
+	Attrs int `json:"attrs,omitempty"`
+	// Headroom is the fraction of each slice's EPC share the planner
+	// keeps free (0 = DefaultHeadroom; must stay below 1).
+	Headroom float64 `json:"headroom,omitempty"`
+	// MaxPartitionsPerRouter caps planned per-router slice counts
+	// (0 = DefaultMaxPartitionsPerRouter).
+	MaxPartitionsPerRouter int `json:"max_partitions_per_router,omitempty"`
 }
 
 // Topology is a running overlay.
@@ -73,6 +94,9 @@ type Topology struct {
 	Routers []*broker.Router
 	IDs     []string
 	Addrs   []string
+	// Plan is the executed deployment plan (nil when the spec carried
+	// no RouterSpecs and the routers launched with ad-hoc sizing).
+	Plan *TopologyPlan
 
 	listeners []net.Listener
 }
@@ -80,12 +104,15 @@ type Topology struct {
 // NewTopology launches the overlay and serves every router. Callers
 // must Close it.
 func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
-	if spec.Routers < 1 {
-		return nil, fmt.Errorf("deploy: topology needs at least one router, got %d", spec.Routers)
+	if err := validateSpec(spec); err != nil {
+		return nil, err
 	}
-	for _, l := range spec.Links {
-		if l[0] < 0 || l[0] >= spec.Routers || l[1] < 0 || l[1] >= spec.Routers || l[0] == l[1] {
-			return nil, fmt.Errorf("deploy: link %v names no router pair of %d", l, spec.Routers)
+	var plan *TopologyPlan
+	if spec.RouterSpecs != nil {
+		var err error
+		plan, err = Plan(spec)
+		if err != nil {
+			return nil, err
 		}
 	}
 	backend, err := scheme.Lookup(spec.Scheme)
@@ -104,7 +131,7 @@ func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
 	if err != nil {
 		return nil, fmt.Errorf("deploy: generating fleet signer: %w", err)
 	}
-	t := &Topology{spec: spec, Service: attest.NewService()}
+	t := &Topology{spec: spec, Service: attest.NewService(), Plan: plan}
 	ok := false
 	defer func() {
 		if !ok {
@@ -144,6 +171,13 @@ func NewTopology(ctx context.Context, spec TopologySpec) (*Topology, error) {
 		cfg.EnclaveImage = image
 		cfg.EnclaveSigner = signer.Public()
 		cfg.Scheme = spec.Scheme
+		if plan != nil {
+			// Planned sizing wins over Mutate, like the overlay fields:
+			// the plan was validated as feasible, ad-hoc overrides were
+			// not.
+			cfg.EPCBytes = plan.Routers[i].EPCBudget
+			cfg.Partitions = plan.Routers[i].Partitions
+		}
 		if spec.PlacementShards != 0 {
 			cfg.PlacementShards = spec.PlacementShards
 		}

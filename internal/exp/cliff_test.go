@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"scbr/internal/scheme"
+)
+
+// TestPagingCliffOrdering runs both schemes' cliff sweeps under one
+// small budget and checks the paper's ordering: ASPE's ciphertext store
+// costs ~5× more bytes per subscription than the padded plaintext
+// store, so its cliff arrives several times earlier, and both schemes
+// register strictly slower once paging.
+func TestPagingCliffOrdering(t *testing.T) {
+	cfg := smallConfig()
+	plain, err := PagingCliff(cfg, scheme.Plain, 4_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aspe, err := PagingCliff(cfg, scheme.ASPE, 4_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*CliffResult{plain, aspe} {
+		t.Logf("%s: cliff at %d subs (%.2f MB), %.2f → %.2f µs/sub (×%.1f)",
+			res.Scheme, res.CliffSubs, res.CliffDBMB,
+			res.PreMicrosPerSub, res.PostMicrosPerSub, res.Ratio)
+		if res.CliffSubs <= 0 || res.CliffDBMB <= 0 {
+			t.Fatalf("%s: degenerate cliff %+v", res.Scheme, res)
+		}
+		if res.Ratio <= 1 {
+			t.Errorf("%s: registration did not slow past the cliff (ratio %.2f)", res.Scheme, res.Ratio)
+		}
+		// The store at the cliff must be at least the budget — the cliff
+		// is crossing it.
+		if budgetMB := float64(cfg.EPCBytes) / (1 << 20); res.CliffDBMB < budgetMB*0.8 {
+			t.Errorf("%s: cliff store %.2f MB far under the %.2f MB budget", res.Scheme, res.CliffDBMB, budgetMB)
+		}
+	}
+	if plain.CliffSubs < 3*aspe.CliffSubs {
+		t.Errorf("aspe cliff at %d subs, plain at %d — want aspe at least 3× earlier",
+			aspe.CliffSubs, plain.CliffSubs)
+	}
+}
+
+// TestPagingCliffDeterministic pins the property the CI gate depends
+// on: the same Config yields identical results, window for window.
+func TestPagingCliffDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := PagingCliff(cfg, scheme.Plain, 3_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PagingCliff(cfg, scheme.Plain, 3_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical sweeps diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPagingCliffValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := PagingCliff(cfg, scheme.Plain, 0, 100); err == nil {
+		t.Error("zero maxSubs accepted")
+	}
+	if _, err := PagingCliff(cfg, scheme.Plain, 100, 200); err == nil {
+		t.Error("step > maxSubs accepted")
+	}
+	if _, err := PagingCliff(cfg, "no-such-scheme", 1_000, 100); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	// A budget the sweep never reaches must fail loudly, not report a
+	// phantom cliff.
+	big := cfg
+	big.EPCBytes = 1 << 30
+	if _, err := PagingCliff(big, scheme.Plain, 1_000, 100); err == nil {
+		t.Error("no-cliff sweep did not error")
+	}
+}

@@ -131,22 +131,41 @@ func runCell(ctx context.Context, s *Scenario, c Cell, logf Logf) (CellResult, e
 	for i := 1; i < c.Routers; i++ {
 		links = append(links, [2]int{i - 1, i})
 	}
-	topo, err := deploy.NewTopology(cctx, deploy.TopologySpec{
+	spec := deploy.TopologySpec{
 		Routers:       c.Routers,
 		Links:         links,
 		Scheme:        c.Scheme,
 		SchemeOptions: s.SchemeOptions(),
 		Mutate: func(i int, cfg *broker.RouterConfig) {
-			cfg.Partitions = c.Partitions
+			if c.Partitions > 0 {
+				cfg.Partitions = c.Partitions
+			}
 			cfg.OverflowPolicy = overflow
 			cfg.DeliveryQueueLen = deliveryQueueLen
 			cfg.ReplayRingLen = replayRingLen
 		},
-	})
+	}
+	if c.Partitions == 0 {
+		// Planner-sized cell: declare every router's expected load and
+		// let deploy.Plan pick the slice counts from the scheme's
+		// footprint model under the scenario's EPC budget.
+		specs := make([]deploy.RouterSpec, c.Routers)
+		for i := range specs {
+			specs[i] = deploy.RouterSpec{EPCBudget: s.PlanEPCBudget, Subscriptions: c.Subscribers}
+		}
+		spec.RouterSpecs = specs
+	}
+	topo, err := deploy.NewTopology(cctx, spec)
 	if err != nil {
 		return cr, err
 	}
 	defer topo.Close()
+	if topo.Plan != nil {
+		cr.PlannedPartitions = topo.Plan.Routers[0].Partitions
+		cr.PlanEPCBudget = s.PlanEPCBudget
+		logf("  planner sized %d slices per router (budget %d MB, predicted %d bytes/router)",
+			cr.PlannedPartitions, s.PlanEPCBudget>>20, topo.Plan.Routers[0].FootprintBytes)
+	}
 
 	pub, err := topo.NewPublisher(cctx, 0)
 	if err != nil {

@@ -94,3 +94,45 @@ func TestRunTinyScenario(t *testing.T) {
 		t.Fatal("wall time not recorded")
 	}
 }
+
+// A partitions entry of 0 is planner-sized: the cell's slice count
+// must come from deploy.Plan and be recorded in the result.
+func TestRunPlannerSizedCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stands up live topologies")
+	}
+	s := tinyScenario()
+	s.Schemes = []string{scheme.Plain}
+	s.Routers = []int{1}
+	s.Partitions = []int{0}
+	s.PlanEPCBudget = 4 << 20
+	res, err := Run(context.Background(), s, t.Logf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.PlannedPartitions < 1 {
+		t.Fatalf("no planned partition count recorded: %+v", c)
+	}
+	if c.PlanEPCBudget != s.PlanEPCBudget {
+		t.Fatalf("plan budget %d recorded, want %d", c.PlanEPCBudget, s.PlanEPCBudget)
+	}
+	if c.Unaccounted != 0 || c.Delivered == 0 {
+		t.Fatalf("planner-sized cell lost traffic: %+v", c)
+	}
+}
+
+func TestValidatePlannerPartitions(t *testing.T) {
+	s := tinyScenario()
+	s.Partitions = []int{0}
+	if err := s.Validate(); err == nil {
+		t.Error("partitions 0 without plan_epc_budget accepted")
+	}
+	s.PlanEPCBudget = 1 << 20
+	if err := s.Validate(); err != nil {
+		t.Errorf("planner-sized scenario rejected: %v", err)
+	}
+}

@@ -93,6 +93,12 @@ type CellResult struct {
 	Unaccounted uint64 `json:"unaccounted"`
 	Resumes     int    `json:"resumes,omitempty"`
 
+	// PlannedPartitions records the slice count deploy.Plan chose for a
+	// planner-sized cell (Partitions == 0), with the budget it planned
+	// under; both zero for fixed-partition cells.
+	PlannedPartitions int    `json:"planned_partitions,omitempty"`
+	PlanEPCBudget     uint64 `json:"plan_epc_budget,omitempty"`
+
 	// Repartitions counts completed online resizes of the cell's
 	// matcher-slice fleets; MigrationPauseNanos is the worst data-plane
 	// flush pause any router observed across them (the time publishes

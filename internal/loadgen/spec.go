@@ -84,6 +84,9 @@ type Scenario struct {
 
 	// Partitions, Schemes, and Routers span the deployment matrix.
 	// Routers: 1 = single router, n > 1 = a federated chain of n.
+	// A Partitions entry of 0 means "planner-sized": the cell's slice
+	// count comes from deploy.Plan (the scheme's footprint model under
+	// PlanEPCBudget) instead of being fixed; requires PlanEPCBudget.
 	Partitions []int    `json:"partitions"`
 	Schemes    []string `json:"schemes"`
 	Routers    []int    `json:"routers"`
@@ -100,6 +103,13 @@ type Scenario struct {
 	// more than one router (digest propagation and forwarded delivery
 	// make federated cells inherently heavier). Zero means 1.
 	FederationScale float64 `json:"federation_scale,omitempty"`
+
+	// PlanEPCBudget is the per-router EPC budget (bytes) for
+	// planner-sized cells (Partitions entry 0): the deployment planner
+	// sizes each router's slice count so the cell's subscription volume
+	// fits the scheme's footprint model under this budget, and the cell
+	// fails up front if it cannot.
+	PlanEPCBudget uint64 `json:"plan_epc_budget,omitempty"`
 }
 
 // Cell is one resolved point of a scenario's deployment matrix.
@@ -157,8 +167,14 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("loadgen: scenario %q: partitions sweep is empty", s.Name)
 	}
 	for _, k := range s.Partitions {
+		if k == 0 {
+			if s.PlanEPCBudget == 0 {
+				return fmt.Errorf("loadgen: scenario %q: partitions 0 means planner-sized and needs plan_epc_budget", s.Name)
+			}
+			continue
+		}
 		if k < 1 || k > 256 {
-			return fmt.Errorf("loadgen: scenario %q: partitions %d out of range [1,256]", s.Name, k)
+			return fmt.Errorf("loadgen: scenario %q: partitions %d out of range [1,256] (0 = planner-sized)", s.Name, k)
 		}
 	}
 	if len(s.Schemes) == 0 {
@@ -293,11 +309,15 @@ var builtins = map[string]*Scenario{
 		RepartitionCycles: 2,
 		RepartitionTo:     []int{2, 4},
 		RepartitionEvents: 100,
-		Partitions:        []int{1, 4},
-		Schemes:           []string{scheme.Plain, scheme.ASPE},
-		Routers:           []int{1, 2},
-		SchemeScale:       map[string]float64{scheme.ASPE: 0.25},
-		FederationScale:   0.5,
+		// The trailing 0 is the EPC-budgeted planner cell: partition
+		// counts come from deploy.Plan under an 8 MB per-router budget,
+		// so the smoke job exercises the planning path end to end.
+		Partitions:      []int{1, 4, 0},
+		Schemes:         []string{scheme.Plain, scheme.ASPE},
+		Routers:         []int{1, 2},
+		SchemeScale:     map[string]float64{scheme.ASPE: 0.25},
+		FederationScale: 0.5,
+		PlanEPCBudget:   8 << 20,
 	},
 	"ci-batch": {
 		Name:        "ci-batch",

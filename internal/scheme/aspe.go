@@ -23,8 +23,9 @@ import (
 
 func init() {
 	Register(&Backend{
-		Name: ASPE,
-		Caps: aspeCaps,
+		Name:      ASPE,
+		Caps:      aspeCaps,
+		Footprint: ASPEFootprint,
 		NewCodec: func(opts Options) (Codec, error) {
 			return newASPECodec(opts)
 		},

@@ -21,7 +21,8 @@ func init() {
 			FederationDigests: true,
 			PrefixConstraints: true,
 		},
-		NewCodec: func(Options) (Codec, error) { return plainCodec{}, nil },
+		Footprint: PlainFootprint,
+		NewCodec:  func(Options) (Codec, error) { return plainCodec{}, nil },
 		NewSlice: func(acc simmem.Accessor, schema *pubsub.Schema, opts core.Options) (Slice, error) {
 			engine, err := core.NewEngine(acc, schema, opts)
 			if err != nil {

@@ -205,6 +205,9 @@ type Backend struct {
 	Name string
 	// Caps are the scheme's capability flags.
 	Caps Capabilities
+	// Footprint models the scheme's slice-store memory cost — measured
+	// constants, pinned against real stores by the scheme's tests.
+	Footprint FootprintModel
 	// NewCodec builds the publisher-side half.
 	NewCodec func(opts Options) (Codec, error)
 	// NewSlice builds one partition's router-side store over the given

@@ -39,6 +39,10 @@ type epc struct {
 	versions map[uint64]uint64
 
 	faults uint64
+	// peakResident is the residency high-water mark in pages: how much
+	// EPC this enclave has actually needed at once, the actual to
+	// validate deployment-plan footprints against.
+	peakResident int
 }
 
 type epcEntry struct {
@@ -46,7 +50,10 @@ type epcEntry struct {
 	slot int // index in the clock ring
 }
 
-var _ simmem.Pager = (*epc)(nil)
+var (
+	_ simmem.Pager     = (*epc)(nil)
+	_ simmem.Residency = (*epc)(nil)
+)
 
 func newEPC(capacityBytes uint64, key []byte, cost simmem.CostModel, counters *simmem.Counters) *epc {
 	return &epc{
@@ -96,6 +103,9 @@ func (m *epc) Touch(page uint64, _ bool) uint64 {
 	entry := &epcEntry{ref: true, slot: len(m.clock)}
 	m.clock = append(m.clock, page)
 	m.resident[page] = entry
+	if len(m.resident) > m.peakResident {
+		m.peakResident = len(m.resident)
+	}
 	return cycles
 }
 
@@ -167,6 +177,11 @@ func (m *epc) Faults() uint64 { return m.faults }
 // ResidentPages returns the number of pages currently in the EPC.
 func (m *epc) ResidentPages() int { return len(m.resident) }
 
+// ResidentBytes implements simmem.Residency.
+func (m *epc) ResidentBytes() (resident, peak uint64) {
+	return uint64(len(m.resident)) * simmem.PageSize, uint64(m.peakResident) * simmem.PageSize
+}
+
 // Accessor is the enclave-mode simmem.Accessor: identical interface to
 // the plain accessor, but accesses charge MEE costs on LLC misses and
 // EPC paging costs on residency misses. The matching engine code is
@@ -219,6 +234,9 @@ func (a *Accessor) PageFaults() uint64 { return a.epc.Faults() }
 
 // ResidentPages exposes current EPC occupancy.
 func (a *Accessor) ResidentPages() int { return a.epc.ResidentPages() }
+
+// PeakResidentPages exposes the EPC occupancy high-water mark.
+func (a *Accessor) PeakResidentPages() int { return a.epc.peakResident }
 
 // CorruptEvictedPage flips a bit in the stored image of an evicted
 // page. It exists for failure-injection tests only and returns false if

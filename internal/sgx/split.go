@@ -72,8 +72,9 @@ type splitCache struct {
 	// expected version of each sealed page.
 	versions map[uint64]uint64
 
-	faults     uint64 // user-level faults (unseals)
-	writebacks uint64 // dirty seals
+	faults       uint64 // user-level faults (unseals)
+	writebacks   uint64 // dirty seals
+	peakResident int    // residency high-water mark in pages
 }
 
 type splitEntry struct {
@@ -82,7 +83,10 @@ type splitEntry struct {
 	slot  int // index in the clock ring
 }
 
-var _ simmem.Pager = (*splitCache)(nil)
+var (
+	_ simmem.Pager     = (*splitCache)(nil)
+	_ simmem.Residency = (*splitCache)(nil)
+)
 
 func newSplitCache(cacheBytes uint64, key []byte, cost simmem.CostModel, counters *simmem.Counters) *splitCache {
 	return &splitCache{
@@ -131,7 +135,15 @@ func (s *splitCache) Touch(page uint64, write bool) uint64 {
 	ent := &splitEntry{ref: true, dirty: write, slot: len(s.clock)}
 	s.clock = append(s.clock, page)
 	s.resident[page] = ent
+	if len(s.resident) > s.peakResident {
+		s.peakResident = len(s.resident)
+	}
 	return cycles
+}
+
+// ResidentBytes implements simmem.Residency.
+func (s *splitCache) ResidentBytes() (resident, peak uint64) {
+	return uint64(len(s.resident)) * simmem.PageSize, uint64(s.peakResident) * simmem.PageSize
 }
 
 // evictOne runs the CLOCK hand to a victim with a clear reference bit
@@ -277,6 +289,9 @@ func (a *SplitAccessor) Writebacks() uint64 { return a.cache.writebacks }
 // ResidentPages returns the number of pages currently held in
 // plaintext inside the enclave.
 func (a *SplitAccessor) ResidentPages() int { return len(a.cache.resident) }
+
+// PeakResidentPages returns the in-enclave residency high-water mark.
+func (a *SplitAccessor) PeakResidentPages() int { return a.cache.peakResident }
 
 // SealedPages returns the number of pages with a sealed image in
 // untrusted memory (the authoritative copy for every non-resident

@@ -33,7 +33,10 @@ type PlainAccessor struct {
 	thp   *thpPager
 }
 
-var _ Accessor = (*PlainAccessor)(nil)
+var (
+	_ Accessor  = (*PlainAccessor)(nil)
+	_ Residency = (*thpPager)(nil)
+)
 
 // THPRegionPages is the number of 4 KB pages per transparent huge page.
 const THPRegionPages = 512 // 2 MB
@@ -52,6 +55,14 @@ func (t *thpPager) Touch(page uint64, _ bool) uint64 {
 	t.touched[region] = true
 	t.c.MinorFaults++
 	return t.cost.MinorFaultCycles
+}
+
+// ResidentBytes implements Residency. Plain memory is never evicted,
+// so the resident set is every THP region ever touched and the peak
+// equals the current size.
+func (t *thpPager) ResidentBytes() (resident, peak uint64) {
+	resident = uint64(len(t.touched)) * THPRegionPages * PageSize
+	return resident, resident
 }
 
 // NewPlainAccessor builds an accessor in plain mode.

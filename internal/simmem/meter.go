@@ -8,6 +8,15 @@ type Pager interface {
 	Touch(page uint64, write bool) (extraCycles uint64)
 }
 
+// Residency is implemented by pagers that track a resident working
+// set. ResidentBytes returns the bytes currently resident and the
+// high-water mark since the pager was built — the quantity deployment
+// plans are validated against (a slice whose peak approaches its EPC
+// share is at the paging cliff).
+type Residency interface {
+	ResidentBytes() (resident, peak uint64)
+}
+
 // Meter charges simulated cycles for memory accesses and CPU work. One
 // Meter corresponds to one core running the filtering engine, matching
 // the paper's single-machine filter deployment.
@@ -33,6 +42,18 @@ func (m *Meter) Enclave() bool { return m.enclave }
 
 // SetPager installs the residency layer.
 func (m *Meter) SetPager(p Pager) { m.pager = p }
+
+// Residency reports the pager's resident-set size and high-water mark.
+// ok is false when no pager is installed or it does not track
+// residency.
+func (m *Meter) Residency() (resident, peak uint64, ok bool) {
+	r, isTracked := m.pager.(Residency)
+	if !isTracked {
+		return 0, 0, false
+	}
+	resident, peak = r.ResidentBytes()
+	return resident, peak, true
+}
 
 // Access charges for a read or write of size bytes at addr: one LLC
 // lookup per spanned cache line, DRAM cost per miss, MEE cost per miss

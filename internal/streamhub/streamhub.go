@@ -66,12 +66,29 @@ type Hub struct {
 	schema *pubsub.Schema
 	parts  []*partition
 	pm     *placement.Map
-	owner  map[uint64]int // subscription ID → slice index holding it
+	owner  map[uint64]ownerRec // subscription ID → owning slice + footprint bytes
 	// shardSeq is the per-shard ID sequence (next = shardSeq+1);
-	// shardSubs counts live subscriptions per shard for load-aware
-	// shard selection in the typed Register.
-	shardSeq  []uint64
-	shardSubs []int
+	// shardSubs counts live subscriptions per shard; shardBytes carries
+	// each shard's estimated store footprint in bytes — the load the
+	// typed Register balances, normalised by per-slice EPC budgets.
+	shardSeq   []uint64
+	shardSubs  []int
+	shardBytes []uint64
+	// entryCost estimates one subscription's store footprint from its
+	// encoding length (-1 when no encoding is at hand — the typed
+	// path). Nil charges a flat 1, which reduces byte-weighted
+	// selection to subscription counting.
+	entryCost func(encLen int) uint64
+	// budgets holds each slice's EPC budget in bytes; nil or zero
+	// entries weight all slices equally.
+	budgets []uint64
+}
+
+// ownerRec remembers where a subscription lives and what it weighs, so
+// removal can return its bytes to the shard's load account.
+type ownerRec struct {
+	slice int
+	bytes uint64
 }
 
 // Hub subscription IDs pack the virtual shard index into the top byte
@@ -110,6 +127,35 @@ func newPlacementFor(k int) (*placement.Map, error) {
 func (h *Hub) initShards() {
 	h.shardSeq = make([]uint64, h.pm.Shards())
 	h.shardSubs = make([]int, h.pm.Shards())
+	h.shardBytes = make([]uint64, h.pm.Shards())
+}
+
+// SetEntryCost installs the per-subscription footprint estimator used
+// by the load accounting — typically a scheme footprint model's
+// EntryBytes. Must be set before the hub is used concurrently.
+func (h *Hub) SetEntryCost(f func(encLen int) uint64) { h.entryCost = f }
+
+// SetSliceBudgets installs each slice's EPC budget in bytes; the typed
+// Register normalises slice byte loads by these when picking the
+// least-loaded shard. Safe to call again after a resize.
+func (h *Hub) SetSliceBudgets(budgets []uint64) {
+	h.mu.Lock()
+	h.budgets = append([]uint64(nil), budgets...)
+	h.mu.Unlock()
+}
+
+// entryBytes prices one stored subscription. encLen is the wire
+// encoding length, or -1 on the typed path where no encoding exists.
+// Without an estimator every subscription weighs 1, reducing
+// byte-weighted selection to subscription counting.
+func (h *Hub) entryBytes(encLen int) uint64 {
+	if h.entryCost == nil {
+		return 1
+	}
+	if b := h.entryCost(encLen); b > 0 {
+		return b
+	}
+	return 1
 }
 
 // New builds a hub with k partitions whose engines are produced by
@@ -129,7 +175,7 @@ func New(k int, schema *pubsub.Schema,
 	if err != nil {
 		return nil, fmt.Errorf("streamhub: %w", err)
 	}
-	h := &Hub{schema: schema, pm: pm, owner: make(map[uint64]int)}
+	h := &Hub{schema: schema, pm: pm, owner: make(map[uint64]ownerRec)}
 	h.initShards()
 	for i := 0; i < k; i++ {
 		engine, err := newEngine(i, schema)
@@ -173,7 +219,7 @@ func NewFromSlicesPlaced(schema *pubsub.Schema, slices []scheme.Slice, pm *place
 	if pm.Slices() != len(slices) {
 		return nil, fmt.Errorf("streamhub: placement map covers %d slices, hub has %d", pm.Slices(), len(slices))
 	}
-	h := &Hub{schema: schema, pm: pm, owner: make(map[uint64]int)}
+	h := &Hub{schema: schema, pm: pm, owner: make(map[uint64]ownerRec)}
 	h.initShards()
 	for _, s := range slices {
 		if s == nil {
@@ -233,12 +279,18 @@ func (h *Hub) reserveID(shard int) uint64 {
 	return id
 }
 
-// adopt records a successfully stored subscription.
-func (h *Hub) adopt(id uint64, slice int, countShard bool) {
+// adopt records a successfully stored subscription with its estimated
+// store footprint. countShard=false (the migration copy path) flips
+// ownership without touching the shard's totals — the subscription
+// already exists on the source slice, and its bytes stay charged to
+// the same shard either way.
+func (h *Hub) adopt(id uint64, slice int, countShard bool, bytes uint64) {
 	h.mu.Lock()
-	h.owner[id] = slice
+	h.owner[id] = ownerRec{slice: slice, bytes: bytes}
 	if countShard {
-		h.shardSubs[ShardOf(id)]++
+		shard := ShardOf(id)
+		h.shardSubs[shard]++
+		h.shardBytes[shard] += bytes
 	}
 	h.mu.Unlock()
 }
@@ -255,19 +307,17 @@ func (h *Hub) bumpSeq(id uint64) {
 }
 
 // Register normalises the subscription and inserts it on the
-// least-loaded shard's slice (engine-backed hubs only).
+// least-loaded shard's slice (engine-backed hubs only). Load is the
+// owning slice's estimated store bytes normalised by its EPC budget,
+// so EPC-poor slices fill proportionally slower than EPC-rich ones;
+// ties break to the shard with the fewest bytes of its own.
 func (h *Hub) Register(spec pubsub.SubscriptionSpec, clientRef uint32) (uint64, error) {
 	sub, err := pubsub.Normalize(h.schema, spec)
 	if err != nil {
 		return 0, err
 	}
 	h.mu.Lock()
-	shard := 0
-	for s := 1; s < len(h.shardSubs); s++ {
-		if h.shardSubs[s] < h.shardSubs[shard] {
-			shard = s
-		}
-	}
+	shard := h.leastLoadedShardLocked()
 	h.mu.Unlock()
 
 	target := h.pm.SliceOf(shard)
@@ -282,8 +332,39 @@ func (h *Hub) Register(spec pubsub.SubscriptionSpec, clientRef uint32) (uint64, 
 	if err != nil {
 		return 0, err
 	}
-	h.adopt(id, target, true)
+	h.adopt(id, target, true, h.entryBytes(-1))
 	return id, nil
+}
+
+// leastLoadedShardLocked picks the shard whose owning slice carries
+// the smallest budget-normalised byte load. Comparisons cross-multiply
+// (bytesA·budgetB vs bytesB·budgetA) to stay in integers; a nil or
+// zero budget weights that slice equally with every other such slice.
+// Caller holds h.mu; the hub→placement lock order is the established
+// one.
+func (h *Hub) leastLoadedShardLocked() int {
+	sliceBytes := make([]uint64, len(h.parts))
+	sliceOf := make([]int, h.pm.Shards())
+	for s := range sliceOf {
+		sliceOf[s] = h.pm.SliceOf(s)
+		sliceBytes[sliceOf[s]] += h.shardBytes[s]
+	}
+	budget := func(slice int) uint64 {
+		if slice < len(h.budgets) && h.budgets[slice] > 0 {
+			return h.budgets[slice]
+		}
+		return 1
+	}
+	best := 0
+	for s := 1; s < len(sliceOf); s++ {
+		cur, prev := sliceOf[s], sliceOf[best]
+		l := sliceBytes[cur] * budget(prev)
+		r := sliceBytes[prev] * budget(cur)
+		if l < r || (l == r && h.shardBytes[s] < h.shardBytes[best]) {
+			best = s
+		}
+	}
+	return best
 }
 
 // Unregister removes a hub subscription.
@@ -303,12 +384,19 @@ func (h *Hub) Unregister(hubID uint64) error {
 func (h *Hub) dropOwner(hubID uint64) (int, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	target, ok := h.owner[hubID]
-	if ok {
-		delete(h.owner, hubID)
-		h.shardSubs[ShardOf(hubID)]--
+	rec, ok := h.owner[hubID]
+	if !ok {
+		return 0, false
 	}
-	return target, ok
+	delete(h.owner, hubID)
+	shard := ShardOf(hubID)
+	h.shardSubs[shard]--
+	if h.shardBytes[shard] >= rec.bytes {
+		h.shardBytes[shard] -= rec.bytes
+	} else {
+		h.shardBytes[shard] = 0
+	}
+	return rec.slice, true
 }
 
 // The "In"/"At" methods below are the direct per-slice surface for
@@ -331,8 +419,8 @@ func (h *Hub) Slice(i int) scheme.Slice { return h.parts[i].slice }
 func (h *Hub) OwnerSlice(hubID uint64) (int, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	target, ok := h.owner[hubID]
-	return target, ok
+	rec, ok := h.owner[hubID]
+	return rec.slice, ok
 }
 
 // RegisterEncodedAt ingests one wire-encoded subscription for shard
@@ -351,7 +439,7 @@ func (h *Hub) RegisterEncodedAt(shard, target int, enc []byte, clientRef uint32)
 	if err := p.slice.RegisterEncodedAssigned(enc, clientRef, id); err != nil {
 		return 0, err
 	}
-	h.adopt(id, target, true)
+	h.adopt(id, target, true, h.entryBytes(len(enc)))
 	return id, nil
 }
 
@@ -369,7 +457,7 @@ func (h *Hub) RegisterEncodedAssigned(enc []byte, clientRef uint32, hubID uint64
 		return err
 	}
 	h.bumpSeq(hubID)
-	h.adopt(hubID, target, true)
+	h.adopt(hubID, target, true, h.entryBytes(len(enc)))
 	return nil
 }
 
@@ -385,7 +473,7 @@ func (h *Hub) ImportAssigned(target int, enc []byte, clientRef uint32, hubID uin
 		return err
 	}
 	h.bumpSeq(hubID)
-	h.adopt(hubID, target, false)
+	h.adopt(hubID, target, false, h.entryBytes(len(enc)))
 	return nil
 }
 
@@ -395,9 +483,9 @@ func (h *Hub) ImportAssigned(target int, enc []byte, clientRef uint32, hubID uin
 // already gone.
 func (h *Hub) DropCopy(slice int, hubID uint64) {
 	h.mu.Lock()
-	owner, ok := h.owner[hubID]
+	rec, ok := h.owner[hubID]
 	h.mu.Unlock()
-	if ok && owner == slice {
+	if ok && rec.slice == slice {
 		return
 	}
 	_ = h.parts[slice].slice.Unregister(hubID)
@@ -444,10 +532,10 @@ func (h *Hub) RemoveSlicesFrom(k int) error {
 		return fmt.Errorf("streamhub: cannot truncate %d slices to %d", len(h.parts), k)
 	}
 	h.mu.Lock()
-	for id, slice := range h.owner {
-		if slice >= k {
+	for id, rec := range h.owner {
+		if rec.slice >= k {
 			h.mu.Unlock()
-			return fmt.Errorf("streamhub: subscription %d still owned by removed slice %d", id, slice)
+			return fmt.Errorf("streamhub: subscription %d still owned by removed slice %d", id, rec.slice)
 		}
 	}
 	h.mu.Unlock()
@@ -473,7 +561,7 @@ func (h *Hub) RegisterNormalizedAt(shard, target int, sub *pubsub.Subscription, 
 	if err := p.engine.RegisterAssigned(sub, clientRef, id); err != nil {
 		return 0, err
 	}
-	h.adopt(id, target, true)
+	h.adopt(id, target, true, h.entryBytes(-1))
 	return id, nil
 }
 
@@ -492,7 +580,7 @@ func (h *Hub) RegisterAssignedIn(sub *pubsub.Subscription, clientRef uint32, hub
 		return err
 	}
 	h.bumpSeq(hubID)
-	h.adopt(hubID, target, true)
+	h.adopt(hubID, target, true, h.entryBytes(-1))
 	return nil
 }
 
@@ -582,6 +670,23 @@ type Stats struct {
 	PerPartition []int
 	// Bytes sums the slices' arena footprints.
 	Bytes uint64
+}
+
+// SliceLoads returns each slice's estimated store byte load (the sum
+// of entry-cost charges over the shards it owns) alongside its
+// configured EPC budget (0 when none was set) — the accounting the
+// byte-weighted Register balances, exposed for metrics and for
+// validating deployment plans against actuals.
+func (h *Hub) SliceLoads() (bytes, budgets []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bytes = make([]uint64, len(h.parts))
+	budgets = make([]uint64, len(h.parts))
+	for s := 0; s < h.pm.Shards(); s++ {
+		bytes[h.pm.SliceOf(s)] += h.shardBytes[s]
+	}
+	copy(budgets, h.budgets)
+	return bytes, budgets
 }
 
 // Stats returns hub statistics.

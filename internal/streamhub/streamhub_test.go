@@ -115,29 +115,44 @@ func TestHubBalancesPartitions(t *testing.T) {
 	if st.Subscriptions != 1000 || st.Partitions != 4 {
 		t.Fatalf("stats = %+v", st)
 	}
-	// Register fills the least-loaded shard each time, so shard loads
-	// stay within one of each other; each slice then holds exactly the
-	// sum of its shards' loads under the placement map.
-	pm := hub.Placement()
-	perShard := make([]int, pm.Shards())
-	want := make([]int, hub.Partitions())
-	for i := 0; i < 1000; i++ {
-		s := 0
-		for j := 1; j < len(perShard); j++ {
-			if perShard[j] < perShard[s] {
-				s = j
-			}
-		}
-		perShard[s]++
-		want[pm.SliceOf(s)]++
-	}
+	// Register fills a shard of the least-loaded slice each time
+	// (budget-normalised; equal here), so slice loads stay within one
+	// of each other: 1000 subscriptions over 4 slices is exactly 250
+	// each — balance the old shard-count proxy could not guarantee
+	// when the placement map dealt slices unequal shard counts.
 	for i, n := range st.PerPartition {
-		if n != want[i] {
-			t.Fatalf("partition %d holds %d subscriptions, want %d (%v)", i, n, want[i], st.PerPartition)
+		if n != 250 {
+			t.Fatalf("partition %d holds %d subscriptions, want 250 (%v)", i, n, st.PerPartition)
 		}
-		if n == 0 {
-			t.Fatalf("partition %d owns no shards (%v)", i, st.PerPartition)
+	}
+	loads, budgets := hub.SliceLoads()
+	for i, b := range loads {
+		if b != 250 {
+			t.Fatalf("slice %d load %d, want 250 (flat entry cost) (%v)", i, b, loads)
 		}
+		if budgets[i] != 0 {
+			t.Fatalf("slice %d budget %d, want 0 (none set)", i, budgets[i])
+		}
+	}
+}
+
+func TestHubBudgetWeightedPlacement(t *testing.T) {
+	hub, err := NewPlain(2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice 0 gets three times slice 1's EPC budget, so with a flat
+	// entry cost it should absorb three quarters of the registrations.
+	hub.SetSliceBudgets([]uint64{3 << 20, 1 << 20})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if _, err := hub.Register(randomSpec(rng), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := hub.Stats()
+	if st.PerPartition[0] < 740 || st.PerPartition[0] > 760 {
+		t.Fatalf("budget-weighted placement: partitions hold %v, want ~[750 250]", st.PerPartition)
 	}
 }
 

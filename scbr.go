@@ -232,6 +232,11 @@ type (
 	// migration counters (Router.PlacementSnapshot); Router.Repartition
 	// resizes the slice fleet online and returns the new snapshot.
 	PlacementSnapshot = placement.Snapshot
+	// SliceFootprint is one matcher slice's EPC accounting — store
+	// bytes, budget, and resident-set high-water mark
+	// (Router.SliceFootprints). Router.RecommendPartitions sizes the
+	// fleet from these; Repartition(ctx, 0) applies the recommendation.
+	SliceFootprint = broker.SliceFootprint
 	// FederationCounters snapshots a router's overlay activity: live
 	// peers, digest sizes, and forwarded/withheld/suppressed tallies
 	// (Router.FederationSnapshot).
