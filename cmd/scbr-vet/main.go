@@ -1,0 +1,90 @@
+// Command scbr-vet is the repository's invariant checker: a
+// multichecker over the five custom analyzers in internal/analysis
+// (lockorder, enclavemeter, pooledframe, ctxblock, wireerr), run in
+// CI on every PR and locally with
+//
+//	go run ./cmd/scbr-vet ./...
+//
+// It exits 0 when the tree is clean, 1 when any analyzer reports a
+// finding, and 2 on a load failure (a package that does not build).
+// Findings are silenced only by a justified suppression comment —
+// `// scbr:vet ignore(<analyzer>): reason` — documented in
+// docs/analysis.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scbr/internal/analysis"
+	"scbr/internal/analysis/ctxblock"
+	"scbr/internal/analysis/enclavemeter"
+	"scbr/internal/analysis/lockorder"
+	"scbr/internal/analysis/pooledframe"
+	"scbr/internal/analysis/wireerr"
+)
+
+// Suite is the full analyzer suite, in documentation order.
+var suite = []*analysis.Analyzer{
+	lockorder.Analyzer,
+	enclavemeter.Analyzer,
+	pooledframe.Analyzer,
+	ctxblock.Analyzer,
+	wireerr.Analyzer,
+}
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "run only this analyzer (by name)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: scbr-vet [-list] [-only analyzer] [packages]\n\nAnalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range suite {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := suite
+	if *only != "" {
+		analyzers = nil
+		for _, a := range suite {
+			if a.Name == *only {
+				analyzers = []*analysis.Analyzer{a}
+			}
+		}
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "scbr-vet: unknown analyzer %q\n", *only)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scbr-vet: %v\n", err)
+		os.Exit(2)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scbr-vet: %v\n", err)
+		os.Exit(2)
+	}
+	n, err := analysis.Vet(root, patterns, analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scbr-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "scbr-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

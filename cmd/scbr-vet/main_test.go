@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"scbr/internal/analysis"
+)
+
+// TestTreeIsClean is the smoke test behind the CI gate: the full
+// analyzer suite over ./... must report nothing — every real finding
+// is either fixed or carries a justified suppression. A failure here
+// prints the findings exactly as `go run ./cmd/scbr-vet ./...` would.
+func TestTreeIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := analysis.Vet(root, []string{"./..."}, suite, &out)
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("scbr-vet reports %d finding(s) on the tree:\n%s", n, out.String())
+	}
+}

@@ -1,0 +1,126 @@
+// Package analysis is a self-contained static-analysis framework in
+// the shape of golang.org/x/tools/go/analysis, built only on the
+// standard library so the repository stays dependency-free: an
+// Analyzer inspects one type-checked package through a Pass and
+// reports Diagnostics, and a checker drives a suite of analyzers over
+// `go list` package patterns (cmd/scbr-vet is that multichecker).
+//
+// The point of the suite is the data plane's unwritten invariants —
+// rules the compiler cannot see and `-race` only catches when a test
+// happens to interleave the wrong way: the broker's documented lock
+// hierarchy, the metered-enclave-boundary discipline, sync.Pool
+// lifetimes on the pooled frame path, the PR 1 context-cancellation
+// contract, and the typed sentinel taxonomy on the wire. Each lives
+// in its own subpackage; docs/analysis.md is the catalogue.
+//
+// Suppressions: a finding is silenced by a justified marker comment
+//
+//	// scbr:vet ignore(<analyzer>): <why this one is fine>
+//
+// at the end of the offending line or alone on the line above. The
+// justification is mandatory — an ignore() without one is itself
+// reported — so every suppression documents why the invariant holds
+// anyway, the same contract nolint-style markers rot without.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. Run inspects a single
+// package via its Pass and reports findings; the return value is
+// unused by the checker (kept for x/tools API symmetry).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in ignore() markers
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NamedOf resolves an expression's type to its named type, looking
+// through pointers — the receiver-type test every analyzer that keys
+// on "a method of streamhub.Hub" or "a field of broker.partition"
+// performs. Returns nil when the type is unnamed.
+func (p *Pass) NamedOf(e ast.Expr) *types.Named {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// FuncDecls yields every function declaration in the package with a
+// body, in file order.
+func (p *Pass) FuncDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// CtxParam returns the object of fn's context.Context parameter, or
+// nil when the function takes none (or takes one unnamed).
+func (p *Pass) CtxParam(fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		named, ok := p.TypesInfo.TypeOf(field.Type).(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			for _, name := range field.Names {
+				if o := p.TypesInfo.Defs[name]; o != nil {
+					return o
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReceiverAndMethod splits a call like x.M(...) into the receiver
+// expression and method name. ok is false for non-selector calls.
+func ReceiverAndMethod(call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}

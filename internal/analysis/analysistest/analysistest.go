@@ -1,0 +1,141 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against `// want` comments — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the repository's own framework so analyzer tests need no external
+// module.
+//
+// A testdata package lives in <analyzer>/testdata/src/<name>/ and is
+// ordinary Go (type-checked, so seeded bad examples must still
+// compile). Every line that should produce a diagnostic carries
+//
+//	expr // want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Lines
+// without a want comment must stay silent. Testdata may import the
+// standard library and this module's packages (the export-data
+// importer resolves both), so bad examples can be written against the
+// real streamhub.Hub or scheme.Slice types.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scbr/internal/analysis"
+)
+
+// wantRE pulls the quoted expectations out of a want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package (relative to
+// dir, typically the analyzer's own directory), runs the analyzer,
+// and reports every mismatch between diagnostics and want comments as
+// a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := analysis.ModuleRoot(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader(root)
+	for _, name := range pkgs {
+		pkgDir := filepath.Join(dir, "testdata", "src", name)
+		pkg, err := loader.LoadDir(pkgDir, name)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", pkgDir, err)
+		}
+		wants, err := collectWants(loader.Fset, pkg.Files)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		findings, err := analysis.RunAnalyzers(loader, []*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, name, err)
+		}
+		for _, f := range findings {
+			if w := matchWant(wants, f); w != nil {
+				w.matched = true
+				continue
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", name, f)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %s, got none", name, w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the package.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s:%d: malformed want comment near %q", pos.Filename, pos.Line, rest)
+					}
+					raw, tail, err := splitQuoted(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: strconv.Quote(raw)})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted splits one leading Go-quoted string off rest.
+func splitQuoted(rest string) (val, tail string, err error) {
+	quote := rest[0]
+	for i := 1; i < len(rest); i++ {
+		if rest[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if rest[i] == quote {
+			val, err := strconv.Unquote(rest[:i+1])
+			return val, rest[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want string: %s", rest)
+}
+
+// matchWant finds an unmatched expectation for finding f.
+func matchWant(wants []*expectation, f analysis.Finding) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}

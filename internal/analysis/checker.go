@@ -1,0 +1,184 @@
+// The multichecker driver: run a suite of analyzers over loaded
+// packages, apply justified suppression markers, and print findings
+// in file:line:col order — the engine behind cmd/scbr-vet.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ignoreRE matches a suppression marker: the words "scbr:vet ignore"
+// at the start of a line comment, an analyzer list in parentheses, a
+// colon, and the justification. Group 1 is the analyzer list
+// (comma-separated), group 2 the justification (possibly empty, which
+// is itself a finding). Anchoring to the comment start keeps prose
+// that merely mentions the marker — docs, analyzer messages — from
+// registering as a suppression.
+var ignoreRE = regexp.MustCompile(`^//[ \t]*scbr:vet ignore\(([^)]*)\)\s*(?::\s*(.*))?$`)
+
+// Finding is one post-suppression diagnostic with its position
+// resolved.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// suppression is one parsed ignore() marker.
+type suppression struct {
+	analyzers map[string]bool
+	justified bool
+	line      int
+	file      string
+	pos       token.Pos
+	used      bool
+}
+
+// collectSuppressions parses every ignore() marker in the package. A
+// marker suppresses findings on its own line and, when it is the only
+// thing on its line, on the line below.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	var out []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				s := &suppression{
+					analyzers: make(map[string]bool),
+					justified: strings.TrimSpace(m[2]) != "",
+					pos:       c.Pos(),
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					s.analyzers[strings.TrimSpace(name)] = true
+				}
+				p := fset.Position(c.Pos())
+				s.file, s.line = p.Filename, p.Line
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// surviving findings: suppressed diagnostics are dropped, unjustified
+// or unused suppressions are themselves findings.
+func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sups := collectSuppressions(loader.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      loader.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := loader.Fset.Position(d.Pos)
+				if s := suppressing(sups, a.Name, pos); s != nil {
+					s.used = true
+					if !s.justified {
+						findings = append(findings, Finding{
+							Analyzer: a.Name,
+							Pos:      loader.Fset.Position(s.pos),
+							Message:  "suppression without justification: add a reason after the colon",
+						})
+					}
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+		// A marker that silenced nothing is rot: either the finding it
+		// covered was fixed (delete the marker) or the marker is
+		// misplaced (it silently fails to cover what its author meant).
+		// Only markers naming an analyzer in this run can be judged.
+		for _, s := range sups {
+			if s.used {
+				continue
+			}
+			covered := false
+			for _, a := range analyzers {
+				if s.analyzers[a.Name] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: "suppression",
+				Pos:      loader.Fset.Position(s.pos),
+				Message:  "unused suppression: no diagnostic on this line or the line below; delete the marker or move it to the finding it should cover",
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressing returns the marker covering a diagnostic of analyzer
+// name at pos, if any: same file, same line or the line above.
+func suppressing(sups []*suppression, name string, pos token.Position) *suppression {
+	for _, s := range sups {
+		if s.file != pos.Filename || !s.analyzers[name] {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			return s
+		}
+	}
+	return nil
+}
+
+// Vet is the whole scbr-vet pipeline: load the patterns, run the
+// suite, print findings to w. It returns the finding count.
+func Vet(root string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	loader := NewLoader(root)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings, err := RunAnalyzers(loader, pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+	return len(findings), nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flagmeAnalyzer diagnoses every call to a function literally named
+// flagme — a minimal analyzer that gives the suppression engine
+// something deterministic to silence.
+var flagmeAnalyzer = &Analyzer{
+	Name: "flagme",
+	Doc:  "test-only: flag calls to flagme()",
+	Run: func(pass *Pass) (any, error) {
+		for _, fn := range pass.FuncDecls() {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						pass.Reportf(call.Pos(), "call to flagme")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// TestSuppressionEngine checks the full marker contract on the
+// suppression testdata package: justified markers silence (same line
+// and line above), unjustified markers become findings, uncovered
+// diagnostics surface, stale markers rot, and markers naming analyzers
+// outside the run are left alone.
+func TestSuppressionEngine(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppression"), "suppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers(loader, []*Package{pkg}, []*Analyzer{flagmeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	wants := []struct{ substr, why string }{
+		{"suppression without justification", "unjustified marker must become a finding"},
+		{"call to flagme", "unsilenced call must surface"},
+		{"unused suppression", "stale marker must rot"},
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(wants), strings.Join(got, "\n"))
+	}
+	for _, w := range wants {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no finding containing %q in:\n%s", w.why, w.substr, strings.Join(got, "\n"))
+		}
+	}
+	for _, g := range got {
+		if strings.Contains(g, "someother") {
+			t.Errorf("marker naming an out-of-run analyzer was judged: %s", g)
+		}
+	}
+}

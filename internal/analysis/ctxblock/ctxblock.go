@@ -1,0 +1,172 @@
+// Package ctxblock enforces the PR 1 cancellation contract on
+// context-taking exported APIs: a caller that passes a ctx must be
+// able to cancel the call. Inside an exported function or method that
+// takes a context.Context, the analyzer flags
+//
+//   - bare channel sends and receives outside any select (they block
+//     forever if the peer is gone, and ctx cannot interrupt them),
+//   - blocking selects (no default case) that do not select on a
+//     Done() channel — ctx.Done() or a handle's own shutdown channel
+//     derived from it,
+//   - net.Dial / net.DialTimeout calls (use net.Dialer.DialContext),
+//     and
+//   - time.Sleep calls (use a timer select with ctx.Done()).
+//
+// Function literals inside the API (goroutine bodies, callbacks) are
+// not the API's own blocking point and are skipped; unexported
+// helpers are the callee's concern at their exported entry points.
+package ctxblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scbr/internal/analysis"
+)
+
+// Analyzer is the ctxblock analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxblock",
+	Doc:  "check that ctx-taking exported APIs stay cancellable (no bare channel ops or blocking net/sleep calls)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fn := range pass.FuncDecls() {
+		if !fn.Name.IsExported() {
+			continue
+		}
+		if pass.CtxParam(fn) == nil {
+			continue
+		}
+		checkBody(pass, fn)
+	}
+	return nil, nil
+}
+
+// checkBody walks fn's own statements, skipping nested literals.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if !selectIsCancellable(n) {
+				pass.Reportf(n.Pos(), "%s: blocking select without a <-ctx.Done() (or shutdown-channel) case: the caller's ctx cannot cancel it", fn.Name.Name)
+			}
+			// Case bodies still get checked; the comm clauses
+			// themselves are the select's own business.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "%s: bare channel send outside select: blocks forever if the consumer is gone; select on it with <-ctx.Done()", fn.Name.Name)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "%s: bare channel receive outside select: blocks forever if the producer is gone; select on it with <-ctx.Done()", fn.Name.Name)
+				return false
+			}
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgFunc(pass, n); ok {
+				switch {
+				case pkg == "net" && (name == "Dial" || name == "DialTimeout"):
+					pass.Reportf(n.Pos(), "%s: net.%s ignores ctx: use (&net.Dialer{}).DialContext(ctx, ...)", fn.Name.Name, name)
+				case pkg == "time" && name == "Sleep":
+					pass.Reportf(n.Pos(), "%s: time.Sleep ignores ctx: select on a timer and <-ctx.Done() instead", fn.Name.Name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// selectIsCancellable reports whether a select either cannot block (a
+// default case) or watches a Done()-style channel: any receive case
+// whose operand is a call named Done, or a bare channel identifier/
+// selector whose name suggests a shutdown channel (done, closing,
+// closed, quit, stop...). The name heuristic keeps handle-internal
+// shutdown channels (s.done, r.closing) from flagging: those selects
+// are cancellable, just not by this ctx — and the PR 1 contract is
+// about never blocking uncancellably.
+func selectIsCancellable(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: never blocks
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					recv = u.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if isDoneChannel(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneChannel recognises ctx.Done()-shaped operands and named
+// shutdown channels.
+func isDoneChannel(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if _, name, ok := analysis.ReceiverAndMethod(e); ok {
+			return name == "Done" || name == "Deadline" || name == "After"
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name == "Done" || id.Name == "After"
+		}
+	case *ast.SelectorExpr:
+		return shutdownName(e.Sel.Name)
+	case *ast.Ident:
+		return shutdownName(e.Name)
+	}
+	return false
+}
+
+func shutdownName(name string) bool {
+	switch name {
+	case "done", "Done", "closing", "closed", "quit", "stop", "stopCh", "shutdown":
+		return true
+	}
+	return false
+}
+
+// pkgFunc resolves a call to package-level function pkg.Name.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	if pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+		return pn.Imported().Path(), sel.Sel.Name, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,12 @@
+package ctxblock_test
+
+import (
+	"testing"
+
+	"scbr/internal/analysis/analysistest"
+	"scbr/internal/analysis/ctxblock"
+)
+
+func TestCtxBlock(t *testing.T) {
+	analysistest.Run(t, ".", ctxblock.Analyzer, "ctxblock_bad", "ctxblock_good")
+}

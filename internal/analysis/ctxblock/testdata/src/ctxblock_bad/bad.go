@@ -1,0 +1,38 @@
+// Seeded cancellation-contract violations: exported ctx-taking APIs
+// that can block forever. Every marked line must be diagnosed.
+package ctxblock_bad
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Send blocks forever if the consumer is gone.
+func Send(ctx context.Context, ch chan int) {
+	ch <- 1 // want `bare channel send outside select`
+}
+
+// Recv blocks forever if the producer is gone.
+func Recv(ctx context.Context, ch chan int) int {
+	return <-ch // want `bare channel receive outside select`
+}
+
+// Wait selects, but nothing in the select can fire on cancellation.
+func Wait(ctx context.Context, in chan int, out chan int) {
+	select { // want `blocking select without`
+	case v := <-in:
+		_ = v
+	case out <- 2:
+	}
+}
+
+// Dial ignores the ctx it was handed.
+func Dial(ctx context.Context, addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net.Dial ignores ctx`
+}
+
+// Nap parks the caller with no way out.
+func Nap(ctx context.Context) {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep ignores ctx`
+}

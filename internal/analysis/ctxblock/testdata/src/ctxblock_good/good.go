@@ -1,0 +1,86 @@
+// Cancellable blocking in the shapes PR 1 standardised: the ctxblock
+// analyzer must stay silent here.
+package ctxblock_good
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+type handle struct{ done chan struct{} }
+
+// SendCancellable pairs the send with ctx.Done().
+func SendCancellable(ctx context.Context, ch chan int) error {
+	select {
+	case ch <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RecvCancellable pairs the receive with ctx.Done().
+func RecvCancellable(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// TryRecv never blocks: the default case makes the select polling.
+func TryRecv(ctx context.Context, ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// HandleShutdown watches the handle's own shutdown channel, which is
+// wired to ctx by the handle's owner.
+func HandleShutdown(ctx context.Context, h *handle, ch chan int) {
+	select {
+	case <-h.done:
+	case v := <-ch:
+		_ = v
+	}
+}
+
+// DialCancellable threads ctx into the dial.
+func DialCancellable(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// SleepCancellable waits on a timer race against cancellation.
+func SleepCancellable(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WorkerSpawn: the goroutine body is not the API's own blocking point.
+func WorkerSpawn(ctx context.Context, ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// unexportedSend is a callee-internal helper, out of scope.
+func unexportedSend(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+
+// NoCtx takes no context, so the contract does not bind it.
+func NoCtx(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,12 @@
+package enclavemeter_test
+
+import (
+	"testing"
+
+	"scbr/internal/analysis/analysistest"
+	"scbr/internal/analysis/enclavemeter"
+)
+
+func TestEnclaveMeter(t *testing.T) {
+	analysistest.Run(t, ".", enclavemeter.Analyzer, "enclavemeter_bad", "enclavemeter_good")
+}

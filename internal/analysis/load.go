@@ -1,0 +1,223 @@
+// Package loading without golang.org/x/tools: `go list -export`
+// enumerates packages and compiles their dependencies' export data
+// into the build cache, and go/importer's gc mode reads that export
+// data back through a lookup function. Target packages are then
+// parsed (with comments, for suppression markers) and type-checked
+// from source against those imports. Everything is offline: the only
+// external process is the go command over the local module.
+
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+// Only non-test sources are loaded: scbr-vet checks the shipped data
+// plane, not the test harnesses that deliberately poke at it.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader loads packages of the module rooted at Root. One Loader
+// shares a FileSet and an export-data importer across every load, so
+// repeated loads (the multichecker, the analyzer tests) stay cheap.
+type Loader struct {
+	Root string
+	Fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path → export-data file
+	imp     types.Importer
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(root string) *Loader {
+	l := &Loader{Root: root, Fset: token.NewFileSet(), exports: make(map[string]string)}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// list runs `go list -export -deps -json` for the patterns and
+// records every listed package's export data. It returns the listed
+// packages in command output order (dependencies first).
+func (l *Loader) list(patterns ...string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	l.mu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.mu.Unlock()
+	return pkgs, nil
+}
+
+// lookup feeds the gc importer export data recorded by list, listing
+// on demand for paths first seen as imports (the testdata loads).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		if _, err := l.list(path); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Load loads and type-checks the packages matching the go list
+// patterns (e.g. "./..."), excluding dependency-only listings.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.list(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir loads the single package in dir (every non-test .go file)
+// under the given import path — the analysistest entry point, which
+// loads testdata packages the go tool itself never builds. Imports
+// resolve through the module's export data, so testdata may import
+// both the standard library and this module's packages.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Package{PkgPath: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,328 @@
+// Package lockorder enforces the broker's documented lock hierarchy
+// (internal/broker/router.go):
+//
+//	keyMu → ctlMu → connMu → per-partition (partition.mu) → delivery
+//	table (deliveryTable.mu, then clientState.sendMu, clientState.mu)
+//
+// A goroutine may only acquire locks in non-decreasing rank order;
+// acquiring a lower-ranked mutex while holding a higher-ranked one is
+// the nesting that deadlocks the moment two paths disagree. The
+// analyzer builds a static intra-procedural acquisition graph per
+// function: it walks each body in source order tracking the held set
+// (branch bodies are walked with a cloned set, so an early-unlock-
+// and-return path does not leak into the fall-through path) and
+// reports
+//
+//   - an acquisition that violates the rank order,
+//   - a nested acquisition of the same mutex (self-deadlock),
+//   - a return reached while a non-deferred lock is still held, and
+//   - a Lock with no paired Unlock (or defer Unlock) anywhere in the
+//     function.
+//
+// Mutexes are identified by field name for the router's uniquely
+// named locks (keyMu, ctlMu, connMu) and by Type.field for the
+// generically named ones (partition.mu, deliveryTable.mu, ...), so
+// the check follows the values wherever the receiver travels. The
+// analysis is intra-procedural: a lock passed to a helper that
+// unlocks it is out of scope and earns a justified suppression, not a
+// weaker rule.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"scbr/internal/analysis"
+)
+
+// Analyzer is the lockorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "check mutex acquisitions against the broker's documented lock hierarchy",
+	Run:  run,
+}
+
+// fieldRank ranks the uniquely named router locks by field name, so
+// the rule applies to any struct that adopts the naming convention
+// (including testdata).
+var fieldRank = map[string]int{
+	"keyMu":  10,
+	"ctlMu":  20,
+	"connMu": 30,
+}
+
+// typeFieldRank ranks generically named locks by TypeName.field.
+var typeFieldRank = map[string]int{
+	"partition.mu":       40,
+	"deliveryTable.mu":   50,
+	"clientState.sendMu": 51,
+	"clientState.mu":     52,
+}
+
+// lockKey identifies one mutex value as precisely as an
+// intra-procedural analysis can: the receiver chain rendered as text
+// (r.keyMu, p.mu, st.sendMu) plus its resolved rank.
+type lockKey struct {
+	expr string // printed selector chain, e.g. "r.ctlMu"
+	name string // rank key, e.g. "ctlMu" or "partition.mu"
+	rank int    // 0 = unranked (pairing checks only)
+}
+
+type heldLock struct {
+	key      lockKey
+	pos      token.Pos
+	deferred bool // a defer Unlock pins it until return, legitimately
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fn := range pass.FuncDecls() {
+		checkFunc(pass, fn.Name.Name, fn.Body)
+		// Function literals are their own acquisition contexts: a
+		// goroutine or callback body does not inherit the caller's
+		// textual lock state.
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, fn.Name.Name+" (func literal)", lit.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// lockOp classifies one statement's mutex operation.
+type lockOp struct {
+	key    lockKey
+	method string // Lock, RLock, Unlock, RUnlock
+	pos    token.Pos
+}
+
+// opOf recognises x.Lock()/x.Unlock()/x.RLock()/x.RUnlock() on a
+// ranked or rankable mutex selector.
+func opOf(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
+	recv, method, ok := analysis.ReceiverAndMethod(call)
+	if !ok {
+		return lockOp{}, false
+	}
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockOp{}, false
+	}
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	// The mutex must be a sync.Mutex/RWMutex field.
+	if named := mutexNamed(pass, sel); named == "" {
+		return lockOp{}, false
+	}
+	field := sel.Sel.Name
+	key := lockKey{expr: exprString(sel), name: field}
+	if r, ok := fieldRank[field]; ok {
+		key.rank = r
+	} else if owner := pass.NamedOf(sel.X); owner != nil {
+		tf := owner.Obj().Name() + "." + field
+		if r, ok := typeFieldRank[tf]; ok {
+			key.rank, key.name = r, tf
+		}
+	}
+	return lockOp{key: key, method: method, pos: call.Pos()}, true
+}
+
+// mutexNamed reports the sync mutex type name ("Mutex"/"RWMutex") of
+// a selector, or "" when it is not a mutex.
+func mutexNamed(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	t := pass.TypesInfo.TypeOf(sel)
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// exprString renders a selector chain (best effort) for diagnostics
+// and for matching Lock/Unlock pairs on the same value.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "?"
+}
+
+// checkFunc runs the source-order lock scan over one function body.
+func checkFunc(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	s := &scanState{pass: pass, fn: name}
+	s.scanStmts(body.List, nil)
+	// Whole-function pairing: a mutex locked somewhere but never
+	// unlocked anywhere (not even a deferred or closure unlock) has no
+	// release path at all.
+	for expr, pos := range s.locked {
+		if !s.unlocked[expr] {
+			pass.Reportf(pos, "%s: %s.Lock() has no paired Unlock or defer Unlock in this function", s.fn, expr)
+		}
+	}
+}
+
+type scanState struct {
+	pass     *analysis.Pass
+	fn       string
+	locked   map[string]token.Pos // every expr Locked in this function
+	unlocked map[string]bool      // every expr Unlocked (incl. defers/closures)
+}
+
+// note records global pairing facts.
+func (s *scanState) note(op lockOp) {
+	if s.locked == nil {
+		s.locked = make(map[string]token.Pos)
+		s.unlocked = make(map[string]bool)
+	}
+	switch op.method {
+	case "Lock", "RLock":
+		if _, ok := s.locked[op.key.expr]; !ok {
+			s.locked[op.key.expr] = op.pos
+		}
+	case "Unlock", "RUnlock":
+		s.unlocked[op.key.expr] = true
+	}
+}
+
+// scanStmts walks statements in source order, threading the held set
+// through and returning it. Branch bodies get cloned sets.
+func (s *scanState) scanStmts(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, st := range stmts {
+		held = s.scanStmt(st, held)
+	}
+	return held
+}
+
+func clone(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func (s *scanState) scanStmt(st ast.Stmt, held []heldLock) []heldLock {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if op, ok := opOf(s.pass, call); ok {
+				return s.apply(op, held, false)
+			}
+		}
+	case *ast.DeferStmt:
+		if op, ok := opOf(s.pass, st.Call); ok {
+			return s.apply(op, held, true)
+		}
+		// `defer func() { mu.Unlock() }()` releases at return too.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, ok := opOf(s.pass, call); ok && (op.method == "Unlock" || op.method == "RUnlock") {
+						held = s.apply(op, held, true)
+					}
+				}
+				return true
+			})
+			return held
+		}
+	case *ast.ReturnStmt:
+		for _, h := range held {
+			if !h.deferred {
+				s.pass.Reportf(st.Pos(), "%s: return while %s is still locked (no Unlock on this path)", s.fn, h.key.expr)
+			}
+		}
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		s.scanStmts(st.Body.List, clone(held))
+		if st.Else != nil {
+			s.scanStmt(st.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		s.scanStmts(st.Body.List, clone(held))
+	case *ast.RangeStmt:
+		s.scanStmts(st.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.scanStmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+	}
+	return held
+}
+
+// apply folds one lock operation into the held set, reporting order
+// violations on acquisition.
+func (s *scanState) apply(op lockOp, held []heldLock, deferred bool) []heldLock {
+	s.note(op)
+	switch op.method {
+	case "Lock", "RLock":
+		for _, h := range held {
+			if h.key.expr == op.key.expr {
+				s.pass.Reportf(op.pos, "%s: %s acquired while already held (self-deadlock)", s.fn, op.key.expr)
+			} else if h.key.rank > 0 && op.key.rank > 0 && h.key.rank > op.key.rank {
+				s.pass.Reportf(op.pos,
+					"%s: %s (%s) acquired while holding %s (%s): violates the lock hierarchy keyMu → ctlMu → connMu → partition.mu → delivery table",
+					s.fn, op.key.expr, op.key.name, h.key.expr, h.key.name)
+			}
+		}
+		return append(held, heldLock{key: op.key, pos: op.pos, deferred: deferred})
+	case "Unlock", "RUnlock":
+		if deferred {
+			// defer mu.Unlock(): the matching lock stays held to the
+			// end of the function, legitimately.
+			for i := range held {
+				if held[i].key.expr == op.key.expr && !held[i].deferred {
+					held[i].deferred = true
+					break
+				}
+			}
+			return held
+		}
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].key.expr == op.key.expr {
+				return append(held[:i:i], held[i+1:]...)
+			}
+		}
+	}
+	return held
+}

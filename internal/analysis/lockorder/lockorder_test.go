@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"scbr/internal/analysis/analysistest"
+	"scbr/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, ".", lockorder.Analyzer, "lockorder_bad", "lockorder_good")
+}

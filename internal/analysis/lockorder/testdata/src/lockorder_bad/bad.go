@@ -1,0 +1,67 @@
+// Seeded violations of the broker lock hierarchy: every line below
+// marked `want` must be diagnosed by the lockorder analyzer.
+package lockorder_bad
+
+import "sync"
+
+// Router mirrors the broker's named-lock convention; ranks attach by
+// field name (keyMu < ctlMu < connMu) and by type.field for the
+// generically named ones.
+type Router struct {
+	keyMu  sync.RWMutex
+	ctlMu  sync.RWMutex
+	connMu sync.Mutex
+}
+
+type partition struct{ mu sync.Mutex }
+
+type deliveryTable struct{ mu sync.Mutex }
+
+// inverted acquires control-plane locks above a delivery-table lock —
+// the nesting the documented hierarchy forbids.
+func (r *Router) inverted(dt *deliveryTable) {
+	dt.mu.Lock()
+	r.ctlMu.Lock() // want `violates the lock hierarchy`
+	r.ctlMu.Unlock()
+	dt.mu.Unlock()
+}
+
+// partitionAboveConn acquires connMu while holding a partition lock.
+func (r *Router) partitionAboveConn(p *partition) {
+	p.mu.Lock()
+	r.connMu.Lock() // want `violates the lock hierarchy`
+	r.connMu.Unlock()
+	p.mu.Unlock()
+}
+
+// nestedSame deadlocks on itself.
+func (r *Router) nestedSame() {
+	r.connMu.Lock()
+	r.connMu.Lock() // want `self-deadlock`
+	r.connMu.Unlock()
+	r.connMu.Unlock()
+}
+
+// leak never releases ctlMu on any path.
+func (r *Router) leak(n *int) {
+	r.ctlMu.Lock() // want `no paired Unlock`
+	*n++
+}
+
+// earlyReturn leaks connMu on the conditional path only.
+func (r *Router) earlyReturn(cond bool) int {
+	r.connMu.Lock()
+	if cond {
+		return 1 // want `return while r.connMu is still locked`
+	}
+	r.connMu.Unlock()
+	return 0
+}
+
+// literalLeak: the goroutine body is its own acquisition context and
+// never unlocks what it locked.
+func (r *Router) literalLeak() {
+	go func() {
+		r.keyMu.Lock() // want `no paired Unlock`
+	}()
+}

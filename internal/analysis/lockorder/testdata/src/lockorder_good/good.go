@@ -1,0 +1,71 @@
+// Hierarchy-respecting locking in every shape the broker actually
+// uses: the lockorder analyzer must stay silent on this package.
+package lockorder_good
+
+import "sync"
+
+type Router struct {
+	keyMu  sync.RWMutex
+	ctlMu  sync.RWMutex
+	connMu sync.Mutex
+}
+
+type partition struct{ mu sync.Mutex }
+
+type deliveryTable struct{ mu sync.Mutex }
+
+// descending acquires strictly down the hierarchy.
+func (r *Router) descending(p *partition, dt *deliveryTable) {
+	r.keyMu.RLock()
+	defer r.keyMu.RUnlock()
+	r.ctlMu.RLock()
+	defer r.ctlMu.RUnlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+}
+
+// sequential never nests, so order between tiers is irrelevant.
+func (r *Router) sequential(dt *deliveryTable) {
+	dt.mu.Lock()
+	dt.mu.Unlock()
+	r.ctlMu.Lock()
+	r.ctlMu.Unlock()
+}
+
+// branchRelease unlocks on every return path explicitly.
+func (r *Router) branchRelease(cond bool) int {
+	r.connMu.Lock()
+	if cond {
+		r.connMu.Unlock()
+		return 1
+	}
+	r.connMu.Unlock()
+	return 0
+}
+
+// deferredClosure releases through a deferred closure.
+func (r *Router) deferredClosure() {
+	r.ctlMu.Lock()
+	defer func() {
+		r.ctlMu.Unlock()
+	}()
+}
+
+// perValue locks two different partitions: distinct values of the
+// same tier never rank-conflict.
+func (r *Router) perValue(a, b *partition) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // same tier, different slice: allowed by the hierarchy
+	defer b.mu.Unlock()
+}
+
+// loopBody releases inside the loop body it locked in.
+func (r *Router) loopBody(parts []*partition) {
+	for _, p := range parts {
+		p.mu.Lock()
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,349 @@
+// Package pooledframe enforces sync.Pool buffer discipline on the
+// pooled frame path (PR 7): a value obtained from a pool is borrowed,
+// not owned, so
+//
+//   - it must not be used after it was Put back (the pool may already
+//     have handed it to another goroutine — a data race the type
+//     system cannot see),
+//   - no view of it (the value, a subslice of it) may be returned by
+//     a function that also ends its pooled lifetime with Put, and
+//   - a pooled slice must be length-reset (v = v[:0] or Put(v[:0]))
+//     before Put, or the next borrower starts with stale elements —
+//     stale frame bytes, in the broker's case.
+//
+// The analysis is intra-procedural and branch-aware: it tracks which
+// identifiers were bound from a (sync.Pool).Get result, walks each
+// function in source order with cloned state per branch (a Put on an
+// early-return path does not poison the fall-through path), and
+// reports at the offending use / return / Put.
+package pooledframe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scbr/internal/analysis"
+)
+
+// Analyzer is the pooledframe analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooledframe",
+	Doc:  "check sync.Pool Get/Put lifetimes on the pooled frame path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fn := range pass.FuncDecls() {
+		checkFunc(pass, fn.Body)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// poolState is the walker's per-path state, keyed by variable object.
+type poolState struct {
+	pooled map[types.Object]bool // bound from a pool Get in this function
+	put    map[types.Object]bool // already returned to the pool on this path
+	reset  map[types.Object]bool // length-reset since Get on this path
+	didPut map[types.Object]bool // whole-function: a Put exists somewhere
+}
+
+func (s *poolState) clone() *poolState {
+	c := &poolState{pooled: s.pooled, didPut: s.didPut,
+		put: make(map[types.Object]bool, len(s.put)), reset: make(map[types.Object]bool, len(s.reset))}
+	for k, v := range s.put {
+		c.put[k] = v
+	}
+	for k, v := range s.reset {
+		c.reset[k] = v
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &walker{pass: pass}
+	st := &poolState{
+		pooled: make(map[types.Object]bool),
+		put:    make(map[types.Object]bool),
+		reset:  make(map[types.Object]bool),
+		didPut: make(map[types.Object]bool),
+	}
+	// Pre-pass: find pool-bound identifiers and whether each is Put
+	// anywhere in this function (the lifetime-ends-here signal the
+	// escape rule needs), without descending into nested literals.
+	w.prescan(body, st)
+	if len(st.pooled) == 0 {
+		return
+	}
+	w.walkStmts(body.List, st)
+}
+
+// isPoolCall reports whether call is a (sync.Pool) method call.
+func (w *walker) isPoolCall(call *ast.CallExpr, method string) bool {
+	recv, m, ok := analysis.ReceiverAndMethod(call)
+	if !ok || m != method {
+		return false
+	}
+	named := w.pass.NamedOf(recv)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// bindings extracts the variable objects an assignment binds to a
+// pool Get result: x := P.Get(), x := P.Get().(T), x, _ := ...
+func (w *walker) bindings(as *ast.AssignStmt) []types.Object {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	rhs := as.Rhs[0]
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !w.isPoolCall(call, "Get") {
+		return nil
+	}
+	var out []types.Object
+	if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+		if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+			out = append(out, obj)
+		} else if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// putArg resolves the object a Put call returns to the pool, when the
+// argument is a tracked identifier (possibly resliced: Put(v[:0])).
+func (w *walker) putArg(call *ast.CallExpr) (types.Object, bool /*resetInArg*/) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	arg := call.Args[0]
+	reset := false
+	if sl, ok := arg.(*ast.SliceExpr); ok && sl.Low == nil && isZeroLit(sl.High) {
+		arg, reset = sl.X, true
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil, reset
+	}
+	return w.pass.TypesInfo.Uses[id], reset
+}
+
+func isZeroLit(e ast.Expr) bool {
+	if bl, ok := e.(*ast.BasicLit); ok {
+		return bl.Value == "0"
+	}
+	return false
+}
+
+// prescan records pooled bindings and whole-function Put facts.
+func (w *walker) prescan(body *ast.BlockStmt, st *poolState) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, obj := range w.bindings(n) {
+				st.pooled[obj] = true
+			}
+		case *ast.CallExpr:
+			if w.isPoolCall(n, "Put") {
+				if obj, _ := w.putArg(n); obj != nil {
+					st.didPut[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkStmts threads state through statements in source order.
+func (w *walker) walkStmts(stmts []ast.Stmt, st *poolState) {
+	for _, s := range stmts {
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt, st *poolState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Uses on the RHS first (right-to-left evaluation is fine for
+		// a use check), then rebindings clear path state.
+		for _, r := range s.Rhs {
+			w.checkUses(r, st)
+		}
+		for _, obj := range w.bindings(s) {
+			// Re-Get rebinds: a fresh borrow clears put/reset marks.
+			delete(st.put, obj)
+			delete(st.reset, obj)
+		}
+		// v = v[:0] marks a length reset.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if lhs, ok := s.Lhs[0].(*ast.Ident); ok {
+				if sl, ok := s.Rhs[0].(*ast.SliceExpr); ok && sl.Low == nil && isZeroLit(sl.High) {
+					if base, ok := sl.X.(*ast.Ident); ok && base.Name == lhs.Name {
+						if obj := w.pass.TypesInfo.Uses[base]; obj != nil && st.pooled[obj] {
+							st.reset[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && w.isPoolCall(call, "Put") {
+			w.handlePut(call, st)
+			return
+		}
+		w.checkUses(s.X, st)
+	case *ast.DeferStmt:
+		if w.isPoolCall(s.Call, "Put") {
+			// defer P.Put(v): releases at return; uses in the body
+			// precede it dynamically, so no path marking.
+			w.handleDeferredPut(s.Call, st)
+			return
+		}
+		w.checkUses(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkEscape(r, st)
+			w.checkUses(r, st)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.checkUses(s.Cond, st)
+		w.walkStmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		w.walkStmts(s.Body.List, st.clone())
+	case *ast.RangeStmt:
+		w.checkUses(s.X, st)
+		w.walkStmts(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.GoStmt:
+		w.checkUses(s.Call, st)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	default:
+		// Other statements: check embedded expressions for uses.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkUses(e, st)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// handlePut applies the reset rule and marks the path state.
+func (w *walker) handlePut(call *ast.CallExpr, st *poolState) {
+	obj, resetInArg := w.putArg(call)
+	if obj == nil || !st.pooled[obj] {
+		return
+	}
+	if st.put[obj] {
+		w.pass.Reportf(call.Pos(), "%s is returned to the pool twice on this path", obj.Name())
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice && !resetInArg && !st.reset[obj] {
+		w.pass.Reportf(call.Pos(), "pooled slice %s is Put without a length reset (%s = %s[:0]): the next Get sees stale elements", obj.Name(), obj.Name(), obj.Name())
+	}
+	st.put[obj] = true
+}
+
+func (w *walker) handleDeferredPut(call *ast.CallExpr, st *poolState) {
+	obj, resetInArg := w.putArg(call)
+	if obj == nil || !st.pooled[obj] {
+		return
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice && !resetInArg {
+		// A deferred Put cannot observe a later reset in this simple
+		// source-order model; only Put(v[:0]) counts.
+		w.pass.Reportf(call.Pos(), "pooled slice %s is deferred-Put without a length reset (use defer pool.Put(%s[:0]) after final growth, or Put explicitly)", obj.Name(), obj.Name())
+	}
+}
+
+// checkUses reports reads of identifiers already Put on this path.
+func (w *walker) checkUses(e ast.Expr, st *poolState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			_ = lit
+			return false // nested literals are their own context
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj != nil && st.put[obj] {
+			w.pass.Reportf(id.Pos(), "%s is used after being returned to the pool: the pool may already have handed it to another goroutine", id.Name)
+		}
+		return true
+	})
+}
+
+// checkEscape reports returning a pooled value (or a subslice of one)
+// from a function that also Puts it — a view escaping the pooled
+// lifetime.
+func (w *walker) checkEscape(e ast.Expr, st *poolState) {
+	base := e
+	for {
+		switch b := base.(type) {
+		case *ast.SliceExpr:
+			base = b.X
+			continue
+		case *ast.ParenExpr:
+			base = b.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj != nil && st.pooled[obj] && st.didPut[obj] {
+		w.pass.Reportf(e.Pos(), "returning a view of pooled %s whose lifetime ends in this function (Put elsewhere in the body): copy it out instead", id.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package pooledframe_test
+
+import (
+	"testing"
+
+	"scbr/internal/analysis/analysistest"
+	"scbr/internal/analysis/pooledframe"
+)
+
+func TestPooledFrame(t *testing.T) {
+	analysistest.Run(t, ".", pooledframe.Analyzer, "pooledframe_bad", "pooledframe_good")
+}

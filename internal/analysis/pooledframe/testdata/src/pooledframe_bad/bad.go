@@ -1,0 +1,49 @@
+// Seeded sync.Pool lifetime violations: every marked line must be
+// diagnosed by the pooledframe analyzer.
+package pooledframe_bad
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+func sink(b []byte) {}
+
+// useAfterPut reads the buffer after its pooled lifetime ended.
+func useAfterPut() {
+	b := bufPool.Get().([]byte)
+	b = b[:0]
+	bufPool.Put(b)
+	sink(b) // want `used after being returned to the pool`
+}
+
+// doublePut returns the same borrow twice on one path.
+func doublePut() {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b[:0])
+	bufPool.Put(b[:0]) // want `returned to the pool twice`
+}
+
+// putWithoutReset leaks this frame's bytes into the next borrower.
+func putWithoutReset() {
+	b := bufPool.Get().([]byte)
+	b = append(b, 0xCA, 0xFE)
+	sink(b)
+	bufPool.Put(b) // want `without a length reset`
+}
+
+// deferredPutWithoutReset defers the Put of a grown slice.
+func deferredPutWithoutReset() {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b) // want `deferred-Put without a length reset`
+	b = append(b, 1)
+	sink(b)
+}
+
+// escapingView returns a window into a buffer whose lifetime this
+// function ends: the caller and the pool's next borrower now share
+// bytes.
+func escapingView(n int) []byte {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b[:0])
+	return b[:n] // want `returning a view of pooled`
+}

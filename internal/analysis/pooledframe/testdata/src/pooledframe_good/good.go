@@ -1,0 +1,70 @@
+// Pool discipline done right, in the shapes the broker's frame path
+// uses: the pooledframe analyzer must stay silent here.
+package pooledframe_good
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+type frame struct{ data []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func sink(b []byte) {}
+
+// resetThenPut is the canonical borrow: grow, use, length-reset, Put.
+func resetThenPut() {
+	b := bufPool.Get().([]byte)
+	b = append(b, 1, 2, 3)
+	sink(b)
+	bufPool.Put(b[:0])
+}
+
+// assignReset resets via an explicit reslice statement before Put.
+func assignReset() {
+	b := bufPool.Get().([]byte)
+	b = append(b, 4)
+	sink(b)
+	b = b[:0]
+	bufPool.Put(b)
+}
+
+// structPut: the reset rule binds slices only; pooled structs manage
+// their own fields.
+func structPut() {
+	f := framePool.Get().(*frame)
+	f.data = f.data[:0]
+	framePool.Put(f)
+}
+
+// branchPut releases on the early path and keeps using the buffer on
+// the fall-through: a Put on one branch does not poison the other.
+func branchPut(cond bool) {
+	b := bufPool.Get().([]byte)
+	if cond {
+		bufPool.Put(b[:0])
+		return
+	}
+	b = append(b, 9)
+	sink(b)
+	bufPool.Put(b[:0])
+}
+
+// reGet rebinds after a Put: the fresh borrow is a fresh lifetime.
+func reGet() {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b[:0])
+	b = bufPool.Get().([]byte)
+	sink(b)
+	bufPool.Put(b[:0])
+}
+
+// copyOut is the sanctioned escape: the caller gets its own bytes.
+func copyOut(n int) []byte {
+	b := bufPool.Get().([]byte)
+	b = append(b, make([]byte, n)...)
+	out := make([]byte, len(b))
+	copy(out, b)
+	bufPool.Put(b[:0])
+	return out
+}

@@ -1,0 +1,39 @@
+// Exercises the suppression engine: flagme() calls are diagnosed by
+// the test-only analyzer in checker_test.go, and the markers below
+// must silence, complain, or rot exactly as documented.
+package suppression
+
+func flagme() {}
+
+// justifiedSameLine is silenced by an end-of-line marker.
+func justifiedSameLine() {
+	flagme() // scbr:vet ignore(flagme): exercised by checker_test, known-good call
+}
+
+// justifiedLineAbove is silenced by a marker on the line above.
+func justifiedLineAbove() {
+	// scbr:vet ignore(flagme): exercised by checker_test, marker-above form
+	flagme()
+}
+
+// unjustified converts the diagnostic into a justification finding.
+func unjustified() {
+	flagme() // scbr:vet ignore(flagme)
+}
+
+// unsilenced must surface as a plain finding.
+func unsilenced() {
+	flagme()
+}
+
+// stale marks a line with nothing to silence: the marker itself rots.
+func stale() {
+	// scbr:vet ignore(flagme): nothing here triggers the analyzer
+	_ = 1
+}
+
+// otherAnalyzer names an analyzer outside the run and is not judged.
+func otherAnalyzer() {
+	// scbr:vet ignore(someother): out of this run's scope
+	_ = 2
+}

@@ -1,0 +1,38 @@
+// Seeded wire-taxonomy violations: errors that cross the encoder with
+// no sentinel in their chain, and hand-built error frames. Every
+// marked line must be diagnosed.
+package wireerr_bad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message mirrors the broker's wire envelope shape.
+type Message struct {
+	Op   string
+	Err  string
+	Code string
+}
+
+func sendErr(w io.Writer, err error) {
+	_, _ = w.Write([]byte(err.Error()))
+}
+
+// freshError crosses the wire with an empty Code: client errors.Is
+// sees nothing.
+func freshError(w io.Writer) {
+	sendErr(w, errors.New("subscription not found")) // want `no sentinel in its chain`
+}
+
+// wrappedNothing formats without %w, so the chain is still empty.
+func wrappedNothing(w io.Writer, id uint64) {
+	sendErr(w, fmt.Errorf("subscription %d not found", id)) // want `fmt.Errorf without %w`
+}
+
+// handFrame builds the error envelope by hand, bypassing codeFor.
+func handFrame(w io.Writer) {
+	m := Message{Err: "boom", Code: "EBOOM"} // want `hand-built error frame`
+	_ = m
+}

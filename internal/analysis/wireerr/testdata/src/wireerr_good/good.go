@@ -1,0 +1,65 @@
+// Taxonomy-respecting error flow: sentinels wrapped with %w, frames
+// built only inside the encoder. The wireerr analyzer must stay
+// silent here.
+package wireerr_good
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message mirrors the broker's wire envelope shape.
+type Message struct {
+	Op   string
+	Err  string
+	Code string
+}
+
+// ErrNotFound is a package sentinel, part of the wire taxonomy.
+var ErrNotFound = errors.New("not found")
+
+func codeFor(err error) string {
+	if errors.Is(err, ErrNotFound) {
+		return "ENOTFOUND"
+	}
+	return ""
+}
+
+// sendErr is the sanctioned encoder: the one place an error frame is
+// assembled, with Code stamped from the chain.
+func sendErr(w io.Writer, err error) {
+	m := Message{Err: err.Error(), Code: codeFor(err)}
+	_, _ = w.Write([]byte(m.Err + m.Code))
+}
+
+// wrappedSentinel keeps the sentinel in the chain through %w.
+func wrappedSentinel(w io.Writer, id uint64) {
+	sendErr(w, fmt.Errorf("subscription %d: %w", id, ErrNotFound))
+}
+
+// bareSentinel sends the sentinel itself.
+func bareSentinel(w io.Writer) {
+	sendErr(w, ErrNotFound)
+}
+
+// variableError: a chain built elsewhere is the callee's concern, not
+// statically refutable here.
+func variableError(w io.Writer, err error) {
+	sendErr(w, err)
+}
+
+// replyFrame sets no Err field: data frames are not error frames.
+func replyFrame(w io.Writer) {
+	m := Message{Op: "pub"}
+	_, _ = w.Write([]byte(m.Op))
+}
+
+// notAnEnvelope has an Err field but no Code: not the wire shape.
+type notAnEnvelope struct {
+	Err string
+}
+
+func otherStruct() notAnEnvelope {
+	return notAnEnvelope{Err: "local"}
+}

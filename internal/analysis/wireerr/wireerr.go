@@ -1,0 +1,143 @@
+// Package wireerr enforces the typed sentinel taxonomy on the wire
+// (PR 1): every error that crosses the wire encoder must carry one of
+// the broker's sentinel errors in its chain, because the encoder
+// stamps the machine-readable Code from codeFor(err) and the client
+// side rebuilds errors.Is-compatible errors from that code. An error
+// built fresh at the send site — errors.New(...), or fmt.Errorf
+// without a %w verb — has no sentinel in its chain, crosses with an
+// empty Code, and silently breaks client-side errors.Is.
+//
+// The analyzer flags
+//
+//   - sendErr(w, errors.New(...)) and sendErr(w, fmt.Errorf(...))
+//     with no %w in the format: wrap a sentinel, or use sendErrf,
+//     which is the documented escape hatch for ad-hoc protocol
+//     violations that deliberately have no class, and
+//   - wire-envelope literals (a struct named Message with Err and
+//     Code string fields) that set Err outside the sanctioned encoder
+//     (a function named sendErr) — hand-built error frames bypass
+//     codeFor entirely.
+package wireerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"scbr/internal/analysis"
+)
+
+// Analyzer is the wireerr analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireerr",
+	Doc:  "check that errors crossing the wire encoder carry a typed sentinel in their chain",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fn := range pass.FuncDecls() {
+		inEncoder := fn.Name.Name == "sendErr"
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSendErr(pass, n)
+			case *ast.CompositeLit:
+				if !inEncoder {
+					checkEnvelope(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkSendErr flags sendErr calls whose error argument provably
+// wraps no sentinel.
+func checkSendErr(pass *analysis.Pass, call *ast.CallExpr) {
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if name != "sendErr" || len(call.Args) != 2 {
+		return
+	}
+	arg := call.Args[1]
+	inner, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return // a variable: its chain is not statically known
+	}
+	pkg, fname, ok := pkgFunc(pass, inner)
+	if !ok {
+		return
+	}
+	switch {
+	case pkg == "errors" && fname == "New":
+		pass.Reportf(arg.Pos(), "error crosses the wire with no sentinel in its chain (Code will be empty, client errors.Is breaks): wrap a broker sentinel with fmt.Errorf(\"...: %%w\", Err...) or use sendErrf for a deliberately class-less protocol violation")
+	case pkg == "fmt" && fname == "Errorf":
+		if len(inner.Args) > 0 {
+			if lit, okLit := inner.Args[0].(*ast.BasicLit); okLit && !strings.Contains(lit.Value, "%w") {
+				pass.Reportf(arg.Pos(), "fmt.Errorf without %%w wraps no sentinel: the error crosses the wire with an empty Code and client errors.Is breaks; wrap a sentinel or use sendErrf")
+			}
+		}
+	}
+}
+
+// checkEnvelope flags wire-envelope literals that hand-build error
+// frames.
+func checkEnvelope(pass *analysis.Pass, lit *ast.CompositeLit) {
+	named := pass.NamedOf(lit)
+	if named == nil || named.Obj().Name() != "Message" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || !isWireEnvelope(st) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Err" {
+			pass.Reportf(kv.Pos(), "hand-built error frame bypasses the wire encoder's sentinel taxonomy (Code is not stamped by codeFor): send errors through sendErr")
+		}
+	}
+}
+
+// isWireEnvelope recognises the wire Message shape: string fields Err
+// and Code.
+func isWireEnvelope(st *types.Struct) bool {
+	var hasErr, hasCode bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if basic, ok := f.Type().(*types.Basic); ok && basic.Kind() == types.String {
+			switch f.Name() {
+			case "Err":
+				hasErr = true
+			case "Code":
+				hasCode = true
+			}
+		}
+	}
+	return hasErr && hasCode
+}
+
+// pkgFunc resolves a call to a package-level function.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	if pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+		return pn.Imported().Path(), sel.Sel.Name, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,12 @@
+package wireerr_test
+
+import (
+	"testing"
+
+	"scbr/internal/analysis/analysistest"
+	"scbr/internal/analysis/wireerr"
+)
+
+func TestWireErr(t *testing.T) {
+	analysistest.Run(t, ".", wireerr.Analyzer, "wireerr_bad", "wireerr_good")
+}

@@ -361,6 +361,8 @@ func (r *Router) matchFanout(job *matchJob, sk *scrypto.SymmetricKey) {
 // caller holds p.mu and has accounted the enclave entry (an ecall on
 // the synchronous path, the resident worker on the switchless path).
 // Results land in job.perPart[p.idx] — this slice's own slot.
+//
+// scbr:vet enclave-boundary: both callers charge the entry — matchFanout wraps this in an Ecall body, publicationWorker is the resident switchless worker whose transition is charged once per drain
 func (r *Router) matchSliceBatch(p *partition, job *matchJob, sk *scrypto.SymmetricKey) {
 	encs := job.blobs
 	if r.backend.Caps.SealedExchange {

@@ -223,8 +223,9 @@ func (t *Topology) NewPublisher(ctx context.Context, home int) (*broker.Publishe
 	if err != nil {
 		return nil, err
 	}
+	var dialer net.Dialer
 	for i := range t.Routers {
-		conn, err := net.Dial("tcp", t.Addrs[i])
+		conn, err := dialer.DialContext(ctx, "tcp", t.Addrs[i])
 		if err != nil {
 			return nil, fmt.Errorf("deploy: dialing router %d: %w", i, err)
 		}
@@ -250,7 +251,8 @@ func (t *Topology) ConnectClient(ctx context.Context, pub *broker.Publisher, c *
 	go pub.ServeClient(ctx, pubSide)
 	c.ConnectPublisher(clientSide, pub.PublicKey())
 	c.UseRouter(t.IDs[home])
-	conn, err := net.Dial("tcp", t.Addrs[home])
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", t.Addrs[home])
 	if err != nil {
 		return fmt.Errorf("deploy: dialing home router %d: %w", home, err)
 	}

@@ -1,0 +1,13 @@
+// Nested tool module: pins the versions of developer tools CI
+// installs, so a tool bump is a reviewed go.mod diff instead of a
+// floating @tag in the workflow. CI runs `go mod tidy && go install
+// honnef.co/go/tools/cmd/staticcheck` from this directory; the module
+// is otherwise inert (no Go sources, excluded from the root module's
+// ./...).
+module scbr/tools
+
+go 1.24.0
+
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1
